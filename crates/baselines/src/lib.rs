@@ -1,0 +1,104 @@
+//! # baselines — the comparison sorts of the paper's evaluation
+//!
+//! The paper compares its hybrid radix sort against
+//!
+//! * **CUB** (v1.5.1, 5-bit digits; v1.6.4, 7-bit digits) — the
+//!   state-of-the-art GPU LSD radix sort by Merrill et al.,
+//! * **Thrust** — an older GPU LSD radix sort using 4-bit digits,
+//! * **Satish et al.** — an LSD radix sort performing the shared-memory
+//!   partitioning with repeated binary splits (compute-bound),
+//! * **MGPU** — Baxter's GPU merge sort,
+//! * **GPU Multisplit** (appendix) — a warp-synchronous multisplit-based
+//!   radix sort,
+//! * **PARADIS** — a parallel in-place CPU radix sort (the end-to-end
+//!   comparison of Figure 9).
+//!
+//! Each GPU baseline is implemented *functionally* (it really sorts, so the
+//! test suite can verify it against the standard library) and *analytically*
+//! (its pass structure and per-pass memory traffic are fed through the same
+//! [`gpu_sim`] device model used for the hybrid sort, so the comparison
+//! factors follow from the algorithms rather than from tuned constants).
+//! PARADIS is represented by a real multi-threaded CPU radix sort plus the
+//! runtimes reported in the PARADIS paper, which is what the paper itself
+//! compares against.
+
+#![warn(missing_docs)]
+
+pub mod lsd_radix;
+pub mod merge_sort;
+pub mod multisplit;
+pub mod paradis;
+pub mod reference;
+
+pub use lsd_radix::{GpuLsdConfig, GpuLsdRadixSort};
+pub use merge_sort::GpuMergeSort;
+pub use multisplit::MultisplitRadixSort;
+pub use paradis::{ParadisConfig, ParadisSort};
+pub use reference::{paradis_reported_seconds, ReportedDistribution};
+
+use gpu_sim::{Bandwidth, MemoryTraffic, SimTime};
+
+/// Simulated execution summary of a baseline sorter, comparable to
+/// `hrs_core::SortReport::simulated`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineReport {
+    /// Name of the baseline (e.g. `"CUB 1.5.1"`).
+    pub name: String,
+    /// Number of elements.
+    pub n: u64,
+    /// Key width in bytes.
+    pub key_bytes: u32,
+    /// Value width in bytes (0 for key-only sorts).
+    pub value_bytes: u32,
+    /// Number of passes over the data the algorithm performs.
+    pub passes: u32,
+    /// Device-memory traffic.
+    pub traffic: MemoryTraffic,
+    /// Total simulated duration.
+    pub total: SimTime,
+    /// Input bytes divided by the simulated duration.
+    pub sorting_rate: Bandwidth,
+}
+
+impl BaselineReport {
+    /// Input size in bytes (keys + values).
+    pub fn input_bytes(&self) -> u64 {
+        self.n * (self.key_bytes as u64 + self.value_bytes as u64)
+    }
+
+    /// One-line summary for experiment logs.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: n={} ({}+{} B), {} passes, {} -> {}",
+            self.name,
+            self.n,
+            self.key_bytes,
+            self.value_bytes,
+            self.passes,
+            self.total,
+            self.sorting_rate
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_report_helpers() {
+        let r = BaselineReport {
+            name: "CUB 1.5.1".to_string(),
+            n: 1_000,
+            key_bytes: 8,
+            value_bytes: 8,
+            passes: 13,
+            traffic: MemoryTraffic::read_write(16_000),
+            total: SimTime::from_millis(1.0),
+            sorting_rate: Bandwidth::from_gb_per_s(16.0),
+        };
+        assert_eq!(r.input_bytes(), 16_000);
+        assert!(r.summary().contains("CUB 1.5.1"));
+        assert!(r.summary().contains("13 passes"));
+    }
+}

@@ -1,0 +1,369 @@
+//! GPU LSD radix sort baselines (CUB 1.5.1 / 1.6.4, Thrust, Satish et al.).
+//!
+//! The state-of-the-art GPU radix sorts the paper compares against are
+//! least-significant-digit-first radix sorts: every pass performs a *stable*
+//! counting sort on `d` bits and therefore has to read the whole input twice
+//! (once for the per-block histograms / upsweep, once for the downsweep) and
+//! write it once.  The number of passes is `⌈k/d⌉`, with
+//!
+//! * `d = 5` for CUB 1.5.1 (the version evaluated in the paper's main body),
+//! * `d = 7` for CUB 1.6.4 (the appendix's updated version),
+//! * `d = 4` for Thrust and for Satish et al. (whose shared-memory binary
+//!   split additionally makes it compute-bound).
+//!
+//! Because LSD radix sorting is stable and oblivious to the key
+//! distribution, its cost is (almost) independent of skew — which is exactly
+//! what Figure 6 shows for CUB.
+
+use crate::BaselineReport;
+use gpu_sim::{DeviceSpec, KernelCost, KernelKind, MemoryTraffic};
+use workloads::SortKey;
+
+/// Configuration of an LSD radix sort baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuLsdConfig {
+    /// Display name.
+    pub name: String,
+    /// Bits per digit.
+    pub digit_bits: u32,
+    /// Efficiency of the downsweep's mixed read/write streams relative to
+    /// the achievable read bandwidth.
+    pub scatter_rw_efficiency: f64,
+    /// Compute ceiling in keys per second for the whole device
+    /// (`f64::INFINITY` for implementations that are purely bandwidth
+    /// bound).
+    pub compute_keys_per_sec: f64,
+    /// Fixed overhead per pass in seconds.
+    pub pass_fixed_overhead_s: f64,
+}
+
+impl GpuLsdConfig {
+    /// CUB 1.5.1: five bits per pass (the paper's primary baseline).
+    pub fn cub_1_5_1() -> Self {
+        GpuLsdConfig {
+            name: "CUB 1.5.1".to_string(),
+            digit_bits: 5,
+            scatter_rw_efficiency: 0.80,
+            compute_keys_per_sec: f64::INFINITY,
+            pass_fixed_overhead_s: 0.35e-3,
+        }
+    }
+
+    /// CUB 1.6.4: up to seven bits per pass on Pascal-class devices
+    /// (Appendix A), at the cost of lower occupancy.
+    pub fn cub_1_6_4() -> Self {
+        GpuLsdConfig {
+            name: "CUB 1.6.4".to_string(),
+            digit_bits: 7,
+            scatter_rw_efficiency: 0.74,
+            compute_keys_per_sec: f64::INFINITY,
+            pass_fixed_overhead_s: 0.45e-3,
+        }
+    }
+
+    /// Thrust's radix sort: four bits per pass and noticeably more
+    /// per-pass overhead than CUB.
+    pub fn thrust() -> Self {
+        GpuLsdConfig {
+            name: "Thrust".to_string(),
+            digit_bits: 4,
+            scatter_rw_efficiency: 0.75,
+            compute_keys_per_sec: f64::INFINITY,
+            pass_fixed_overhead_s: 0.6e-3,
+        }
+    }
+
+    /// Satish et al.: four bits per pass with the shared-memory binary
+    /// split, which makes the implementation compute-bound (Section 3).
+    pub fn satish() -> Self {
+        GpuLsdConfig {
+            name: "Satish et al.".to_string(),
+            digit_bits: 4,
+            scatter_rw_efficiency: 0.75,
+            compute_keys_per_sec: 14e9,
+            pass_fixed_overhead_s: 0.6e-3,
+        }
+    }
+
+    /// Number of passes needed for `key_bits`-bit keys.
+    pub fn num_passes(&self, key_bits: u32) -> u32 {
+        key_bits.div_ceil(self.digit_bits)
+    }
+}
+
+/// An LSD radix sort baseline: functional CPU implementation plus the
+/// analytical GPU cost model.
+#[derive(Debug, Clone)]
+pub struct GpuLsdRadixSort {
+    /// Configuration (digit width, efficiencies).
+    pub config: GpuLsdConfig,
+    /// Device the simulated timings refer to.
+    pub device: DeviceSpec,
+}
+
+impl GpuLsdRadixSort {
+    /// Creates a baseline with the given configuration on the Titan X.
+    pub fn new(config: GpuLsdConfig) -> Self {
+        GpuLsdRadixSort {
+            config,
+            device: DeviceSpec::titan_x_pascal(),
+        }
+    }
+
+    /// CUB 1.5.1 on the Titan X.
+    pub fn cub_1_5_1() -> Self {
+        GpuLsdRadixSort::new(GpuLsdConfig::cub_1_5_1())
+    }
+
+    /// CUB 1.6.4 on the Titan X.
+    pub fn cub_1_6_4() -> Self {
+        GpuLsdRadixSort::new(GpuLsdConfig::cub_1_6_4())
+    }
+
+    /// Thrust on the Titan X.
+    pub fn thrust() -> Self {
+        GpuLsdRadixSort::new(GpuLsdConfig::thrust())
+    }
+
+    /// Satish et al. on the Titan X.
+    pub fn satish() -> Self {
+        GpuLsdRadixSort::new(GpuLsdConfig::satish())
+    }
+
+    /// Uses a different device model.
+    pub fn with_device(mut self, device: DeviceSpec) -> Self {
+        self.device = device;
+        self
+    }
+
+    /// Sorts `keys` in place (stable LSD radix sort on the radix
+    /// representation) and returns the simulated report.
+    pub fn sort<K: SortKey>(&self, keys: &mut Vec<K>) -> BaselineReport {
+        let mut values: Vec<()> = vec![(); keys.len()];
+        self.sort_pairs(keys, &mut values)
+    }
+
+    /// Sorts keys and values together; the sort is stable.
+    pub fn sort_pairs<K: SortKey, V: Copy + Default>(
+        &self,
+        keys: &mut Vec<K>,
+        values: &mut Vec<V>,
+    ) -> BaselineReport {
+        assert_eq!(keys.len(), values.len());
+        let n = keys.len();
+        let d = self.config.digit_bits;
+        let radix = 1usize << d;
+        let passes = self.config.num_passes(K::BITS);
+
+        let mut src_k: Vec<u64> = keys.iter().map(|k| k.to_radix()).collect();
+        let mut src_v: Vec<V> = std::mem::take(values);
+        let mut dst_k = vec![0u64; n];
+        let mut dst_v = vec![V::default(); n];
+
+        for pass in 0..passes {
+            let shift = d * pass;
+            let mask = (radix - 1) as u64;
+            // Upsweep: histogram.
+            let mut hist = vec![0usize; radix];
+            for &k in &src_k {
+                hist[((k >> shift) & mask) as usize] += 1;
+            }
+            // Exclusive prefix sum.
+            let mut offsets = vec![0usize; radix];
+            let mut acc = 0usize;
+            for (o, &h) in offsets.iter_mut().zip(hist.iter()) {
+                *o = acc;
+                acc += h;
+            }
+            // Downsweep: stable scatter.
+            for i in 0..n {
+                let digit = ((src_k[i] >> shift) & mask) as usize;
+                let pos = offsets[digit];
+                offsets[digit] += 1;
+                dst_k[pos] = src_k[i];
+                dst_v[pos] = src_v[i];
+            }
+            std::mem::swap(&mut src_k, &mut dst_k);
+            std::mem::swap(&mut src_v, &mut dst_v);
+        }
+
+        for (slot, bits) in keys.iter_mut().zip(src_k.iter()) {
+            *slot = K::from_radix(*bits);
+        }
+        *values = src_v;
+
+        let value_bytes = if std::mem::size_of::<V>() == 0 {
+            0
+        } else {
+            std::mem::size_of::<V>() as u32
+        };
+        self.simulate(n as u64, K::BITS, value_bytes)
+    }
+
+    /// Analytical simulation for `n` keys of `key_bits` bits with
+    /// `value_bytes`-byte values, without touching any data (the LSD sort's
+    /// cost does not depend on the key distribution).
+    pub fn simulate(&self, n: u64, key_bits: u32, value_bytes: u32) -> BaselineReport {
+        let key_bytes = (key_bits / 8).max(1);
+        let passes = self.config.num_passes(key_bits);
+        let keys_total = n * key_bytes as u64;
+        let values_total = n * value_bytes as u64;
+        let mut traffic = MemoryTraffic::default();
+        let mut total = gpu_sim::SimTime::ZERO;
+
+        for _ in 0..passes {
+            // Upsweep: read the keys once.
+            let mut up = MemoryTraffic::default();
+            up.read(keys_total).launch();
+            let up_t = KernelCost::memory_bound(KernelKind::Histogram, up).evaluate(&self.device);
+            // Downsweep: read keys (and values), write keys (and values),
+            // stable shared-memory ranking limits the achievable bandwidth.
+            let mut down = MemoryTraffic::default();
+            down.read(keys_total + values_total)
+                .write(keys_total + values_total)
+                .launch();
+            let down_t = KernelCost::memory_bound(KernelKind::Scatter, down)
+                .with_efficiency(self.config.scatter_rw_efficiency)
+                .with_compute(n, self.config.compute_keys_per_sec)
+                .evaluate(&self.device);
+            traffic += up;
+            traffic += down;
+            total += up_t.total + down_t.total;
+            total += gpu_sim::SimTime::from_secs(self.config.pass_fixed_overhead_s);
+        }
+
+        let input_bytes = n * (key_bytes as u64 + value_bytes as u64);
+        BaselineReport {
+            name: self.config.name.clone(),
+            n,
+            key_bytes,
+            value_bytes,
+            passes,
+            traffic,
+            total,
+            sorting_rate: total.rate_for_bytes(input_bytes as f64),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::{uniform_keys, EntropyLevel, KeyCodec};
+
+    #[test]
+    fn pass_counts_match_the_paper() {
+        // Section 1: 64-bit keys with 5-bit digits -> 13 passes, i.e. the
+        // input is read or written 39 times.
+        assert_eq!(GpuLsdConfig::cub_1_5_1().num_passes(64), 13);
+        assert_eq!(GpuLsdConfig::cub_1_5_1().num_passes(32), 7);
+        assert_eq!(GpuLsdConfig::cub_1_6_4().num_passes(64), 10);
+        assert_eq!(GpuLsdConfig::cub_1_6_4().num_passes(32), 5);
+        assert_eq!(GpuLsdConfig::thrust().num_passes(64), 16);
+        assert_eq!(GpuLsdConfig::satish().num_passes(32), 8);
+    }
+
+    #[test]
+    fn functional_sort_is_correct_for_all_configs() {
+        let keys = EntropyLevel::with_and_count(2).generate_u32(20_000, 1);
+        let expected = KeyCodec::std_sorted(&keys);
+        for baseline in [
+            GpuLsdRadixSort::cub_1_5_1(),
+            GpuLsdRadixSort::cub_1_6_4(),
+            GpuLsdRadixSort::thrust(),
+            GpuLsdRadixSort::satish(),
+        ] {
+            let mut k = keys.clone();
+            let report = baseline.sort(&mut k);
+            assert_eq!(k, expected, "{}", report.name);
+            assert_eq!(report.passes, baseline.config.num_passes(32));
+        }
+    }
+
+    #[test]
+    fn functional_sort_handles_u64_and_signed_keys() {
+        let cub = GpuLsdRadixSort::cub_1_5_1();
+        let mut keys = uniform_keys::<u64>(10_000, 2);
+        let expected = KeyCodec::std_sorted(&keys);
+        cub.sort(&mut keys);
+        assert_eq!(keys, expected);
+
+        let mut ints: Vec<i32> = uniform_keys::<u32>(5_000, 3)
+            .into_iter()
+            .map(|k| k as i32)
+            .collect();
+        let expected = KeyCodec::std_sorted(&ints);
+        cub.sort(&mut ints);
+        assert_eq!(ints, expected);
+    }
+
+    #[test]
+    fn lsd_sort_is_stable_for_pairs() {
+        let cub = GpuLsdRadixSort::cub_1_5_1();
+        // Many duplicate keys; stability means values of equal keys keep
+        // their input order.
+        let mut keys: Vec<u32> = (0..10_000).map(|i| (i % 16) as u32).collect();
+        let mut values: Vec<u32> = (0..10_000).collect();
+        cub.sort_pairs(&mut keys, &mut values);
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+        for w in values.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            if keys[values.iter().position(|&v| v == a).unwrap()]
+                == keys[values.iter().position(|&v| v == b).unwrap()]
+            {
+                // Same key group: original order must be preserved.
+                // (Positions within the group are increasing.)
+            }
+        }
+        // Check stability directly: within each key group values ascend.
+        let mut last = vec![-1i64; 16];
+        for (k, v) in keys.iter().zip(values.iter()) {
+            assert!(last[*k as usize] < *v as i64);
+            last[*k as usize] = *v as i64;
+        }
+    }
+
+    #[test]
+    fn simulated_cub_rate_matches_figure_6_ballpark() {
+        // Figure 6a: CUB sorts 2 GB of 32-bit keys at roughly 15 GB/s.
+        let cub = GpuLsdRadixSort::cub_1_5_1();
+        let report = cub.simulate(500_000_000, 32, 0);
+        let rate = report.sorting_rate.gb_per_s();
+        assert!(rate > 11.0 && rate < 20.0, "rate = {rate}");
+        // Figure 6c: CUB on 64-bit keys drops to roughly 8 GB/s.
+        let report = cub.simulate(250_000_000, 64, 0);
+        let rate = report.sorting_rate.gb_per_s();
+        assert!(rate > 5.5 && rate < 11.0, "rate = {rate}");
+    }
+
+    #[test]
+    fn cub_1_6_4_beats_1_5_1() {
+        let old = GpuLsdRadixSort::cub_1_5_1().simulate(250_000_000, 64, 8);
+        let new = GpuLsdRadixSort::cub_1_6_4().simulate(250_000_000, 64, 8);
+        assert!(new.total < old.total);
+        assert!(new.passes < old.passes);
+    }
+
+    #[test]
+    fn satish_is_slower_than_thrust_due_to_compute_bound() {
+        let thrust = GpuLsdRadixSort::thrust().simulate(500_000_000, 32, 0);
+        let satish = GpuLsdRadixSort::satish().simulate(500_000_000, 32, 0);
+        assert!(satish.total > thrust.total);
+    }
+
+    #[test]
+    fn traffic_of_64bit_cub_is_39_passes_over_the_input() {
+        let cub = GpuLsdRadixSort::cub_1_5_1();
+        let report = cub.simulate(250_000_000, 64, 0);
+        let passes_over = report.traffic.passes_over_input(report.input_bytes());
+        assert!((passes_over - 39.0).abs() < 0.5, "passes = {passes_over}");
+    }
+
+    #[test]
+    fn empty_input() {
+        let mut keys: Vec<u32> = Vec::new();
+        let report = GpuLsdRadixSort::thrust().sort(&mut keys);
+        assert!(keys.is_empty());
+        assert_eq!(report.n, 0);
+    }
+}

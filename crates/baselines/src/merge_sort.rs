@@ -1,0 +1,244 @@
+//! GPU merge sort baseline (MGPU / Baxter, "Modern GPU").
+//!
+//! Comparison-based GPU merge sorts first sort fixed-size tiles in shared
+//! memory and then merge pairs of runs in `⌈log2(n / tile)⌉` global passes;
+//! every global pass reads and writes the whole input.  Merge sorts are
+//! additionally comparison-bound, which is why the paper's Figure 6 shows
+//! MGPU roughly a factor of four below the hybrid radix sort regardless of
+//! the key distribution.
+
+use crate::BaselineReport;
+use gpu_sim::{DeviceSpec, KernelCost, KernelKind, MemoryTraffic, SimTime};
+use workloads::SortKey;
+
+/// The MGPU-style merge sort baseline.
+#[derive(Debug, Clone)]
+pub struct GpuMergeSort {
+    /// Number of keys sorted per tile in shared memory before the global
+    /// merge passes start.
+    pub tile_size: usize,
+    /// Efficiency of the merge passes' mixed read/write streams.
+    pub merge_rw_efficiency: f64,
+    /// Comparison throughput ceiling in keys per second for the whole
+    /// device (merge sorts are compute-bound on top of their traffic).
+    pub compare_keys_per_sec: f64,
+    /// Fixed overhead per global pass.
+    pub pass_fixed_overhead_s: f64,
+    /// Device model.
+    pub device: DeviceSpec,
+}
+
+impl GpuMergeSort {
+    /// The configuration used for the Figure 6 comparison.
+    pub fn mgpu() -> Self {
+        GpuMergeSort {
+            tile_size: 1_024,
+            merge_rw_efficiency: 0.80,
+            compare_keys_per_sec: 11e9,
+            pass_fixed_overhead_s: 0.4e-3,
+            device: DeviceSpec::titan_x_pascal(),
+        }
+    }
+
+    /// Number of global merge passes for `n` keys.
+    pub fn num_merge_passes(&self, n: u64) -> u32 {
+        if n <= self.tile_size as u64 {
+            return 0;
+        }
+        let runs = n.div_ceil(self.tile_size as u64);
+        64 - (runs - 1).leading_zeros()
+    }
+
+    /// Sorts `keys` (functional tile sort + iterative merge passes) and
+    /// returns the simulated report.
+    pub fn sort<K: SortKey>(&self, keys: &mut Vec<K>) -> BaselineReport {
+        let mut values: Vec<()> = vec![(); keys.len()];
+        self.sort_pairs(keys, &mut values)
+    }
+
+    /// Sorts keys and values together (stable merge).
+    pub fn sort_pairs<K: SortKey, V: Copy + Default>(
+        &self,
+        keys: &mut Vec<K>,
+        values: &mut Vec<V>,
+    ) -> BaselineReport {
+        assert_eq!(keys.len(), values.len());
+        let n = keys.len();
+        let mut src: Vec<(u64, V)> = keys
+            .iter()
+            .zip(values.iter())
+            .map(|(k, &v)| (k.to_radix(), v))
+            .collect();
+
+        // Tile sort in "shared memory".
+        for tile in src.chunks_mut(self.tile_size) {
+            tile.sort_by_key(|(k, _)| *k);
+        }
+
+        // Iterative bottom-up merge passes.
+        let mut dst: Vec<(u64, V)> = vec![(0, V::default()); n];
+        let mut width = self.tile_size;
+        while width < n {
+            let mut start = 0;
+            while start < n {
+                let mid = (start + width).min(n);
+                let end = (start + 2 * width).min(n);
+                merge_runs(&src[start..mid], &src[mid..end], &mut dst[start..end]);
+                start = end;
+            }
+            std::mem::swap(&mut src, &mut dst);
+            width *= 2;
+        }
+
+        for (i, (k, v)) in src.iter().enumerate() {
+            keys[i] = K::from_radix(*k);
+            values[i] = *v;
+        }
+
+        let value_bytes = if std::mem::size_of::<V>() == 0 {
+            0
+        } else {
+            std::mem::size_of::<V>() as u32
+        };
+        self.simulate(n as u64, K::BITS, value_bytes)
+    }
+
+    /// Analytical simulation for `n` keys.
+    pub fn simulate(&self, n: u64, key_bits: u32, value_bytes: u32) -> BaselineReport {
+        let key_bytes = (key_bits / 8).max(1);
+        let record_bytes = key_bytes as u64 + value_bytes as u64;
+        let total_bytes = n * record_bytes;
+        let merge_passes = self.num_merge_passes(n);
+        let mut traffic = MemoryTraffic::default();
+        let mut total = SimTime::ZERO;
+
+        // Tile-sort pass: one read + one write of everything.
+        let mut tile = MemoryTraffic::default();
+        tile.read(total_bytes).write(total_bytes).launch();
+        let tile_t = KernelCost::memory_bound(KernelKind::LocalSort, tile)
+            .with_efficiency(self.merge_rw_efficiency)
+            .with_compute(n, self.compare_keys_per_sec)
+            .evaluate(&self.device);
+        traffic += tile;
+        total += tile_t.total;
+
+        for _ in 0..merge_passes {
+            let mut pass = MemoryTraffic::default();
+            pass.read(total_bytes).write(total_bytes).launch();
+            let t = KernelCost::memory_bound(KernelKind::Copy, pass)
+                .with_efficiency(self.merge_rw_efficiency)
+                .with_compute(n, self.compare_keys_per_sec)
+                .evaluate(&self.device);
+            traffic += pass;
+            total += t.total + SimTime::from_secs(self.pass_fixed_overhead_s);
+        }
+
+        BaselineReport {
+            name: "MGPU merge sort".to_string(),
+            n,
+            key_bytes,
+            value_bytes,
+            passes: merge_passes + 1,
+            traffic,
+            total,
+            sorting_rate: total.rate_for_bytes((n * record_bytes) as f64),
+        }
+    }
+}
+
+/// Merges two sorted runs into `out` (stable).
+fn merge_runs<V: Copy>(a: &[(u64, V)], b: &[(u64, V)], out: &mut [(u64, V)]) {
+    let (mut i, mut j, mut o) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        if a[i].0 <= b[j].0 {
+            out[o] = a[i];
+            i += 1;
+        } else {
+            out[o] = b[j];
+            j += 1;
+        }
+        o += 1;
+    }
+    while i < a.len() {
+        out[o] = a[i];
+        i += 1;
+        o += 1;
+    }
+    while j < b.len() {
+        out[o] = b[j];
+        j += 1;
+        o += 1;
+    }
+}
+
+impl Default for GpuMergeSort {
+    fn default() -> Self {
+        GpuMergeSort::mgpu()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::{uniform_keys, EntropyLevel, KeyCodec};
+
+    #[test]
+    fn functional_merge_sort_is_correct() {
+        let keys = uniform_keys::<u64>(50_000, 1);
+        let expected = KeyCodec::std_sorted(&keys);
+        let mut k = keys;
+        let report = GpuMergeSort::mgpu().sort(&mut k);
+        assert_eq!(k, expected);
+        assert!(report.passes >= 6);
+    }
+
+    #[test]
+    fn merge_sort_handles_skewed_and_tiny_inputs() {
+        let ms = GpuMergeSort::mgpu();
+        for n in [0usize, 1, 2, 1_023, 1_024, 1_025, 10_000] {
+            let mut keys = EntropyLevel::with_and_count(3).generate_u32(n, 2);
+            let expected = KeyCodec::std_sorted(&keys);
+            ms.sort(&mut keys);
+            assert_eq!(keys, expected, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn values_follow_keys_and_merge_is_stable() {
+        let ms = GpuMergeSort::mgpu();
+        let mut keys: Vec<u32> = (0..20_000).map(|i| (i % 7) as u32).collect();
+        let mut vals: Vec<u32> = (0..20_000).collect();
+        ms.sort_pairs(&mut keys, &mut vals);
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+        let mut last = vec![-1i64; 7];
+        for (k, v) in keys.iter().zip(vals.iter()) {
+            assert!(last[*k as usize] < *v as i64, "stability violated");
+            last[*k as usize] = *v as i64;
+        }
+    }
+
+    #[test]
+    fn pass_count_grows_logarithmically() {
+        let ms = GpuMergeSort::mgpu();
+        assert_eq!(ms.num_merge_passes(1_024), 0);
+        assert_eq!(ms.num_merge_passes(2_048), 1);
+        assert_eq!(ms.num_merge_passes(4_096), 2);
+        assert_eq!(ms.num_merge_passes(500_000_000), 19);
+    }
+
+    #[test]
+    fn simulated_rate_is_far_below_the_radix_sorts() {
+        // Figure 6a: MGPU sorts 2 GB of 32-bit keys at well under 10 GB/s.
+        let report = GpuMergeSort::mgpu().simulate(500_000_000, 32, 0);
+        let rate = report.sorting_rate.gb_per_s();
+        assert!(rate > 2.0 && rate < 10.0, "rate = {rate}");
+    }
+
+    #[test]
+    fn rate_is_roughly_distribution_and_size_independent_at_scale() {
+        let ms = GpuMergeSort::mgpu();
+        let a = ms.simulate(250_000_000, 64, 0).sorting_rate.gb_per_s();
+        let b = ms.simulate(500_000_000, 64, 0).sorting_rate.gb_per_s();
+        assert!((a - b).abs() / a < 0.15);
+    }
+}

@@ -1,0 +1,238 @@
+//! PARADIS-style parallel CPU radix sort.
+//!
+//! PARADIS (Cho et al., PVLDB 2015) is the parallel in-place CPU radix sort
+//! the paper compares its heterogeneous sort against (Figure 9).  Its core
+//! idea is an MSD counting sort whose permutation phase is parallelised
+//! speculatively: every thread permutes the keys of the stripes assigned to
+//! it, and a repair phase fixes the keys that ended up in a foreign bucket.
+//!
+//! This module provides a faithful *functional* multi-threaded CPU radix
+//! sort in the same spirit (per-thread histograms, cooperative scatter, MSD
+//! recursion with a small-bucket cutoff).  It is used
+//!
+//! * as a real, runnable CPU baseline for the heterogeneous-sort examples
+//!   and benches, and
+//! * together with [`crate::reference::paradis_reported_seconds`], which
+//!   reproduces the runtimes reported for PARADIS on the 32-core machine the
+//!   paper quotes, for regenerating Figure 9.
+
+use crossbeam::thread;
+use workloads::SortKey;
+
+/// Configuration of the PARADIS-style CPU sort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParadisConfig {
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Bits per digit of the MSD partitioning passes.
+    pub digit_bits: u32,
+    /// Buckets of at most this many keys are finished with a sequential
+    /// comparison sort instead of further partitioning.
+    pub small_cutoff: usize,
+}
+
+impl Default for ParadisConfig {
+    fn default() -> Self {
+        ParadisConfig {
+            threads: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4),
+            digit_bits: 8,
+            small_cutoff: 8_192,
+        }
+    }
+}
+
+/// The PARADIS-style parallel CPU radix sort.
+#[derive(Debug, Clone, Default)]
+pub struct ParadisSort {
+    /// Configuration.
+    pub config: ParadisConfig,
+}
+
+impl ParadisSort {
+    /// Creates a sorter with the given configuration.
+    pub fn new(config: ParadisConfig) -> Self {
+        ParadisSort { config }
+    }
+
+    /// Creates a sorter with `threads` worker threads (the paper's
+    /// comparison uses 16 threads on a 32-core machine).
+    pub fn with_threads(threads: usize) -> Self {
+        ParadisSort {
+            config: ParadisConfig {
+                threads: threads.max(1),
+                ..ParadisConfig::default()
+            },
+        }
+    }
+
+    /// Sorts `keys` in place and returns the wall-clock duration.
+    pub fn sort<K: SortKey>(&self, keys: &mut [K]) -> std::time::Duration {
+        let start = std::time::Instant::now();
+        if keys.len() > 1 {
+            let mut aux = vec![K::default(); keys.len()];
+            self.msd_partition(keys, &mut aux, 0);
+        }
+        start.elapsed()
+    }
+
+    /// One MSD partitioning level: parallel histogram, parallel scatter into
+    /// `aux`, copy back, then recurse (sequentially over buckets, which is
+    /// sufficient for the bucket counts produced by 8-bit digits).
+    fn msd_partition<K: SortKey>(&self, keys: &mut [K], aux: &mut [K], level: u32) {
+        let n = keys.len();
+        let digit_bits = self.config.digit_bits;
+        let num_levels = K::BITS.div_ceil(digit_bits);
+        if n <= self.config.small_cutoff || level >= num_levels {
+            keys.sort_unstable_by_key(|k| k.to_radix());
+            return;
+        }
+        let radix = 1usize << digit_bits.min(K::BITS - digit_bits * level);
+        let shift = K::BITS - digit_bits * level - digit_bits.min(K::BITS - digit_bits * level);
+        let mask = (radix - 1) as u64;
+        let threads = self.config.threads.min(n).max(1);
+        let chunk = n.div_ceil(threads);
+
+        // Parallel per-thread histograms.
+        let mut thread_hists: Vec<Vec<usize>> = vec![vec![0usize; radix]; threads];
+        thread::scope(|s| {
+            for (t, hist) in thread_hists.iter_mut().enumerate() {
+                let slice = &keys[(t * chunk).min(n)..((t + 1) * chunk).min(n)];
+                s.spawn(move |_| {
+                    for k in slice {
+                        hist[((k.to_radix() >> shift) & mask) as usize] += 1;
+                    }
+                });
+            }
+        })
+        .expect("histogram workers panicked");
+
+        // Per-thread starting offsets (stable within a digit value across
+        // threads, like PARADIS' stripe assignment).
+        let mut offsets: Vec<Vec<usize>> = vec![vec![0usize; radix]; threads];
+        let mut bucket_starts = vec![0usize; radix + 1];
+        {
+            let mut acc = 0usize;
+            for d in 0..radix {
+                bucket_starts[d] = acc;
+                for t in 0..threads {
+                    offsets[t][d] = acc;
+                    acc += thread_hists[t][d];
+                }
+            }
+            bucket_starts[radix] = acc;
+        }
+
+        // Parallel scatter into the auxiliary buffer: each thread owns
+        // disjoint destination ranges by construction, so the writes are
+        // race-free (this replaces PARADIS' speculative permute + repair).
+        let aux_ptr = SendPtr(aux.as_mut_ptr());
+        thread::scope(|s| {
+            for (t, offs) in offsets.into_iter().enumerate() {
+                let slice = &keys[(t * chunk).min(n)..((t + 1) * chunk).min(n)];
+                s.spawn(move |_| {
+                    // Capture the whole wrapper (not just the raw pointer
+                    // field) so the closure stays `Send`.
+                    let out = aux_ptr;
+                    let mut offs = offs;
+                    for k in slice {
+                        let d = ((k.to_radix() >> shift) & mask) as usize;
+                        // SAFETY: each (thread, digit) pair owns the range
+                        // [offsets[t][d], offsets[t][d] + hist[t][d]) and the
+                        // ranges of different threads/digits are disjoint.
+                        unsafe {
+                            *out.0.add(offs[d]) = *k;
+                        }
+                        offs[d] += 1;
+                    }
+                });
+            }
+        })
+        .expect("scatter workers panicked");
+
+        keys.copy_from_slice(aux);
+
+        // Recurse into each bucket.
+        for d in 0..radix {
+            let (start, end) = (bucket_starts[d], bucket_starts[d + 1]);
+            if end - start > 1 {
+                self.msd_partition(&mut keys[start..end], &mut aux[start..end], level + 1);
+            }
+        }
+    }
+}
+
+/// A raw pointer wrapper that may be sent to scoped worker threads; the
+/// callers guarantee disjoint write ranges.
+#[derive(Clone, Copy)]
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::{uniform_keys, EntropyLevel, KeyCodec, ZipfGenerator};
+
+    #[test]
+    fn sorts_uniform_keys_with_multiple_threads() {
+        let keys = uniform_keys::<u64>(200_000, 1);
+        let expected = KeyCodec::std_sorted(&keys);
+        let mut k = keys;
+        ParadisSort::with_threads(4).sort(&mut k);
+        assert_eq!(k, expected);
+    }
+
+    #[test]
+    fn sorts_skewed_and_zipfian_keys() {
+        let sorter = ParadisSort::with_threads(3);
+        let keys = EntropyLevel::with_and_count(5).generate_u64(100_000, 2);
+        let expected = KeyCodec::std_sorted(&keys);
+        let mut k = keys;
+        sorter.sort(&mut k);
+        assert_eq!(k, expected);
+
+        let keys: Vec<u64> = ZipfGenerator::paper_keys(100_000, 3);
+        let expected = KeyCodec::std_sorted(&keys);
+        let mut k = keys;
+        sorter.sort(&mut k);
+        assert_eq!(k, expected);
+    }
+
+    #[test]
+    fn single_thread_and_tiny_inputs() {
+        let sorter = ParadisSort::with_threads(1);
+        for n in [0usize, 1, 2, 100, 8_192, 8_193] {
+            let mut keys = uniform_keys::<u32>(n, 5);
+            let expected = KeyCodec::std_sorted(&keys);
+            sorter.sort(&mut keys);
+            assert_eq!(keys, expected, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn sorts_signed_keys() {
+        let mut keys: Vec<i64> = uniform_keys::<u64>(50_000, 7)
+            .into_iter()
+            .map(|k| k as i64)
+            .collect();
+        let expected = KeyCodec::std_sorted(&keys);
+        ParadisSort::default().sort(&mut keys);
+        assert_eq!(keys, expected);
+    }
+
+    #[test]
+    fn constant_keys_terminate() {
+        let mut keys = vec![42u64; 100_000];
+        ParadisSort::with_threads(4).sort(&mut keys);
+        assert!(keys.iter().all(|&k| k == 42));
+    }
+
+    #[test]
+    fn returns_a_nonzero_duration() {
+        let mut keys = uniform_keys::<u64>(100_000, 9);
+        let d = ParadisSort::default().sort(&mut keys);
+        assert!(d.as_nanos() > 0);
+    }
+}

@@ -1,0 +1,34 @@
+//! Criterion benchmark behind Figures 11–14: the functional hybrid radix
+//! sort with individual optimisations disabled, on a skewed input.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use hrs_bench::{bench_config_32, BENCH_KEYS, BENCH_SEED};
+use hrs_core::{HybridRadixSorter, Optimizations};
+use std::hint::black_box;
+use workloads::{Distribution, EntropyLevel};
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_14_ablation_functional");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    let keys: Vec<u32> =
+        Distribution::Entropy(EntropyLevel::with_and_count(2)).generate(BENCH_KEYS, BENCH_SEED);
+
+    let mut variants = vec![("all optimisations on", Optimizations::all_on())];
+    variants.extend(Optimizations::ablation_variants());
+    for (name, opts) in variants {
+        group.bench_with_input(BenchmarkId::new("sort", name), &keys, |b, keys| {
+            let sorter = HybridRadixSorter::new(bench_config_32()).with_optimizations(opts);
+            b.iter(|| {
+                let mut k = keys.clone();
+                black_box(sorter.sort(&mut k));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion benchmark comparing all functional baseline implementations on
+//! the same input (correctness-equivalent to Figure 6's comparison set, at
+//! functional scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use hrs_bench::{BENCH_KEYS, BENCH_SEED};
+use std::hint::black_box;
+use workloads::Distribution;
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines_functional");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    let keys: Vec<u64> = Distribution::paper_zipf(1_000_000).generate(BENCH_KEYS, BENCH_SEED);
+
+    group.bench_function("cub_1_5_1", |b| {
+        let s = baselines::GpuLsdRadixSort::cub_1_5_1();
+        b.iter(|| {
+            let mut k = keys.clone();
+            black_box(s.sort(&mut k));
+        })
+    });
+    group.bench_function("cub_1_6_4", |b| {
+        let s = baselines::GpuLsdRadixSort::cub_1_6_4();
+        b.iter(|| {
+            let mut k = keys.clone();
+            black_box(s.sort(&mut k));
+        })
+    });
+    group.bench_function("thrust", |b| {
+        let s = baselines::GpuLsdRadixSort::thrust();
+        b.iter(|| {
+            let mut k = keys.clone();
+            black_box(s.sort(&mut k));
+        })
+    });
+    group.bench_function("mgpu_merge_sort", |b| {
+        let s = baselines::GpuMergeSort::mgpu();
+        b.iter(|| {
+            let mut k = keys.clone();
+            black_box(s.sort(&mut k));
+        })
+    });
+    group.bench_function("multisplit", |b| {
+        let s = baselines::MultisplitRadixSort::paper();
+        b.iter(|| {
+            let mut k = keys.clone();
+            black_box(s.sort(&mut k));
+        })
+    });
+    group.bench_function("paradis_cpu_6_threads", |b| {
+        let s = baselines::ParadisSort::with_threads(6);
+        b.iter(|| {
+            let mut k = keys.clone();
+            black_box(s.sort(&mut k));
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion benchmark behind Figure 2: per-block histogram computation with
+//! the atomics-only and thread-reduction strategies over distributions with
+//! a varying number of distinct digit values.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use gpu_sim::HistogramStrategy;
+use hrs_core::histogram::block_histogram;
+use std::hint::black_box;
+use workloads::SplitMix64;
+
+fn keys_with_distinct_msb(n: usize, distinct: u64) -> Vec<u32> {
+    let mut rng = SplitMix64::new(42);
+    (0..n)
+        .map(|_| ((rng.next_bounded(distinct.max(1)) as u32) << 24) | (rng.next_u32() & 0x00FF_FFFF))
+        .collect()
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig02_histogram");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    let n = 200_000;
+    for distinct in [1u64, 2, 4, 16, 256] {
+        let keys = keys_with_distinct_msb(n, distinct);
+        for (name, strategy) in [
+            ("atomics_only", HistogramStrategy::AtomicsOnly),
+            ("thread_reduction", HistogramStrategy::ThreadReduction),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("q={distinct}")),
+                &keys,
+                |b, keys| {
+                    b.iter(|| black_box(block_histogram(keys, 8, 0, 256, strategy, 18)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_histogram);
+criterion_main!(benches);

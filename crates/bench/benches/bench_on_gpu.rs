@@ -1,0 +1,57 @@
+//! Criterion benchmark behind Figures 6/7: the functional hybrid radix sort
+//! versus the functional LSD baselines, on uniform and skewed inputs.
+//! (The paper-scale GB/s figures come from the cost model via the
+//! `experiments` binaries; this benchmark measures the real CPU wall time of
+//! the functional implementations.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use hrs_bench::{bench_config_64, BENCH_KEYS, BENCH_SEED};
+use hrs_core::HybridRadixSorter;
+use std::hint::black_box;
+use workloads::{Distribution, EntropyLevel};
+
+fn bench_sorters(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig06_on_gpu_functional");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+
+    for (name, dist) in [
+        ("uniform", Distribution::Uniform),
+        ("entropy_25.96", Distribution::Entropy(EntropyLevel::with_and_count(1))),
+        ("constant", Distribution::Constant),
+    ] {
+        let keys: Vec<u64> = dist.generate(BENCH_KEYS, BENCH_SEED);
+
+        group.bench_with_input(BenchmarkId::new("hybrid_radix_sort", name), &keys, |b, keys| {
+            let sorter = HybridRadixSorter::new(bench_config_64());
+            b.iter(|| {
+                let mut k = keys.clone();
+                black_box(sorter.sort(&mut k));
+                black_box(k)
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("cub_lsd_5bit", name), &keys, |b, keys| {
+            let cub = baselines::GpuLsdRadixSort::cub_1_5_1();
+            b.iter(|| {
+                let mut k = keys.clone();
+                black_box(cub.sort(&mut k));
+                black_box(k)
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("std_sort_unstable", name), &keys, |b, keys| {
+            b.iter(|| {
+                let mut k = keys.clone();
+                k.sort_unstable();
+                black_box(k)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sorters);
+criterion_main!(benches);

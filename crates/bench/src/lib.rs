@@ -1,0 +1,37 @@
+//! Shared helpers for the Criterion benchmark targets.
+//!
+//! Each benchmark file under `benches/` regenerates the measurements behind
+//! one of the paper's tables or figures; this small library centralises the
+//! workload sizes so that the benches stay quick enough for CI while still
+//! exercising the real code paths.
+
+/// Number of keys used by the functional benchmark workloads.
+pub const BENCH_KEYS: usize = 1 << 20;
+
+/// Number of keys used by the heavier heterogeneous-sort benchmarks.
+pub const BENCH_HETERO_KEYS: usize = 1 << 19;
+
+/// Seed used by all benchmark workloads.
+pub const BENCH_SEED: u64 = 0xBEAC_0000_0000_0001;
+
+/// A scaled sort configuration matching the benchmark workload size, so the
+/// benchmarked runs exhibit the same bucket structure as the paper-scale
+/// experiments.
+pub fn bench_config_64() -> hrs_core::SortConfig {
+    hrs_core::SortConfig::keys_64().scaled_for(BENCH_KEYS, 250_000_000)
+}
+
+/// The 32-bit variant of [`bench_config_64`].
+pub fn bench_config_32() -> hrs_core::SortConfig {
+    hrs_core::SortConfig::keys_32().scaled_for(BENCH_KEYS, 500_000_000)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn bench_configs_are_valid() {
+        assert!(super::bench_config_64().validate().is_ok());
+        assert!(super::bench_config_32().validate().is_ok());
+        assert!(super::BENCH_KEYS >= 1_000);
+    }
+}

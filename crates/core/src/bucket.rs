@@ -1,0 +1,320 @@
+//! Bucket and block bookkeeping (Sections 4.2 and 4.5).
+//!
+//! The MSD radix sort maintains, per pass, the set of buckets that still
+//! need partitioning (each subdivided into fixed-size key blocks so that
+//! work can be distributed evenly over the SMs) and the set of buckets that
+//! are small enough for a local sort.  Instead of launching one kernel per
+//! bucket, the GPU implementation stores these descriptors in device memory
+//! — the structures below mirror the paper's
+//! `{k_offs, k_count, b_id, b_offs}` block assignments and
+//! `{b_id, b_offs, is_merged}` local-sort assignments — and the same
+//! descriptors drive this functional implementation.
+
+use serde::{Deserialize, Serialize};
+
+/// A bucket that still needs to be partitioned by a counting sort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bucket {
+    /// Unique identifier (assigned in creation order).
+    pub id: u64,
+    /// Offset of the bucket's first key within the key buffer.
+    pub offset: usize,
+    /// Number of keys in the bucket.
+    pub len: usize,
+    /// Digit index the next counting sort partitions this bucket on.
+    pub pass: u32,
+}
+
+impl Bucket {
+    /// The bucket covering a whole input of `n` keys, to be partitioned on
+    /// the most-significant digit.
+    pub fn root(n: usize) -> Bucket {
+        Bucket {
+            id: 0,
+            offset: 0,
+            len: n,
+            pass: 0,
+        }
+    }
+
+    /// Number of `keys_per_block`-sized blocks the bucket decomposes into
+    /// (rule R4 of the analytical model).
+    pub fn num_blocks(&self, keys_per_block: usize) -> usize {
+        self.len.div_ceil(keys_per_block.max(1))
+    }
+
+    /// End offset (exclusive).
+    pub fn end(&self) -> usize {
+        self.offset + self.len
+    }
+}
+
+/// Assignment of one thread block to one key block of a bucket — the
+/// paper's `{k_offs:uint, k_count:uint, b_id:uint, b_offs:uint}` record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockAssignment {
+    /// Offset of the block's first key in the key buffer (`k_offs`).
+    pub key_offset: usize,
+    /// Number of keys in the block (`k_count`).
+    pub key_count: usize,
+    /// Identifier of the bucket the block belongs to (`b_id`).
+    pub bucket_id: u64,
+    /// Offset of the bucket's first key (`b_offs`).
+    pub bucket_offset: usize,
+}
+
+/// Builds the block assignments for a set of buckets.
+pub fn block_assignments(buckets: &[Bucket], keys_per_block: usize) -> Vec<BlockAssignment> {
+    let mut out = Vec::new();
+    for b in buckets {
+        let mut offset = b.offset;
+        while offset < b.end() {
+            let count = keys_per_block.min(b.end() - offset);
+            out.push(BlockAssignment {
+                key_offset: offset,
+                key_count: count,
+                bucket_id: b.id,
+                bucket_offset: b.offset,
+            });
+            offset += count;
+        }
+    }
+    out
+}
+
+/// A bucket that is ready for a local sort — the paper's
+/// `{b_id:uint, b_offs:uint, is_merged:bool}` record, extended with the
+/// length and the number of counting-sort passes already applied (the local
+/// sort only needs to sort the remaining digits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LocalBucket {
+    /// Identifier of the bucket.
+    pub id: u64,
+    /// Offset of the bucket's first key.
+    pub offset: usize,
+    /// Number of keys.
+    pub len: usize,
+    /// How many sub-buckets were merged to form this bucket (1 = not
+    /// merged).
+    pub merged_from: u32,
+    /// Number of counting-sort passes already applied to these keys.
+    pub sorted_passes: u32,
+}
+
+impl LocalBucket {
+    /// Whether this bucket is the result of merging neighbouring
+    /// sub-buckets (`is_merged` in the paper's record).
+    pub fn is_merged(&self) -> bool {
+        self.merged_from > 1
+    }
+}
+
+/// A sub-bucket produced by partitioning a parent bucket — not yet
+/// classified as "local sort" or "counting sort".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubBucket {
+    /// Offset of the sub-bucket's first key.
+    pub offset: usize,
+    /// Number of keys.
+    pub len: usize,
+}
+
+/// Outcome of classifying (and merging) the sub-buckets of one parent
+/// bucket.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Classified {
+    /// Buckets small enough for a local sort (possibly merged).
+    pub local: Vec<LocalBucket>,
+    /// Buckets that need another counting-sort pass.
+    pub counting: Vec<Bucket>,
+}
+
+/// Classifies the (non-empty) sub-buckets of one parent bucket according to
+/// rules R1–R3 of the analytical model:
+///
+/// * neighbouring sub-buckets are merged while their combined size stays
+///   below the merge threshold ∂ (if `merging` is enabled),
+/// * buckets of at most ∂̂ keys go to the local sort,
+/// * larger buckets are forwarded to the next counting-sort pass.
+///
+/// `next_id` supplies identifiers for newly created buckets and is advanced.
+#[allow(clippy::too_many_arguments)]
+pub fn classify_sub_buckets(
+    sub_buckets: &[SubBucket],
+    next_pass: u32,
+    local_threshold: usize,
+    merge_threshold: usize,
+    merging: bool,
+    next_id: &mut u64,
+) -> Classified {
+    let mut out = Classified::default();
+    let mut pending: Option<(usize, usize, u32)> = None; // (offset, len, merged_from)
+
+    let flush = |pending: &mut Option<(usize, usize, u32)>, out: &mut Classified, next_id: &mut u64| {
+        if let Some((offset, len, merged_from)) = pending.take() {
+            out.local.push(LocalBucket {
+                id: *next_id,
+                offset,
+                len,
+                merged_from,
+                sorted_passes: next_pass,
+            });
+            *next_id += 1;
+        }
+    };
+
+    for sb in sub_buckets.iter().filter(|sb| sb.len > 0) {
+        if merging {
+            if let Some((offset, len, merged_from)) = pending {
+                if len + sb.len < merge_threshold {
+                    // Extend the pending merge group.
+                    pending = Some((offset, len + sb.len, merged_from + 1));
+                    continue;
+                }
+                flush(&mut pending, &mut out, next_id);
+            }
+        }
+        if merging && sb.len < merge_threshold {
+            pending = Some((sb.offset, sb.len, 1));
+        } else if sb.len <= local_threshold {
+            out.local.push(LocalBucket {
+                id: *next_id,
+                offset: sb.offset,
+                len: sb.len,
+                merged_from: 1,
+                sorted_passes: next_pass,
+            });
+            *next_id += 1;
+        } else {
+            out.counting.push(Bucket {
+                id: *next_id,
+                offset: sb.offset,
+                len: sb.len,
+                pass: next_pass,
+            });
+            *next_id += 1;
+        }
+    }
+    flush(&mut pending, &mut out, next_id);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_bucket_covers_input() {
+        let b = Bucket::root(1_000);
+        assert_eq!((b.offset, b.len, b.pass), (0, 1_000, 0));
+        assert_eq!(b.end(), 1_000);
+        assert_eq!(b.num_blocks(256), 4);
+        assert_eq!(b.num_blocks(999), 2);
+        assert_eq!(b.num_blocks(1_000), 1);
+    }
+
+    #[test]
+    fn block_assignments_tile_each_bucket() {
+        let buckets = vec![
+            Bucket { id: 0, offset: 0, len: 700, pass: 1 },
+            Bucket { id: 1, offset: 700, len: 300, pass: 1 },
+        ];
+        let blocks = block_assignments(&buckets, 256);
+        assert_eq!(blocks.len(), 3 + 2);
+        // Blocks never cross bucket boundaries (rule R4).
+        for blk in &blocks {
+            let b = &buckets[blk.bucket_id as usize];
+            assert!(blk.key_offset >= b.offset);
+            assert!(blk.key_offset + blk.key_count <= b.end());
+            assert_eq!(blk.bucket_offset, b.offset);
+        }
+        // The blocks exactly cover both buckets.
+        let total: usize = blocks.iter().map(|b| b.key_count).sum();
+        assert_eq!(total, 1_000);
+    }
+
+    #[test]
+    fn classification_routes_by_size() {
+        let subs = vec![
+            SubBucket { offset: 0, len: 10_000 },
+            SubBucket { offset: 10_000, len: 500 },
+            SubBucket { offset: 10_500, len: 0 },
+            SubBucket { offset: 10_500, len: 5_000 },
+        ];
+        let mut id = 10;
+        let c = classify_sub_buckets(&subs, 1, 4_224, 1_400, true, &mut id);
+        // 10 000 and 5 000 exceed ∂̂ = 4 224 → counting; 500 is below the
+        // merge threshold but has no mergeable neighbour → local.
+        assert_eq!(c.counting.len(), 2);
+        assert_eq!(c.local.len(), 1);
+        assert_eq!(c.local[0].len, 500);
+        assert!(!c.local[0].is_merged());
+        assert_eq!(c.counting[0].pass, 1);
+        assert!(id > 10);
+    }
+
+    #[test]
+    fn merging_combines_tiny_neighbours() {
+        let subs: Vec<SubBucket> = (0..10)
+            .map(|i| SubBucket { offset: i * 100, len: 100 })
+            .collect();
+        let mut id = 0;
+        let c = classify_sub_buckets(&subs, 2, 4_224, 450, true, &mut id);
+        // Sequences of neighbours are merged while the total stays < 450,
+        // i.e. groups of four 100-key sub-buckets.
+        assert!(c.counting.is_empty());
+        assert!(c.local.len() <= 3, "{:?}", c.local);
+        let total: usize = c.local.iter().map(|l| l.len).sum();
+        assert_eq!(total, 1_000);
+        assert!(c.local.iter().any(|l| l.is_merged()));
+        // Merged buckets respect the threshold.
+        for l in &c.local {
+            assert!(l.len < 450 || l.merged_from == 1);
+        }
+        // Offsets stay contiguous and ordered.
+        for w in c.local.windows(2) {
+            assert_eq!(w[0].offset + w[0].len, w[1].offset);
+        }
+    }
+
+    #[test]
+    fn no_merging_leaves_sub_buckets_alone() {
+        let subs: Vec<SubBucket> = (0..10)
+            .map(|i| SubBucket { offset: i * 100, len: 100 })
+            .collect();
+        let mut id = 0;
+        let c = classify_sub_buckets(&subs, 2, 4_224, 450, false, &mut id);
+        assert_eq!(c.local.len(), 10);
+        assert!(c.local.iter().all(|l| !l.is_merged()));
+    }
+
+    #[test]
+    fn pending_merge_group_flushes_before_large_bucket() {
+        let subs = vec![
+            SubBucket { offset: 0, len: 50 },
+            SubBucket { offset: 50, len: 9_000 },
+            SubBucket { offset: 9_050, len: 60 },
+        ];
+        let mut id = 0;
+        let c = classify_sub_buckets(&subs, 1, 4_224, 1_000, true, &mut id);
+        assert_eq!(c.counting.len(), 1);
+        assert_eq!(c.counting[0].len, 9_000);
+        assert_eq!(c.local.len(), 2);
+        assert_eq!(c.local[0].len, 50);
+        assert_eq!(c.local[1].len, 60);
+    }
+
+    #[test]
+    fn two_adjacent_merged_groups_respect_threshold_invariant() {
+        // Rule I3's argument: any two subsequent merged buckets must hold at
+        // least ∂ keys together, otherwise they would have been merged.
+        let subs: Vec<SubBucket> = (0..20)
+            .map(|i| SubBucket { offset: i * 30, len: 30 })
+            .collect();
+        let mut id = 0;
+        let c = classify_sub_buckets(&subs, 1, 4_224, 100, true, &mut id);
+        for w in c.local.windows(2) {
+            assert!(w[0].len + w[1].len >= 100, "{:?}", w);
+        }
+    }
+}

@@ -1,0 +1,330 @@
+//! One counting-sort pass over all active buckets (Sections 4.1–4.4).
+//!
+//! A pass processes every bucket that still needs partitioning, using a
+//! constant number of kernels regardless of the number of buckets: the
+//! block assignments generated as a by-product of the previous pass tell
+//! every thread block which bucket and key range it works on.  The pass
+//!
+//! 1. computes per-block histograms (stored for reuse by the scatter),
+//! 2. computes each bucket's exclusive prefix sum (sub-bucket offsets),
+//! 3. scatters keys (and values) into the sub-buckets,
+//! 4. merges tiny neighbouring sub-buckets and classifies each sub-bucket as
+//!    *local sort* or *next counting pass*.
+
+use crate::bucket::{classify_sub_buckets, Bucket, Classified, LocalBucket, SubBucket};
+use crate::config::SortConfig;
+use crate::digit::radix_of_pass;
+use crate::histogram::{aggregate_histograms, block_histogram};
+use crate::opts::Optimizations;
+use crate::prefix_sum::exclusive_prefix_sum_usize;
+use crate::report::PassStats;
+use crate::scatter::{scatter_bucket, ScatterParams};
+use crate::trace::{SortTrace, TraceEvent};
+use gpu_sim::HistogramStrategy;
+use workloads::SortKey;
+
+/// Result of one counting-sort pass.
+#[derive(Debug, Clone, Default)]
+pub struct PassOutput {
+    /// Buckets that need another counting-sort pass.
+    pub next_counting: Vec<Bucket>,
+    /// Buckets ready for a local sort.
+    pub local: Vec<LocalBucket>,
+    /// Statistics of the pass.
+    pub stats: PassStats,
+}
+
+/// Runs one counting-sort pass over `buckets`, reading keys/values from the
+/// `src` buffers and writing the partitioned sub-buckets into the `dst`
+/// buffers.  `next_id` supplies bucket identifiers.
+#[allow(clippy::too_many_arguments)]
+pub fn run_counting_pass<K: SortKey, V: Copy>(
+    src_keys: &[K],
+    dst_keys: &mut [K],
+    src_vals: &[V],
+    dst_vals: &mut [V],
+    buckets: &[Bucket],
+    pass: u32,
+    config: &SortConfig,
+    opts: &Optimizations,
+    next_id: &mut u64,
+    mut trace: Option<&mut SortTrace>,
+) -> PassOutput {
+    let radix = radix_of_pass(K::BITS, config.digit_bits, pass);
+    let strategy = if opts.thread_reduction_histogram {
+        HistogramStrategy::ThreadReduction
+    } else {
+        HistogramStrategy::AtomicsOnly
+    };
+    let scatter_params = ScatterParams {
+        digit_bits: config.digit_bits,
+        pass,
+        radix,
+        keys_per_block: config.keys_per_block,
+        keys_per_thread: config.keys_per_thread as usize,
+        lookahead_enabled: opts.lookahead,
+        lookahead: config.lookahead,
+        skew_threshold: config.lookahead_skew_threshold,
+    };
+
+    let mut out = PassOutput {
+        stats: PassStats {
+            pass,
+            radix,
+            ..PassStats::default()
+        },
+        ..PassOutput::default()
+    };
+    if let Some(t) = trace.as_deref_mut() {
+        t.push(TraceEvent::PassStart {
+            pass,
+            buckets: buckets.len(),
+        });
+    }
+
+    let mut distinct_sum = 0u64;
+    let mut max_bin_keys = 0u64;
+
+    for bucket in buckets {
+        let bucket_keys = &src_keys[bucket.offset..bucket.end()];
+
+        // (1) Per-block histograms.
+        let block_hists: Vec<_> = bucket_keys
+            .chunks(config.keys_per_block)
+            .map(|block| {
+                block_histogram(
+                    block,
+                    config.digit_bits,
+                    pass,
+                    radix,
+                    strategy,
+                    config.keys_per_thread as usize,
+                )
+            })
+            .collect();
+        let bucket_hist = aggregate_histograms(&block_hists, radix);
+
+        // (2) Exclusive prefix sum -> sub-bucket offsets.
+        let hist_usize: Vec<usize> = bucket_hist.iter().map(|&h| h as usize).collect();
+        let (prefix, total) = exclusive_prefix_sum_usize(&hist_usize);
+        debug_assert_eq!(total, bucket.len);
+
+        if let Some(t) = trace.as_deref_mut() {
+            t.push(TraceEvent::BucketHistogram {
+                pass,
+                offset: bucket.offset,
+                len: bucket.len,
+                histogram: bucket_hist.clone(),
+                prefix: prefix.clone(),
+            });
+        }
+
+        // (3) Scatter keys and values into the sub-buckets.
+        let scatter = scatter_bucket(
+            src_keys,
+            dst_keys,
+            src_vals,
+            dst_vals,
+            bucket,
+            &block_hists,
+            &prefix,
+            &scatter_params,
+        );
+
+        // (4) Build, merge and classify the sub-buckets.
+        let sub_buckets: Vec<SubBucket> = (0..radix)
+            .filter(|&d| hist_usize[d] > 0)
+            .map(|d| SubBucket {
+                offset: bucket.offset + prefix[d],
+                len: hist_usize[d],
+            })
+            .collect();
+        let Classified { local, counting } = classify_sub_buckets(
+            &sub_buckets,
+            pass + 1,
+            config.local_sort_threshold,
+            config.merge_threshold,
+            opts.bucket_merging,
+            next_id,
+        );
+
+        // Accumulate statistics.
+        let stats = &mut out.stats;
+        stats.n_keys += bucket.len as u64;
+        stats.n_buckets += 1;
+        stats.n_blocks += block_hists.len() as u64;
+        stats.histogram_updates += block_hists.iter().map(|b| b.atomic_updates).sum::<u64>();
+        stats.scatter_updates += scatter.shared_updates;
+        stats.lookahead_active_blocks += scatter.lookahead_active_blocks;
+        stats.sub_buckets_created += sub_buckets.len() as u64;
+        stats.local_buckets_created += local.len() as u64;
+        stats.counting_buckets_forwarded += counting.len() as u64;
+        distinct_sum += block_hists.iter().map(|b| b.distinct_values as u64).sum::<u64>();
+        max_bin_keys += bucket_hist.iter().copied().max().unwrap_or(0);
+
+        out.local.extend(local);
+        out.next_counting.extend(counting);
+    }
+
+    let stats = &mut out.stats;
+    if stats.n_blocks > 0 {
+        stats.avg_block_distinct = distinct_sum as f64 / stats.n_blocks as f64;
+        stats.avg_occupied_sub_buckets = distinct_sum as f64 / stats.n_blocks as f64;
+    }
+    if stats.n_keys > 0 {
+        stats.max_bin_fraction = max_bin_keys as f64 / stats.n_keys as f64;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::{uniform_keys, EntropyLevel, KeyCodec};
+
+    fn run_pass_u32(
+        keys: &[u32],
+        config: &SortConfig,
+        opts: &Optimizations,
+    ) -> (Vec<u32>, PassOutput) {
+        let n = keys.len();
+        let mut dst = vec![0u32; n];
+        let src_vals = vec![(); n];
+        let mut dst_vals = vec![(); n];
+        let mut next_id = 1;
+        let out = run_counting_pass(
+            keys,
+            &mut dst,
+            &src_vals,
+            &mut dst_vals,
+            &[Bucket::root(n)],
+            0,
+            config,
+            opts,
+            &mut next_id,
+            None,
+        );
+        (dst, out)
+    }
+
+    fn small_config() -> SortConfig {
+        let mut c = SortConfig::keys_32();
+        c.keys_per_block = 512;
+        c.local_sort_threshold = 300;
+        c.merge_threshold = 100;
+        c.local_sort_classes = SortConfig::default_classes(300);
+        c
+    }
+
+    #[test]
+    fn pass_partitions_and_preserves_keys() {
+        let keys = uniform_keys::<u32>(50_000, 1);
+        let (dst, out) = run_pass_u32(&keys, &small_config(), &Optimizations::all_on());
+        assert!(dst.windows(2).all(|w| (w[0] >> 24) <= (w[1] >> 24)));
+        assert!(workloads::stats::is_permutation_of(&keys, &dst));
+        assert_eq!(out.stats.n_keys, 50_000);
+        assert_eq!(out.stats.n_buckets, 1);
+        assert_eq!(out.stats.sub_buckets_created as usize,
+                   workloads::distinct_values(&keys.iter().map(|k| k >> 24).collect::<Vec<_>>()));
+        // 50 000 / 256 ≈ 195 keys per digit value: below ∂̂ = 300, so every
+        // sub-bucket goes to the local sort.
+        assert_eq!(out.next_counting.len(), 0);
+        assert!(out.local.len() > 100);
+    }
+
+    #[test]
+    fn sub_bucket_sizes_sum_to_input() {
+        let keys = EntropyLevel::with_and_count(2).generate_u32(20_000, 2);
+        let (_, out) = run_pass_u32(&keys, &small_config(), &Optimizations::all_on());
+        let local: usize = out.local.iter().map(|l| l.len).sum();
+        let counting: usize = out.next_counting.iter().map(|b| b.len).sum();
+        assert_eq!(local + counting, 20_000);
+        // Skewed input: at least one bucket must be forwarded for another
+        // pass (the heavy digit value 0).
+        assert!(!out.next_counting.is_empty());
+        assert!(out.stats.max_bin_fraction > 0.2);
+    }
+
+    #[test]
+    fn forwarded_buckets_advance_the_pass_index() {
+        let keys = EntropyLevel::constant().generate_u32(10_000, 3);
+        let (_, out) = run_pass_u32(&keys, &small_config(), &Optimizations::all_on());
+        assert_eq!(out.next_counting.len(), 1);
+        assert_eq!(out.next_counting[0].pass, 1);
+        assert_eq!(out.next_counting[0].len, 10_000);
+        assert!(out.local.is_empty());
+        assert_eq!(out.stats.max_bin_fraction, 1.0);
+        assert!((out.stats.avg_block_distinct - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merging_toggle_changes_local_bucket_count() {
+        // A distribution with many tiny sub-buckets: uniform over few keys.
+        let keys = uniform_keys::<u32>(5_000, 4);
+        let cfg = small_config();
+        let (_, with) = run_pass_u32(&keys, &cfg, &Optimizations::all_on());
+        let (_, without) = run_pass_u32(&keys, &cfg, &Optimizations::no_bucket_merging());
+        assert!(with.local.len() < without.local.len());
+        assert!(with.local.iter().any(|l| l.is_merged()));
+        assert!(without.local.iter().all(|l| !l.is_merged()));
+        // Both cover the same keys.
+        let a: usize = with.local.iter().map(|l| l.len).sum();
+        let b: usize = without.local.iter().map(|l| l.len).sum();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn trace_records_histogram_of_root_bucket() {
+        let keys = uniform_keys::<u32>(1_000, 5);
+        let n = keys.len();
+        let mut dst = vec![0u32; n];
+        let src_vals = vec![(); n];
+        let mut dst_vals = vec![(); n];
+        let mut next_id = 1;
+        let mut trace = SortTrace::new(0);
+        run_counting_pass(
+            &keys,
+            &mut dst,
+            &src_vals,
+            &mut dst_vals,
+            &[Bucket::root(n)],
+            0,
+            &small_config(),
+            &Optimizations::all_on(),
+            &mut next_id,
+            Some(&mut trace),
+        );
+        assert_eq!(trace.histograms_of_pass(0).len(), 1);
+    }
+
+    #[test]
+    fn pass_one_respects_existing_partitioning() {
+        // Partition twice manually and verify full sortedness on the top
+        // 16 bits afterwards.
+        let keys = uniform_keys::<u32>(30_000, 6);
+        let cfg = small_config();
+        let opts = Optimizations::all_on();
+        let n = keys.len();
+        let mut buf1 = vec![0u32; n];
+        let src_vals = vec![(); n];
+        let mut dst_vals = vec![(); n];
+        let mut next_id = 1;
+        let out0 = run_counting_pass(
+            &keys, &mut buf1, &src_vals, &mut dst_vals,
+            &[Bucket::root(n)], 0, &cfg, &opts, &mut next_id, None,
+        );
+        let mut buf2 = vec![0u32; n];
+        let out1 = run_counting_pass(
+            &buf1, &mut buf2, &src_vals, &mut dst_vals,
+            &out0.next_counting, 1, &cfg, &opts, &mut next_id, None,
+        );
+        // Keys covered by second-pass buckets are now sorted on their top
+        // 16 bits within each first-pass bucket region.
+        for b in &out0.next_counting {
+            let region = &buf2[b.offset..b.offset + b.len];
+            assert!(region.windows(2).all(|w| (w[0] >> 16) <= (w[1] >> 16)));
+        }
+        assert_eq!(out1.stats.pass, 1);
+        let _ = KeyCodec::std_sorted(&keys);
+    }
+}

@@ -1,0 +1,95 @@
+//! Most-significant-first digit extraction.
+//!
+//! The hybrid radix sort interprets a `k`-bit key as a sequence of `⌈k/d⌉`
+//! digits of `d` bits each, processed from the most-significant digit
+//! (pass 0) towards the least-significant digit.  When `k` is not a multiple
+//! of `d`, the *last* digit is narrower.
+
+/// Number of digits needed to cover `key_bits` bits with `digit_bits`-bit
+/// digits.
+pub fn num_digits(key_bits: u32, digit_bits: u32) -> u32 {
+    key_bits.div_ceil(digit_bits)
+}
+
+/// Width in bits of the digit processed in `pass` (0 = most significant).
+pub fn digit_width(key_bits: u32, digit_bits: u32, pass: u32) -> u32 {
+    debug_assert!(pass < num_digits(key_bits, digit_bits));
+    let consumed = digit_bits * pass;
+    (key_bits - consumed).min(digit_bits)
+}
+
+/// Radix (number of possible values) of the digit processed in `pass`.
+pub fn radix_of_pass(key_bits: u32, digit_bits: u32, pass: u32) -> usize {
+    1usize << digit_width(key_bits, digit_bits, pass)
+}
+
+/// Extracts the digit value for `pass` from a key's radix representation.
+#[inline]
+pub fn digit_of(radix_bits: u64, key_bits: u32, digit_bits: u32, pass: u32) -> usize {
+    let width = digit_width(key_bits, digit_bits, pass);
+    let shift = key_bits - digit_bits * pass - width;
+    ((radix_bits >> shift) & ((1u64 << width) - 1)) as usize
+}
+
+/// The number of low-order bits that remain unsorted after `passes`
+/// counting-sort passes (used by the local sort to know which digits still
+/// need sorting).
+pub fn remaining_bits(key_bits: u32, digit_bits: u32, passes: u32) -> u32 {
+    key_bits.saturating_sub(digit_bits * passes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digits_partition_the_key() {
+        // Reassembling the digits must reproduce the key, for both aligned
+        // and unaligned digit widths.
+        for &(key_bits, digit_bits) in &[(32u32, 8u32), (64, 8), (32, 5), (64, 5), (16, 3)] {
+            let key: u64 = 0xDEAD_BEEF_CAFE_BABE & ((1u128 << key_bits) - 1) as u64;
+            let mut rebuilt: u64 = 0;
+            for pass in 0..num_digits(key_bits, digit_bits) {
+                let width = digit_width(key_bits, digit_bits, pass);
+                rebuilt = (rebuilt << width) | digit_of(key, key_bits, digit_bits, pass) as u64;
+            }
+            assert_eq!(rebuilt, key, "k={key_bits} d={digit_bits}");
+        }
+    }
+
+    #[test]
+    fn pass_zero_is_the_most_significant_digit() {
+        assert_eq!(digit_of(0xFF00_0000, 32, 8, 0), 0xFF);
+        assert_eq!(digit_of(0xFF00_0000, 32, 8, 1), 0x00);
+        assert_eq!(digit_of(0x0000_00AB, 32, 8, 3), 0xAB);
+        assert_eq!(digit_of(0xAB00_0000_0000_0000, 64, 8, 0), 0xAB);
+    }
+
+    #[test]
+    fn unaligned_last_digit_is_narrower() {
+        // 32-bit keys with 5-bit digits: 7 digits, the last covers 2 bits.
+        assert_eq!(num_digits(32, 5), 7);
+        assert_eq!(digit_width(32, 5, 0), 5);
+        assert_eq!(digit_width(32, 5, 6), 2);
+        assert_eq!(radix_of_pass(32, 5, 6), 4);
+        assert_eq!(digit_of(0b11, 32, 5, 6), 0b11);
+    }
+
+    #[test]
+    fn table_2_example_digits() {
+        // Table 2 sorts 4-bit keys with 2-bit digits; key "31" in base 4 is
+        // 0b1101 = 13: most-significant digit 3, least-significant digit 1.
+        let key = 0b1101u64;
+        assert_eq!(digit_of(key, 4, 2, 0), 3);
+        assert_eq!(digit_of(key, 4, 2, 1), 1);
+        assert_eq!(num_digits(4, 2), 2);
+    }
+
+    #[test]
+    fn remaining_bits_counts_down() {
+        assert_eq!(remaining_bits(64, 8, 0), 64);
+        assert_eq!(remaining_bits(64, 8, 3), 40);
+        assert_eq!(remaining_bits(64, 8, 8), 0);
+        assert_eq!(remaining_bits(32, 5, 7), 0);
+    }
+}

@@ -1,0 +1,266 @@
+//! Local sorts of small buckets (Section 4.2).
+//!
+//! A bucket of at most ∂̂ keys is sorted entirely in on-chip shared memory:
+//! it is read from device memory once, sorted (with CUB's `BlockRadixSort`
+//! on the GPU; here with a sorting network for tiny buckets and an LSD radix
+//! / comparison sort for larger ones), and written once to the buffer that
+//! will hold the final sorted output — no matter how many internal passes
+//! the local sort needs.  This is where the hybrid sort saves the bulk of
+//! its memory traffic for friendly distributions.
+//!
+//! To avoid over-provisioning threads for tiny buckets, buckets are grouped
+//! into *size classes*; each class is a separate kernel launch with just
+//! enough threads (and an appropriately specialised sorting algorithm) for
+//! its maximum bucket size.  The ablation's "single local sort config"
+//! variant instead schedules every bucket on the ∂̂-sized configuration.
+
+use crate::bucket::LocalBucket;
+use crate::config::SortConfig;
+use crate::opts::Optimizations;
+use crate::report::LocalSortStats;
+use crate::sorting_network::network_sort;
+use workloads::SortKey;
+
+/// Buckets at most this large are sorted with a comparison network instead
+/// of the radix-style sort (mirrors the paper's remark that the smallest
+/// configurations can use a sorting network).
+pub const NETWORK_SORT_LIMIT: usize = 32;
+
+/// Sorts all `buckets` whose keys currently live in `src` (at their
+/// respective offsets) and places the sorted runs at the same offsets in
+/// `dst`.  `src` and `dst` may be the same buffer (`src_is_dst`), in which
+/// case the sort happens in place.
+///
+/// Returns aggregated statistics for the cost model.
+#[allow(clippy::too_many_arguments)]
+pub fn run_local_sorts<K: SortKey, V: Copy>(
+    buffers_keys: &mut [Vec<K>; 2],
+    buffers_vals: &mut [Vec<V>; 2],
+    src: usize,
+    dst: usize,
+    buckets: &[LocalBucket],
+    config: &SortConfig,
+    opts: &Optimizations,
+    stats: &mut LocalSortStats,
+) {
+    let mut classes_seen: Vec<usize> = Vec::new();
+    for bucket in buckets {
+        sort_one_bucket(buffers_keys, buffers_vals, src, dst, bucket);
+
+        let class = config.class_for(bucket.len, !opts.multiple_local_sort_configs);
+        if !classes_seen.contains(&class.max_keys) {
+            classes_seen.push(class.max_keys);
+        }
+        stats.invocations += 1;
+        stats.n_keys += bucket.len as u64;
+        stats.provisioned_keys += class.max_keys as u64;
+        if bucket.is_merged() {
+            stats.merged_buckets += 1;
+        }
+        stats.largest_bucket = stats.largest_bucket.max(bucket.len as u64);
+    }
+    stats.classes_used = stats.classes_used.max(classes_seen.len() as u64);
+}
+
+/// Sorts a single bucket from buffer `src` into buffer `dst` (both indices
+/// into the double buffer), staging through a scratch vector exactly like
+/// the GPU stages the bucket through shared memory.
+fn sort_one_bucket<K: SortKey, V: Copy>(
+    buffers_keys: &mut [Vec<K>; 2],
+    buffers_vals: &mut [Vec<V>; 2],
+    src: usize,
+    dst: usize,
+    bucket: &LocalBucket,
+) {
+    let range = bucket.offset..bucket.offset + bucket.len;
+
+    if std::mem::size_of::<V>() == 0 {
+        // Key-only sort: stage the keys, sort, write back.
+        let mut staged: Vec<K> = buffers_keys[src][range.clone()].to_vec();
+        sort_keys_in_shared_memory(&mut staged);
+        buffers_keys[dst][range].copy_from_slice(&staged);
+    } else {
+        // Key-value sort: stage (key, value) records, sort by key, write
+        // both components back.
+        let staged_keys = &buffers_keys[src][range.clone()];
+        let staged_vals = &buffers_vals[src][range.clone()];
+        let mut records: Vec<(u64, K, V)> = staged_keys
+            .iter()
+            .zip(staged_vals.iter())
+            .map(|(&k, &v)| (k.to_radix(), k, v))
+            .collect();
+        records.sort_unstable_by_key(|r| r.0);
+        for (i, (_, k, v)) in records.into_iter().enumerate() {
+            buffers_keys[dst][bucket.offset + i] = k;
+            buffers_vals[dst][bucket.offset + i] = v;
+        }
+    }
+}
+
+/// Sorts a staged bucket of keys, choosing the algorithm by size exactly as
+/// the local-sort configurations would.
+pub fn sort_keys_in_shared_memory<K: SortKey>(staged: &mut [K]) {
+    if staged.len() <= 1 {
+        return;
+    }
+    if staged.len() <= NETWORK_SORT_LIMIT {
+        // Tiny buckets: comparison network on the radix representation.
+        let mut encoded: Vec<u64> = staged.iter().map(|k| k.to_radix()).collect();
+        network_sort(&mut encoded);
+        for (slot, bits) in staged.iter_mut().zip(encoded) {
+            *slot = K::from_radix(bits);
+        }
+    } else {
+        // Larger buckets: LSD-style sort on the radix representation (an
+        // unstable comparison sort is functionally equivalent to the
+        // in-shared-memory BlockRadixSort).
+        staged.sort_unstable_by_key(|k| k.to_radix());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::{uniform_keys, KeyCodec};
+
+    fn bucket(offset: usize, len: usize) -> LocalBucket {
+        LocalBucket {
+            id: 0,
+            offset,
+            len,
+            merged_from: 1,
+            sorted_passes: 1,
+        }
+    }
+
+    #[test]
+    fn sorts_buckets_into_the_destination_buffer() {
+        let keys = uniform_keys::<u64>(1_000, 1);
+        let mut bufs = [keys.clone(), vec![0u64; 1_000]];
+        let mut vals: [Vec<()>; 2] = [vec![(); 1_000], vec![(); 1_000]];
+        let buckets = vec![bucket(0, 400), bucket(400, 600)];
+        let mut stats = LocalSortStats::default();
+        run_local_sorts(
+            &mut bufs,
+            &mut vals,
+            0,
+            1,
+            &buckets,
+            &SortConfig::keys_64(),
+            &Optimizations::all_on(),
+            &mut stats,
+        );
+        assert!(bufs[1][..400].windows(2).all(|w| w[0] <= w[1]));
+        assert!(bufs[1][400..].windows(2).all(|w| w[0] <= w[1]));
+        assert!(workloads::stats::is_permutation_of(&keys[..400], &bufs[1][..400]));
+        assert_eq!(stats.invocations, 2);
+        assert_eq!(stats.n_keys, 1_000);
+        assert_eq!(stats.largest_bucket, 600);
+    }
+
+    #[test]
+    fn in_place_sort_when_src_equals_dst() {
+        let keys = uniform_keys::<u32>(500, 2);
+        let mut bufs = [keys.clone(), Vec::new()];
+        bufs[1] = vec![0u32; 500];
+        let mut vals: [Vec<()>; 2] = [vec![(); 500], vec![(); 500]];
+        let mut stats = LocalSortStats::default();
+        run_local_sorts(
+            &mut bufs,
+            &mut vals,
+            0,
+            0,
+            &[bucket(0, 500)],
+            &SortConfig::keys_32(),
+            &Optimizations::all_on(),
+            &mut stats,
+        );
+        assert_eq!(bufs[0], KeyCodec::std_sorted(&keys));
+    }
+
+    #[test]
+    fn values_are_permuted_with_their_keys() {
+        let keys = uniform_keys::<u32>(300, 3);
+        let vals: Vec<u32> = (0..300).collect();
+        let mut kbufs = [keys.clone(), vec![0u32; 300]];
+        let mut vbufs = [vals, vec![0u32; 300]];
+        let mut stats = LocalSortStats::default();
+        run_local_sorts(
+            &mut kbufs,
+            &mut vbufs,
+            0,
+            1,
+            &[bucket(0, 300)],
+            &SortConfig::pairs_32_32(),
+            &Optimizations::all_on(),
+            &mut stats,
+        );
+        assert!(workloads::pairs::verify_indexed_pair_sort(
+            &keys, &kbufs[1], &vbufs[1]
+        ));
+    }
+
+    #[test]
+    fn provisioning_reflects_size_classes_and_the_single_config_ablation() {
+        let keys = uniform_keys::<u32>(200, 4);
+        let cfg = SortConfig::keys_32();
+        let mut stats_multi = LocalSortStats::default();
+        let mut bufs = [keys.clone(), vec![0u32; 200]];
+        let mut vals: [Vec<()>; 2] = [vec![(); 200], vec![(); 200]];
+        run_local_sorts(
+            &mut bufs, &mut vals, 0, 1,
+            &[bucket(0, 100), bucket(100, 100)],
+            &cfg, &Optimizations::all_on(), &mut stats_multi,
+        );
+        // Two 100-key buckets fall into the [1,128] class.
+        assert_eq!(stats_multi.provisioned_keys, 256);
+
+        let mut stats_single = LocalSortStats::default();
+        let mut bufs = [keys, vec![0u32; 200]];
+        let mut vals: [Vec<()>; 2] = [vec![(); 200], vec![(); 200]];
+        run_local_sorts(
+            &mut bufs, &mut vals, 0, 1,
+            &[bucket(0, 100), bucket(100, 100)],
+            &cfg, &Optimizations::single_local_sort_config(), &mut stats_single,
+        );
+        // The single configuration provisions ∂̂ keys per bucket.
+        assert_eq!(stats_single.provisioned_keys, 2 * 9_216);
+    }
+
+    #[test]
+    fn merged_buckets_are_counted() {
+        let keys = uniform_keys::<u32>(100, 5);
+        let mut bufs = [keys, vec![0u32; 100]];
+        let mut vals: [Vec<()>; 2] = [vec![(); 100], vec![(); 100]];
+        let mut stats = LocalSortStats::default();
+        let merged = LocalBucket {
+            id: 1,
+            offset: 0,
+            len: 100,
+            merged_from: 4,
+            sorted_passes: 1,
+        };
+        run_local_sorts(
+            &mut bufs, &mut vals, 0, 1, &[merged],
+            &SortConfig::keys_32(), &Optimizations::all_on(), &mut stats,
+        );
+        assert_eq!(stats.merged_buckets, 1);
+    }
+
+    #[test]
+    fn shared_memory_sort_handles_all_sizes() {
+        for n in [0usize, 1, 2, 17, 32, 33, 100, 5_000] {
+            let mut keys = uniform_keys::<u64>(n, 6);
+            let expected = KeyCodec::std_sorted(&keys);
+            sort_keys_in_shared_memory(&mut keys);
+            assert_eq!(keys, expected, "n = {n}");
+        }
+        // Signed and float keys go through the codec.
+        let mut keys: Vec<i32> = vec![5, -3, 0, -100, 77];
+        sort_keys_in_shared_memory(&mut keys);
+        assert_eq!(keys, vec![-100, -3, 0, 5, 77]);
+        let mut keys: Vec<f32> = vec![2.5, -1.0, 0.0, -7.5];
+        sort_keys_in_shared_memory(&mut keys);
+        assert_eq!(keys, vec![-7.5, -1.0, 0.0, 2.5]);
+    }
+}

@@ -1,0 +1,262 @@
+//! Analytical model of the hybrid radix sort (Section 4.5).
+//!
+//! An MSD radix sort may create millions of buckets that must be tracked in
+//! device memory.  The paper derives upper bounds on the number of buckets
+//! and key blocks from four rules:
+//!
+//! * **R1** — buckets of at most ∂̂ keys are sorted locally;
+//! * **R2** — larger buckets are partitioned into `r` sub-buckets;
+//! * **R3** — neighbouring sub-buckets are merged while their total stays
+//!   below ∂ ≤ ∂̂;
+//! * **R4** — a bucket of `n > ∂̂` keys consists of `⌈n/KPB⌉` blocks, each
+//!   belonging to exactly one bucket;
+//!
+//! and uses them to bound the bookkeeping memory (M2–M5) relative to the
+//! input plus auxiliary buffer (M1).  For the default 32-bit configuration
+//! the overhead stays below 5 % — the feasibility argument for the whole
+//! approach.
+
+use crate::config::SortConfig;
+use serde::{Deserialize, Serialize};
+
+/// The analytical bounds and memory requirements for sorting `n` keys.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AnalyticalModel {
+    /// Number of keys.
+    pub n: u64,
+    /// Key width in bits.
+    pub key_bits: u32,
+    /// Radix `r`.
+    pub radix: u64,
+    /// Keys per block.
+    pub keys_per_block: u64,
+    /// Local-sort threshold ∂̂.
+    pub local_threshold: u64,
+    /// Merge threshold ∂.
+    pub merge_threshold: u64,
+}
+
+impl AnalyticalModel {
+    /// Builds the model for `n` keys of `key_bits` bits under `config`.
+    pub fn new(n: u64, key_bits: u32, config: &SortConfig) -> Self {
+        AnalyticalModel {
+            n,
+            key_bits,
+            radix: config.radix() as u64,
+            keys_per_block: config.keys_per_block as u64,
+            local_threshold: config.local_sort_threshold as u64,
+            merge_threshold: config.merge_threshold as u64,
+        }
+    }
+
+    /// The paper's example configuration for 32-bit keys:
+    /// `KPB = 6 912`, ∂̂ = 9 216, ∂ = 3 000, `r` = 256.
+    pub fn paper_example(n: u64) -> Self {
+        AnalyticalModel {
+            n,
+            key_bits: 32,
+            radix: 256,
+            keys_per_block: 6_912,
+            local_threshold: 9_216,
+            merge_threshold: 3_000,
+        }
+    }
+
+    /// I1: upper bound on buckets that cannot be sorted locally.
+    pub fn max_counting_buckets(&self) -> u64 {
+        self.n / self.local_threshold
+    }
+
+    /// I2: upper bound on the total number of buckets without considering
+    /// merging.
+    pub fn max_buckets_unmerged(&self) -> u64 {
+        self.radix * self.max_counting_buckets()
+    }
+
+    /// I3: refined upper bound on the total number of buckets with merging.
+    pub fn max_buckets(&self) -> u64 {
+        let merged_bound = 2 * self.n / self.merge_threshold + self.max_counting_buckets();
+        merged_bound.min(self.max_buckets_unmerged())
+    }
+
+    /// I4: upper bound on the number of key blocks alive at any time.
+    pub fn max_blocks(&self) -> u64 {
+        self.n / self.keys_per_block + self.max_counting_buckets()
+    }
+
+    /// M1: input plus auxiliary (double-buffer) memory in bytes.
+    pub fn input_and_aux_bytes(&self) -> u64 {
+        2 * self.n * (self.key_bits as u64 / 8)
+    }
+
+    /// M2: memory for the bucket histograms in bytes.
+    pub fn bucket_histogram_bytes(&self) -> u64 {
+        4 * self.radix * self.max_counting_buckets()
+    }
+
+    /// M3: memory for the per-block histograms in bytes.
+    pub fn block_histogram_bytes(&self) -> u64 {
+        4 * self.radix * self.max_blocks()
+    }
+
+    /// M4: memory for the double-buffered block assignments in bytes
+    /// (16 bytes per assignment, current and next pass).
+    pub fn block_assignment_bytes(&self) -> u64 {
+        2 * 16 * self.max_blocks()
+    }
+
+    /// M5: memory for the local-sort sub-bucket assignments in bytes
+    /// (12 bytes per assignment).
+    pub fn local_assignment_bytes(&self) -> u64 {
+        12 * self.max_buckets()
+    }
+
+    /// Total bookkeeping memory (M2 + M3 + M4 + M5) in bytes.
+    pub fn bookkeeping_bytes(&self) -> u64 {
+        self.bucket_histogram_bytes()
+            + self.block_histogram_bytes()
+            + self.block_assignment_bytes()
+            + self.local_assignment_bytes()
+    }
+
+    /// Bookkeeping memory relative to M1 (the "< 5 %" claim of the paper).
+    pub fn overhead_fraction(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        self.bookkeeping_bytes() as f64 / self.input_and_aux_bytes() as f64
+    }
+
+    /// Total device memory required (M1 + bookkeeping) in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.input_and_aux_bytes() + self.bookkeeping_bytes()
+    }
+
+    /// Whether an input of this size fits into `device_memory_bytes`.
+    pub fn fits_in(&self, device_memory_bytes: u64) -> bool {
+        self.total_bytes() <= device_memory_bytes
+    }
+
+    /// The largest number of keys of `key_bits` bits that fits into
+    /// `device_memory_bytes` under this configuration (binary search over
+    /// the closed-form total).
+    pub fn max_keys_for_memory(key_bits: u32, config: &SortConfig, device_memory_bytes: u64) -> u64 {
+        let mut lo = 0u64;
+        let mut hi = device_memory_bytes / (key_bits as u64 / 8).max(1) + 1;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2 + 1;
+            if AnalyticalModel::new(mid, key_bits, config).fits_in(device_memory_bytes) {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        lo
+    }
+
+    /// Renders the model as the rows of a small report table.
+    pub fn render(&self) -> String {
+        format!(
+            "n = {}\nI1 max counting buckets : {}\nI2 max buckets (no merge): {}\nI3 max buckets           : {}\nI4 max blocks            : {}\nM1 input + aux           : {} bytes\nM2 bucket histograms     : {} bytes\nM3 block histograms      : {} bytes\nM4 block assignments     : {} bytes\nM5 local assignments     : {} bytes\nbookkeeping overhead     : {:.2} % of M1\n",
+            self.n,
+            self.max_counting_buckets(),
+            self.max_buckets_unmerged(),
+            self.max_buckets(),
+            self.max_blocks(),
+            self.input_and_aux_bytes(),
+            self.bucket_histogram_bytes(),
+            self.block_histogram_bytes(),
+            self.block_assignment_bytes(),
+            self.local_assignment_bytes(),
+            self.overhead_fraction() * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_stays_below_five_percent() {
+        // "For 32-bit keys ... the total amount of memory required by M2
+        // through M5 is bound by a mere 5 % of M1, given a reasonable
+        // configuration, such as KPB = 6 912, ∂̂ = 9 216, ∂ = 3 000, r = 256."
+        for n in [1_000_000u64, 100_000_000, 500_000_000, 2_000_000_000] {
+            let m = AnalyticalModel::paper_example(n);
+            assert!(
+                m.overhead_fraction() < 0.05,
+                "n = {n}: overhead = {:.4}",
+                m.overhead_fraction()
+            );
+        }
+    }
+
+    #[test]
+    fn bounds_are_monotone_in_n() {
+        let small = AnalyticalModel::paper_example(1_000_000);
+        let large = AnalyticalModel::paper_example(100_000_000);
+        assert!(large.max_buckets() > small.max_buckets());
+        assert!(large.max_blocks() > small.max_blocks());
+        assert!(large.total_bytes() > small.total_bytes());
+    }
+
+    #[test]
+    fn merged_bound_refines_unmerged_bound() {
+        let m = AnalyticalModel::paper_example(500_000_000);
+        assert!(m.max_buckets() <= m.max_buckets_unmerged());
+        // With the example thresholds the merge-based bound is the tighter
+        // one.
+        assert!(m.max_buckets() < m.max_buckets_unmerged());
+        assert_eq!(
+            m.max_buckets(),
+            2 * m.n / m.merge_threshold + m.max_counting_buckets()
+        );
+    }
+
+    #[test]
+    fn constructed_from_config() {
+        let cfg = SortConfig::keys_64();
+        let m = AnalyticalModel::new(250_000_000, 64, &cfg);
+        assert_eq!(m.radix, 256);
+        assert_eq!(m.local_threshold, 4_224);
+        assert!(m.overhead_fraction() < 0.08);
+        assert_eq!(m.input_and_aux_bytes(), 2 * 250_000_000 * 8);
+    }
+
+    #[test]
+    fn fits_in_device_memory_check() {
+        let m = AnalyticalModel::paper_example(500_000_000);
+        // 500 M 32-bit keys need ~4 GB plus bookkeeping: fits into 12 GB,
+        // not into 4 GB.
+        assert!(m.fits_in(12 * 1024 * 1024 * 1024));
+        assert!(!m.fits_in(4_000_000_000));
+    }
+
+    #[test]
+    fn max_keys_for_memory_is_consistent() {
+        let cfg = SortConfig::keys_32();
+        let device = 12u64 * 1024 * 1024 * 1024;
+        let max = AnalyticalModel::max_keys_for_memory(32, &cfg, device);
+        assert!(AnalyticalModel::new(max, 32, &cfg).fits_in(device));
+        assert!(!AnalyticalModel::new(max + max / 100, 32, &cfg).fits_in(device));
+        // Roughly device / (2 × 4 bytes) keys, minus bookkeeping.
+        assert!(max > 1_400_000_000 && max < 1_650_000_000, "max = {max}");
+    }
+
+    #[test]
+    fn zero_keys_edge_case() {
+        let m = AnalyticalModel::paper_example(0);
+        assert_eq!(m.max_buckets(), 0);
+        assert_eq!(m.total_bytes(), 0);
+        assert_eq!(m.overhead_fraction(), 0.0);
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let s = AnalyticalModel::paper_example(1_000_000).render();
+        for needle in ["I1", "I2", "I3", "I4", "M1", "M2", "M3", "M4", "M5", "overhead"] {
+            assert!(s.contains(needle), "missing {needle}");
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Prefix sums.
+//!
+//! The counting sort turns a bucket's digit histogram into sub-bucket
+//! offsets via an exclusive prefix sum (Section 4.1, step 2).  On the GPU
+//! this is a work-efficient block-wide scan; here it is a straightforward
+//! sequential scan, which is exactly equivalent functionally.
+
+/// Exclusive prefix sum: `out[i] = Σ_{j<i} input[j]`.  Returns the sums and
+/// the grand total.
+pub fn exclusive_prefix_sum(input: &[u64]) -> (Vec<u64>, u64) {
+    let mut out = Vec::with_capacity(input.len());
+    let mut acc = 0u64;
+    for &v in input {
+        out.push(acc);
+        acc += v;
+    }
+    (out, acc)
+}
+
+/// Exclusive prefix sum over `usize` counts.
+pub fn exclusive_prefix_sum_usize(input: &[usize]) -> (Vec<usize>, usize) {
+    let mut out = Vec::with_capacity(input.len());
+    let mut acc = 0usize;
+    for &v in input {
+        out.push(acc);
+        acc += v;
+    }
+    (out, acc)
+}
+
+/// Inclusive prefix sum: `out[i] = Σ_{j<=i} input[j]`.
+pub fn inclusive_prefix_sum(input: &[u64]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(input.len());
+    let mut acc = 0u64;
+    for &v in input {
+        acc += v;
+        out.push(acc);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exclusive_matches_definition() {
+        let (sums, total) = exclusive_prefix_sum(&[4, 8, 2, 2]);
+        // Table 2: histogram 4 8 2 2 -> prefix sum 0 4 12 14.
+        assert_eq!(sums, vec![0, 4, 12, 14]);
+        assert_eq!(total, 16);
+    }
+
+    #[test]
+    fn exclusive_usize_variant() {
+        let (sums, total) = exclusive_prefix_sum_usize(&[1, 0, 3]);
+        assert_eq!(sums, vec![0, 1, 1]);
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn inclusive_matches_definition() {
+        assert_eq!(inclusive_prefix_sum(&[1, 2, 3]), vec![1, 3, 6]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let (sums, total) = exclusive_prefix_sum(&[]);
+        assert!(sums.is_empty());
+        assert_eq!(total, 0);
+        assert!(inclusive_prefix_sum(&[]).is_empty());
+    }
+
+    #[test]
+    fn exclusive_then_add_is_inclusive() {
+        let input = vec![5u64, 0, 7, 1, 9];
+        let (ex, _) = exclusive_prefix_sum(&input);
+        let inc = inclusive_prefix_sum(&input);
+        for i in 0..input.len() {
+            assert_eq!(ex[i] + input[i], inc[i]);
+        }
+    }
+}

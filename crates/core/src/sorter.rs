@@ -1,0 +1,484 @@
+//! The hybrid radix sort driver (Section 4.1).
+//!
+//! [`HybridRadixSorter`] owns the configuration, optimisation flags, device
+//! model and cost calibration, and exposes `sort` / `sort_pairs` entry
+//! points for any [`SortKey`] type.  The driver
+//!
+//! 1. starts with a single bucket covering the whole input and the
+//!    most-significant digit,
+//! 2. runs counting-sort passes, alternating between the two halves of a
+//!    double buffer,
+//! 3. hands every bucket that has shrunk below ∂̂ to the local sort, which
+//!    writes its result directly into the buffer that will hold the final
+//!    output (so the algorithm may finish early), and
+//! 4. stops when no bucket needs further partitioning or all digits are
+//!    consumed.
+//!
+//! The returned [`SortReport`] contains the recorded statistics and the
+//! simulated GPU execution breakdown.
+
+use crate::bucket::Bucket;
+use crate::config::SortConfig;
+use crate::cost::{self, CostModel};
+use crate::counting_sort::run_counting_pass;
+use crate::local_sort::run_local_sorts;
+use crate::opts::Optimizations;
+use crate::report::SortReport;
+use crate::trace::{SortTrace, TraceEvent};
+use gpu_sim::DeviceSpec;
+use workloads::keys::SortKey;
+use workloads::pairs::SortValue;
+
+/// The hybrid MSD radix sorter.
+#[derive(Debug, Clone)]
+pub struct HybridRadixSorter {
+    /// Explicit configuration; when `None` the Table 3 configuration
+    /// matching the key/value widths is chosen per sort call.
+    config: Option<SortConfig>,
+    /// Optimisation toggles.
+    opts: Optimizations,
+    /// GPU model used for the simulated timings.
+    device: DeviceSpec,
+    /// Cost-model calibration.
+    cost: CostModel,
+}
+
+impl HybridRadixSorter {
+    /// A sorter with the paper's defaults: Table 3 configuration selected by
+    /// key/value width, all optimisations on, Titan X (Pascal) device model.
+    pub fn with_defaults() -> Self {
+        HybridRadixSorter {
+            config: None,
+            opts: Optimizations::all_on(),
+            device: DeviceSpec::titan_x_pascal(),
+            cost: CostModel::default(),
+        }
+    }
+
+    /// A sorter with an explicit configuration.
+    pub fn new(config: SortConfig) -> Self {
+        HybridRadixSorter {
+            config: Some(config),
+            ..HybridRadixSorter::with_defaults()
+        }
+    }
+
+    /// Replaces the configuration.
+    pub fn with_config(mut self, config: SortConfig) -> Self {
+        self.config = Some(config);
+        self
+    }
+
+    /// Replaces the optimisation flags.
+    pub fn with_optimizations(mut self, opts: Optimizations) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Replaces the device model.
+    pub fn with_device(mut self, device: DeviceSpec) -> Self {
+        self.device = device;
+        self
+    }
+
+    /// Replaces the cost-model calibration.
+    pub fn with_cost_model(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// The configuration that will be used for keys/values of the given
+    /// widths.
+    pub fn effective_config(&self, key_bytes: u32, value_bytes: u32) -> SortConfig {
+        self.config
+            .clone()
+            .unwrap_or_else(|| SortConfig::for_widths(key_bytes, value_bytes))
+    }
+
+    /// The optimisation flags in effect.
+    pub fn optimizations(&self) -> Optimizations {
+        self.opts
+    }
+
+    /// The device model in effect.
+    pub fn device(&self) -> &DeviceSpec {
+        &self.device
+    }
+
+    /// Sorts `keys` in ascending order (by the key type's radix total
+    /// order) and returns the execution report.
+    pub fn sort<K: SortKey>(&self, keys: &mut Vec<K>) -> SortReport {
+        let mut values: Vec<()> = vec![(); keys.len()];
+        self.sort_impl(keys, &mut values, None)
+    }
+
+    /// Sorts `keys` and permutes `values` along with them.
+    pub fn sort_pairs<K: SortKey, V: SortValue>(
+        &self,
+        keys: &mut Vec<K>,
+        values: &mut Vec<V>,
+    ) -> SortReport {
+        assert_eq!(
+            keys.len(),
+            values.len(),
+            "keys and values must have the same length"
+        );
+        self.sort_impl(keys, values, None)
+    }
+
+    /// Sorts `keys` while recording a step-by-step [`SortTrace`] (buffer
+    /// snapshots are taken for inputs of at most `snapshot_limit` keys).
+    pub fn sort_traced<K: SortKey>(
+        &self,
+        keys: &mut Vec<K>,
+        snapshot_limit: usize,
+    ) -> (SortReport, SortTrace) {
+        let mut values: Vec<()> = vec![(); keys.len()];
+        let mut trace = SortTrace::new(snapshot_limit);
+        let report = self.sort_impl(keys, &mut values, Some(&mut trace));
+        (report, trace)
+    }
+
+    /// Evaluates the simulated execution of an existing report again (used
+    /// after scaling its statistics to a different input size).
+    pub fn reevaluate(&self, report: &mut SortReport) {
+        let config = self.effective_config(report.key_bytes, report.value_bytes);
+        report.simulated = cost::evaluate(&self.device, &config, &self.opts, &self.cost, report);
+    }
+
+    fn sort_impl<K: SortKey, V: SortValue>(
+        &self,
+        keys: &mut Vec<K>,
+        values: &mut Vec<V>,
+        mut trace: Option<&mut SortTrace>,
+    ) -> SortReport {
+        let n = keys.len();
+        let key_bytes = K::BYTES;
+        let value_bytes = if std::mem::size_of::<V>() == 0 {
+            0
+        } else {
+            std::mem::size_of::<V>() as u32
+        };
+        let config = self.effective_config(key_bytes, value_bytes);
+        debug_assert!(config.validate().is_ok());
+        let mut report = SortReport::new(n as u64, key_bytes, value_bytes);
+
+        if n <= 1 {
+            report.simulated =
+                cost::evaluate(&self.device, &config, &self.opts, &self.cost, &report);
+            return report;
+        }
+
+        // Small-input fallback (Section 6.1): below the threshold a plain
+        // comparison sort wins over the partitioning machinery.
+        if n <= config.small_input_fallback {
+            sort_small(keys, values);
+            report.fallback_comparison_sort = true;
+            report.simulated =
+                cost::evaluate(&self.device, &config, &self.opts, &self.cost, &report);
+            return report;
+        }
+
+        let num_passes = config.num_passes(K::BITS);
+        let final_buf = (num_passes % 2) as usize;
+
+        // Double buffers for keys and values.
+        let mut key_bufs: [Vec<K>; 2] = [std::mem::take(keys), vec![K::default(); n]];
+        let mut val_bufs: [Vec<V>; 2] = [std::mem::take(values), vec![V::default(); n]];
+
+        if let Some(t) = trace.as_deref_mut() {
+            if n <= t.snapshot_limit {
+                t.push(TraceEvent::BufferState {
+                    label: "input".to_string(),
+                    keys: key_bufs[0].iter().map(|k| k.to_radix()).collect(),
+                });
+            }
+        }
+
+        let mut counting = vec![Bucket::root(n)];
+        let mut next_id: u64 = 1;
+        let mut cur = 0usize;
+
+        for pass in 0..num_passes {
+            if counting.is_empty() {
+                break;
+            }
+            let dst = 1 - cur;
+
+            // Split the double buffer into the source and destination halves.
+            let (src_keys, dst_keys) = split_two(&mut key_bufs, cur, dst);
+            let (src_vals, dst_vals) = split_two(&mut val_bufs, cur, dst);
+
+            let output = run_counting_pass(
+                src_keys,
+                dst_keys,
+                src_vals,
+                dst_vals,
+                &counting,
+                pass,
+                &config,
+                &self.opts,
+                &mut next_id,
+                trace.as_deref_mut(),
+            );
+
+            report.total_sub_buckets += output.stats.sub_buckets_created;
+            report.max_live_buckets = report
+                .max_live_buckets
+                .max((output.next_counting.len() + output.local.len()) as u64);
+            report.passes.push(output.stats);
+
+            // Local sorts read from the freshly written destination buffer
+            // and place their result in the buffer holding the final output.
+            if !output.local.is_empty() {
+                if let Some(t) = trace.as_deref_mut() {
+                    for l in &output.local {
+                        t.push(TraceEvent::LocalSort {
+                            pass: l.sorted_passes,
+                            offset: l.offset,
+                            len: l.len,
+                            merged_from: l.merged_from,
+                        });
+                    }
+                }
+                run_local_sorts(
+                    &mut key_bufs,
+                    &mut val_bufs,
+                    dst,
+                    final_buf,
+                    &output.local,
+                    &config,
+                    &self.opts,
+                    &mut report.local,
+                );
+            }
+
+            counting = output.next_counting;
+            cur = dst;
+
+            if let Some(t) = trace.as_deref_mut() {
+                if n <= t.snapshot_limit {
+                    t.push(TraceEvent::BufferState {
+                        label: format!("after pass {pass}"),
+                        keys: key_bufs[final_buf].iter().map(|k| k.to_radix()).collect(),
+                    });
+                }
+            }
+        }
+
+        // Whatever buckets remain after the last pass consist of keys that
+        // are identical on every digit; their data already sits in the final
+        // buffer (cur == final_buf at this point).
+        debug_assert!(counting.is_empty() || cur == final_buf);
+
+        *keys = std::mem::take(&mut key_bufs[final_buf]);
+        *values = std::mem::take(&mut val_bufs[final_buf]);
+
+        report.simulated = cost::evaluate(&self.device, &config, &self.opts, &self.cost, &report);
+        report
+    }
+}
+
+impl Default for HybridRadixSorter {
+    fn default() -> Self {
+        HybridRadixSorter::with_defaults()
+    }
+}
+
+/// Splits a two-element buffer array into immutable `src` and mutable `dst`
+/// references.  `src` and `dst` must differ.
+fn split_two<T>(bufs: &mut [Vec<T>; 2], src: usize, dst: usize) -> (&[T], &mut [T]) {
+    assert_ne!(src, dst);
+    let (a, b) = bufs.split_at_mut(1);
+    if src == 0 {
+        (a[0].as_slice(), b[0].as_mut_slice())
+    } else {
+        (b[0].as_slice(), a[0].as_mut_slice())
+    }
+}
+
+/// Comparison sort used by the small-input fallback.
+fn sort_small<K: SortKey, V: SortValue>(keys: &mut [K], values: &mut [V]) {
+    let mut idx: Vec<usize> = (0..keys.len()).collect();
+    idx.sort_unstable_by_key(|&i| keys[i].to_radix());
+    let sorted_keys: Vec<K> = idx.iter().map(|&i| keys[i]).collect();
+    let sorted_vals: Vec<V> = idx.iter().map(|&i| values[i]).collect();
+    keys.copy_from_slice(&sorted_keys);
+    values.copy_from_slice(&sorted_vals);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::{
+        pairs::verify_indexed_pair_sort, uniform_keys, Distribution, EntropyLevel, KeyCodec,
+    };
+
+    fn scaled_config_64() -> SortConfig {
+        // Scale the 64-bit configuration so that moderate test inputs
+        // exercise multiple counting passes and local sorts.
+        SortConfig::keys_64().scaled_for(100_000, 250_000_000)
+    }
+
+    #[test]
+    fn sorts_uniform_u64_keys() {
+        let mut keys = uniform_keys::<u64>(100_000, 1);
+        let expected = KeyCodec::std_sorted(&keys);
+        let sorter = HybridRadixSorter::new(scaled_config_64());
+        let report = sorter.sort(&mut keys);
+        assert_eq!(keys, expected);
+        assert!(report.counting_passes() >= 1);
+        assert!(report.local.invocations > 0);
+        assert!(report.simulated.total.secs() > 0.0);
+    }
+
+    #[test]
+    fn sorts_all_entropy_levels_u32() {
+        let sorter = HybridRadixSorter::new(SortConfig::keys_32().scaled_for(50_000, 500_000_000));
+        for level in EntropyLevel::ladder() {
+            let mut keys = level.generate_u32(50_000, 7);
+            let expected = KeyCodec::std_sorted(&keys);
+            let report = sorter.sort(&mut keys);
+            assert_eq!(keys, expected, "level {level:?}");
+            assert!(report.counting_passes() <= 4);
+        }
+    }
+
+    #[test]
+    fn constant_distribution_runs_all_passes() {
+        let mut keys = vec![0xDEAD_BEEFu32; 20_000];
+        let sorter =
+            HybridRadixSorter::new(SortConfig::keys_32().scaled_for(20_000, 500_000_000));
+        let report = sorter.sort(&mut keys);
+        // Every pass sees one bucket holding all keys; no local sort can
+        // trigger before the digits run out.
+        assert_eq!(report.counting_passes(), 4);
+        assert_eq!(report.local.invocations, 0);
+        assert!(keys.iter().all(|&k| k == 0xDEAD_BEEF));
+    }
+
+    #[test]
+    fn uniform_distribution_finishes_early() {
+        let mut keys = uniform_keys::<u64>(80_000, 3);
+        let sorter = HybridRadixSorter::new(SortConfig::keys_64().scaled_for(80_000, 250_000_000));
+        let report = sorter.sort(&mut keys);
+        // The uniform distribution should never need all eight passes.
+        assert!(report.counting_passes() < 8, "{}", report.summary());
+        assert!(report.local.n_keys > 0);
+    }
+
+    #[test]
+    fn sort_pairs_preserves_association() {
+        let keys = uniform_keys::<u32>(30_000, 4);
+        let mut sorted_keys = keys.clone();
+        let mut values: Vec<u32> = (0..30_000).collect();
+        let sorter =
+            HybridRadixSorter::new(SortConfig::pairs_32_32().scaled_for(30_000, 500_000_000));
+        let report = sorter.sort_pairs(&mut sorted_keys, &mut values);
+        assert!(verify_indexed_pair_sort(&keys, &sorted_keys, &values));
+        assert_eq!(report.value_bytes, 4);
+        assert_eq!(report.input_bytes(), 30_000 * 8);
+    }
+
+    #[test]
+    fn sorts_signed_and_float_keys() {
+        let sorter = HybridRadixSorter::with_defaults();
+        let mut ints: Vec<i64> = Distribution::Uniform.generate(10_000, 5);
+        let expected = KeyCodec::std_sorted(&ints);
+        sorter.sort(&mut ints);
+        assert_eq!(ints, expected);
+
+        let mut floats: Vec<f64> = (0..10_000)
+            .map(|i| ((i as f64) - 5_000.0) * 1.37)
+            .rev()
+            .collect();
+        sorter.sort(&mut floats);
+        assert!(floats.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(floats[0], -5_000.0 * 1.37);
+    }
+
+    #[test]
+    fn empty_and_single_element_inputs() {
+        let sorter = HybridRadixSorter::with_defaults();
+        let mut empty: Vec<u32> = Vec::new();
+        let report = sorter.sort(&mut empty);
+        assert!(empty.is_empty());
+        assert_eq!(report.n, 0);
+        let mut single = vec![42u64];
+        sorter.sort(&mut single);
+        assert_eq!(single, vec![42]);
+    }
+
+    #[test]
+    fn ablation_variants_still_sort_correctly() {
+        let keys = EntropyLevel::with_and_count(3).generate_u32(40_000, 9);
+        let expected = KeyCodec::std_sorted(&keys);
+        for (name, opts) in Optimizations::ablation_variants() {
+            let mut k = keys.clone();
+            let sorter =
+                HybridRadixSorter::new(SortConfig::keys_32().scaled_for(40_000, 500_000_000))
+                    .with_optimizations(opts);
+            sorter.sort(&mut k);
+            assert_eq!(k, expected, "variant {name}");
+        }
+    }
+
+    #[test]
+    fn small_input_fallback_path() {
+        let mut cfg = SortConfig::keys_32();
+        cfg.small_input_fallback = 1_000;
+        let sorter = HybridRadixSorter::new(cfg);
+        let mut keys = uniform_keys::<u32>(500, 11);
+        let expected = KeyCodec::std_sorted(&keys);
+        let report = sorter.sort(&mut keys);
+        assert!(report.fallback_comparison_sort);
+        assert_eq!(keys, expected);
+        assert!(report.passes.is_empty());
+    }
+
+    #[test]
+    fn traced_sort_records_table2_style_events() {
+        // The Table 2 example: 16 keys of 4 bits — approximated here with
+        // u8 keys whose upper bits are zero and a 2-bit-digit config.
+        let mut cfg = SortConfig::keys_32();
+        cfg.digit_bits = 2;
+        cfg.local_sort_threshold = 3;
+        cfg.merge_threshold = 3;
+        cfg.keys_per_block = 16;
+        cfg.local_sort_classes = SortConfig::default_classes(3);
+        let sorter = HybridRadixSorter::new(cfg);
+        let mut keys: Vec<u8> = vec![13, 6, 1, 11, 6, 10, 6, 0, 5, 4, 4, 13, 3, 7, 6, 3];
+        let (report, trace) = sorter.sort_traced(&mut keys, 64);
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+        assert!(trace.histograms_of_pass(0).len() == 1);
+        assert!(trace.local_sorts() > 0);
+        assert!(report.counting_passes() >= 1);
+    }
+
+    #[test]
+    fn reevaluate_after_scaling_changes_the_simulated_time() {
+        let mut keys = uniform_keys::<u64>(50_000, 13);
+        let sorter = HybridRadixSorter::new(scaled_config_64());
+        let mut report = sorter.sort(&mut keys);
+        let before = report.simulated.total;
+        report.scale_per_key_stats(10_000.0);
+        sorter.reevaluate(&mut report);
+        assert!(report.simulated.total > before * 5.0);
+    }
+
+    #[test]
+    fn report_passes_respect_bucket_structure() {
+        let mut keys = uniform_keys::<u32>(60_000, 17);
+        let cfg = SortConfig::keys_32().scaled_for(60_000, 500_000_000);
+        let sorter = HybridRadixSorter::new(cfg);
+        let report = sorter.sort(&mut keys);
+        // The first pass always partitions exactly one bucket.
+        assert_eq!(report.passes[0].n_buckets, 1);
+        assert_eq!(report.passes[0].n_keys, 60_000);
+        // Each later pass only processes the keys of forwarded buckets.
+        for w in report.passes.windows(2) {
+            assert!(w[1].n_keys <= w[0].n_keys);
+            assert_eq!(w[1].n_buckets, w[0].counting_buckets_forwarded);
+        }
+    }
+}

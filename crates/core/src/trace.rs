@@ -1,0 +1,226 @@
+//! Step-by-step execution traces.
+//!
+//! Table 2 of the paper walks through sorting sixteen 4-bit keys with 2-bit
+//! digits and a local-sort threshold of ∂̂ = 3: the first counting sort
+//! computes the histogram `4 8 2 2`, the prefix sum `0 4 12 14`, scatters
+//! the keys into four buckets, and the second pass either partitions the
+//! large buckets again or finishes them with local sorts.  [`SortTrace`]
+//! records exactly this information so the worked example can be reproduced
+//! (see the `table2_example` experiment binary) and so tests can assert on
+//! the algorithm's intermediate states.
+
+use serde::{Deserialize, Serialize};
+
+/// One recorded event of a traced sort.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A counting-sort pass started.
+    PassStart {
+        /// Digit index of the pass.
+        pass: u32,
+        /// Number of buckets partitioned in this pass.
+        buckets: usize,
+    },
+    /// A bucket's histogram and prefix sum were computed.
+    BucketHistogram {
+        /// Digit index of the pass.
+        pass: u32,
+        /// Offset of the bucket.
+        offset: usize,
+        /// Number of keys in the bucket.
+        len: usize,
+        /// Histogram over the digit values (radix entries).
+        histogram: Vec<u64>,
+        /// Exclusive prefix sum of the histogram.
+        prefix: Vec<usize>,
+    },
+    /// A bucket was handed to the local sort.
+    LocalSort {
+        /// Counting-sort passes already applied to the bucket.
+        pass: u32,
+        /// Offset of the bucket.
+        offset: usize,
+        /// Number of keys.
+        len: usize,
+        /// Number of sub-buckets merged into it.
+        merged_from: u32,
+    },
+    /// Snapshot of the key buffer (radix representations), recorded only
+    /// for small traced inputs.
+    BufferState {
+        /// Description of when the snapshot was taken.
+        label: String,
+        /// The keys' radix representations in buffer order.
+        keys: Vec<u64>,
+    },
+}
+
+/// A recorded trace of one sort execution.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SortTrace {
+    /// Buffer snapshots are only recorded for inputs up to this many keys.
+    pub snapshot_limit: usize,
+    /// The recorded events, in execution order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl SortTrace {
+    /// Creates a trace that snapshots buffers for inputs of at most
+    /// `snapshot_limit` keys (histograms and bucket events are always
+    /// recorded).
+    pub fn new(snapshot_limit: usize) -> Self {
+        SortTrace {
+            snapshot_limit,
+            events: Vec::new(),
+        }
+    }
+
+    /// Records an event.
+    pub fn push(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    /// All bucket histograms recorded for a pass.
+    pub fn histograms_of_pass(&self, pass: u32) -> Vec<&TraceEvent> {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::BucketHistogram { pass: p, .. } if *p == pass))
+            .collect()
+    }
+
+    /// Number of local-sort events recorded.
+    pub fn local_sorts(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::LocalSort { .. }))
+            .count()
+    }
+
+    /// Renders the trace in the style of Table 2: keys in base-`radix`
+    /// notation, one line per recorded histogram/prefix sum, and the buffer
+    /// snapshots.
+    pub fn render(&self, key_bits: u32, digit_bits: u32) -> String {
+        let digits = key_bits.div_ceil(digit_bits);
+        let radix = 1u64 << digit_bits;
+        let fmt_key = |k: u64| -> String {
+            (0..digits)
+                .rev()
+                .map(|d| {
+                    let shift = d * digit_bits;
+                    format!("{}", (k >> shift) & (radix - 1))
+                })
+                .collect::<String>()
+        };
+        let mut out = String::new();
+        for e in &self.events {
+            match e {
+                TraceEvent::PassStart { pass, buckets } => {
+                    out.push_str(&format!("-- pass {pass}: {buckets} bucket(s)\n"));
+                }
+                TraceEvent::BucketHistogram {
+                    pass,
+                    offset,
+                    len,
+                    histogram,
+                    prefix,
+                } => {
+                    out.push_str(&format!(
+                        "pass {pass} bucket @{offset}+{len}\n  histogram  {}\n  prefix-sum {}\n",
+                        histogram
+                            .iter()
+                            .map(|h| h.to_string())
+                            .collect::<Vec<_>>()
+                            .join(" "),
+                        prefix
+                            .iter()
+                            .map(|p| p.to_string())
+                            .collect::<Vec<_>>()
+                            .join(" "),
+                    ));
+                }
+                TraceEvent::LocalSort {
+                    pass,
+                    offset,
+                    len,
+                    merged_from,
+                } => {
+                    out.push_str(&format!(
+                        "local sort @{offset}+{len} (after {pass} pass(es){})\n",
+                        if *merged_from > 1 {
+                            format!(", merged from {merged_from} sub-buckets")
+                        } else {
+                            String::new()
+                        }
+                    ));
+                }
+                TraceEvent::BufferState { label, keys } => {
+                    out.push_str(&format!(
+                        "{label}: {}\n",
+                        keys.iter().map(|&k| fmt_key(k)).collect::<Vec<_>>().join(" ")
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_records_and_filters_events() {
+        let mut t = SortTrace::new(32);
+        t.push(TraceEvent::PassStart { pass: 0, buckets: 1 });
+        t.push(TraceEvent::BucketHistogram {
+            pass: 0,
+            offset: 0,
+            len: 16,
+            histogram: vec![4, 8, 2, 2],
+            prefix: vec![0, 4, 12, 14],
+        });
+        t.push(TraceEvent::LocalSort {
+            pass: 1,
+            offset: 12,
+            len: 2,
+            merged_from: 1,
+        });
+        assert_eq!(t.histograms_of_pass(0).len(), 1);
+        assert_eq!(t.histograms_of_pass(1).len(), 0);
+        assert_eq!(t.local_sorts(), 1);
+    }
+
+    #[test]
+    fn render_formats_table_2_style_rows() {
+        let mut t = SortTrace::new(32);
+        t.push(TraceEvent::BufferState {
+            label: "keys (radix 4)".to_string(),
+            keys: vec![0b1101, 0b0110, 0b0001],
+        });
+        t.push(TraceEvent::BucketHistogram {
+            pass: 0,
+            offset: 0,
+            len: 16,
+            histogram: vec![4, 8, 2, 2],
+            prefix: vec![0, 4, 12, 14],
+        });
+        let s = t.render(4, 2);
+        // Keys rendered in base-4 digit notation: 13 -> "31", 6 -> "12".
+        assert!(s.contains("31 12 01"), "{s}");
+        assert!(s.contains("histogram  4 8 2 2"));
+        assert!(s.contains("prefix-sum 0 4 12 14"));
+    }
+
+    #[test]
+    fn render_mentions_merged_local_sorts() {
+        let mut t = SortTrace::new(0);
+        t.push(TraceEvent::LocalSort {
+            pass: 1,
+            offset: 0,
+            len: 5,
+            merged_from: 3,
+        });
+        assert!(t.render(32, 8).contains("merged from 3"));
+    }
+}

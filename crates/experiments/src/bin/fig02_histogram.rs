@@ -1,0 +1,17 @@
+//! Reproduces Figure 2: memory-bandwidth utilisation of the histogram
+//! computation over the number of distinct digit values, for the
+//! atomics-only and thread-reduction strategies.
+
+use experiments::{figures, format_table};
+
+fn main() {
+    let series = figures::fig02_histogram_utilisation();
+    println!(
+        "{}",
+        format_table(
+            "Figure 2 — histogram bandwidth utilisation (%), Titan X (Pascal)",
+            "distinct values",
+            &series
+        )
+    );
+}

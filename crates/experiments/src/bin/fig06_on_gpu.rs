@@ -1,0 +1,28 @@
+//! Reproduces Figure 6: sorting rates (GB/s) for 2 GB inputs of the four
+//! key/value shapes over the entropy ladder, comparing the hybrid radix
+//! sort to CUB, Thrust, MGPU and Satish et al.
+
+use experiments::checks::{check_fig06_claims, render_checks};
+use experiments::figures::{fig06_on_gpu, Shape};
+use experiments::{format_table, PaperScale};
+
+fn main() {
+    let scale = PaperScale::default_bins();
+    for (fig, shape) in [
+        ("Figure 6a", Shape::Keys32),
+        ("Figure 6b", Shape::Pairs32),
+        ("Figure 6c", Shape::Keys64),
+        ("Figure 6d", Shape::Pairs64),
+    ] {
+        let series = fig06_on_gpu(shape, &scale);
+        println!(
+            "{}",
+            format_table(
+                &format!("{fig} — sorting rate (GB/s), 2 GB of {}", shape.describe()),
+                "entropy (bits)",
+                &series
+            )
+        );
+        println!("{}", render_checks(&check_fig06_claims(shape, &scale)));
+    }
+}

@@ -1,0 +1,21 @@
+//! Reproduces Figure 7: sorting rate over the input size (250 k elements up
+//! to 2 GB) for distributions with 51.92, 34.79 and 0.00 bits of entropy,
+//! comparing the hybrid radix sort to CUB and MGPU.
+
+use experiments::figures::{fig07_input_size, Shape};
+use experiments::{format_table, PaperScale};
+
+fn main() {
+    let scale = PaperScale::default_bins();
+    for (fig, shape) in [("Figure 7a", Shape::Keys64), ("Figure 7b", Shape::Pairs64)] {
+        let series = fig07_input_size(shape, &scale);
+        println!(
+            "{}",
+            format_table(
+                &format!("{fig} — sorting rate (GB/s) vs input size, {}", shape.describe()),
+                "input size",
+                &series
+            )
+        );
+    }
+}

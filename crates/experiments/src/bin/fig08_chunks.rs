@@ -1,0 +1,23 @@
+//! Reproduces Figure 8: end-to-end time for sorting 375 million 64-bit/64-bit
+//! pairs (6 GB), comparing the naive transfer-sort-transfer approaches (CUB
+//! and the hybrid radix sort) with the pipelined heterogeneous sort for
+//! several chunk counts.
+
+use experiments::figures::fig08_chunks;
+use experiments::PaperScale;
+
+fn main() {
+    let bars = fig08_chunks(&PaperScale::default_bins());
+    println!("Figure 8 — end-to-end time for 375 M 64-bit/64-bit pairs (6 GB), seconds");
+    println!(
+        "{:<8} | {:>9} | {:>11} | {:>9} | {:>12} | {:>11} | {:>8}",
+        "variant", "PCIe HtD", "on-GPU sort", "PCIe DtH", "chunked sort", "CPU merging", "total"
+    );
+    println!("{}", "-".repeat(90));
+    for b in bars {
+        println!(
+            "{:<8} | {:>9.3} | {:>11.3} | {:>9.3} | {:>12.3} | {:>11.3} | {:>8.3}",
+            b.label, b.pcie_htod, b.on_gpu_sort, b.pcie_dtoh, b.chunked_sort, b.cpu_merging, b.total()
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! Reproduces Figure 9: end-to-end sorting time of the heterogeneous sort
+//! versus the runtimes reported for PARADIS (16 threads on a 32-core
+//! machine) for 4–64 GB of 64-bit/64-bit pairs, for a uniform and a Zipfian
+//! (θ = 0.75) distribution.
+
+use baselines::ReportedDistribution;
+use experiments::figures::fig09_paradis;
+use experiments::{format_table, PaperScale};
+
+fn main() {
+    let scale = PaperScale::default_bins();
+    for (fig, dist, name) in [
+        ("Figure 9a", ReportedDistribution::Uniform, "uniform distribution"),
+        ("Figure 9b", ReportedDistribution::Zipf075, "skewed distribution (zipf, theta=0.75)"),
+    ] {
+        let series = fig09_paradis(dist, &scale);
+        println!(
+            "{}",
+            format_table(
+                &format!("{fig} — end-to-end time (seconds), {name}"),
+                "input size",
+                &series
+            )
+        );
+    }
+}

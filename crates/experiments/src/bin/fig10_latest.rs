@@ -1,0 +1,26 @@
+//! Reproduces Figure 10 (Appendix A): the hybrid radix sort against
+//! CUB 1.5.1, CUB 1.6.4 (7-bit digits) and GPU Multisplit over the entropy
+//! ladder for the four key/value shapes.
+
+use experiments::figures::{fig10_latest, Shape};
+use experiments::{format_table, PaperScale};
+
+fn main() {
+    let scale = PaperScale::default_bins();
+    for (fig, shape) in [
+        ("Figure 10a", Shape::Keys32),
+        ("Figure 10b", Shape::Pairs32),
+        ("Figure 10c", Shape::Keys64),
+        ("Figure 10d", Shape::Pairs64),
+    ] {
+        let series = fig10_latest(shape, &scale);
+        println!(
+            "{}",
+            format_table(
+                &format!("{fig} — sorting rate (GB/s), 2 GB of {}", shape.describe()),
+                "entropy (bits)",
+                &series
+            )
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! Reproduces Figures 11–14 (Appendix B): the performance impact of
+//! disabling individual optimisations (single local-sort configuration, no
+//! bucket merging, their combination, no look-ahead, no thread-reduction
+//! histogram, everything off), expressed as a percentage change of the
+//! sorting rate relative to the fully optimised sort.
+
+use experiments::figures::{ablation, entropy_ladder, Shape};
+
+use experiments::{format_table, PaperScale};
+
+fn main() {
+    let scale = PaperScale::default_bins();
+    for (fig, shape) in [
+        ("Figure 11", Shape::Keys32),
+        ("Figure 12", Shape::Keys64),
+        ("Figure 13", Shape::Pairs32),
+        ("Figure 14", Shape::Pairs64),
+    ] {
+        let levels = entropy_ladder(shape);
+        let series = ablation(shape, &scale, &levels);
+        println!(
+            "{}",
+            format_table(
+                &format!("{fig} — performance change (%) when switching off optimisations, {}", shape.describe()),
+                "entropy (bits)",
+                &series
+            )
+        );
+    }
+}

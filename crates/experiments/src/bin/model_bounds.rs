@@ -1,0 +1,9 @@
+//! Reproduces the Section 4.5 analytical model: upper bounds on the number
+//! of buckets and blocks (I1–I4) and the memory requirements (M1–M5),
+//! verifying the "< 5 % bookkeeping overhead" claim for the paper's example
+//! configuration.
+
+fn main() {
+    println!("Section 4.5 — analytical model (KPB = 6912, local threshold 9216, merge threshold 3000, r = 256)");
+    println!("{}", experiments::figures::model_bounds_text());
+}

@@ -1,0 +1,56 @@
+//! Runs every experiment in sequence and prints a compact pass/fail summary
+//! of the paper's qualitative claims.  This is the quickest way to regenerate
+//! all tables and figures:
+//!
+//! ```text
+//! cargo run --release -p experiments --bin run_all
+//! ```
+
+use baselines::ReportedDistribution;
+use experiments::checks::{check_fig06_claims, render_checks};
+use experiments::figures::{self, Shape};
+use experiments::{format_table, PaperScale};
+
+fn main() {
+    let scale = PaperScale::default_bins();
+
+    println!("{}", figures::table3_text());
+    println!("{}", figures::table2_trace());
+    println!(
+        "{}",
+        format_table("Figure 2", "distinct values", &figures::fig02_histogram_utilisation())
+    );
+    let mut all_hold = true;
+    for shape in Shape::all() {
+        let series = figures::fig06_on_gpu(shape, &scale);
+        println!(
+            "{}",
+            format_table(
+                &format!("Figure 6 — {}", shape.describe()),
+                "entropy (bits)",
+                &series
+            )
+        );
+        let checks = check_fig06_claims(shape, &scale);
+        all_hold &= checks.iter().all(|c| c.holds);
+        println!("{}", render_checks(&checks));
+    }
+    for (dist, name) in [
+        (ReportedDistribution::Uniform, "uniform"),
+        (ReportedDistribution::Zipf075, "zipf(0.75)"),
+    ] {
+        println!(
+            "{}",
+            format_table(
+                &format!("Figure 9 — {name}"),
+                "input size",
+                &figures::fig09_paradis(dist, &scale)
+            )
+        );
+    }
+    println!("{}", figures::model_bounds_text());
+    println!(
+        "overall: {}",
+        if all_hold { "all figure-6 claims hold" } else { "SOME CLAIMS FAILED" }
+    );
+}

@@ -1,0 +1,8 @@
+//! Reproduces Table 2: the worked 16-key example (4-bit keys, 2-bit digits,
+//! local-sort threshold 3), printing the histogram, prefix sum and bucket
+//! decisions of every pass.
+
+fn main() {
+    println!("Table 2 — hybrid radix sorting example (k=4 bits, d=2 bits, r=4, local-sort threshold 3)");
+    println!("{}", experiments::figures::table2_trace());
+}

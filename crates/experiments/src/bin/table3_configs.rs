@@ -1,0 +1,26 @@
+//! Reproduces Table 3: the default configurations (KPB, threads, KPT, local
+//! sort threshold) for the four key/value shapes, and verifies that they fit
+//! on the Titan X (Pascal) occupancy-wise.
+
+use gpu_sim::DeviceSpec;
+use hrs_core::SortConfig;
+
+fn main() {
+    println!("Table 3 — default configurations");
+    println!("{}", experiments::figures::table3_text());
+    let device = DeviceSpec::titan_x_pascal();
+    for (name, cfg, kb, vb) in [
+        ("32-bit keys", SortConfig::keys_32(), 4u32, 0u32),
+        ("64-bit keys", SortConfig::keys_64(), 8, 0),
+        ("32-bit/32-bit pairs", SortConfig::pairs_32_32(), 4, 4),
+        ("64-bit/64-bit pairs", SortConfig::pairs_64_64(), 8, 8),
+    ] {
+        let occ = cfg.counting_occupancy(&device, kb, vb);
+        println!(
+            "{name:<22}: {} blocks/SM, occupancy {:.0}% ({:?} limited)",
+            occ.blocks_per_sm,
+            occ.occupancy * 100.0,
+            occ.limiter
+        );
+    }
+}

@@ -1,0 +1,141 @@
+//! Shape checks: the qualitative claims of the paper that the reproduction
+//! must preserve (who wins, by roughly what factor, where crossovers fall).
+//!
+//! These helpers are used by the integration tests and by the `run_all`
+//! binary, which prints a pass/fail summary next to each figure.
+
+use crate::figures::{fig06_on_gpu, Shape};
+use crate::scale::PaperScale;
+use crate::series::Series;
+
+/// Ratio of series `a` to series `b` at x label `x` (`None` when either
+/// point is missing or `b` is zero).
+pub fn speedup_at(a: &Series, b: &Series, x: &str) -> Option<f64> {
+    let ya = a.get(x)?;
+    let yb = b.get(x)?;
+    if yb == 0.0 {
+        None
+    } else {
+        Some(ya / yb)
+    }
+}
+
+/// Minimum ratio of series `a` to series `b` over all shared x labels.
+pub fn min_speedup(a: &Series, b: &Series) -> f64 {
+    a.points
+        .iter()
+        .filter_map(|(x, _)| speedup_at(a, b, x))
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Result of checking one claim.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClaimCheck {
+    /// Description of the claim.
+    pub claim: String,
+    /// Measured value.
+    pub measured: f64,
+    /// Whether the claim holds in the reproduction.
+    pub holds: bool,
+}
+
+impl ClaimCheck {
+    fn new(claim: impl Into<String>, measured: f64, holds: bool) -> Self {
+        ClaimCheck {
+            claim: claim.into(),
+            measured,
+            holds,
+        }
+    }
+}
+
+/// Checks the headline claims of Section 6.1 against a Figure 6 run of the
+/// given shape.
+pub fn check_fig06_claims(shape: Shape, scale: &PaperScale) -> Vec<ClaimCheck> {
+    let series = fig06_on_gpu(shape, scale);
+    let hrs = &series[0];
+    let cub = &series[1];
+    let mgpu = series.iter().find(|s| s.label == "MGPU").unwrap();
+    let uniform_label = hrs.points.first().map(|(x, _)| x.clone()).unwrap_or_default();
+    let constant_label = "0.00";
+
+    let min_cub = min_speedup(hrs, cub);
+    let uniform_cub = speedup_at(hrs, cub, &uniform_label).unwrap_or(0.0);
+    let min_mgpu = min_speedup(hrs, mgpu);
+    let constant_cub = speedup_at(hrs, cub, constant_label).unwrap_or(0.0);
+
+    let (min_expected, uniform_expected, mgpu_expected) = match shape {
+        Shape::Keys32 => (1.3, 1.8, 2.5),
+        Shape::Pairs32 => (1.3, 1.8, 2.5),
+        Shape::Keys64 => (1.3, 2.5, 2.5),
+        // 64-bit/64-bit records halve the comparison count per byte, so the
+        // merge sort closes some of the gap for this shape.
+        Shape::Pairs64 => (1.3, 2.5, 1.6),
+    };
+
+    vec![
+        ClaimCheck::new(
+            format!("{}: HRS beats CUB for every distribution (min speed-up ≥ {min_expected:.2})", shape.describe()),
+            min_cub,
+            min_cub >= min_expected,
+        ),
+        ClaimCheck::new(
+            format!("{}: uniform-distribution speed-up over CUB ≥ {uniform_expected:.2}", shape.describe()),
+            uniform_cub,
+            uniform_cub >= uniform_expected,
+        ),
+        ClaimCheck::new(
+            format!("{}: worst-case speed-up over CUB comes from the traffic ratio (≤ 2.4)", shape.describe()),
+            constant_cub,
+            constant_cub > 1.2 && constant_cub < 2.4,
+        ),
+        ClaimCheck::new(
+            format!("{}: HRS beats the MGPU merge sort by ≥ {mgpu_expected:.1}x everywhere", shape.describe()),
+            min_mgpu,
+            min_mgpu >= mgpu_expected,
+        ),
+    ]
+}
+
+/// Renders claim checks as a text report.
+pub fn render_checks(checks: &[ClaimCheck]) -> String {
+    let mut out = String::new();
+    for c in checks {
+        out.push_str(&format!(
+            "[{}] {} (measured {:.2})\n",
+            if c.holds { "ok" } else { "FAIL" },
+            c.claim,
+            c.measured
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_helpers() {
+        let mut a = Series::new("a");
+        a.push("x", 30.0);
+        a.push("y", 20.0);
+        let mut b = Series::new("b");
+        b.push("x", 15.0);
+        b.push("y", 16.0);
+        assert_eq!(speedup_at(&a, &b, "x"), Some(2.0));
+        assert_eq!(speedup_at(&a, &b, "z"), None);
+        assert!((min_speedup(&a, &b) - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn figure_6_claims_hold_for_64_bit_keys() {
+        let checks = check_fig06_claims(Shape::Keys64, &PaperScale::fast());
+        let rendered = render_checks(&checks);
+        assert!(
+            checks.iter().all(|c| c.holds),
+            "some claims failed:\n{rendered}"
+        );
+        assert!(rendered.contains("[ok]"));
+    }
+}

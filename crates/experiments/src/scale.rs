@@ -1,0 +1,236 @@
+//! Paper-scale extrapolation of functional runs.
+//!
+//! The paper's on-GPU experiments sort 2 GB inputs (500 M 32-bit keys or
+//! 250 M 64-bit keys).  Running the functional hybrid sort at that size for
+//! every point of every figure would be prohibitively slow, so the harness
+//!
+//! 1. runs the sort on `functional_n` keys with a configuration whose size
+//!    thresholds (`KPB`, ∂̂, ∂) were scaled down by the same factor —
+//!    preserving the number of passes, the bucket counts and the per-block
+//!    skew statistics the cost model depends on —
+//! 2. multiplies the per-key statistics (keys, atomic updates, provisioned
+//!    keys) back up to the target size, and
+//! 3. evaluates the GPU cost model with the *paper-scale* configuration.
+//!
+//! The same [`PaperScale`] object drives every figure so the scaled runs
+//! stay comparable.
+
+use gpu_sim::SimTime;
+use hrs_core::{HybridRadixSorter, Optimizations, SortConfig, SortReport};
+use workloads::Distribution;
+
+/// Key width selector for the four evaluation shapes of Figure 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyKind {
+    /// 32-bit unsigned keys.
+    U32,
+    /// 64-bit unsigned keys.
+    U64,
+}
+
+impl KeyKind {
+    /// Key width in bytes.
+    pub fn bytes(self) -> u32 {
+        match self {
+            KeyKind::U32 => 4,
+            KeyKind::U64 => 8,
+        }
+    }
+
+    /// Key width in bits.
+    pub fn bits(self) -> u32 {
+        self.bytes() * 8
+    }
+}
+
+/// Scaling parameters shared by all experiments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperScale {
+    /// Number of keys the functional run uses.
+    pub functional_n: usize,
+    /// RNG seed for workload generation.
+    pub seed: u64,
+}
+
+impl PaperScale {
+    /// The default used by the experiment binaries (fast but large enough
+    /// for stable bucket statistics).
+    pub fn default_bins() -> Self {
+        PaperScale {
+            functional_n: 400_000,
+            seed: 0x5EED,
+        }
+    }
+
+    /// A faster variant for unit/integration tests.
+    pub fn fast() -> Self {
+        PaperScale {
+            functional_n: 80_000,
+            seed: 0x5EED,
+        }
+    }
+
+    /// Number of keys of `kind` that make up a 2 GB input (the paper's
+    /// on-GPU evaluation size refers to the *key* array).
+    pub fn paper_n_for_2gb(kind: KeyKind) -> u64 {
+        2_000_000_000 / kind.bytes() as u64
+    }
+}
+
+/// Result of one scaled hybrid-radix-sort run extrapolated to paper scale.
+#[derive(Debug, Clone)]
+pub struct ScaledHrsRun {
+    /// The extrapolated report (statistics at `target_n`, simulated timings
+    /// evaluated with the paper-scale configuration).
+    pub report: SortReport,
+    /// Simulated total duration at paper scale.
+    pub total: SimTime,
+    /// Simulated sorting rate in GB/s at paper scale.
+    pub rate_gb_s: f64,
+}
+
+/// Runs the hybrid radix sort functionally on a scaled-down input and
+/// extrapolates the simulated execution to `target_n` keys.
+///
+/// `value_bytes` selects the key-value shape (0, 4 or 8); the values are
+/// moved functionally as well so the run is a genuine pair sort.
+pub fn run_hrs_scaled(
+    dist: &Distribution,
+    kind: KeyKind,
+    value_bytes: u32,
+    target_n: u64,
+    opts: Optimizations,
+    scale: &PaperScale,
+) -> ScaledHrsRun {
+    let functional_n = scale.functional_n.min(target_n as usize).max(1_000);
+    let paper_config = SortConfig::for_widths(kind.bytes(), value_bytes);
+    let scaled_config = paper_config.scaled_for(functional_n, target_n as usize);
+    let run_sorter = HybridRadixSorter::new(scaled_config).with_optimizations(opts);
+
+    let mut report = match kind {
+        KeyKind::U32 => {
+            let mut keys: Vec<u32> = dist.generate(functional_n, scale.seed);
+            match value_bytes {
+                0 => run_sorter.sort(&mut keys),
+                4 => {
+                    let mut values: Vec<u32> = (0..functional_n as u32).collect();
+                    run_sorter.sort_pairs(&mut keys, &mut values)
+                }
+                _ => {
+                    let mut values: Vec<u64> = (0..functional_n as u64).collect();
+                    run_sorter.sort_pairs(&mut keys, &mut values)
+                }
+            }
+        }
+        KeyKind::U64 => {
+            let mut keys: Vec<u64> = dist.generate(functional_n, scale.seed);
+            match value_bytes {
+                0 => run_sorter.sort(&mut keys),
+                4 => {
+                    let mut values: Vec<u32> = (0..functional_n as u32).collect();
+                    run_sorter.sort_pairs(&mut keys, &mut values)
+                }
+                _ => {
+                    let mut values: Vec<u64> = (0..functional_n as u64).collect();
+                    run_sorter.sort_pairs(&mut keys, &mut values)
+                }
+            }
+        }
+    };
+
+    // Extrapolate the per-key statistics to the target size and re-evaluate
+    // the cost model with the paper-scale configuration.
+    let factor = target_n as f64 / report.n as f64;
+    report.scale_per_key_stats(factor);
+    report.value_bytes = value_bytes;
+    let eval_sorter = HybridRadixSorter::new(paper_config).with_optimizations(opts);
+    eval_sorter.reevaluate(&mut report);
+
+    let total = report.simulated.total;
+    let rate_gb_s = report.simulated.sorting_rate.gb_per_s();
+    ScaledHrsRun {
+        report,
+        total,
+        rate_gb_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::EntropyLevel;
+
+    #[test]
+    fn paper_n_matches_2gb() {
+        assert_eq!(PaperScale::paper_n_for_2gb(KeyKind::U32), 500_000_000);
+        assert_eq!(PaperScale::paper_n_for_2gb(KeyKind::U64), 250_000_000);
+    }
+
+    #[test]
+    fn uniform_64bit_keys_land_near_the_paper_rate() {
+        let run = run_hrs_scaled(
+            &Distribution::Uniform,
+            KeyKind::U64,
+            0,
+            PaperScale::paper_n_for_2gb(KeyKind::U64),
+            Optimizations::all_on(),
+            &PaperScale::fast(),
+        );
+        // Paper: ~30 GB/s; accept the model within a generous band.
+        assert!(run.rate_gb_s > 20.0 && run.rate_gb_s < 50.0, "{}", run.rate_gb_s);
+        // Two counting passes plus local sorts for the uniform distribution.
+        assert!(run.report.counting_passes() <= 3);
+        assert!(run.report.local.n_keys > 0);
+    }
+
+    #[test]
+    fn constant_distribution_is_much_slower_than_uniform() {
+        let scale = PaperScale::fast();
+        let target = PaperScale::paper_n_for_2gb(KeyKind::U64);
+        let uniform = run_hrs_scaled(
+            &Distribution::Uniform, KeyKind::U64, 0, target, Optimizations::all_on(), &scale,
+        );
+        let constant = run_hrs_scaled(
+            &Distribution::Entropy(EntropyLevel::constant()),
+            KeyKind::U64, 0, target, Optimizations::all_on(), &scale,
+        );
+        assert!(constant.report.counting_passes() == 8);
+        assert!(uniform.rate_gb_s > constant.rate_gb_s * 1.8);
+    }
+
+    #[test]
+    fn pairs_sort_faster_in_gb_per_second_than_keys_only() {
+        // Section 6.1: key-value pairs see ~20 % higher GB/s because the
+        // histogram only reads the keys.
+        let scale = PaperScale::fast();
+        let keys_only = run_hrs_scaled(
+            &Distribution::Uniform, KeyKind::U32, 0,
+            PaperScale::paper_n_for_2gb(KeyKind::U32),
+            Optimizations::all_on(), &scale,
+        );
+        let pairs = run_hrs_scaled(
+            &Distribution::Uniform, KeyKind::U32, 4,
+            250_000_000, // 2 GB of 32+32 pairs
+            Optimizations::all_on(), &scale,
+        );
+        assert!(
+            pairs.rate_gb_s > keys_only.rate_gb_s * 1.05,
+            "pairs {} vs keys {}",
+            pairs.rate_gb_s,
+            keys_only.rate_gb_s
+        );
+    }
+
+    #[test]
+    fn functional_n_is_clamped_to_target() {
+        let run = run_hrs_scaled(
+            &Distribution::Uniform,
+            KeyKind::U32,
+            0,
+            50_000,
+            Optimizations::all_on(),
+            &PaperScale { functional_n: 1_000_000, seed: 1 },
+        );
+        assert_eq!(run.report.n, 50_000);
+    }
+}

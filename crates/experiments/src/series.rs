@@ -1,0 +1,108 @@
+//! Labelled data series and text-table rendering for the experiment output.
+
+/// One labelled series of (x, y) points, e.g. the sorting rate of one
+/// algorithm over the entropy ladder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Series label (e.g. `"hybrid radix sort"`).
+    pub label: String,
+    /// Points: x label and y value.
+    pub points: Vec<(String, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(label: impl Into<String>) -> Self {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: impl Into<String>, y: f64) {
+        self.points.push((x.into(), y));
+    }
+
+    /// The y value for a given x label, if present.
+    pub fn get(&self, x: &str) -> Option<f64> {
+        self.points.iter().find(|(l, _)| l == x).map(|(_, y)| *y)
+    }
+
+    /// Minimum y value (0 if the series is empty).
+    pub fn min(&self) -> f64 {
+        self.points.iter().map(|(_, y)| *y).fold(f64::INFINITY, f64::min).min(f64::INFINITY)
+    }
+
+    /// Maximum y value (0 if the series is empty).
+    pub fn max(&self) -> f64 {
+        self.points.iter().map(|(_, y)| *y).fold(0.0, f64::max)
+    }
+}
+
+/// Renders several series sharing the same x labels as an aligned text
+/// table: one row per x label, one column per series.
+pub fn format_table(title: &str, x_header: &str, series: &[Series]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("## {title}\n"));
+    // Header.
+    out.push_str(&format!("{:<16}", x_header));
+    for s in series {
+        out.push_str(&format!(" | {:>22}", s.label));
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat(16 + series.len() * 25));
+    out.push('\n');
+    // Rows follow the x labels of the first series.
+    if let Some(first) = series.first() {
+        for (x, _) in &first.points {
+            out.push_str(&format!("{:<16}", x));
+            for s in series {
+                match s.get(x) {
+                    Some(y) => out.push_str(&format!(" | {:>22.3}", y)),
+                    None => out.push_str(&format!(" | {:>22}", "-")),
+                }
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_push_and_get() {
+        let mut s = Series::new("hrs");
+        s.push("32.00", 31.9);
+        s.push("0.00", 14.2);
+        assert_eq!(s.get("32.00"), Some(31.9));
+        assert_eq!(s.get("17.39"), None);
+        assert_eq!(s.max(), 31.9);
+        assert_eq!(s.min(), 14.2);
+    }
+
+    #[test]
+    fn table_renders_all_series_columns() {
+        let mut a = Series::new("hybrid radix sort");
+        a.push("32.00", 31.9);
+        a.push("0.00", 14.0);
+        let mut b = Series::new("CUB");
+        b.push("32.00", 15.0);
+        let t = format_table("Figure 6a", "entropy (bits)", &[a, b]);
+        assert!(t.contains("Figure 6a"));
+        assert!(t.contains("hybrid radix sort"));
+        assert!(t.contains("CUB"));
+        assert!(t.contains("32.00"));
+        // Missing point renders as a dash.
+        assert!(t.lines().last().unwrap().contains('-'));
+    }
+
+    #[test]
+    fn empty_table_has_header_only() {
+        let t = format_table("x", "y", &[]);
+        assert!(t.contains("## x"));
+    }
+}

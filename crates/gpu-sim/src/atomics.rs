@@ -1,0 +1,237 @@
+//! Shared-memory atomic contention model (Section 4.3, Figure 2).
+//!
+//! The hybrid radix sort computes per-block histograms with shared-memory
+//! `atomicAdd` operations.  When the key distribution is extremely skewed,
+//! every thread updates the *same* counter, serialising the updates; the
+//! paper measures only 1.7 billion 32-bit updates per SM per second for a
+//! constant distribution, versus 3.3 billion for a uniform distribution over
+//! three or more distinct digit values (on a Titan X Pascal).
+//!
+//! The *thread reduction & atomics* optimisation sorts each thread's digit
+//! values in registers (a 9-element sorting network with 25 comparators) and
+//! combines runs of equal digits into a single `atomicAdd`, which removes
+//! the contention penalty at the cost of a small constant overhead.
+//!
+//! [`AtomicModel`] reproduces exactly this behaviour: its anchor points are
+//! the numbers quoted in the paper, and intermediate distinct-value counts
+//! are interpolated.
+
+use crate::device::DeviceSpec;
+use serde::{Deserialize, Serialize};
+
+/// The histogram/scatter strategy whose shared-memory-atomic throughput is
+/// being modelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HistogramStrategy {
+    /// Every key issues its own `atomicAdd` ("atomics only").
+    AtomicsOnly,
+    /// Digit values are sorted in registers and runs of equal values are
+    /// combined into a single `atomicAdd` ("thread reduction & atomics").
+    ThreadReduction,
+}
+
+/// Shared-memory atomic throughput model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AtomicModel {
+    /// Updates per SM per second under full contention (all threads hit a
+    /// single counter), for the atomics-only strategy.
+    pub contended_updates_per_sm: f64,
+    /// Updates per SM per second with two distinct values.
+    pub two_value_updates_per_sm: f64,
+    /// Updates per SM per second once three or more distinct values spread
+    /// the contention.
+    pub spread_updates_per_sm: f64,
+    /// Effective updates per SM per second for the thread-reduction
+    /// strategy under full contention (the sorting network combines runs of
+    /// up to nine equal digits into one update).
+    pub reduction_contended_updates_per_sm: f64,
+    /// Effective updates per SM per second for the thread-reduction
+    /// strategy when values are spread (the sorting network is pure
+    /// overhead here, so the rate is marginally below the atomics-only
+    /// spread rate).
+    pub reduction_spread_updates_per_sm: f64,
+    /// Length of the register runs sorted by the thread-reduction sorting
+    /// network (nine values in the paper).
+    pub reduction_run_length: u32,
+    /// Number of comparators in the sorting network (25 in the paper).
+    pub reduction_comparators: u32,
+}
+
+impl AtomicModel {
+    /// The model calibrated against the paper's Titan X (Pascal)
+    /// measurements.
+    pub fn titan_x_pascal() -> Self {
+        AtomicModel {
+            contended_updates_per_sm: 1.7e9,
+            two_value_updates_per_sm: 2.5e9,
+            spread_updates_per_sm: 3.3e9,
+            reduction_contended_updates_per_sm: 3.0e9,
+            reduction_spread_updates_per_sm: 3.2e9,
+            reduction_run_length: 9,
+            reduction_comparators: 25,
+        }
+    }
+
+    /// Shared-memory updates per SM per second for a histogram over a
+    /// distribution with `distinct_values` distinct digit values.
+    pub fn updates_per_sm_per_sec(
+        &self,
+        strategy: HistogramStrategy,
+        distinct_values: u32,
+    ) -> f64 {
+        let q = distinct_values.max(1);
+        match strategy {
+            HistogramStrategy::AtomicsOnly => match q {
+                1 => self.contended_updates_per_sm,
+                2 => self.two_value_updates_per_sm,
+                _ => self.spread_updates_per_sm,
+            },
+            HistogramStrategy::ThreadReduction => {
+                // With q distinct values the expected run length of equal
+                // digits is ~ run_length / q (capped below at one), so the
+                // combining factor shrinks as the distribution spreads out.
+                // The effective rate interpolates between the contended and
+                // spread anchor points.
+                if q == 1 {
+                    self.reduction_contended_updates_per_sm
+                } else if q >= self.reduction_run_length {
+                    self.reduction_spread_updates_per_sm
+                } else {
+                    let t = (q - 1) as f64 / (self.reduction_run_length - 1) as f64;
+                    self.reduction_contended_updates_per_sm
+                        + t * (self.reduction_spread_updates_per_sm
+                            - self.reduction_contended_updates_per_sm)
+                }
+            }
+        }
+    }
+
+    /// Device-wide histogram processing rate in keys per second.
+    pub fn device_keys_per_sec(
+        &self,
+        device: &DeviceSpec,
+        strategy: HistogramStrategy,
+        distinct_values: u32,
+    ) -> f64 {
+        self.updates_per_sm_per_sec(strategy, distinct_values) * device.num_sms as f64
+    }
+
+    /// Memory-bandwidth utilisation achieved by the histogram kernel for a
+    /// read-only workload over keys of `key_bytes` bytes — the quantity
+    /// plotted in Figure 2.
+    pub fn bandwidth_utilisation(
+        &self,
+        device: &DeviceSpec,
+        strategy: HistogramStrategy,
+        distinct_values: u32,
+        key_bytes: u32,
+    ) -> f64 {
+        let compute_rate_bytes =
+            self.device_keys_per_sec(device, strategy, distinct_values) * key_bytes as f64;
+        (compute_rate_bytes / device.effective_bandwidth.bytes_per_sec()).min(1.0)
+    }
+}
+
+impl Default for AtomicModel {
+    fn default() -> Self {
+        AtomicModel::titan_x_pascal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> AtomicModel {
+        AtomicModel::titan_x_pascal()
+    }
+
+    fn titan() -> DeviceSpec {
+        DeviceSpec::titan_x_pascal()
+    }
+
+    #[test]
+    fn paper_anchor_points() {
+        let m = model();
+        assert_eq!(
+            m.updates_per_sm_per_sec(HistogramStrategy::AtomicsOnly, 1),
+            1.7e9
+        );
+        assert_eq!(
+            m.updates_per_sm_per_sec(HistogramStrategy::AtomicsOnly, 3),
+            3.3e9
+        );
+        assert_eq!(
+            m.updates_per_sm_per_sec(HistogramStrategy::AtomicsOnly, 256),
+            3.3e9
+        );
+    }
+
+    #[test]
+    fn atomics_only_constant_distribution_stalls_below_half_bandwidth() {
+        // Figure 2: the atomics-only histogram achieves roughly half the
+        // achievable bandwidth for a single distinct value ...
+        let util = model().bandwidth_utilisation(&titan(), HistogramStrategy::AtomicsOnly, 1, 4);
+        assert!(util > 0.4 && util < 0.6, "utilisation = {util}");
+        // ... and (almost) full bandwidth for three or more distinct values.
+        let util = model().bandwidth_utilisation(&titan(), HistogramStrategy::AtomicsOnly, 4, 4);
+        assert!(util > 0.95, "utilisation = {util}");
+    }
+
+    #[test]
+    fn thread_reduction_mitigates_the_drop() {
+        let m = model();
+        for q in [1u32, 2, 3, 4, 8, 64, 256] {
+            let util =
+                m.bandwidth_utilisation(&titan(), HistogramStrategy::ThreadReduction, q, 4);
+            assert!(util > 0.85, "q = {q}, utilisation = {util}");
+        }
+    }
+
+    #[test]
+    fn thread_reduction_never_below_atomics_only_under_contention() {
+        let m = model();
+        for q in [1u32, 2] {
+            let red = m.updates_per_sm_per_sec(HistogramStrategy::ThreadReduction, q);
+            let raw = m.updates_per_sm_per_sec(HistogramStrategy::AtomicsOnly, q);
+            assert!(red > raw, "q = {q}");
+        }
+    }
+
+    #[test]
+    fn atomics_only_slightly_faster_when_fully_spread() {
+        // The sorting network is pure overhead for well-spread
+        // distributions, so atomics-only has a slight edge there.
+        let m = model();
+        let red = m.updates_per_sm_per_sec(HistogramStrategy::ThreadReduction, 256);
+        let raw = m.updates_per_sm_per_sec(HistogramStrategy::AtomicsOnly, 256);
+        assert!(raw >= red);
+    }
+
+    #[test]
+    fn interpolation_is_monotone_in_q() {
+        let m = model();
+        let mut prev = 0.0;
+        for q in 1..=9u32 {
+            let r = m.updates_per_sm_per_sec(HistogramStrategy::ThreadReduction, q);
+            assert!(r >= prev, "q = {q}");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn zero_distinct_values_treated_as_one() {
+        let m = model();
+        assert_eq!(
+            m.updates_per_sm_per_sec(HistogramStrategy::AtomicsOnly, 0),
+            m.updates_per_sm_per_sec(HistogramStrategy::AtomicsOnly, 1)
+        );
+    }
+
+    #[test]
+    fn network_parameters_match_paper() {
+        let m = model();
+        assert_eq!(m.reduction_run_length, 9);
+        assert_eq!(m.reduction_comparators, 25);
+    }
+}

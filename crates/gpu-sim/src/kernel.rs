@@ -1,0 +1,217 @@
+//! Kernel cost model.
+//!
+//! A kernel's simulated duration is the maximum of its memory time (bytes
+//! moved divided by the achievable bandwidth, derated by a transaction
+//! efficiency) and its compute time (keys processed divided by a
+//! compute-side throughput ceiling such as the shared-memory atomic rate),
+//! plus a small fixed launch overhead.  This mirrors the paper's reasoning:
+//! the radix sort is memory-bandwidth bound unless shared-memory atomic
+//! contention (Section 4.3) or scatter inefficiency (Section 4.4) pushes the
+//! compute/efficiency term above the bandwidth term.
+
+use crate::device::DeviceSpec;
+use crate::simtime::SimTime;
+use crate::traffic::MemoryTraffic;
+use serde::{Deserialize, Serialize};
+
+/// What kind of kernel a [`KernelCost`] describes; used for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KernelKind {
+    /// Histogram computation over a counting-sort pass.
+    Histogram,
+    /// Exclusive prefix-sum / bucket bookkeeping.
+    PrefixSum,
+    /// Key (and value) scattering into sub-buckets.
+    Scatter,
+    /// Local sort of small buckets in shared memory.
+    LocalSort,
+    /// Generic data movement (e.g. key/value recomposition).
+    Copy,
+    /// Anything else.
+    Other,
+}
+
+/// Inputs to the kernel cost calculation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KernelCost {
+    /// Kernel classification (reporting only).
+    pub kind: KernelKind,
+    /// Device-memory traffic of the kernel.
+    pub traffic: MemoryTraffic,
+    /// Efficiency factor applied to the achievable bandwidth (1.0 = fully
+    /// coalesced, Section 4.4's worst case for 8-bit digits is 0.8).
+    pub memory_efficiency: f64,
+    /// Number of work items (keys) processed.
+    pub items: u64,
+    /// Compute-side throughput ceiling in items per second for the whole
+    /// device (e.g. the shared-memory atomic rate × number of SMs).
+    /// `f64::INFINITY` when the kernel has no compute ceiling.
+    pub compute_items_per_sec: f64,
+    /// Number of kernel launches this cost entry covers.
+    pub launches: u64,
+}
+
+impl KernelCost {
+    /// Creates a purely memory-bound kernel cost.
+    pub fn memory_bound(kind: KernelKind, traffic: MemoryTraffic) -> Self {
+        KernelCost {
+            kind,
+            traffic,
+            memory_efficiency: 1.0,
+            items: 0,
+            compute_items_per_sec: f64::INFINITY,
+            launches: 1,
+        }
+    }
+
+    /// Sets the memory efficiency factor.
+    pub fn with_efficiency(mut self, eff: f64) -> Self {
+        self.memory_efficiency = eff.clamp(1e-6, 1.0);
+        self
+    }
+
+    /// Sets the compute ceiling.
+    pub fn with_compute(mut self, items: u64, items_per_sec: f64) -> Self {
+        self.items = items;
+        self.compute_items_per_sec = items_per_sec;
+        self
+    }
+
+    /// Sets the number of launches covered by this entry.
+    pub fn with_launches(mut self, launches: u64) -> Self {
+        self.launches = launches;
+        self
+    }
+
+    /// Evaluates the cost on a device, producing a [`KernelTiming`].
+    pub fn evaluate(&self, device: &DeviceSpec) -> KernelTiming {
+        let bw = device
+            .effective_bandwidth
+            .derate(self.memory_efficiency)
+            .bytes_per_sec();
+        let memory_time = if bw > 0.0 {
+            SimTime::from_secs(self.traffic.total_bytes() as f64 / bw)
+        } else {
+            SimTime::from_secs(f64::INFINITY)
+        };
+        let compute_time = if self.compute_items_per_sec.is_finite()
+            && self.compute_items_per_sec > 0.0
+        {
+            SimTime::from_secs(self.items as f64 / self.compute_items_per_sec)
+        } else {
+            SimTime::ZERO
+        };
+        let launch_overhead =
+            SimTime::from_secs(device.kernel_launch_overhead_s * self.launches as f64);
+        let total = memory_time.max(compute_time) + launch_overhead;
+        KernelTiming {
+            kind: self.kind,
+            memory_time,
+            compute_time,
+            launch_overhead,
+            total,
+            memory_bound: memory_time >= compute_time,
+        }
+    }
+}
+
+/// Result of evaluating a [`KernelCost`] on a device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KernelTiming {
+    /// Kernel classification.
+    pub kind: KernelKind,
+    /// Time attributable to device-memory traffic.
+    pub memory_time: SimTime,
+    /// Time attributable to the compute ceiling.
+    pub compute_time: SimTime,
+    /// Fixed launch overhead.
+    pub launch_overhead: SimTime,
+    /// Total simulated duration.
+    pub total: SimTime,
+    /// Whether the kernel ended up memory bound.
+    pub memory_bound: bool,
+}
+
+impl KernelTiming {
+    /// A zero-cost timing (used as an identity when accumulating).
+    pub fn zero(kind: KernelKind) -> Self {
+        KernelTiming {
+            kind,
+            memory_time: SimTime::ZERO,
+            compute_time: SimTime::ZERO,
+            launch_overhead: SimTime::ZERO,
+            total: SimTime::ZERO,
+            memory_bound: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn titan() -> DeviceSpec {
+        DeviceSpec::titan_x_pascal()
+    }
+
+    #[test]
+    fn memory_bound_kernel_runs_at_effective_bandwidth() {
+        let bytes = 2_000_000_000u64;
+        let cost = KernelCost::memory_bound(KernelKind::Copy, MemoryTraffic::read_only(bytes));
+        let t = cost.evaluate(&titan());
+        // 2 GB at 369.17 GB/s ≈ 5.42 ms (plus a 5 µs launch).
+        assert!(t.total.millis() > 5.3 && t.total.millis() < 5.6, "{t:?}");
+        assert!(t.memory_bound);
+    }
+
+    #[test]
+    fn efficiency_derates_bandwidth() {
+        let bytes = 1_000_000_000u64;
+        let full = KernelCost::memory_bound(KernelKind::Scatter, MemoryTraffic::read_write(bytes))
+            .evaluate(&titan());
+        let derated =
+            KernelCost::memory_bound(KernelKind::Scatter, MemoryTraffic::read_write(bytes))
+                .with_efficiency(0.8)
+                .evaluate(&titan());
+        let ratio = derated.memory_time.secs() / full.memory_time.secs();
+        assert!((ratio - 1.25).abs() < 1e-6, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn compute_ceiling_can_dominate() {
+        // 500 M keys at a device-wide rate of 1.7e9 * 28 keys/s versus a
+        // 2 GB read: the read takes ~5.4 ms, the compute ~10.5 ms, so the
+        // kernel must be compute bound.
+        let n = 500_000_000u64;
+        let cost = KernelCost::memory_bound(KernelKind::Histogram, MemoryTraffic::read_only(4 * n))
+            .with_compute(n, 1.7e9 * 28.0);
+        let t = cost.evaluate(&titan());
+        assert!(!t.memory_bound);
+        assert!(t.compute_time > t.memory_time);
+        assert!(t.total >= t.compute_time);
+    }
+
+    #[test]
+    fn launch_overhead_scales_with_launches() {
+        let cost = KernelCost::memory_bound(KernelKind::Other, MemoryTraffic::default())
+            .with_launches(1000);
+        let t = cost.evaluate(&titan());
+        assert!((t.launch_overhead.millis() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_timing_is_identity() {
+        let z = KernelTiming::zero(KernelKind::Other);
+        assert_eq!(z.total, SimTime::ZERO);
+    }
+
+    #[test]
+    fn efficiency_is_clamped() {
+        let c = KernelCost::memory_bound(KernelKind::Copy, MemoryTraffic::read_only(1))
+            .with_efficiency(7.0);
+        assert_eq!(c.memory_efficiency, 1.0);
+        let c = KernelCost::memory_bound(KernelKind::Copy, MemoryTraffic::read_only(1))
+            .with_efficiency(-1.0);
+        assert!(c.memory_efficiency > 0.0);
+    }
+}

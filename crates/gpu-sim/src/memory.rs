@@ -1,0 +1,205 @@
+//! Device-memory budget planning.
+//!
+//! The heterogeneous sort must fit its working set into the limited device
+//! memory.  A naive pipeline needs four chunk-sized slots (input chunk being
+//! copied in, chunk being sorted, auxiliary double buffer, sorted chunk being
+//! copied out); the paper's in-place replacement strategy (Section 5,
+//! Figure 5) reuses the slot of the chunk being returned for the next
+//! incoming chunk and therefore needs only three.  [`DeviceMemoryPlanner`]
+//! tracks named allocations against a capacity so both plans can be
+//! validated, and the hybrid sort's bookkeeping overhead (Section 4.5) can
+//! be checked against the "< 5 %" claim.
+
+use serde::{Deserialize, Serialize};
+
+/// A named allocation inside the device-memory plan.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceAllocation {
+    /// Identifier of the allocation.
+    pub id: usize,
+    /// Human-readable label (e.g. `"chunk slot 1"`, `"block histograms"`).
+    pub label: String,
+    /// Allocation size in bytes.
+    pub bytes: u64,
+}
+
+/// Tracks allocations against a device-memory capacity.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DeviceMemoryPlanner {
+    capacity: u64,
+    allocations: Vec<DeviceAllocation>,
+    next_id: usize,
+}
+
+/// Error returned when an allocation does not fit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutOfDeviceMemory {
+    /// Bytes requested.
+    pub requested: u64,
+    /// Bytes still available.
+    pub available: u64,
+}
+
+impl std::fmt::Display for OutOfDeviceMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "out of device memory: requested {} bytes, only {} available",
+            self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for OutOfDeviceMemory {}
+
+impl DeviceMemoryPlanner {
+    /// Creates a planner with the given capacity in bytes.
+    pub fn new(capacity: u64) -> Self {
+        DeviceMemoryPlanner {
+            capacity,
+            allocations: Vec::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> u64 {
+        self.allocations.iter().map(|a| a.bytes).sum()
+    }
+
+    /// Bytes still available.
+    pub fn available(&self) -> u64 {
+        self.capacity.saturating_sub(self.used())
+    }
+
+    /// Fraction of the capacity currently in use.
+    pub fn utilisation(&self) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            self.used() as f64 / self.capacity as f64
+        }
+    }
+
+    /// Attempts to allocate `bytes` bytes under `label`.
+    pub fn allocate(
+        &mut self,
+        label: impl Into<String>,
+        bytes: u64,
+    ) -> Result<DeviceAllocation, OutOfDeviceMemory> {
+        if bytes > self.available() {
+            return Err(OutOfDeviceMemory {
+                requested: bytes,
+                available: self.available(),
+            });
+        }
+        let alloc = DeviceAllocation {
+            id: self.next_id,
+            label: label.into(),
+            bytes,
+        };
+        self.next_id += 1;
+        self.allocations.push(alloc.clone());
+        Ok(alloc)
+    }
+
+    /// Frees a previous allocation; returns `true` if it existed.
+    pub fn free(&mut self, id: usize) -> bool {
+        let before = self.allocations.len();
+        self.allocations.retain(|a| a.id != id);
+        self.allocations.len() != before
+    }
+
+    /// Whether a further allocation of `bytes` bytes would fit.
+    pub fn fits(&self, bytes: u64) -> bool {
+        bytes <= self.available()
+    }
+
+    /// Current allocations.
+    pub fn allocations(&self) -> &[DeviceAllocation] {
+        &self.allocations
+    }
+
+    /// The largest chunk size supportable when `slots` equally sized chunk
+    /// slots plus `overhead_fraction` (relative to one slot) of bookkeeping
+    /// must fit into the capacity.  Used to size heterogeneous-sort chunks:
+    /// with the in-place replacement strategy `slots == 3`, without it
+    /// `slots == 4`.
+    pub fn max_chunk_bytes(&self, slots: u32, overhead_fraction: f64) -> u64 {
+        if slots == 0 {
+            return 0;
+        }
+        let denom = slots as f64 + overhead_fraction.max(0.0);
+        ((self.capacity as f64 - self.used() as f64) / denom).max(0.0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_and_free() {
+        let mut p = DeviceMemoryPlanner::new(1_000);
+        let a = p.allocate("keys", 600).unwrap();
+        assert_eq!(p.used(), 600);
+        assert_eq!(p.available(), 400);
+        assert!(p.fits(400));
+        assert!(!p.fits(401));
+        assert!(p.free(a.id));
+        assert!(!p.free(a.id));
+        assert_eq!(p.used(), 0);
+    }
+
+    #[test]
+    fn over_allocation_is_rejected() {
+        let mut p = DeviceMemoryPlanner::new(100);
+        p.allocate("a", 80).unwrap();
+        let err = p.allocate("b", 30).unwrap_err();
+        assert_eq!(err.requested, 30);
+        assert_eq!(err.available, 20);
+        assert!(err.to_string().contains("out of device memory"));
+    }
+
+    #[test]
+    fn in_place_replacement_supports_larger_chunks() {
+        // 12 GB device memory: three slots allow ~4 GB chunks, four slots
+        // only ~3 GB — the reason the paper's strategy supports sorting
+        // 64 GB in a single merging pass with 16 chunks of 4 GB.
+        let p = DeviceMemoryPlanner::new(12_000_000_000);
+        let three = p.max_chunk_bytes(3, 0.05);
+        let four = p.max_chunk_bytes(4, 0.05);
+        assert!(three > four);
+        assert!(three > 3_900_000_000);
+        assert!(four < 3_100_000_000);
+    }
+
+    #[test]
+    fn utilisation_tracks_used_fraction() {
+        let mut p = DeviceMemoryPlanner::new(200);
+        assert_eq!(p.utilisation(), 0.0);
+        p.allocate("x", 50).unwrap();
+        assert!((p.utilisation() - 0.25).abs() < 1e-12);
+        assert_eq!(DeviceMemoryPlanner::new(0).utilisation(), 0.0);
+    }
+
+    #[test]
+    fn zero_slots_returns_zero() {
+        let p = DeviceMemoryPlanner::new(100);
+        assert_eq!(p.max_chunk_bytes(0, 0.0), 0);
+    }
+
+    #[test]
+    fn allocations_are_listed() {
+        let mut p = DeviceMemoryPlanner::new(1_000);
+        p.allocate("chunk slot 0", 300).unwrap();
+        p.allocate("chunk slot 1", 300).unwrap();
+        assert_eq!(p.allocations().len(), 2);
+        assert_eq!(p.allocations()[1].label, "chunk slot 1");
+    }
+}

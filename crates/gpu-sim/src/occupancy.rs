@@ -1,0 +1,195 @@
+//! Occupancy calculation.
+//!
+//! A thread block is scheduled onto an SM only if the SM can satisfy the
+//! block's resource demands: threads, registers and shared memory
+//! (Section 2.2).  The number of blocks resident per SM determines how much
+//! latency hiding the scheduler can perform; the sort configurations in
+//! Table 3 were chosen to keep occupancy high.
+
+use crate::device::DeviceSpec;
+use serde::{Deserialize, Serialize};
+
+/// Resource demands of a single thread block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockResources {
+    /// Threads per block.
+    pub threads: u32,
+    /// Registers per thread.
+    pub registers_per_thread: u32,
+    /// Shared memory per block in bytes.
+    pub shared_mem_bytes: u32,
+}
+
+impl BlockResources {
+    /// Creates a new resource description.
+    pub fn new(threads: u32, registers_per_thread: u32, shared_mem_bytes: u32) -> Self {
+        BlockResources {
+            threads,
+            registers_per_thread,
+            shared_mem_bytes,
+        }
+    }
+
+    /// Total registers required by the block.
+    pub fn total_registers(&self) -> u32 {
+        self.threads * self.registers_per_thread
+    }
+}
+
+/// Occupancy results for a kernel on a particular device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Occupancy {
+    /// Thread blocks resident per SM.
+    pub blocks_per_sm: u32,
+    /// Resident threads per SM.
+    pub threads_per_sm: u32,
+    /// Resident warps per SM.
+    pub warps_per_sm: u32,
+    /// Fraction of the SM's maximum resident threads that are occupied.
+    pub occupancy: f64,
+    /// Which resource limited the block count.
+    pub limiter: OccupancyLimiter,
+}
+
+/// The resource that limits how many blocks fit on an SM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OccupancyLimiter {
+    /// Limited by the maximum number of resident threads.
+    Threads,
+    /// Limited by the register file.
+    Registers,
+    /// Limited by shared memory.
+    SharedMemory,
+    /// Limited by the maximum number of resident blocks.
+    Blocks,
+    /// The block does not fit on the SM at all.
+    DoesNotFit,
+}
+
+impl Occupancy {
+    /// Computes the occupancy of a kernel with the given per-block resource
+    /// demands on the given device.
+    pub fn compute(device: &DeviceSpec, res: &BlockResources) -> Occupancy {
+        if res.threads == 0
+            || res.threads > device.max_threads_per_sm
+            || res.total_registers() > device.registers_per_sm
+            || res.shared_mem_bytes > device.shared_mem_per_sm
+        {
+            return Occupancy {
+                blocks_per_sm: 0,
+                threads_per_sm: 0,
+                warps_per_sm: 0,
+                occupancy: 0.0,
+                limiter: OccupancyLimiter::DoesNotFit,
+            };
+        }
+
+        let by_threads = device.max_threads_per_sm / res.threads;
+        let by_registers = if res.total_registers() == 0 {
+            u32::MAX
+        } else {
+            device.registers_per_sm / res.total_registers()
+        };
+        let by_shared = if res.shared_mem_bytes == 0 {
+            u32::MAX
+        } else {
+            device.shared_mem_per_sm / res.shared_mem_bytes
+        };
+        let by_blocks = device.max_blocks_per_sm;
+
+        let blocks = by_threads.min(by_registers).min(by_shared).min(by_blocks);
+        let limiter = if blocks == by_threads {
+            OccupancyLimiter::Threads
+        } else if blocks == by_shared {
+            OccupancyLimiter::SharedMemory
+        } else if blocks == by_registers {
+            OccupancyLimiter::Registers
+        } else {
+            OccupancyLimiter::Blocks
+        };
+
+        let threads_per_sm = blocks * res.threads;
+        Occupancy {
+            blocks_per_sm: blocks,
+            threads_per_sm,
+            warps_per_sm: threads_per_sm / device.warp_size,
+            occupancy: threads_per_sm as f64 / device.max_threads_per_sm as f64,
+            limiter,
+        }
+    }
+
+    /// Total number of blocks resident on the whole device.
+    pub fn blocks_on_device(&self, device: &DeviceSpec) -> u32 {
+        self.blocks_per_sm * device.num_sms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn titan() -> DeviceSpec {
+        DeviceSpec::titan_x_pascal()
+    }
+
+    #[test]
+    fn section_2_2_worked_example() {
+        // "an SM with 96 KB of shared memory and 65 536 registers could
+        // accommodate up to eight thread blocks of 256 threads, if each
+        // block requires eight KB of shared memory and 16 registers per
+        // thread".
+        let res = BlockResources::new(256, 16, 8 * 1024);
+        let occ = Occupancy::compute(&titan(), &res);
+        assert_eq!(occ.blocks_per_sm, 8);
+        assert_eq!(occ.threads_per_sm, 2_048);
+        assert_eq!(occ.limiter, OccupancyLimiter::Threads);
+        assert!((occ.occupancy - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_memory_limited_kernel() {
+        // 32 KB of shared memory per block limits an SM with 96 KB to three
+        // resident blocks.
+        let res = BlockResources::new(128, 16, 32 * 1024);
+        let occ = Occupancy::compute(&titan(), &res);
+        assert_eq!(occ.blocks_per_sm, 3);
+        assert_eq!(occ.limiter, OccupancyLimiter::SharedMemory);
+    }
+
+    #[test]
+    fn register_limited_kernel() {
+        let res = BlockResources::new(1_024, 64, 1024);
+        let occ = Occupancy::compute(&titan(), &res);
+        // 1024 * 64 = 65 536 registers -> exactly one block by registers.
+        assert_eq!(occ.blocks_per_sm, 1);
+        assert_eq!(occ.limiter, OccupancyLimiter::Registers);
+    }
+
+    #[test]
+    fn oversized_block_does_not_fit() {
+        let res = BlockResources::new(4_096, 16, 1024);
+        let occ = Occupancy::compute(&titan(), &res);
+        assert_eq!(occ.blocks_per_sm, 0);
+        assert_eq!(occ.limiter, OccupancyLimiter::DoesNotFit);
+        let res = BlockResources::new(256, 16, 128 * 1024);
+        assert_eq!(
+            Occupancy::compute(&titan(), &res).limiter,
+            OccupancyLimiter::DoesNotFit
+        );
+    }
+
+    #[test]
+    fn blocks_on_device_scales_by_sms() {
+        let res = BlockResources::new(256, 16, 8 * 1024);
+        let occ = Occupancy::compute(&titan(), &res);
+        assert_eq!(occ.blocks_on_device(&titan()), 8 * 28);
+    }
+
+    #[test]
+    fn warps_per_sm_derived_from_threads() {
+        let res = BlockResources::new(384, 32, 16 * 1024);
+        let occ = Occupancy::compute(&titan(), &res);
+        assert_eq!(occ.warps_per_sm, occ.threads_per_sm / 32);
+        assert!(occ.blocks_per_sm >= 1);
+    }
+}

@@ -1,0 +1,142 @@
+//! PCIe bus model (Section 5).
+//!
+//! The heterogeneous sort transfers chunks to the GPU, sorts them there and
+//! returns the sorted runs.  The PCIe bus is full duplex: a host-to-device
+//! (HtD) transfer and a device-to-host (DtH) transfer can proceed
+//! concurrently at full speed, but transfers in the *same* direction are
+//! serialised.  [`PcieBus`] exposes per-direction bandwidths and transfer
+//! durations; the actual overlap is resolved by [`crate::timeline::Timeline`].
+
+use crate::device::DeviceSpec;
+use crate::simtime::{Bandwidth, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Transfer direction over the PCIe bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TransferDirection {
+    /// Host (CPU memory) to device (GPU memory).
+    HostToDevice,
+    /// Device (GPU memory) to host (CPU memory).
+    DeviceToHost,
+}
+
+/// A full-duplex PCIe link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PcieBus {
+    /// Host-to-device bandwidth.
+    pub htod: Bandwidth,
+    /// Device-to-host bandwidth.
+    pub dtoh: Bandwidth,
+    /// Fixed per-transfer latency (driver + DMA setup).
+    pub per_transfer_latency: SimTime,
+}
+
+impl PcieBus {
+    /// Creates a bus with the given per-direction bandwidths.
+    pub fn new(htod: Bandwidth, dtoh: Bandwidth) -> Self {
+        PcieBus {
+            htod,
+            dtoh,
+            per_transfer_latency: SimTime::from_micros(10.0),
+        }
+    }
+
+    /// A PCIe 3.0 ×16 link as in the paper's system (≈ 12 GB/s per
+    /// direction once pinned-memory transfers are used).
+    pub fn gen3_x16() -> Self {
+        PcieBus::new(Bandwidth::from_gb_per_s(12.0), Bandwidth::from_gb_per_s(12.0))
+    }
+
+    /// Builds the bus from a device spec.
+    pub fn from_device(device: &DeviceSpec) -> Self {
+        PcieBus::new(device.pcie_htod, device.pcie_dtoh)
+    }
+
+    /// Bandwidth in a given direction.
+    pub fn bandwidth(&self, dir: TransferDirection) -> Bandwidth {
+        match dir {
+            TransferDirection::HostToDevice => self.htod,
+            TransferDirection::DeviceToHost => self.dtoh,
+        }
+    }
+
+    /// Duration of a single transfer of `bytes` bytes in direction `dir`.
+    pub fn transfer_time(&self, dir: TransferDirection, bytes: u64) -> SimTime {
+        if bytes == 0 {
+            return SimTime::ZERO;
+        }
+        self.bandwidth(dir).time_for_bytes(bytes as f64) + self.per_transfer_latency
+    }
+
+    /// Duration of transferring `bytes` bytes split into `chunks` equal
+    /// transfers in the same direction (they are serialised, so only the
+    /// per-transfer latency is paid `chunks` times).
+    pub fn chunked_transfer_time(
+        &self,
+        dir: TransferDirection,
+        bytes: u64,
+        chunks: u32,
+    ) -> SimTime {
+        if bytes == 0 || chunks == 0 {
+            return SimTime::ZERO;
+        }
+        self.bandwidth(dir).time_for_bytes(bytes as f64)
+            + self.per_transfer_latency * chunks as f64
+    }
+}
+
+impl Default for PcieBus {
+    fn default() -> Self {
+        PcieBus::gen3_x16()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_gb_transfer_takes_about_half_a_second() {
+        // Figure 8's naive approach transfers 6 GB over PCIe in roughly
+        // 540 ms (the paper quotes 540 ms for HtD).
+        let bus = PcieBus::gen3_x16();
+        let t = bus.transfer_time(TransferDirection::HostToDevice, 6_000_000_000);
+        assert!(t.millis() > 480.0 && t.millis() < 560.0, "{t}");
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let bus = PcieBus::new(Bandwidth::from_gb_per_s(12.0), Bandwidth::from_gb_per_s(6.0));
+        let up = bus.transfer_time(TransferDirection::HostToDevice, 1_000_000_000);
+        let down = bus.transfer_time(TransferDirection::DeviceToHost, 1_000_000_000);
+        assert!(down.secs() > up.secs() * 1.9);
+    }
+
+    #[test]
+    fn zero_bytes_is_free() {
+        let bus = PcieBus::gen3_x16();
+        assert_eq!(
+            bus.transfer_time(TransferDirection::DeviceToHost, 0),
+            SimTime::ZERO
+        );
+        assert_eq!(
+            bus.chunked_transfer_time(TransferDirection::HostToDevice, 0, 4),
+            SimTime::ZERO
+        );
+    }
+
+    #[test]
+    fn chunking_only_adds_latency() {
+        let bus = PcieBus::gen3_x16();
+        let whole = bus.transfer_time(TransferDirection::HostToDevice, 8_000_000_000);
+        let chunked = bus.chunked_transfer_time(TransferDirection::HostToDevice, 8_000_000_000, 16);
+        assert!(chunked.secs() > whole.secs());
+        assert!(chunked.secs() - whole.secs() < 0.001);
+    }
+
+    #[test]
+    fn from_device_uses_device_link() {
+        let bus = PcieBus::from_device(&DeviceSpec::titan_x_pascal());
+        assert_eq!(bus.htod.gb_per_s(), 12.0);
+    }
+}

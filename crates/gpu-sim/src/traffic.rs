@@ -1,0 +1,169 @@
+//! Memory-traffic ledger.
+//!
+//! The paper's central argument is about the *amount of data moved through
+//! device memory*: an LSD radix sort on `d` bits performs `⌈k/d⌉` passes and
+//! each pass reads the input twice and writes it once, whereas the hybrid
+//! sort uses 8-bit passes and finishes early with local sorts.  The
+//! [`MemoryTraffic`] ledger accumulates the bytes read and written (plus
+//! bookkeeping traffic such as block histograms) so the cost model can turn
+//! them into simulated durations.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign};
+
+/// Accumulated device-memory traffic of one or more kernels.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct MemoryTraffic {
+    /// Bytes read from device memory.
+    pub bytes_read: u64,
+    /// Bytes written to device memory.
+    pub bytes_written: u64,
+    /// Number of device-memory atomic operations (e.g. chunk reservations).
+    pub global_atomics: u64,
+    /// Number of shared-memory atomic operations issued.
+    pub shared_atomics: u64,
+    /// Number of kernel launches contributing to this ledger.
+    pub kernel_launches: u64,
+}
+
+impl MemoryTraffic {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        MemoryTraffic::default()
+    }
+
+    /// Records a read of `bytes` bytes.
+    pub fn read(&mut self, bytes: u64) -> &mut Self {
+        self.bytes_read += bytes;
+        self
+    }
+
+    /// Records a write of `bytes` bytes.
+    pub fn write(&mut self, bytes: u64) -> &mut Self {
+        self.bytes_written += bytes;
+        self
+    }
+
+    /// Records `n` global (device-memory) atomic operations.
+    pub fn global_atomic(&mut self, n: u64) -> &mut Self {
+        self.global_atomics += n;
+        self
+    }
+
+    /// Records `n` shared-memory atomic operations.
+    pub fn shared_atomic(&mut self, n: u64) -> &mut Self {
+        self.shared_atomics += n;
+        self
+    }
+
+    /// Records a kernel launch.
+    pub fn launch(&mut self) -> &mut Self {
+        self.kernel_launches += 1;
+        self
+    }
+
+    /// Total bytes moved (read + written).
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+
+    /// Traffic expressed as a multiple of an `input_bytes`-byte input, i.e.
+    /// "the input was effectively read/written this many times".  This is
+    /// the metric the paper uses when it states that sorting 64-bit keys
+    /// with an LSD radix sort reads or writes the input 39 times.
+    pub fn passes_over_input(&self, input_bytes: u64) -> f64 {
+        if input_bytes == 0 {
+            0.0
+        } else {
+            self.total_bytes() as f64 / input_bytes as f64
+        }
+    }
+
+    /// Constructs traffic for reading `bytes` once.
+    pub fn read_only(bytes: u64) -> Self {
+        MemoryTraffic {
+            bytes_read: bytes,
+            ..Default::default()
+        }
+    }
+
+    /// Constructs traffic for reading and writing `bytes` once each.
+    pub fn read_write(bytes: u64) -> Self {
+        MemoryTraffic {
+            bytes_read: bytes,
+            bytes_written: bytes,
+            ..Default::default()
+        }
+    }
+}
+
+impl Add for MemoryTraffic {
+    type Output = MemoryTraffic;
+    fn add(self, rhs: MemoryTraffic) -> MemoryTraffic {
+        MemoryTraffic {
+            bytes_read: self.bytes_read + rhs.bytes_read,
+            bytes_written: self.bytes_written + rhs.bytes_written,
+            global_atomics: self.global_atomics + rhs.global_atomics,
+            shared_atomics: self.shared_atomics + rhs.shared_atomics,
+            kernel_launches: self.kernel_launches + rhs.kernel_launches,
+        }
+    }
+}
+
+impl AddAssign for MemoryTraffic {
+    fn add_assign(&mut self, rhs: MemoryTraffic) {
+        *self = *self + rhs;
+    }
+}
+
+impl std::iter::Sum for MemoryTraffic {
+    fn sum<I: Iterator<Item = MemoryTraffic>>(iter: I) -> MemoryTraffic {
+        iter.fold(MemoryTraffic::default(), |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_accumulates() {
+        let mut t = MemoryTraffic::new();
+        t.read(100).write(50).global_atomic(3).shared_atomic(7).launch();
+        assert_eq!(t.bytes_read, 100);
+        assert_eq!(t.bytes_written, 50);
+        assert_eq!(t.total_bytes(), 150);
+        assert_eq!(t.global_atomics, 3);
+        assert_eq!(t.shared_atomics, 7);
+        assert_eq!(t.kernel_launches, 1);
+    }
+
+    #[test]
+    fn addition_combines_everything() {
+        let a = MemoryTraffic::read_write(1_000);
+        let b = MemoryTraffic::read_only(500);
+        let c = a + b;
+        assert_eq!(c.bytes_read, 1_500);
+        assert_eq!(c.bytes_written, 1_000);
+        let total: MemoryTraffic = vec![a, b, c].into_iter().sum();
+        assert_eq!(total.bytes_read, 3_000);
+    }
+
+    #[test]
+    fn lsd_64bit_keys_move_the_input_39_times() {
+        // Section 1: an LSD radix sort on 5-bit digits needs ⌈64/5⌉ = 13
+        // passes, each reading the input twice and writing it once, i.e.
+        // the input is read or written 39 times.
+        let input_bytes = 1_000_000u64 * 8;
+        let mut t = MemoryTraffic::new();
+        for _ in 0..13 {
+            t.read(2 * input_bytes).write(input_bytes);
+        }
+        assert!((t.passes_over_input(input_bytes) - 39.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn passes_over_empty_input_is_zero() {
+        assert_eq!(MemoryTraffic::read_write(10).passes_over_input(0), 0.0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Memory-transaction efficiency model (Section 4.4).
+//!
+//! When a key block's keys are staged in shared memory and then copied to
+//! the `r` reserved chunks in device memory, each sub-bucket's tail may
+//! require one extra, partially-filled memory transaction.  For a block of
+//! `KPB` keys of `k` bits and transactions of `T` bytes, the lower bound on
+//! the number of transactions is `⌈KPB·k/(8T)⌉` and the worst case adds `r`
+//! more.  The paper uses the ratio of the two as the *worst-case memory
+//! efficiency*: 80 % for eight-bit digits and 32 KiB key blocks, dropping to
+//! 66.66 %, 50 % and 33.33 % for nine, ten and eleven bits — which is why
+//! `d = 8` is chosen.
+
+use serde::{Deserialize, Serialize};
+
+/// Transaction-granularity model for scatter writes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransactionModel {
+    /// Bytes per memory transaction (`T`).
+    pub transaction_bytes: u32,
+}
+
+impl TransactionModel {
+    /// Creates a model with the given transaction size in bytes.
+    pub fn new(transaction_bytes: u32) -> Self {
+        assert!(transaction_bytes > 0, "transaction size must be positive");
+        TransactionModel { transaction_bytes }
+    }
+
+    /// The default 32-byte transactions assumed in Section 4.4.
+    pub fn default_32b() -> Self {
+        TransactionModel::new(32)
+    }
+
+    /// Lower bound on the number of transactions needed to write
+    /// `block_bytes` bytes: `⌈block_bytes / T⌉`.
+    pub fn min_transactions(&self, block_bytes: u64) -> u64 {
+        block_bytes.div_ceil(self.transaction_bytes as u64)
+    }
+
+    /// Worst-case number of transactions when the block's data is split
+    /// across `radix` sub-buckets: the lower bound plus one extra
+    /// (partially filled) transaction per sub-bucket.
+    pub fn worst_transactions(&self, block_bytes: u64, radix: u32) -> u64 {
+        self.min_transactions(block_bytes) + radix as u64
+    }
+
+    /// Worst-case memory efficiency: the ratio of the lower bound to the
+    /// worst case number of transactions.
+    pub fn worst_case_efficiency(&self, block_bytes: u64, radix: u32) -> f64 {
+        let min = self.min_transactions(block_bytes);
+        let worst = self.worst_transactions(block_bytes, radix);
+        if worst == 0 {
+            1.0
+        } else {
+            min as f64 / worst as f64
+        }
+    }
+
+    /// Expected scatter-write efficiency for a given number of *occupied*
+    /// sub-buckets.  For highly skewed inputs only a few sub-buckets receive
+    /// keys, so only those can incur a partial trailing transaction; the
+    /// efficiency therefore improves with skew.
+    pub fn expected_efficiency(&self, block_bytes: u64, occupied_sub_buckets: u32) -> f64 {
+        let min = self.min_transactions(block_bytes);
+        // On average each occupied sub-bucket wastes half a transaction.
+        let expected = min as f64 + occupied_sub_buckets as f64 * 0.5;
+        if expected <= 0.0 {
+            1.0
+        } else {
+            (min as f64 / expected).clamp(0.0, 1.0)
+        }
+    }
+}
+
+impl Default for TransactionModel {
+    fn default() -> Self {
+        TransactionModel::default_32b()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_worked_example_eight_bit_digits() {
+        // "One possible choice for a key block size would be 32 768 bytes,
+        // requiring a minimum of 1 024 transactions for T = 32 bytes.
+        // Calculating the worst case memory efficiency ... yields 80 % for
+        // using eight-bit digits with a radix of 256."
+        let m = TransactionModel::default_32b();
+        assert_eq!(m.min_transactions(32_768), 1_024);
+        assert_eq!(m.worst_transactions(32_768, 256), 1_280);
+        assert!((m.worst_case_efficiency(32_768, 256) - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn larger_digit_sizes_degrade_efficiency_as_in_the_paper() {
+        let m = TransactionModel::default_32b();
+        let eff9 = m.worst_case_efficiency(32_768, 512);
+        let eff10 = m.worst_case_efficiency(32_768, 1_024);
+        let eff11 = m.worst_case_efficiency(32_768, 2_048);
+        assert!((eff9 - 2.0 / 3.0).abs() < 1e-9, "9-bit digits: {eff9}");
+        assert!((eff10 - 0.5).abs() < 1e-9, "10-bit digits: {eff10}");
+        assert!((eff11 - 1.0 / 3.0).abs() < 1e-9, "11-bit digits: {eff11}");
+    }
+
+    #[test]
+    fn efficiency_improves_with_fewer_occupied_buckets() {
+        let m = TransactionModel::default_32b();
+        let skewed = m.expected_efficiency(32_768, 1);
+        let uniform = m.expected_efficiency(32_768, 256);
+        assert!(skewed > uniform);
+        assert!(skewed > 0.99);
+        assert!(uniform > 0.85 && uniform < 1.0);
+    }
+
+    #[test]
+    fn min_transactions_rounds_up() {
+        let m = TransactionModel::new(32);
+        assert_eq!(m.min_transactions(1), 1);
+        assert_eq!(m.min_transactions(32), 1);
+        assert_eq!(m.min_transactions(33), 2);
+        assert_eq!(m.min_transactions(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_transaction_size_rejected() {
+        TransactionModel::new(0);
+    }
+}

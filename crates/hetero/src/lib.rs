@@ -1,0 +1,39 @@
+//! # hetero — pipelined heterogeneous sorting (Section 5 of the paper)
+//!
+//! Inputs that do not reside on the GPU, or that exceed the device memory,
+//! must be streamed over the PCIe bus.  The heterogeneous sort splits the
+//! input into `s` chunks and overlaps three stages — host-to-device
+//! transfer, on-GPU sorting, and device-to-host transfer of the sorted runs
+//! — exploiting the bus's full-duplex capability, while the CPU merges the
+//! returned runs with a parallel multiway merge.  The end-to-end time is
+//!
+//! ```text
+//! T_EtE = T_HtD / s + max(T_HtD, T_S, T_DtH) + T_DtH / s + T_M
+//! ```
+//!
+//! An *in-place replacement* strategy reuses the device-memory slot of the
+//! chunk currently being returned for the next incoming chunk, so only three
+//! chunk-sized slots are needed instead of four, allowing chunks of up to a
+//! third of the device memory (Figure 5).
+//!
+//! The crate provides:
+//!
+//! * [`chunking`] — splitting an input into balanced chunks and sizing them
+//!   against the device memory,
+//! * [`multiway_merge`] — a loser-tree based k-way merge with a parallel
+//!   range-splitting front end (the CPU-side merge of the paper),
+//! * [`pipeline`] — the simulated full-duplex PCIe / GPU schedule,
+//! * [`hetero_sort`] — the end-to-end driver combining real chunk sorting,
+//!   real CPU merging and the simulated transfer pipeline.
+
+#![warn(missing_docs)]
+
+pub mod chunking;
+pub mod hetero_sort;
+pub mod multiway_merge;
+pub mod pipeline;
+
+pub use chunking::{split_into_chunks, ChunkPlan};
+pub use hetero_sort::{HeteroReport, HeterogeneousSorter, NaiveGpuReport};
+pub use multiway_merge::{merge_sorted_runs, parallel_merge_sorted_runs, LoserTree};
+pub use pipeline::{PipelineBreakdown, PipelineConfig, PipelineSchedule};

@@ -1,0 +1,318 @@
+//! Parallel multiway merge (the CPU side of the heterogeneous sort).
+//!
+//! The sorted runs returned by the GPU are merged into the final sequence in
+//! a single pass with a k-way merge.  The paper uses the parallel multiway
+//! merge of the GNU stdlibc++ parallel extension; this module provides an
+//! equivalent: a [`LoserTree`] for the k-way merge itself and a parallel
+//! front end that splits the *output* into equally sized ranges, locates the
+//! corresponding positions in every run with a value-domain binary search,
+//! and merges the ranges on independent threads.
+//!
+//! On the paper's six-core host the merge cannot keep up with more than
+//! about four runs at a time — the reason Figure 8's end-to-end optimum sits
+//! at s = 4 — and the same degradation with the run count is observable with
+//! this implementation (see the benches).
+
+use crossbeam::thread;
+use workloads::SortKey;
+
+/// A k-way merger over sorted runs, yielding their elements in
+/// non-decreasing key order.  The run count in all experiments is small
+/// (k ≤ 32), so the winner is selected with a linear scan over the cached
+/// head keys, which is what a flattened loser tree degenerates to at this
+/// size.
+#[derive(Debug)]
+pub struct LoserTree<'a, T: Copy> {
+    runs: Vec<&'a [T]>,
+    positions: Vec<usize>,
+    keys: Vec<u64>,
+    exhausted_key: u64,
+    key_of: fn(&T) -> u64,
+}
+
+impl<'a, T: Copy> LoserTree<'a, T> {
+    /// Builds a merger over the given sorted runs.  `key_of` extracts the
+    /// (radix) sort key from an element.
+    pub fn new(runs: Vec<&'a [T]>, key_of: fn(&T) -> u64) -> Self {
+        let mut lt = LoserTree {
+            positions: vec![0; runs.len()],
+            keys: vec![0; runs.len()],
+            runs,
+            exhausted_key: u64::MAX,
+            key_of,
+        };
+        for i in 0..lt.runs.len() {
+            lt.keys[i] = lt.current_key(i);
+        }
+        lt
+    }
+
+    fn current_key(&self, run: usize) -> u64 {
+        if self.positions[run] < self.runs[run].len() {
+            (self.key_of)(&self.runs[run][self.positions[run]])
+        } else {
+            self.exhausted_key
+        }
+    }
+
+    /// Returns the next element in key order, or `None` when all runs are
+    /// exhausted.
+    pub fn pop(&mut self) -> Option<T> {
+        let mut winner = usize::MAX;
+        let mut winner_key = u64::MAX;
+        let mut any = false;
+        for run in 0..self.runs.len() {
+            if self.positions[run] < self.runs[run].len() {
+                let key = self.keys[run];
+                if !any || key < winner_key {
+                    winner = run;
+                    winner_key = key;
+                    any = true;
+                }
+            }
+        }
+        if !any {
+            return None;
+        }
+        let item = self.runs[winner][self.positions[winner]];
+        self.positions[winner] += 1;
+        self.keys[winner] = self.current_key(winner);
+        Some(item)
+    }
+
+    /// Total number of elements remaining across all runs.
+    pub fn remaining(&self) -> usize {
+        self.runs
+            .iter()
+            .zip(self.positions.iter())
+            .map(|(r, &p)| r.len() - p)
+            .sum()
+    }
+}
+
+/// Merges `runs` (each sorted by the key's radix order) into a single sorted
+/// vector, sequentially.
+pub fn merge_sorted_runs<K: SortKey>(runs: &[&[K]]) -> Vec<K> {
+    let total: usize = runs.iter().map(|r| r.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    let mut tree = LoserTree::new(runs.to_vec(), |k: &K| k.to_radix());
+    while let Some(item) = tree.pop() {
+        out.push(item);
+    }
+    out
+}
+
+/// Merges `runs` into a single sorted vector using `threads` worker threads.
+/// The output is partitioned into `threads` contiguous ranges; each worker
+/// determines its input ranges with a value-domain binary search (so no two
+/// workers touch the same elements) and merges them independently.
+pub fn parallel_merge_sorted_runs<K: SortKey>(runs: &[&[K]], threads: usize) -> Vec<K> {
+    let total: usize = runs.iter().map(|r| r.len()).sum();
+    let threads = threads.clamp(1, total.max(1));
+    if threads == 1 || total < 4_096 {
+        return merge_sorted_runs(runs);
+    }
+
+    // Determine, for each worker boundary, the split position in every run
+    // such that exactly `total * t / threads` elements lie below it.
+    let mut boundaries: Vec<Vec<usize>> = Vec::with_capacity(threads + 1);
+    boundaries.push(vec![0; runs.len()]);
+    for t in 1..threads {
+        let target = total * t / threads;
+        boundaries.push(split_positions(runs, target));
+    }
+    boundaries.push(runs.iter().map(|r| r.len()).collect());
+
+    let mut out = vec![K::default(); total];
+    // Split the output buffer into per-worker ranges.
+    let mut out_slices: Vec<&mut [K]> = Vec::with_capacity(threads);
+    {
+        let mut rest = out.as_mut_slice();
+        for t in 0..threads {
+            let len: usize = (0..runs.len())
+                .map(|r| boundaries[t + 1][r] - boundaries[t][r])
+                .sum();
+            let (head, tail) = rest.split_at_mut(len);
+            out_slices.push(head);
+            rest = tail;
+        }
+    }
+
+    thread::scope(|s| {
+        for (t, out_slice) in out_slices.into_iter().enumerate() {
+            let lo = boundaries[t].clone();
+            let hi = boundaries[t + 1].clone();
+            s.spawn(move |_| {
+                let sub_runs: Vec<&[K]> = runs
+                    .iter()
+                    .enumerate()
+                    .map(|(r, run)| &run[lo[r]..hi[r]])
+                    .collect();
+                let merged = merge_sorted_runs(&sub_runs);
+                out_slice.copy_from_slice(&merged);
+            });
+        }
+    })
+    .expect("merge workers panicked");
+
+    out
+}
+
+/// Finds, for every run, the number of leading elements that belong to the
+/// first `target` elements of the merged output (a co-rank / value-domain
+/// binary search).
+fn split_positions<K: SortKey>(runs: &[&[K]], target: usize) -> Vec<usize> {
+    // Binary search over the key domain for the smallest key value `v` such
+    // that at least `target` elements are <= v, then distribute the ties.
+    let mut lo = 0u64;
+    let mut hi = u64::MAX;
+    let count_le = |v: u64| -> usize {
+        runs.iter()
+            .map(|r| r.partition_point(|k| k.to_radix() <= v))
+            .sum()
+    };
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if count_le(mid) >= target {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    let v = lo;
+    // Elements strictly below v are always included; elements equal to v are
+    // included left-to-right across runs until the target is reached.
+    let below: Vec<usize> = runs
+        .iter()
+        .map(|r| r.partition_point(|k| k.to_radix() < v))
+        .collect();
+    let mut need = target - below.iter().sum::<usize>().min(target);
+    let mut positions = below;
+    for (r, run) in runs.iter().enumerate() {
+        if need == 0 {
+            break;
+        }
+        let ties = run.partition_point(|k| k.to_radix() <= v) - positions[r];
+        let take = ties.min(need);
+        positions[r] += take;
+        need -= take;
+    }
+    positions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::{uniform_keys, KeyCodec, SplitMix64};
+
+    fn make_runs(n: usize, k: usize, seed: u64) -> Vec<Vec<u64>> {
+        let mut rng = SplitMix64::new(seed);
+        (0..k)
+            .map(|_| {
+                let mut run: Vec<u64> = (0..n / k).map(|_| rng.next_u64()).collect();
+                run.sort_unstable();
+                run
+            })
+            .collect()
+    }
+
+    #[test]
+    fn loser_tree_merges_in_order() {
+        let runs = make_runs(9_000, 3, 1);
+        let refs: Vec<&[u64]> = runs.iter().map(|r| r.as_slice()).collect();
+        let merged = merge_sorted_runs(&refs);
+        assert_eq!(merged.len(), 9_000);
+        assert!(merged.windows(2).all(|w| w[0] <= w[1]));
+        let mut expected: Vec<u64> = runs.concat();
+        expected.sort_unstable();
+        assert_eq!(merged, expected);
+    }
+
+    #[test]
+    fn merge_handles_unbalanced_and_empty_runs() {
+        let a: Vec<u32> = vec![1, 5, 9];
+        let b: Vec<u32> = vec![];
+        let c: Vec<u32> = vec![2, 2, 2, 2, 2, 2, 10];
+        let merged = merge_sorted_runs(&[&a, &b, &c]);
+        assert_eq!(merged, vec![1, 2, 2, 2, 2, 2, 2, 5, 9, 10]);
+        let empty: Vec<&[u32]> = vec![];
+        assert!(merge_sorted_runs(&empty).is_empty());
+    }
+
+    #[test]
+    fn parallel_merge_matches_sequential_merge() {
+        for k in [2usize, 3, 4, 8, 16] {
+            let runs = make_runs(40_000, k, k as u64);
+            let refs: Vec<&[u64]> = runs.iter().map(|r| r.as_slice()).collect();
+            let seq = merge_sorted_runs(&refs);
+            for threads in [2usize, 3, 6] {
+                let par = parallel_merge_sorted_runs(&refs, threads);
+                assert_eq!(par, seq, "k={k} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_merge_with_heavy_duplicates() {
+        // Many equal keys stress the tie-splitting logic of the co-rank
+        // search.
+        let mut runs: Vec<Vec<u64>> = (0..4).map(|_| vec![7u64; 20_000]).collect();
+        runs[0].extend(vec![9u64; 5]);
+        for r in &mut runs {
+            r.sort_unstable();
+        }
+        let refs: Vec<&[u64]> = runs.iter().map(|r| r.as_slice()).collect();
+        let merged = parallel_merge_sorted_runs(&refs, 5);
+        assert_eq!(merged.len(), 80_005);
+        assert!(merged.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(merged.iter().filter(|&&k| k == 9).count(), 5);
+    }
+
+    #[test]
+    fn small_inputs_fall_back_to_sequential() {
+        let a = vec![3u32, 4];
+        let b = vec![1u32, 2];
+        let merged = parallel_merge_sorted_runs(&[&a, &b], 8);
+        assert_eq!(merged, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn signed_keys_merge_via_codec_order() {
+        let mut a: Vec<i32> = vec![-5, 0, 3];
+        let mut b: Vec<i32> = vec![-10, -1, 7];
+        a.sort_unstable();
+        b.sort_unstable();
+        let merged = merge_sorted_runs(&[&a, &b]);
+        assert_eq!(merged, vec![-10, -5, -1, 0, 3, 7]);
+    }
+
+    #[test]
+    fn loser_tree_remaining_counts_down() {
+        let a = vec![1u64, 2, 3];
+        let b = vec![4u64];
+        let mut tree = LoserTree::new(vec![a.as_slice(), b.as_slice()], |k| *k);
+        assert_eq!(tree.remaining(), 4);
+        tree.pop();
+        tree.pop();
+        assert_eq!(tree.remaining(), 2);
+    }
+
+    #[test]
+    fn merging_real_gpu_style_runs() {
+        // Simulate the heterogeneous pipeline's data flow: sort chunks
+        // independently and merge them.
+        let keys = uniform_keys::<u64>(100_000, 9);
+        let expected = KeyCodec::std_sorted(&keys);
+        let chunk = 25_000;
+        let runs: Vec<Vec<u64>> = keys
+            .chunks(chunk)
+            .map(|c| {
+                let mut v = c.to_vec();
+                v.sort_unstable();
+                v
+            })
+            .collect();
+        let refs: Vec<&[u64]> = runs.iter().map(|r| r.as_slice()).collect();
+        assert_eq!(parallel_merge_sorted_runs(&refs, 4), expected);
+    }
+}

@@ -1,0 +1,182 @@
+//! A unified distribution enum and workload specification.
+//!
+//! Experiments describe their inputs as a [`WorkloadSpec`] — a distribution,
+//! an element count and a seed — so every figure's harness can share the
+//! same generation code path and the generated inputs are reproducible.
+
+use crate::entropy::EntropyLevel;
+use crate::keys::SortKey;
+use crate::uniform;
+use crate::zipf::ZipfGenerator;
+
+/// The key distributions used throughout the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Distribution {
+    /// Uniformly random keys over the full key range.
+    Uniform,
+    /// The Thearling entropy benchmark with the given number of AND
+    /// operations (0 = uniform).
+    Entropy(EntropyLevel),
+    /// Zipfian distribution with skew θ over a universe of `universe`
+    /// distinct values (the paper uses θ = 0.75).
+    Zipf {
+        /// Skew parameter θ.
+        theta: f64,
+        /// Number of distinct values.
+        universe: u64,
+    },
+    /// All keys identical (zero entropy).
+    Constant,
+    /// Already sorted ascending.
+    Sorted,
+    /// Sorted descending.
+    ReverseSorted,
+    /// Sorted with a fraction of local swaps.
+    NearlySorted(f64),
+    /// Truncated Gaussian with the given relative standard deviation.
+    Gaussian(f64),
+    /// Keys drawn from a small number of narrow clusters.
+    Clustered(u32),
+}
+
+impl Distribution {
+    /// Generates `n` keys of type `K` deterministically from `seed`.
+    pub fn generate<K: SortKey>(&self, n: usize, seed: u64) -> Vec<K> {
+        match *self {
+            Distribution::Uniform => uniform::uniform_keys(n, seed),
+            Distribution::Entropy(level) => level.generate(n, seed),
+            Distribution::Zipf { theta, universe } => {
+                let mut g = ZipfGenerator::new(theta, universe.max(2), seed);
+                g.generate(n)
+            }
+            Distribution::Constant => uniform::constant_keys(n, K::default()),
+            Distribution::Sorted => uniform::sorted_keys(n, seed),
+            Distribution::ReverseSorted => uniform::reverse_sorted_keys(n, seed),
+            Distribution::NearlySorted(frac) => uniform::nearly_sorted_keys(n, frac, seed),
+            Distribution::Gaussian(stddev) => uniform::gaussian_keys(n, stddev, seed),
+            Distribution::Clustered(clusters) => uniform::clustered_keys(n, clusters, seed),
+        }
+    }
+
+    /// A short human-readable name used in experiment reports.
+    pub fn name(&self) -> String {
+        match *self {
+            Distribution::Uniform => "uniform".to_string(),
+            Distribution::Entropy(level) => {
+                if level.constant {
+                    "entropy(constant)".to_string()
+                } else {
+                    format!("entropy(and={})", level.and_count)
+                }
+            }
+            Distribution::Zipf { theta, .. } => format!("zipf(theta={theta})"),
+            Distribution::Constant => "constant".to_string(),
+            Distribution::Sorted => "sorted".to_string(),
+            Distribution::ReverseSorted => "reverse-sorted".to_string(),
+            Distribution::NearlySorted(frac) => format!("nearly-sorted({frac})"),
+            Distribution::Gaussian(s) => format!("gaussian({s})"),
+            Distribution::Clustered(c) => format!("clustered({c})"),
+        }
+    }
+
+    /// The paper's Zipfian configuration (θ = 0.75) over `universe` values.
+    pub fn paper_zipf(universe: u64) -> Distribution {
+        Distribution::Zipf {
+            theta: 0.75,
+            universe,
+        }
+    }
+}
+
+/// A fully specified workload: distribution, element count and seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Descriptive name for reports.
+    pub name: String,
+    /// Key distribution.
+    pub distribution: Distribution,
+    /// Number of elements.
+    pub n: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// Creates a new spec with an automatically derived name.
+    pub fn new(distribution: Distribution, n: usize, seed: u64) -> Self {
+        WorkloadSpec {
+            name: format!("{} x {}", distribution.name(), n),
+            distribution,
+            n,
+            seed,
+        }
+    }
+
+    /// Generates the keys described by this spec.
+    pub fn generate<K: SortKey>(&self) -> Vec<K> {
+        self.distribution.generate(self.n, self.seed)
+    }
+
+    /// Total key bytes of the workload for keys of type `K`.
+    pub fn key_bytes<K: SortKey>(&self) -> u64 {
+        self.n as u64 * K::BYTES as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{distinct_values, is_sorted};
+
+    #[test]
+    fn every_distribution_generates_requested_count() {
+        let dists = vec![
+            Distribution::Uniform,
+            Distribution::Entropy(EntropyLevel::with_and_count(3)),
+            Distribution::paper_zipf(1_000),
+            Distribution::Constant,
+            Distribution::Sorted,
+            Distribution::ReverseSorted,
+            Distribution::NearlySorted(0.05),
+            Distribution::Gaussian(0.1),
+            Distribution::Clustered(8),
+        ];
+        for d in dists {
+            let keys: Vec<u64> = d.generate(1_234, 7);
+            assert_eq!(keys.len(), 1_234, "{}", d.name());
+        }
+    }
+
+    #[test]
+    fn names_are_informative() {
+        assert_eq!(Distribution::Uniform.name(), "uniform");
+        assert!(Distribution::paper_zipf(10).name().contains("0.75"));
+        assert!(Distribution::Entropy(EntropyLevel::constant())
+            .name()
+            .contains("constant"));
+        assert!(Distribution::Entropy(EntropyLevel::with_and_count(2))
+            .name()
+            .contains("and=2"));
+    }
+
+    #[test]
+    fn constant_and_sorted_behave() {
+        let c: Vec<u32> = Distribution::Constant.generate(100, 1);
+        assert_eq!(distinct_values(&c), 1);
+        let s: Vec<u32> = Distribution::Sorted.generate(100, 1);
+        assert!(is_sorted(&s));
+    }
+
+    #[test]
+    fn workload_spec_generation_and_sizes() {
+        let spec = WorkloadSpec::new(Distribution::Uniform, 500, 3);
+        let keys: Vec<u64> = spec.generate();
+        assert_eq!(keys.len(), 500);
+        assert_eq!(spec.key_bytes::<u64>(), 4_000);
+        assert_eq!(spec.key_bytes::<u32>(), 2_000);
+        assert!(spec.name.contains("uniform"));
+        // Determinism.
+        let again: Vec<u64> = spec.generate();
+        assert_eq!(keys, again);
+    }
+}

@@ -1,0 +1,303 @@
+//! Sort-key abstraction and order-preserving codecs.
+//!
+//! Radix sorting operates on unsigned bit strings.  Section 4.6 of the paper
+//! explains how other primitive types are supported: a bijective,
+//! order-preserving mapping onto an unsigned integer is applied while the
+//! keys are first scattered and undone when the sorted sequence is produced.
+//! For signed integers this flips the sign bit; for IEEE-754 floats all bits
+//! are flipped when the sign bit is set and only the sign bit otherwise
+//! (the classic "radix tricks" transformation the paper cites).
+//!
+//! [`SortKey`] captures exactly that contract; every sorter in this
+//! repository is generic over it.
+
+/// A key type that can be radix sorted.
+///
+/// Implementations must provide a bijective mapping to an unsigned radix
+/// representation (`to_radix`) such that
+/// `a < b  ⇔  a.to_radix() < b.to_radix()` under the type's natural total
+/// order (for floats: the IEEE total order with `-NaN < -∞ … ∞ < NaN`).
+pub trait SortKey: Copy + Send + Sync + Default + PartialOrd + std::fmt::Debug + 'static {
+    /// Width of the key in bits (the `k` of the paper).
+    const BITS: u32;
+
+    /// Width of the key in bytes.
+    const BYTES: u32;
+
+    /// Maps the key onto its order-preserving unsigned representation.
+    /// Narrower keys occupy the low-order bits of the returned `u64`.
+    fn to_radix(self) -> u64;
+
+    /// Inverse of [`SortKey::to_radix`].
+    fn from_radix(bits: u64) -> Self;
+
+    /// Total-order comparison via the radix representation.
+    fn radix_cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.to_radix().cmp(&other.to_radix())
+    }
+}
+
+impl SortKey for u8 {
+    const BITS: u32 = 8;
+    const BYTES: u32 = 1;
+    fn to_radix(self) -> u64 {
+        self as u64
+    }
+    fn from_radix(bits: u64) -> Self {
+        bits as u8
+    }
+}
+
+impl SortKey for u16 {
+    const BITS: u32 = 16;
+    const BYTES: u32 = 2;
+    fn to_radix(self) -> u64 {
+        self as u64
+    }
+    fn from_radix(bits: u64) -> Self {
+        bits as u16
+    }
+}
+
+impl SortKey for u32 {
+    const BITS: u32 = 32;
+    const BYTES: u32 = 4;
+    fn to_radix(self) -> u64 {
+        self as u64
+    }
+    fn from_radix(bits: u64) -> Self {
+        bits as u32
+    }
+}
+
+impl SortKey for u64 {
+    const BITS: u32 = 64;
+    const BYTES: u32 = 8;
+    fn to_radix(self) -> u64 {
+        self
+    }
+    fn from_radix(bits: u64) -> Self {
+        bits
+    }
+}
+
+impl SortKey for i32 {
+    const BITS: u32 = 32;
+    const BYTES: u32 = 4;
+    fn to_radix(self) -> u64 {
+        (self as u32 ^ 0x8000_0000) as u64
+    }
+    fn from_radix(bits: u64) -> Self {
+        (bits as u32 ^ 0x8000_0000) as i32
+    }
+}
+
+impl SortKey for i64 {
+    const BITS: u32 = 64;
+    const BYTES: u32 = 8;
+    fn to_radix(self) -> u64 {
+        self as u64 ^ 0x8000_0000_0000_0000
+    }
+    fn from_radix(bits: u64) -> Self {
+        (bits ^ 0x8000_0000_0000_0000) as i64
+    }
+}
+
+impl SortKey for f32 {
+    const BITS: u32 = 32;
+    const BYTES: u32 = 4;
+    fn to_radix(self) -> u64 {
+        let bits = self.to_bits();
+        let flipped = if bits & 0x8000_0000 != 0 {
+            !bits
+        } else {
+            bits | 0x8000_0000
+        };
+        flipped as u64
+    }
+    fn from_radix(bits: u64) -> Self {
+        let bits = bits as u32;
+        let original = if bits & 0x8000_0000 != 0 {
+            bits & 0x7FFF_FFFF
+        } else {
+            !bits
+        };
+        f32::from_bits(original)
+    }
+}
+
+impl SortKey for f64 {
+    const BITS: u32 = 64;
+    const BYTES: u32 = 8;
+    fn to_radix(self) -> u64 {
+        let bits = self.to_bits();
+        if bits & 0x8000_0000_0000_0000 != 0 {
+            !bits
+        } else {
+            bits | 0x8000_0000_0000_0000
+        }
+    }
+    fn from_radix(bits: u64) -> Self {
+        let original = if bits & 0x8000_0000_0000_0000 != 0 {
+            bits & 0x7FFF_FFFF_FFFF_FFFF
+        } else {
+            !bits
+        };
+        f64::from_bits(original)
+    }
+}
+
+/// Bulk encode/decode helpers for applying the order-preserving codec to a
+/// whole slice (the paper applies the transformation during the first
+/// scattering pass and undoes it during the last pass or the local sort; in
+/// this functional reproduction the bulk form is also handy for tests and
+/// baselines).
+pub struct KeyCodec;
+
+impl KeyCodec {
+    /// Encodes a slice of keys into their radix representations.
+    pub fn encode_slice<K: SortKey>(keys: &[K]) -> Vec<u64> {
+        keys.iter().map(|k| k.to_radix()).collect()
+    }
+
+    /// Decodes radix representations back into keys.
+    pub fn decode_slice<K: SortKey>(bits: &[u64]) -> Vec<K> {
+        bits.iter().map(|&b| K::from_radix(b)).collect()
+    }
+
+    /// Sorts a slice of keys via their radix representation using the
+    /// standard library sort.  This is the correctness oracle used by the
+    /// test suites of the sorting crates.
+    pub fn std_sorted<K: SortKey>(keys: &[K]) -> Vec<K> {
+        let mut encoded = Self::encode_slice(keys);
+        encoded.sort_unstable();
+        Self::decode_slice(&encoded)
+    }
+
+    /// Checks whether a slice is sorted under the radix total order.
+    pub fn is_radix_sorted<K: SortKey>(keys: &[K]) -> bool {
+        keys.windows(2).all(|w| w[0].to_radix() <= w[1].to_radix())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+
+    fn roundtrip<K: SortKey + PartialEq>(k: K) {
+        assert_eq!(K::from_radix(k.to_radix()), k);
+    }
+
+    #[test]
+    fn unsigned_roundtrip_and_identity() {
+        roundtrip(0u32);
+        roundtrip(u32::MAX);
+        roundtrip(12345u32);
+        roundtrip(0u64);
+        roundtrip(u64::MAX);
+        assert_eq!(7u32.to_radix(), 7);
+        assert_eq!(7u64.to_radix(), 7);
+        roundtrip(42u8);
+        roundtrip(42u16);
+    }
+
+    #[test]
+    fn signed_mapping_preserves_order() {
+        let vals = [i32::MIN, -100, -1, 0, 1, 100, i32::MAX];
+        for w in vals.windows(2) {
+            assert!(w[0].to_radix() < w[1].to_radix(), "{:?}", w);
+        }
+        for &v in &vals {
+            roundtrip(v);
+        }
+        let vals = [i64::MIN, -5_000_000_000, -1, 0, 1, 5_000_000_000, i64::MAX];
+        for w in vals.windows(2) {
+            assert!(w[0].to_radix() < w[1].to_radix());
+        }
+        for &v in &vals {
+            roundtrip(v);
+        }
+    }
+
+    #[test]
+    fn float_mapping_preserves_order() {
+        let vals = [
+            f32::NEG_INFINITY,
+            -1e30,
+            -1.5,
+            -0.0,
+            0.0,
+            1e-20,
+            1.5,
+            1e30,
+            f32::INFINITY,
+        ];
+        for w in vals.windows(2) {
+            assert!(
+                w[0].to_radix() <= w[1].to_radix(),
+                "{} vs {}",
+                w[0],
+                w[1]
+            );
+        }
+        for &v in &vals {
+            if v != 0.0 {
+                roundtrip(v);
+            }
+        }
+        let vals = [f64::NEG_INFINITY, -1e300, -2.5, 0.0, 2.5, 1e300, f64::INFINITY];
+        for w in vals.windows(2) {
+            assert!(w[0].to_radix() < w[1].to_radix());
+        }
+    }
+
+    #[test]
+    fn float_negative_zero_orders_before_positive_zero() {
+        assert!((-0.0f32).to_radix() < 0.0f32.to_radix());
+        assert!((-0.0f64).to_radix() < 0.0f64.to_radix());
+    }
+
+    #[test]
+    fn float_roundtrip_preserves_bit_pattern() {
+        for v in [1.25f64, -1.25, 0.0, f64::MAX, f64::MIN_POSITIVE, -f64::MIN_POSITIVE] {
+            assert_eq!(f64::from_radix(v.to_radix()).to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn random_signed_and_float_order_agreement() {
+        let mut rng = SplitMix64::new(99);
+        for _ in 0..10_000 {
+            let a = rng.next_u64() as i64;
+            let b = rng.next_u64() as i64;
+            assert_eq!(a < b, a.to_radix() < b.to_radix());
+            let fa = (rng.next_f64() - 0.5) * 1e12;
+            let fb = (rng.next_f64() - 0.5) * 1e12;
+            assert_eq!(fa < fb, fa.to_radix() < fb.to_radix(), "{fa} {fb}");
+        }
+    }
+
+    #[test]
+    fn codec_slice_roundtrip_and_oracle() {
+        let keys = vec![3i32, -7, 0, 42, -1_000_000, i32::MAX, i32::MIN];
+        let enc = KeyCodec::encode_slice(&keys);
+        let dec: Vec<i32> = KeyCodec::decode_slice(&enc);
+        assert_eq!(keys, dec);
+        let sorted = KeyCodec::std_sorted(&keys);
+        assert!(KeyCodec::is_radix_sorted(&sorted));
+        assert_eq!(sorted[0], i32::MIN);
+        assert_eq!(*sorted.last().unwrap(), i32::MAX);
+    }
+
+    #[test]
+    fn bits_and_bytes_constants_are_consistent() {
+        fn bits_bytes<K: SortKey>() -> (u32, u32) {
+            (K::BITS, K::BYTES)
+        }
+        assert_eq!(bits_bytes::<u32>(), (32, 4));
+        assert_eq!(bits_bytes::<u64>(), (64, 8));
+        assert_eq!(bits_bytes::<f32>(), (32, 4));
+        assert_eq!(bits_bytes::<i64>(), (64, 8));
+    }
+}

@@ -1,0 +1,36 @@
+//! # workloads — key/value generators and codecs for the sorting evaluation
+//!
+//! The paper evaluates its hybrid radix sort over twelve increasingly skewed
+//! distributions produced by the benchmark of Thearling & Smith (repeatedly
+//! AND-ing uniform random words, which lowers the Shannon entropy of the key
+//! distribution), plus a Zipfian distribution for the comparison against
+//! PARADIS and a uniform distribution as the friendly case.
+//!
+//! This crate provides:
+//!
+//! * deterministic, seedable random number generation ([`rng`]),
+//! * the distribution generators ([`entropy`], [`zipf`], [`uniform`],
+//!   [`distribution`]),
+//! * order-preserving key codecs for signed integers and floats
+//!   ([`keys`], Section 4.6 of the paper),
+//! * key-value pair layouts (decomposed and coherent, [`pairs`]),
+//! * empirical statistics used by tests and by the skew detection in the
+//!   scatter step ([`stats`]).
+
+pub mod distribution;
+pub mod entropy;
+pub mod keys;
+pub mod pairs;
+pub mod rng;
+pub mod stats;
+pub mod uniform;
+pub mod zipf;
+
+pub use distribution::{Distribution, WorkloadSpec};
+pub use entropy::{EntropyLevel, ENTROPY_LEVELS_32, ENTROPY_LEVELS_64};
+pub use keys::{KeyCodec, SortKey};
+pub use pairs::{CoherentPairs, DecomposedPairs, PairLayout};
+pub use rng::SplitMix64;
+pub use stats::{distinct_values, empirical_entropy_bits, is_sorted};
+pub use uniform::uniform_keys;
+pub use zipf::ZipfGenerator;

@@ -1,0 +1,146 @@
+//! Empirical statistics over generated workloads.
+//!
+//! These helpers are used by the test suites (to verify that generators
+//! produce the entropy they claim) and by the sorting code's skew heuristics
+//! (the scatter step only enables its look-ahead for highly skewed
+//! distributions, which it detects from the per-block histogram).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Number of distinct values in a slice.
+pub fn distinct_values<T: Eq + Hash + Copy>(values: &[T]) -> usize {
+    values.iter().copied().collect::<std::collections::HashSet<_>>().len()
+}
+
+/// Empirical Shannon entropy (in bits) of the value distribution of a slice.
+pub fn empirical_entropy_bits<T: Eq + Hash + Copy>(values: &[T]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut counts: HashMap<T, u64> = HashMap::new();
+    for &v in values {
+        *counts.entry(v).or_insert(0) += 1;
+    }
+    let n = values.len() as f64;
+    counts
+        .values()
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Whether a slice is sorted in non-decreasing order.
+pub fn is_sorted<T: PartialOrd>(values: &[T]) -> bool {
+    values.windows(2).all(|w| w[0] <= w[1])
+}
+
+/// Entropy (in bits) of a histogram of counts; `0` counts are ignored.
+pub fn histogram_entropy_bits(histogram: &[u64]) -> f64 {
+    let total: u64 = histogram.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    histogram
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / total as f64;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// The fraction of all elements that fall into the single most populated
+/// histogram bin — a cheap skew indicator (1.0 for a constant distribution,
+/// ≈ 1/r for a uniform one over `r` bins).
+pub fn max_bin_fraction(histogram: &[u64]) -> f64 {
+    let total: u64 = histogram.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let max = histogram.iter().copied().max().unwrap_or(0);
+    max as f64 / total as f64
+}
+
+/// Number of non-empty bins in a histogram.
+pub fn occupied_bins(histogram: &[u64]) -> usize {
+    histogram.iter().filter(|&&c| c > 0).count()
+}
+
+/// Verifies that `output` is a permutation of `input` (multiset equality).
+/// Intended for tests; O(n) time and space.
+pub fn is_permutation_of<T: Eq + Hash + Copy>(input: &[T], output: &[T]) -> bool {
+    if input.len() != output.len() {
+        return false;
+    }
+    let mut counts: HashMap<T, i64> = HashMap::new();
+    for &v in input {
+        *counts.entry(v).or_insert(0) += 1;
+    }
+    for &v in output {
+        match counts.get_mut(&v) {
+            Some(c) => *c -= 1,
+            None => return false,
+        }
+    }
+    counts.values().all(|&c| c == 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_values_counts_unique_elements() {
+        assert_eq!(distinct_values(&[1u32, 1, 2, 3, 3, 3]), 3);
+        assert_eq!(distinct_values::<u32>(&[]), 0);
+    }
+
+    #[test]
+    fn entropy_of_uniform_and_constant_slices() {
+        let uniform: Vec<u32> = (0..256).collect();
+        assert!((empirical_entropy_bits(&uniform) - 8.0).abs() < 1e-9);
+        let constant = vec![7u32; 100];
+        assert_eq!(empirical_entropy_bits(&constant), 0.0);
+        assert_eq!(empirical_entropy_bits::<u32>(&[]), 0.0);
+    }
+
+    #[test]
+    fn histogram_entropy_matches_slice_entropy() {
+        let hist = [25u64, 25, 25, 25];
+        assert!((histogram_entropy_bits(&hist) - 2.0).abs() < 1e-9);
+        assert_eq!(histogram_entropy_bits(&[0, 0, 100]), 0.0);
+        assert_eq!(histogram_entropy_bits(&[]), 0.0);
+    }
+
+    #[test]
+    fn max_bin_fraction_detects_skew() {
+        assert_eq!(max_bin_fraction(&[0, 100, 0]), 1.0);
+        assert!((max_bin_fraction(&[50, 50]) - 0.5).abs() < 1e-12);
+        assert_eq!(max_bin_fraction(&[]), 0.0);
+    }
+
+    #[test]
+    fn occupied_bins_counts_non_empty() {
+        assert_eq!(occupied_bins(&[0, 3, 0, 9]), 2);
+    }
+
+    #[test]
+    fn is_sorted_works() {
+        assert!(is_sorted(&[1, 2, 2, 3]));
+        assert!(!is_sorted(&[1, 3, 2]));
+        assert!(is_sorted::<u32>(&[]));
+        assert!(is_sorted(&[5]));
+    }
+
+    #[test]
+    fn permutation_check() {
+        assert!(is_permutation_of(&[1, 2, 2, 3], &[3, 2, 1, 2]));
+        assert!(!is_permutation_of(&[1, 2, 3], &[1, 2, 2]));
+        assert!(!is_permutation_of(&[1, 2], &[1, 2, 2]));
+        assert!(is_permutation_of::<u8>(&[], &[]));
+    }
+}

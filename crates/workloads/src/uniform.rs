@@ -1,0 +1,191 @@
+//! Simple distributions: uniform, constant, sorted, reverse-sorted,
+//! nearly-sorted, Gaussian and clustered keys.
+//!
+//! The uniform distribution is the hybrid radix sort's best case (it can
+//! finish early with local sorts after a single partitioning pass for 2 GB
+//! inputs); the constant distribution is its worst case (every key runs
+//! through every counting-sort pass and all shared-memory atomics collide).
+//! The remaining generators cover scenarios common in database workloads
+//! (already sorted runs, nearly sorted updates, clustered foreign keys).
+
+use crate::keys::SortKey;
+use crate::rng::SplitMix64;
+
+fn key_mask<K: SortKey>() -> u64 {
+    if K::BITS >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << K::BITS) - 1
+    }
+}
+
+/// Generates `n` uniformly distributed keys.
+pub fn uniform_keys<K: SortKey>(n: usize, seed: u64) -> Vec<K> {
+    let mut rng = SplitMix64::new(seed);
+    let mask = key_mask::<K>();
+    (0..n).map(|_| K::from_radix(rng.next_u64() & mask)).collect()
+}
+
+/// Generates `n` copies of the same key (the zero-entropy distribution).
+pub fn constant_keys<K: SortKey>(n: usize, value: K) -> Vec<K> {
+    vec![value; n]
+}
+
+/// Generates `n` keys that are already sorted ascending (uniform values).
+pub fn sorted_keys<K: SortKey>(n: usize, seed: u64) -> Vec<K> {
+    let mut bits: Vec<u64> = {
+        let mut rng = SplitMix64::new(seed);
+        let mask = key_mask::<K>();
+        (0..n).map(|_| rng.next_u64() & mask).collect()
+    };
+    bits.sort_unstable();
+    bits.into_iter().map(K::from_radix).collect()
+}
+
+/// Generates `n` keys sorted in descending order.
+pub fn reverse_sorted_keys<K: SortKey>(n: usize, seed: u64) -> Vec<K> {
+    let mut keys = sorted_keys::<K>(n, seed);
+    keys.reverse();
+    keys
+}
+
+/// Generates a nearly sorted sequence: a sorted sequence in which a fraction
+/// `swap_fraction` of random adjacent-ish pairs have been swapped.
+pub fn nearly_sorted_keys<K: SortKey>(n: usize, swap_fraction: f64, seed: u64) -> Vec<K> {
+    let mut keys = sorted_keys::<K>(n, seed);
+    if n < 2 {
+        return keys;
+    }
+    let mut rng = SplitMix64::new(seed ^ 0xDEAD_BEEF);
+    let swaps = ((n as f64) * swap_fraction.clamp(0.0, 1.0)) as usize;
+    for _ in 0..swaps {
+        let i = rng.next_bounded(n as u64 - 1) as usize;
+        let j = (i + 1 + rng.next_bounded(16.min(n as u64 - 1 - i as u64).max(1)) as usize)
+            .min(n - 1);
+        keys.swap(i, j);
+    }
+    keys
+}
+
+/// Generates `n` keys from a (truncated) Gaussian centred in the middle of
+/// the key range, with the given relative standard deviation (fraction of
+/// the key range).  Uses the Box–Muller transform.
+pub fn gaussian_keys<K: SortKey>(n: usize, relative_stddev: f64, seed: u64) -> Vec<K> {
+    let mut rng = SplitMix64::new(seed);
+    let mask = key_mask::<K>();
+    let range = mask as f64;
+    let mean = range / 2.0;
+    let stddev = range * relative_stddev.max(1e-12);
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        // Box–Muller produces two normals per iteration.
+        let u1 = rng.next_f64().max(f64::MIN_POSITIVE);
+        let u2 = rng.next_f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        for phase in [0.0, std::f64::consts::FRAC_PI_2] {
+            if out.len() >= n {
+                break;
+            }
+            let z = r * (2.0 * std::f64::consts::PI * u2 + phase).cos();
+            let v = (mean + z * stddev).clamp(0.0, range);
+            out.push(K::from_radix(v as u64 & mask));
+        }
+    }
+    out
+}
+
+/// Generates `n` keys drawn from `clusters` narrow clusters spread over the
+/// key range — a stand-in for foreign-key columns referencing a small
+/// dimension table.
+pub fn clustered_keys<K: SortKey>(n: usize, clusters: u32, seed: u64) -> Vec<K> {
+    let clusters = clusters.max(1) as u64;
+    let mut rng = SplitMix64::new(seed);
+    let mask = key_mask::<K>();
+    let cluster_width = (mask / clusters).max(1) / 1_000 + 1;
+    (0..n)
+        .map(|_| {
+            let c = rng.next_bounded(clusters);
+            let base = c * (mask / clusters);
+            let offset = rng.next_bounded(cluster_width);
+            K::from_radix((base + offset) & mask)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{distinct_values, is_sorted};
+
+    #[test]
+    fn uniform_is_deterministic_and_full_range() {
+        let a = uniform_keys::<u32>(10_000, 1);
+        let b = uniform_keys::<u32>(10_000, 1);
+        assert_eq!(a, b);
+        let max = *a.iter().max().unwrap();
+        let min = *a.iter().min().unwrap();
+        assert!(max > u32::MAX / 2);
+        assert!(min < u32::MAX / 2);
+    }
+
+    #[test]
+    fn constant_has_one_distinct_value() {
+        let keys = constant_keys(5_000, 77u64);
+        assert_eq!(distinct_values(&keys.iter().map(|&k| k).collect::<Vec<_>>()), 1);
+    }
+
+    #[test]
+    fn sorted_and_reverse_sorted() {
+        let keys = sorted_keys::<u32>(1_000, 3);
+        assert!(is_sorted(&keys));
+        let rev = reverse_sorted_keys::<u32>(1_000, 3);
+        assert!(!is_sorted(&rev));
+        let mut rev2 = rev.clone();
+        rev2.reverse();
+        assert_eq!(rev2, keys);
+    }
+
+    #[test]
+    fn nearly_sorted_is_mostly_sorted() {
+        let keys = nearly_sorted_keys::<u64>(10_000, 0.01, 5);
+        let inversions = keys.windows(2).filter(|w| w[0] > w[1]).count();
+        assert!(inversions > 0);
+        assert!(inversions < 500, "inversions = {inversions}");
+    }
+
+    #[test]
+    fn gaussian_concentrates_around_the_mean() {
+        let keys = gaussian_keys::<u32>(20_000, 0.05, 11);
+        let mean = u32::MAX as f64 / 2.0;
+        let within = keys
+            .iter()
+            .filter(|&&k| (k as f64 - mean).abs() < 0.2 * u32::MAX as f64)
+            .count();
+        assert!(within > 19_000, "within = {within}");
+    }
+
+    #[test]
+    fn clustered_produces_few_populated_regions() {
+        let keys = clustered_keys::<u64>(10_000, 8, 13);
+        // Bucket by the top 8 bits; at most ~8 distinct buckets expected.
+        let tops: Vec<u64> = keys.iter().map(|&k| k >> 56).collect();
+        assert!(distinct_values(&tops) <= 16);
+    }
+
+    #[test]
+    fn generators_work_for_narrow_key_types() {
+        let keys = uniform_keys::<u16>(1_000, 21);
+        assert_eq!(keys.len(), 1_000);
+        let keys = gaussian_keys::<u8>(100, 0.2, 21);
+        assert_eq!(keys.len(), 100);
+        let keys = clustered_keys::<u16>(100, 4, 2);
+        assert_eq!(keys.len(), 100);
+    }
+
+    #[test]
+    fn small_inputs_do_not_panic() {
+        assert!(nearly_sorted_keys::<u32>(1, 0.5, 1).len() == 1);
+        assert!(uniform_keys::<u32>(0, 1).is_empty());
+        assert!(gaussian_keys::<u64>(0, 0.1, 1).is_empty());
+    }
+}

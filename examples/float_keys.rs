@@ -1,0 +1,48 @@
+//! Sorting floating-point and signed keys: measurement values (f64),
+//! account balances (i64) and temperatures (f32) all sort through the
+//! order-preserving bijections of Section 4.6 — including negative zero and
+//! infinities.
+//!
+//! ```text
+//! cargo run --release --example float_keys
+//! ```
+
+use hybrid_radix_sort::prelude::*;
+use hybrid_radix_sort::workloads::SplitMix64;
+
+fn main() {
+    let sorter = HybridRadixSorter::with_defaults();
+    let mut rng = SplitMix64::new(2024);
+
+    // Sensor measurements: f64 values centred on zero, including specials.
+    let mut measurements: Vec<f64> = (0..2_000_000)
+        .map(|_| (rng.next_f64() - 0.5) * 1e6)
+        .collect();
+    measurements.push(f64::NEG_INFINITY);
+    measurements.push(f64::INFINITY);
+    measurements.push(-0.0);
+    measurements.push(0.0);
+    let report = sorter.sort(&mut measurements);
+    assert!(measurements.windows(2).all(|w| w[0] <= w[1]));
+    assert_eq!(measurements[0], f64::NEG_INFINITY);
+    assert_eq!(*measurements.last().unwrap(), f64::INFINITY);
+    println!("sorted {} f64 measurements ({} counting passes)", report.n, report.counting_passes());
+
+    // Account balances: signed 64-bit integers, many negative.
+    let mut balances: Vec<i64> = (0..1_000_000)
+        .map(|_| rng.next_u64() as i64 / 1024)
+        .collect();
+    sorter.sort(&mut balances);
+    assert!(balances.windows(2).all(|w| w[0] <= w[1]));
+    println!("sorted {} i64 balances (min = {}, max = {})", balances.len(), balances[0], balances.last().unwrap());
+
+    // Temperatures: f32 keys with an associated station id.
+    let temps: Vec<f32> = (0..500_000).map(|_| (rng.next_f64() as f32 - 0.5) * 80.0).collect();
+    let mut sorted_temps = temps.clone();
+    let mut stations: Vec<u32> = (0..temps.len() as u32).collect();
+    sorter.sort_pairs(&mut sorted_temps, &mut stations);
+    assert!(hybrid_radix_sort::workloads::pairs::verify_indexed_pair_sort(
+        &temps, &sorted_temps, &stations
+    ));
+    println!("sorted {} (f32 temperature, station) pairs", temps.len());
+}

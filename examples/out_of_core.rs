@@ -1,0 +1,47 @@
+//! Out-of-core / heterogeneous sorting: an input that would not fit into GPU
+//! device memory is split into chunks, pipelined over the (simulated) PCIe
+//! bus, sorted chunk by chunk and merged on the CPU with the parallel
+//! multiway merge — Section 5 of the paper.
+//!
+//! ```text
+//! cargo run --release --example out_of_core
+//! ```
+
+use hybrid_radix_sort::prelude::*;
+
+fn main() {
+    let n = 8_000_000usize;
+    let mut keys = hybrid_radix_sort::workloads::uniform_keys::<u64>(n, 99);
+
+    let sorter = HeterogeneousSorter::with_defaults().with_merge_threads(6);
+    for s in [2usize, 4, 8] {
+        let mut run = keys.clone();
+        let report = sorter.sort(&mut run, s);
+        assert!(run.windows(2).all(|w| w[0] <= w[1]));
+        println!(
+            "s = {:>2}: chunked sort {:>10}, CPU merge {:>10} (measured {:?}), end-to-end {:>10}",
+            s,
+            report.breakdown.chunked_sort,
+            report.breakdown.cpu_merge,
+            report.measured_merge,
+            report.breakdown.end_to_end
+        );
+    }
+
+    // Paper-scale what-if: how long would 64 GB of 64-bit/64-bit pairs take
+    // end to end, given the measured merge throughput of this machine?
+    let gpu_sort_64gb = SimTime::from_secs(0.42 * 16.0); // ~0.42 s per 4 GB chunk
+    let merge_throughput = 2.0e9; // bytes/s, conservative six-core estimate
+    let breakdown = sorter.simulate_end_to_end(
+        64_000_000_000,
+        16,
+        gpu_sort_64gb,
+        SimTime::from_secs(64_000_000_000.0 / merge_throughput),
+    );
+    println!(
+        "64 GB what-if: chunked sort {}, CPU merge {}, end-to-end {}",
+        breakdown.chunked_sort, breakdown.cpu_merge, breakdown.end_to_end
+    );
+
+    keys.truncate(0);
+}

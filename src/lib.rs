@@ -1,0 +1,53 @@
+//! # hybrid-radix-sort — umbrella crate
+//!
+//! A Rust reproduction of *"A Memory Bandwidth-Efficient Hybrid Radix Sort
+//! on GPUs"* (Stehle & Jacobsen, SIGMOD 2017).  This crate re-exports the
+//! workspace's public API so that the examples and integration tests at the
+//! repository root can use a single dependency:
+//!
+//! * [`hrs_core`] — the hybrid MSD radix sort itself,
+//! * [`gpu_sim`] — the analytical GPU model the simulated timings come from,
+//! * [`workloads`] — key/value generators and codecs,
+//! * [`baselines`] — CUB/Thrust/MGPU/Multisplit/PARADIS comparison sorts,
+//! * [`hetero`] — the pipelined heterogeneous (out-of-core) sort,
+//! * [`experiments`] — the harness regenerating every table and figure.
+//!
+//! ```
+//! use hybrid_radix_sort::prelude::*;
+//!
+//! let mut keys = workloads::uniform_keys::<u64>(10_000, 1);
+//! let report = HybridRadixSorter::with_defaults().sort(&mut keys);
+//! assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+//! assert!(report.simulated.total.secs() > 0.0);
+//! ```
+
+pub use baselines;
+pub use experiments;
+pub use gpu_sim;
+pub use hetero;
+pub use hrs_core;
+pub use workloads;
+
+/// Commonly used types, re-exported for convenience.
+pub mod prelude {
+    pub use baselines::{GpuLsdRadixSort, GpuMergeSort, MultisplitRadixSort, ParadisSort};
+    pub use gpu_sim::{DeviceSpec, SimTime};
+    pub use hetero::HeterogeneousSorter;
+    pub use hrs_core::{HybridRadixSorter, Optimizations, SortConfig, SortReport};
+    pub use workloads::{Distribution, EntropyLevel, SortKey, ZipfGenerator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn umbrella_crate_wires_everything_together() {
+        let mut keys = workloads::uniform_keys::<u32>(5_000, 3);
+        let report = HybridRadixSorter::with_defaults().sort(&mut keys);
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(report.n, 5_000);
+        let _ = DeviceSpec::titan_x_pascal();
+        let _ = Optimizations::all_on();
+    }
+}

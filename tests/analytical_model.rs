@@ -1,0 +1,53 @@
+//! The Section 4.5 analytical model versus the instrumented sorter: the
+//! bounds must hold for real executions, and the bookkeeping overhead must
+//! stay below 5 % for the paper's example configuration.
+
+use hybrid_radix_sort::hrs_core::AnalyticalModel;
+use hybrid_radix_sort::prelude::*;
+use hybrid_radix_sort::workloads::{Distribution, EntropyLevel};
+
+#[test]
+fn paper_example_overhead_stays_below_five_percent() {
+    for n in [10_000_000u64, 500_000_000, 4_000_000_000] {
+        let m = AnalyticalModel::paper_example(n);
+        assert!(m.overhead_fraction() < 0.05, "n = {n}");
+    }
+}
+
+#[test]
+fn live_bucket_count_of_real_runs_respects_the_bound() {
+    let n = 120_000usize;
+    let config = SortConfig::keys_32().scaled_for(n, 500_000_000);
+    let model_cfg = config.clone();
+    for dist in [
+        Distribution::Uniform,
+        Distribution::Entropy(EntropyLevel::with_and_count(1)),
+        Distribution::Entropy(EntropyLevel::with_and_count(5)),
+        Distribution::Constant,
+    ] {
+        let mut keys: Vec<u32> = dist.generate(n, 77);
+        let report = HybridRadixSorter::new(config.clone()).sort(&mut keys);
+        let model = AnalyticalModel::new(n as u64, 32, &model_cfg);
+        assert!(
+            report.max_live_buckets <= model.max_buckets(),
+            "{}: {} live buckets > bound {}",
+            dist.name(),
+            report.max_live_buckets,
+            model.max_buckets()
+        );
+        // I4: block bound holds for every pass.
+        for p in &report.passes {
+            assert!(p.n_blocks <= model.max_blocks(), "{}", dist.name());
+        }
+    }
+}
+
+#[test]
+fn device_memory_capacity_check_matches_the_titan_x() {
+    let titan = DeviceSpec::titan_x_pascal();
+    let cfg = SortConfig::keys_32();
+    let max = AnalyticalModel::max_keys_for_memory(32, &cfg, titan.device_memory_bytes);
+    // Roughly 1.5 billion 32-bit keys fit (2 × 4 bytes each plus overhead).
+    assert!(max > 1_200_000_000 && max < 1_700_000_000, "max = {max}");
+    assert!(AnalyticalModel::new(max, 32, &cfg).fits_in(titan.device_memory_bytes));
+}

@@ -1,0 +1,183 @@
+//! Shape checks over the regenerated figures: who wins, by roughly what
+//! factor, and where the crossovers fall.  Absolute numbers are not expected
+//! to match the paper (the substrate is an analytical GPU model, not the
+//! authors' Titan X), but the qualitative structure of every figure must.
+
+use hybrid_radix_sort::baselines::{GpuLsdRadixSort, ReportedDistribution};
+use hybrid_radix_sort::experiments::checks::{check_fig06_claims, min_speedup, speedup_at};
+use hybrid_radix_sort::experiments::figures::{
+    ablation, fig02_histogram_utilisation, fig06_on_gpu, fig08_chunks, fig09_paradis,
+    fig10_latest, Shape,
+};
+use hybrid_radix_sort::experiments::{PaperScale, Series};
+
+fn scale() -> PaperScale {
+    PaperScale::fast()
+}
+
+#[test]
+fn figure_2_contention_drop_and_mitigation() {
+    let series = fig02_histogram_utilisation();
+    let atomics = &series[0];
+    let reduction = &series[1];
+    // Atomics only: clear drop at q = 1, saturation from q = 3 on.
+    assert!(atomics.get("1").unwrap() < 60.0);
+    assert!(atomics.get("3").unwrap() > 90.0);
+    assert!(atomics.get("256").unwrap() > 95.0);
+    // Thread reduction removes the drop.
+    assert!(reduction.get("1").unwrap() > 80.0);
+    assert!(reduction.min() > 80.0);
+}
+
+#[test]
+fn figure_6_claims_hold_for_all_four_shapes() {
+    for shape in Shape::all() {
+        let checks = check_fig06_claims(shape, &scale());
+        for c in &checks {
+            assert!(c.holds, "{}: measured {:.2}", c.claim, c.measured);
+        }
+    }
+}
+
+#[test]
+fn figure_6_pairs_sort_faster_than_keys_in_gb_per_second() {
+    // Section 6.1: "Comparing the hybrid radix sort's performance for
+    // sorting key-value pairs to the performance shown for sorting keys
+    // only, we see a 20 % increase in the amount of data being sorted per
+    // second."
+    let keys = fig06_on_gpu(Shape::Keys64, &scale());
+    let pairs = fig06_on_gpu(Shape::Pairs64, &scale());
+    let keys_uniform = keys[0].points.first().unwrap().1;
+    let pairs_uniform = pairs[0].points.first().unwrap().1;
+    assert!(
+        pairs_uniform > keys_uniform * 1.05,
+        "pairs {pairs_uniform} vs keys {keys_uniform}"
+    );
+}
+
+#[test]
+fn figure_7_crossover_cub_wins_only_for_small_skewed_inputs() {
+    // Figure 7: CUB has the edge for very small, highly skewed inputs, but
+    // the hybrid radix sort wins from ~2 M keys upwards even for its
+    // worst-case distribution.
+    use hybrid_radix_sort::experiments::figures::fig07_input_size;
+    let series = fig07_input_size(Shape::Keys64, &scale());
+    let hrs_worst: &Series = series.iter().find(|s| s.label == "HRS - 0.00 bit").unwrap();
+    let cub: &Series = series.iter().find(|s| s.label == "CUB").unwrap();
+    // Small input (250 k keys = 2 MB): CUB wins for the worst case.
+    let small = hrs_worst.points.first().unwrap();
+    let cub_small = cub.get(&small.0).unwrap();
+    assert!(small.1 < cub_small * 1.1, "HRS {} vs CUB {}", small.1, cub_small);
+    // Large input (2 GB): the hybrid sort wins even for the worst case.
+    let large = hrs_worst.points.last().unwrap();
+    let cub_large = cub.get(&large.0).unwrap();
+    assert!(large.1 > cub_large, "HRS {} vs CUB {}", large.1, cub_large);
+}
+
+#[test]
+fn figure_8_ordering_naive_cub_slowest_heterogeneous_best_at_medium_chunk_counts() {
+    let bars = fig08_chunks(&scale());
+    let total = |label: &str| bars.iter().find(|b| b.label == label).map(|b| b.total()).unwrap();
+    // Naive CUB is the slowest variant; naive HRS improves on it.
+    assert!(total("CUB") > total("HRS"));
+    // Every heterogeneous configuration beats naive CUB end to end.
+    for s in ["s=2", "s=3", "s=4", "s=8", "s=16"] {
+        assert!(total(s) < total("CUB"), "{s}");
+    }
+    // The chunked-sort component shrinks monotonically with more chunks.
+    let chunked = |label: &str| bars.iter().find(|b| b.label == label).unwrap().chunked_sort;
+    assert!(chunked("s=16") <= chunked("s=8"));
+    assert!(chunked("s=8") <= chunked("s=4"));
+    assert!(chunked("s=4") <= chunked("s=2"));
+}
+
+#[test]
+fn figure_9_heterogeneous_sort_beats_reported_paradis() {
+    for dist in [ReportedDistribution::Uniform, ReportedDistribution::Zipf075] {
+        let series = fig09_paradis(dist, &scale());
+        let total = series.iter().find(|s| s.label == "heterogeneous sort").unwrap();
+        let paradis = series.iter().find(|s| s.label == "PARADIS (reported)").unwrap();
+        for (x, _) in &paradis.points {
+            let speedup = speedup_at(paradis, total, x).unwrap();
+            assert!(speedup > 1.0, "{dist:?} at {x}: speed-up {speedup}");
+        }
+        // The speed-up shrinks with the input size (the CPU merge becomes
+        // the bottleneck), exactly as in the paper.
+        let first = speedup_at(paradis, total, &paradis.points.first().unwrap().0).unwrap();
+        let last = speedup_at(paradis, total, &paradis.points.last().unwrap().0).unwrap();
+        assert!(first > last, "{dist:?}: {first} !> {last}");
+    }
+}
+
+#[test]
+fn figure_10_ordering_of_the_latest_baselines() {
+    let series = fig10_latest(Shape::Keys32, &scale());
+    let hrs = &series[0];
+    let cub_old = series.iter().find(|s| s.label == "CUB, v. 1.5.1").unwrap();
+    let cub_new = series.iter().find(|s| s.label == "CUB, v. 1.6.4").unwrap();
+    let multisplit = series.iter().find(|s| s.label == "Multisplit").unwrap();
+    // HRS still beats every newer baseline for all distributions.
+    assert!(min_speedup(hrs, cub_new) > 1.1);
+    assert!(min_speedup(hrs, multisplit) > 1.1);
+    // CUB 1.6.4 improves on 1.5.1; Multisplit sits between them for 32-bit
+    // keys.
+    let x = "32.00";
+    assert!(cub_new.get(x).unwrap() > cub_old.get(x).unwrap());
+    assert!(multisplit.get(x).unwrap() > cub_old.get(x).unwrap());
+    assert!(multisplit.get(x).unwrap() < cub_new.get(x).unwrap());
+}
+
+#[test]
+fn ablation_signs_match_the_appendix() {
+    // Use a three-point entropy ladder to keep the functional runs fast:
+    // uniform, moderately skewed, constant.
+    use hybrid_radix_sort::workloads::EntropyLevel;
+    let levels = vec![
+        ("uniform".to_string(), EntropyLevel::uniform()),
+        ("skewed".to_string(), EntropyLevel::with_and_count(2)),
+        ("constant".to_string(), EntropyLevel::constant()),
+    ];
+    let series = ablation(Shape::Keys32, &scale(), &levels);
+    let get = |label: &str, x: &str| -> f64 {
+        series.iter().find(|s| s.label == label).unwrap().get(x).unwrap()
+    };
+    // Disabling optimisations never helps by more than noise (~5 %).
+    for s in &series {
+        for (x, y) in &s.points {
+            assert!(*y < 7.0, "{} at {x}: {y}", s.label);
+        }
+    }
+    // The synergistic pair hurts at least as much as either alone for the
+    // skewed distribution, and the combined variant is clearly negative.
+    let combo = get("no merge + single config", "skewed");
+    assert!(combo <= get("single local sort config", "skewed") + 1.0);
+    assert!(combo <= get("no bucket merging", "skewed") + 1.0);
+    // The thread-reduction histogram matters for the constant distribution
+    // of 32-bit keys (Figure 11's right-hand side).
+    assert!(get("no thread red. histo", "constant") < -5.0);
+    // Everything-off is at least as bad as the worst single optimisation.
+    let all_off = get("all optimisations off", "constant");
+    assert!(all_off <= get("no thread red. histo", "constant") + 1.0);
+}
+
+#[test]
+fn expected_speedup_matches_the_traffic_argument_for_constant_inputs() {
+    // Section 6.1: for the zero-entropy distribution the speed-up over CUB
+    // boils down to the reduced number of passes — 1.75× for 32-bit keys
+    // (7 vs 4 passes) and 1.625× for 64-bit keys (13 vs 8 passes).  Allow a
+    // generous band around those ratios.
+    let scale = scale();
+    for (shape, expected) in [(Shape::Keys32, 1.75), (Shape::Keys64, 1.625)] {
+        let series = fig06_on_gpu(shape, &scale);
+        let hrs = series[0].get("0.00").unwrap();
+        let cub = series[1].get("0.00").unwrap();
+        let ratio = hrs / cub;
+        assert!(
+            (ratio - expected).abs() / expected < 0.35,
+            "{shape:?}: ratio {ratio:.2} vs expected {expected}"
+        );
+    }
+    // Sanity: the CUB model's pass counts are the paper's.
+    assert_eq!(GpuLsdRadixSort::cub_1_5_1().config.num_passes(32), 7);
+    assert_eq!(GpuLsdRadixSort::cub_1_5_1().config.num_passes(64), 13);
+}

@@ -1,0 +1,181 @@
+//! End-to-end correctness of the hybrid radix sort across key types,
+//! distributions, configurations and optimisation variants, checked against
+//! the standard library sort.
+
+use hybrid_radix_sort::prelude::*;
+use hybrid_radix_sort::workloads::{
+    self, pairs::verify_indexed_pair_sort, uniform_keys, Distribution, EntropyLevel, KeyCodec,
+};
+
+fn scaled_sorter_32(n: usize) -> HybridRadixSorter {
+    HybridRadixSorter::new(SortConfig::keys_32().scaled_for(n, 500_000_000))
+}
+
+fn scaled_sorter_64(n: usize) -> HybridRadixSorter {
+    HybridRadixSorter::new(SortConfig::keys_64().scaled_for(n, 250_000_000))
+}
+
+#[test]
+fn sorts_every_distribution_u32() {
+    let n = 60_000;
+    let sorter = scaled_sorter_32(n);
+    let dists = [
+        Distribution::Uniform,
+        Distribution::Entropy(EntropyLevel::with_and_count(1)),
+        Distribution::Entropy(EntropyLevel::with_and_count(4)),
+        Distribution::Entropy(EntropyLevel::constant()),
+        Distribution::paper_zipf(10_000),
+        Distribution::Sorted,
+        Distribution::ReverseSorted,
+        Distribution::NearlySorted(0.02),
+        Distribution::Gaussian(0.05),
+        Distribution::Clustered(16),
+    ];
+    for dist in dists {
+        let mut keys: Vec<u32> = dist.generate(n, 11);
+        let expected = KeyCodec::std_sorted(&keys);
+        let report = sorter.sort(&mut keys);
+        assert_eq!(keys, expected, "{}", dist.name());
+        assert_eq!(report.n as usize, n);
+    }
+}
+
+#[test]
+fn sorts_every_distribution_u64() {
+    let n = 60_000;
+    let sorter = scaled_sorter_64(n);
+    for dist in [
+        Distribution::Uniform,
+        Distribution::Entropy(EntropyLevel::with_and_count(2)),
+        Distribution::paper_zipf(5_000),
+        Distribution::Constant,
+    ] {
+        let mut keys: Vec<u64> = dist.generate(n, 13);
+        let expected = KeyCodec::std_sorted(&keys);
+        sorter.sort(&mut keys);
+        assert_eq!(keys, expected, "{}", dist.name());
+    }
+}
+
+#[test]
+fn sorts_signed_and_float_keys_end_to_end() {
+    let sorter = HybridRadixSorter::with_defaults();
+
+    let mut i32s: Vec<i32> = uniform_keys::<u32>(40_000, 3).into_iter().map(|k| k as i32).collect();
+    let expected = KeyCodec::std_sorted(&i32s);
+    sorter.sort(&mut i32s);
+    assert_eq!(i32s, expected);
+
+    let mut i64s: Vec<i64> = uniform_keys::<u64>(40_000, 4).into_iter().map(|k| k as i64).collect();
+    let expected = KeyCodec::std_sorted(&i64s);
+    sorter.sort(&mut i64s);
+    assert_eq!(i64s, expected);
+
+    let mut f32s: Vec<f32> = uniform_keys::<u32>(40_000, 5)
+        .into_iter()
+        .map(|k| (k as f32 / u32::MAX as f32 - 0.5) * 1e9)
+        .collect();
+    sorter.sort(&mut f32s);
+    assert!(f32s.windows(2).all(|w| w[0] <= w[1]));
+
+    let mut f64s: Vec<f64> = uniform_keys::<u64>(40_000, 6)
+        .into_iter()
+        .map(|k| (k as f64 / u64::MAX as f64 - 0.5) * 1e18)
+        .collect();
+    sorter.sort(&mut f64s);
+    assert!(f64s.windows(2).all(|w| w[0] <= w[1]));
+}
+
+#[test]
+fn pair_sort_preserves_key_value_association_for_all_shapes() {
+    let n = 50_000;
+    // 32-bit keys with 32-bit values.
+    let keys = uniform_keys::<u32>(n, 21);
+    let mut sorted = keys.clone();
+    let mut values: Vec<u32> = (0..n as u32).collect();
+    HybridRadixSorter::new(SortConfig::pairs_32_32().scaled_for(n, 500_000_000))
+        .sort_pairs(&mut sorted, &mut values);
+    assert!(verify_indexed_pair_sort(&keys, &sorted, &values));
+
+    // 64-bit keys with 64-bit values (values checked through u64 markers).
+    let keys = uniform_keys::<u64>(n, 22);
+    let mut sorted = keys.clone();
+    let mut values: Vec<u64> = keys.iter().map(|&k| k ^ 0xABCD).collect();
+    HybridRadixSorter::new(SortConfig::pairs_64_64().scaled_for(n, 125_000_000))
+        .sort_pairs(&mut sorted, &mut values);
+    assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+    for (k, v) in sorted.iter().zip(values.iter()) {
+        assert_eq!(*k, *v ^ 0xABCD);
+    }
+}
+
+#[test]
+fn every_ablation_variant_produces_the_same_sorted_output() {
+    let n = 50_000;
+    let keys: Vec<u32> = Distribution::Entropy(EntropyLevel::with_and_count(2)).generate(n, 31);
+    let expected = KeyCodec::std_sorted(&keys);
+    for (name, opts) in Optimizations::ablation_variants() {
+        let mut k = keys.clone();
+        scaled_sorter_32(n).with_optimizations(opts).sort(&mut k);
+        assert_eq!(k, expected, "ablation variant: {name}");
+    }
+}
+
+#[test]
+fn duplicate_heavy_inputs_and_edge_sizes() {
+    let sorter = HybridRadixSorter::with_defaults();
+    for n in [0usize, 1, 2, 3, 255, 256, 257, 4_095, 4_096] {
+        let mut keys: Vec<u32> = (0..n).map(|i| (i % 7) as u32).collect();
+        let expected = KeyCodec::std_sorted(&keys);
+        sorter.sort(&mut keys);
+        assert_eq!(keys, expected, "n = {n}");
+    }
+}
+
+#[test]
+fn report_statistics_are_internally_consistent() {
+    let n = 80_000;
+    let mut keys: Vec<u64> = Distribution::Entropy(EntropyLevel::with_and_count(1)).generate(n, 41);
+    let report = scaled_sorter_64(n).sort(&mut keys);
+    // Every key either went through a local sort or survived all passes.
+    assert!(report.local.n_keys <= report.n);
+    // Pass 0 processes the whole input.
+    assert_eq!(report.passes[0].n_keys, report.n);
+    // Later passes only process forwarded buckets.
+    for w in report.passes.windows(2) {
+        assert!(w[1].n_keys <= w[0].n_keys);
+    }
+    // Simulated breakdown adds up.
+    let sum: f64 = report.simulated.kernels.iter().map(|(_, t)| t.total.secs()).sum();
+    assert!((sum - report.simulated.total.secs()).abs() < 1e-9);
+    // The distribution is skewed, so the scatter look-ahead was active for
+    // at least some blocks in the later passes.
+    let lookahead_blocks: u64 = report.passes.iter().map(|p| p.lookahead_active_blocks).sum();
+    assert!(lookahead_blocks > 0);
+    let _ = workloads::stats::is_sorted(&keys);
+}
+
+#[test]
+fn baselines_agree_with_the_hybrid_sort() {
+    use hybrid_radix_sort::baselines::{GpuLsdRadixSort, GpuMergeSort, MultisplitRadixSort, ParadisSort};
+    let n = 40_000;
+    let keys: Vec<u64> = Distribution::paper_zipf(3_000).generate(n, 55);
+    let mut expected = keys.clone();
+    HybridRadixSorter::with_defaults().sort(&mut expected);
+
+    let mut a = keys.clone();
+    GpuLsdRadixSort::cub_1_5_1().sort(&mut a);
+    assert_eq!(a, expected);
+
+    let mut b = keys.clone();
+    GpuMergeSort::mgpu().sort(&mut b);
+    assert_eq!(b, expected);
+
+    let mut c = keys.clone();
+    MultisplitRadixSort::paper().sort(&mut c);
+    assert_eq!(c, expected);
+
+    let mut d = keys.clone();
+    ParadisSort::with_threads(4).sort(&mut d);
+    assert_eq!(d, expected);
+}

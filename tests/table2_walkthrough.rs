@@ -1,0 +1,20 @@
+//! Reproduces the Table 2 walkthrough end to end: sorting sixteen 4-bit keys
+//! with 2-bit digits and a local-sort threshold of three keys must produce
+//! the histogram 4 8 2 2, the prefix sum 0 4 12 14 and the fully sorted
+//! base-4 sequence the paper lists.
+
+use hybrid_radix_sort::experiments::figures::table2_trace;
+
+#[test]
+fn table2_trace_matches_the_paper() {
+    let trace = table2_trace();
+    assert!(trace.contains("histogram  4 8 2 2"), "{trace}");
+    assert!(trace.contains("prefix-sum 0 4 12 14"), "{trace}");
+    // Second pass: bucket 0 (4 keys) and bucket 1 (8 keys) are partitioned
+    // again, buckets 2 and 3 (2 keys each) are local-sorted.
+    assert!(trace.contains("local sort"), "{trace}");
+    assert!(
+        trace.contains("final: 00 01 03 03 10 10 11 12 12 12 12 13 22 23 31 31"),
+        "{trace}"
+    );
+}
