@@ -138,7 +138,7 @@ impl GpuLsdRadixSort {
 
     /// Sorts `keys` in place (stable LSD radix sort on the radix
     /// representation) and returns the simulated report.
-    pub fn sort<K: SortKey>(&self, keys: &mut Vec<K>) -> BaselineReport {
+    pub fn sort<K: SortKey>(&self, keys: &mut [K]) -> BaselineReport {
         let mut values: Vec<()> = vec![(); keys.len()];
         self.sort_pairs(keys, &mut values)
     }
@@ -146,8 +146,8 @@ impl GpuLsdRadixSort {
     /// Sorts keys and values together; the sort is stable.
     pub fn sort_pairs<K: SortKey, V: Copy + Default>(
         &self,
-        keys: &mut Vec<K>,
-        values: &mut Vec<V>,
+        keys: &mut [K],
+        values: &mut [V],
     ) -> BaselineReport {
         assert_eq!(keys.len(), values.len());
         let n = keys.len();
@@ -156,7 +156,7 @@ impl GpuLsdRadixSort {
         let passes = self.config.num_passes(K::BITS);
 
         let mut src_k: Vec<u64> = keys.iter().map(|k| k.to_radix()).collect();
-        let mut src_v: Vec<V> = std::mem::take(values);
+        let mut src_v: Vec<V> = values.to_vec();
         let mut dst_k = vec![0u64; n];
         let mut dst_v = vec![V::default(); n];
 
@@ -190,7 +190,7 @@ impl GpuLsdRadixSort {
         for (slot, bits) in keys.iter_mut().zip(src_k.iter()) {
             *slot = K::from_radix(*bits);
         }
-        *values = src_v;
+        values.copy_from_slice(&src_v);
 
         let value_bytes = if std::mem::size_of::<V>() == 0 {
             0
@@ -316,7 +316,7 @@ mod tests {
             }
         }
         // Check stability directly: within each key group values ascend.
-        let mut last = vec![-1i64; 16];
+        let mut last = [-1i64; 16];
         for (k, v) in keys.iter().zip(values.iter()) {
             assert!(last[*k as usize] < *v as i64);
             last[*k as usize] = *v as i64;

@@ -51,7 +51,7 @@ impl GpuMergeSort {
 
     /// Sorts `keys` (functional tile sort + iterative merge passes) and
     /// returns the simulated report.
-    pub fn sort<K: SortKey>(&self, keys: &mut Vec<K>) -> BaselineReport {
+    pub fn sort<K: SortKey>(&self, keys: &mut [K]) -> BaselineReport {
         let mut values: Vec<()> = vec![(); keys.len()];
         self.sort_pairs(keys, &mut values)
     }
@@ -59,8 +59,8 @@ impl GpuMergeSort {
     /// Sorts keys and values together (stable merge).
     pub fn sort_pairs<K: SortKey, V: Copy + Default>(
         &self,
-        keys: &mut Vec<K>,
-        values: &mut Vec<V>,
+        keys: &mut [K],
+        values: &mut [V],
     ) -> BaselineReport {
         assert_eq!(keys.len(), values.len());
         let n = keys.len();
@@ -210,7 +210,7 @@ mod tests {
         let mut vals: Vec<u32> = (0..20_000).collect();
         ms.sort_pairs(&mut keys, &mut vals);
         assert!(keys.windows(2).all(|w| w[0] <= w[1]));
-        let mut last = vec![-1i64; 7];
+        let mut last = [-1i64; 7];
         for (k, v) in keys.iter().zip(vals.iter()) {
             assert!(last[*k as usize] < *v as i64, "stability violated");
             last[*k as usize] = *v as i64;

@@ -52,7 +52,7 @@ impl MultisplitRadixSort {
     }
 
     /// Sorts `keys` functionally and returns the simulated report.
-    pub fn sort<K: SortKey>(&self, keys: &mut Vec<K>) -> BaselineReport {
+    pub fn sort<K: SortKey>(&self, keys: &mut [K]) -> BaselineReport {
         let mut values: Vec<()> = vec![(); keys.len()];
         self.sort_pairs(keys, &mut values)
     }
@@ -60,8 +60,8 @@ impl MultisplitRadixSort {
     /// Sorts keys and values together.
     pub fn sort_pairs<K: SortKey, V: Copy + Default>(
         &self,
-        keys: &mut Vec<K>,
-        values: &mut Vec<V>,
+        keys: &mut [K],
+        values: &mut [V],
     ) -> BaselineReport {
         assert_eq!(keys.len(), values.len());
         let n = keys.len();
@@ -69,7 +69,7 @@ impl MultisplitRadixSort {
         let passes = self.num_passes(K::BITS);
 
         let mut src_k: Vec<u64> = keys.iter().map(|k| k.to_radix()).collect();
-        let mut src_v: Vec<V> = std::mem::take(values);
+        let mut src_v: Vec<V> = values.to_vec();
         let mut dst_k = vec![0u64; n];
         let mut dst_v = vec![V::default(); n];
 
@@ -112,7 +112,7 @@ impl MultisplitRadixSort {
         for (slot, bits) in keys.iter_mut().zip(src_k.iter()) {
             *slot = K::from_radix(*bits);
         }
-        *values = src_v;
+        values.copy_from_slice(&src_v);
 
         let value_bytes = if std::mem::size_of::<V>() == 0 {
             0
@@ -199,7 +199,9 @@ mod tests {
         let mut sorted = keys.clone();
         let mut vals: Vec<u32> = (0..10_000).collect();
         ms.sort_pairs(&mut sorted, &mut vals);
-        assert!(workloads::pairs::verify_indexed_pair_sort(&keys, &sorted, &vals));
+        assert!(workloads::pairs::verify_indexed_pair_sort(
+            &keys, &sorted, &vals
+        ));
     }
 
     #[test]
@@ -210,8 +212,14 @@ mod tests {
         let multisplit = MultisplitRadixSort::paper().simulate(n, 32, 0);
         let cub_old = GpuLsdRadixSort::cub_1_5_1().simulate(n, 32, 0);
         let cub_new = GpuLsdRadixSort::cub_1_6_4().simulate(n, 32, 0);
-        assert!(multisplit.total < cub_old.total, "multisplit should beat CUB 1.5.1");
-        assert!(multisplit.total > cub_new.total, "CUB 1.6.4 should beat multisplit");
+        assert!(
+            multisplit.total < cub_old.total,
+            "multisplit should beat CUB 1.5.1"
+        );
+        assert!(
+            multisplit.total > cub_new.total,
+            "CUB 1.6.4 should beat multisplit"
+        );
     }
 
     #[test]

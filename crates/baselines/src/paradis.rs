@@ -16,7 +16,7 @@
 //!   reproduces the runtimes reported for PARADIS on the 32-core machine the
 //!   paper quotes, for regenerating Figure 9.
 
-use crossbeam::thread;
+use std::thread;
 use workloads::SortKey;
 
 /// Configuration of the PARADIS-style CPU sort.
@@ -99,14 +99,13 @@ impl ParadisSort {
         thread::scope(|s| {
             for (t, hist) in thread_hists.iter_mut().enumerate() {
                 let slice = &keys[(t * chunk).min(n)..((t + 1) * chunk).min(n)];
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for k in slice {
                         hist[((k.to_radix() >> shift) & mask) as usize] += 1;
                     }
                 });
             }
-        })
-        .expect("histogram workers panicked");
+        });
 
         // Per-thread starting offsets (stable within a digit value across
         // threads, like PARADIS' stripe assignment).
@@ -131,7 +130,7 @@ impl ParadisSort {
         thread::scope(|s| {
             for (t, offs) in offsets.into_iter().enumerate() {
                 let slice = &keys[(t * chunk).min(n)..((t + 1) * chunk).min(n)];
-                s.spawn(move |_| {
+                s.spawn(move || {
                     // Capture the whole wrapper (not just the raw pointer
                     // field) so the closure stays `Send`.
                     let out = aux_ptr;
@@ -148,8 +147,7 @@ impl ParadisSort {
                     }
                 });
             }
-        })
-        .expect("scatter workers panicked");
+        });
 
         keys.copy_from_slice(aux);
 

@@ -82,8 +82,8 @@ impl PaperFigure6Anchors {
     /// The anchors stated in Sections 1 and 6.1.
     pub fn paper() -> Self {
         PaperFigure6Anchors {
-            hrs_keys32_uniform: 2.0 / 0.0626,  // 2 GB in 62.6 ms ≈ 32 GB/s
-            hrs_keys64_uniform: 2.0 / 0.0667,  // 2 GB in 66.7 ms ≈ 30 GB/s
+            hrs_keys32_uniform: 2.0 / 0.0626, // 2 GB in 62.6 ms ≈ 32 GB/s
+            hrs_keys64_uniform: 2.0 / 0.0667, // 2 GB in 66.7 ms ≈ 30 GB/s
             hrs_pairs32_peak: 40.2,
             hrs_pairs64_peak: 35.7,
             min_speedup_keys32: 1.69,
@@ -136,8 +136,14 @@ mod tests {
 
     #[test]
     fn out_of_range_sizes_return_none() {
-        assert_eq!(paradis_reported_seconds(2, ReportedDistribution::Uniform), None);
-        assert_eq!(paradis_reported_seconds(128, ReportedDistribution::Zipf075), None);
+        assert_eq!(
+            paradis_reported_seconds(2, ReportedDistribution::Uniform),
+            None
+        );
+        assert_eq!(
+            paradis_reported_seconds(128, ReportedDistribution::Zipf075),
+            None
+        );
     }
 
     #[test]

@@ -2,10 +2,10 @@
 //! sort with individual optimisations disabled, on a skewed input.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use hrs_bench::{bench_config_32, BENCH_KEYS, BENCH_SEED};
 use hrs_core::{HybridRadixSorter, Optimizations};
 use std::hint::black_box;
+use std::time::Duration;
 use workloads::{Distribution, EntropyLevel};
 
 fn bench_ablation(c: &mut Criterion) {

@@ -3,9 +3,9 @@
 //! functional scale).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use hrs_bench::{BENCH_KEYS, BENCH_SEED};
 use std::hint::black_box;
+use std::time::Duration;
 use workloads::Distribution;
 
 fn bench_baselines(c: &mut Criterion) {

@@ -4,11 +4,11 @@
 //! sort at functional scale.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use hetero::{parallel_merge_sorted_runs, HeterogeneousSorter};
 use hrs_bench::{bench_config_64, BENCH_HETERO_KEYS, BENCH_SEED};
 use hrs_core::HybridRadixSorter;
 use std::hint::black_box;
+use std::time::Duration;
 use workloads::Distribution;
 
 fn bench_multiway_merge(c: &mut Criterion) {
@@ -26,12 +26,16 @@ fn bench_multiway_merge(c: &mut Criterion) {
                 r
             })
             .collect();
-        group.bench_with_input(BenchmarkId::new("merge", format!("s={runs}")), &sorted_runs, |b, runs| {
-            b.iter(|| {
-                let refs: Vec<&[u64]> = runs.iter().map(|r| r.as_slice()).collect();
-                black_box(parallel_merge_sorted_runs(&refs, 6))
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("merge", format!("s={runs}")),
+            &sorted_runs,
+            |b, runs| {
+                b.iter(|| {
+                    let refs: Vec<&[u64]> = runs.iter().map(|r| r.as_slice()).collect();
+                    black_box(parallel_merge_sorted_runs(&refs, 6))
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -41,17 +45,22 @@ fn bench_hetero_sort(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(Duration::from_millis(500));
     group.measurement_time(Duration::from_secs(2));
-    let keys: Vec<u64> = Distribution::paper_zipf(100_000).generate(BENCH_HETERO_KEYS * 2, BENCH_SEED);
+    let keys: Vec<u64> =
+        Distribution::paper_zipf(100_000).generate(BENCH_HETERO_KEYS * 2, BENCH_SEED);
     let sorter = HeterogeneousSorter::with_defaults()
         .with_gpu_sorter(HybridRadixSorter::new(bench_config_64()))
         .with_merge_threads(6);
     for s in [2usize, 4] {
-        group.bench_with_input(BenchmarkId::new("end_to_end", format!("s={s}")), &keys, |b, keys| {
-            b.iter(|| {
-                let mut k = keys.clone();
-                black_box(sorter.sort(&mut k, s));
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("end_to_end", format!("s={s}")),
+            &keys,
+            |b, keys| {
+                b.iter(|| {
+                    let mut k = keys.clone();
+                    black_box(sorter.sort(&mut k, s));
+                });
+            },
+        );
     }
     group.finish();
 }

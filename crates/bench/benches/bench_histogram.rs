@@ -3,16 +3,18 @@
 //! a varying number of distinct digit values.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use gpu_sim::HistogramStrategy;
 use hrs_core::histogram::block_histogram;
 use std::hint::black_box;
+use std::time::Duration;
 use workloads::SplitMix64;
 
 fn keys_with_distinct_msb(n: usize, distinct: u64) -> Vec<u32> {
     let mut rng = SplitMix64::new(42);
     (0..n)
-        .map(|_| ((rng.next_bounded(distinct.max(1)) as u32) << 24) | (rng.next_u32() & 0x00FF_FFFF))
+        .map(|_| {
+            ((rng.next_bounded(distinct.max(1)) as u32) << 24) | (rng.next_u32() & 0x00FF_FFFF)
+        })
         .collect()
 }
 

@@ -5,10 +5,10 @@
 //! the functional implementations.)
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use hrs_bench::{bench_config_64, BENCH_KEYS, BENCH_SEED};
 use hrs_core::HybridRadixSorter;
 use std::hint::black_box;
+use std::time::Duration;
 use workloads::{Distribution, EntropyLevel};
 
 fn bench_sorters(c: &mut Criterion) {
@@ -19,19 +19,26 @@ fn bench_sorters(c: &mut Criterion) {
 
     for (name, dist) in [
         ("uniform", Distribution::Uniform),
-        ("entropy_25.96", Distribution::Entropy(EntropyLevel::with_and_count(1))),
+        (
+            "entropy_25.96",
+            Distribution::Entropy(EntropyLevel::with_and_count(1)),
+        ),
         ("constant", Distribution::Constant),
     ] {
         let keys: Vec<u64> = dist.generate(BENCH_KEYS, BENCH_SEED);
 
-        group.bench_with_input(BenchmarkId::new("hybrid_radix_sort", name), &keys, |b, keys| {
-            let sorter = HybridRadixSorter::new(bench_config_64());
-            b.iter(|| {
-                let mut k = keys.clone();
-                black_box(sorter.sort(&mut k));
-                black_box(k)
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("hybrid_radix_sort", name),
+            &keys,
+            |b, keys| {
+                let sorter = HybridRadixSorter::new(bench_config_64());
+                b.iter(|| {
+                    let mut k = keys.clone();
+                    black_box(sorter.sort(&mut k));
+                    black_box(k)
+                });
+            },
+        );
 
         group.bench_with_input(BenchmarkId::new("cub_lsd_5bit", name), &keys, |b, keys| {
             let cub = baselines::GpuLsdRadixSort::cub_1_5_1();
@@ -42,13 +49,17 @@ fn bench_sorters(c: &mut Criterion) {
             });
         });
 
-        group.bench_with_input(BenchmarkId::new("std_sort_unstable", name), &keys, |b, keys| {
-            b.iter(|| {
-                let mut k = keys.clone();
-                k.sort_unstable();
-                black_box(k)
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("std_sort_unstable", name),
+            &keys,
+            |b, keys| {
+                b.iter(|| {
+                    let mut k = keys.clone();
+                    k.sort_unstable();
+                    black_box(k)
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -32,6 +32,6 @@ mod tests {
     fn bench_configs_are_valid() {
         assert!(super::bench_config_64().validate().is_ok());
         assert!(super::bench_config_32().validate().is_ok());
-        assert!(super::BENCH_KEYS >= 1_000);
+        const { assert!(super::BENCH_KEYS >= 1_000) };
     }
 }

@@ -150,18 +150,19 @@ pub fn classify_sub_buckets(
     let mut out = Classified::default();
     let mut pending: Option<(usize, usize, u32)> = None; // (offset, len, merged_from)
 
-    let flush = |pending: &mut Option<(usize, usize, u32)>, out: &mut Classified, next_id: &mut u64| {
-        if let Some((offset, len, merged_from)) = pending.take() {
-            out.local.push(LocalBucket {
-                id: *next_id,
-                offset,
-                len,
-                merged_from,
-                sorted_passes: next_pass,
-            });
-            *next_id += 1;
-        }
-    };
+    let flush =
+        |pending: &mut Option<(usize, usize, u32)>, out: &mut Classified, next_id: &mut u64| {
+            if let Some((offset, len, merged_from)) = pending.take() {
+                out.local.push(LocalBucket {
+                    id: *next_id,
+                    offset,
+                    len,
+                    merged_from,
+                    sorted_passes: next_pass,
+                });
+                *next_id += 1;
+            }
+        };
 
     for sb in sub_buckets.iter().filter(|sb| sb.len > 0) {
         if merging {
@@ -216,8 +217,18 @@ mod tests {
     #[test]
     fn block_assignments_tile_each_bucket() {
         let buckets = vec![
-            Bucket { id: 0, offset: 0, len: 700, pass: 1 },
-            Bucket { id: 1, offset: 700, len: 300, pass: 1 },
+            Bucket {
+                id: 0,
+                offset: 0,
+                len: 700,
+                pass: 1,
+            },
+            Bucket {
+                id: 1,
+                offset: 700,
+                len: 300,
+                pass: 1,
+            },
         ];
         let blocks = block_assignments(&buckets, 256);
         assert_eq!(blocks.len(), 3 + 2);
@@ -236,10 +247,22 @@ mod tests {
     #[test]
     fn classification_routes_by_size() {
         let subs = vec![
-            SubBucket { offset: 0, len: 10_000 },
-            SubBucket { offset: 10_000, len: 500 },
-            SubBucket { offset: 10_500, len: 0 },
-            SubBucket { offset: 10_500, len: 5_000 },
+            SubBucket {
+                offset: 0,
+                len: 10_000,
+            },
+            SubBucket {
+                offset: 10_000,
+                len: 500,
+            },
+            SubBucket {
+                offset: 10_500,
+                len: 0,
+            },
+            SubBucket {
+                offset: 10_500,
+                len: 5_000,
+            },
         ];
         let mut id = 10;
         let c = classify_sub_buckets(&subs, 1, 4_224, 1_400, true, &mut id);
@@ -256,7 +279,10 @@ mod tests {
     #[test]
     fn merging_combines_tiny_neighbours() {
         let subs: Vec<SubBucket> = (0..10)
-            .map(|i| SubBucket { offset: i * 100, len: 100 })
+            .map(|i| SubBucket {
+                offset: i * 100,
+                len: 100,
+            })
             .collect();
         let mut id = 0;
         let c = classify_sub_buckets(&subs, 2, 4_224, 450, true, &mut id);
@@ -280,7 +306,10 @@ mod tests {
     #[test]
     fn no_merging_leaves_sub_buckets_alone() {
         let subs: Vec<SubBucket> = (0..10)
-            .map(|i| SubBucket { offset: i * 100, len: 100 })
+            .map(|i| SubBucket {
+                offset: i * 100,
+                len: 100,
+            })
             .collect();
         let mut id = 0;
         let c = classify_sub_buckets(&subs, 2, 4_224, 450, false, &mut id);
@@ -292,8 +321,14 @@ mod tests {
     fn pending_merge_group_flushes_before_large_bucket() {
         let subs = vec![
             SubBucket { offset: 0, len: 50 },
-            SubBucket { offset: 50, len: 9_000 },
-            SubBucket { offset: 9_050, len: 60 },
+            SubBucket {
+                offset: 50,
+                len: 9_000,
+            },
+            SubBucket {
+                offset: 9_050,
+                len: 60,
+            },
         ];
         let mut id = 0;
         let c = classify_sub_buckets(&subs, 1, 4_224, 1_000, true, &mut id);
@@ -309,7 +344,10 @@ mod tests {
         // Rule I3's argument: any two subsequent merged buckets must hold at
         // least ∂ keys together, otherwise they would have been merged.
         let subs: Vec<SubBucket> = (0..20)
-            .map(|i| SubBucket { offset: i * 30, len: 30 })
+            .map(|i| SubBucket {
+                offset: i * 30,
+                len: 30,
+            })
             .collect();
         let mut id = 0;
         let c = classify_sub_buckets(&subs, 1, 4_224, 100, true, &mut id);

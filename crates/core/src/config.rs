@@ -229,8 +229,7 @@ impl SortConfig {
     /// Shared-memory bytes a counting-sort block requires: staging space for
     /// `KPB` keys (and values) plus `r` 32-bit counters.
     pub fn counting_block_shared_mem(&self, key_bytes: u32, value_bytes: u32) -> u32 {
-        (self.keys_per_block as u32) * key_bytes.max(value_bytes)
-            + (self.radix() as u32) * 4
+        (self.keys_per_block as u32) * key_bytes.max(value_bytes) + (self.radix() as u32) * 4
     }
 
     /// Occupancy of the counting-sort kernel on the given device (sanity
@@ -253,7 +252,10 @@ impl SortConfig {
     /// violated constraint, if any.
     pub fn validate(&self) -> Result<(), String> {
         if self.digit_bits == 0 || self.digit_bits > 16 {
-            return Err(format!("digit_bits must be in 1..=16, got {}", self.digit_bits));
+            return Err(format!(
+                "digit_bits must be in 1..=16, got {}",
+                self.digit_bits
+            ));
         }
         if self.keys_per_block == 0 {
             return Err("keys_per_block must be positive".to_string());
@@ -285,22 +287,42 @@ mod tests {
     fn table_3_values() {
         let c = SortConfig::keys_32();
         assert_eq!(
-            (c.keys_per_block, c.threads_per_block, c.keys_per_thread, c.local_sort_threshold),
+            (
+                c.keys_per_block,
+                c.threads_per_block,
+                c.keys_per_thread,
+                c.local_sort_threshold
+            ),
             (6_912, 384, 18, 9_216)
         );
         let c = SortConfig::keys_64();
         assert_eq!(
-            (c.keys_per_block, c.threads_per_block, c.keys_per_thread, c.local_sort_threshold),
+            (
+                c.keys_per_block,
+                c.threads_per_block,
+                c.keys_per_thread,
+                c.local_sort_threshold
+            ),
             (3_456, 384, 9, 4_224)
         );
         let c = SortConfig::pairs_32_32();
         assert_eq!(
-            (c.keys_per_block, c.threads_per_block, c.keys_per_thread, c.local_sort_threshold),
+            (
+                c.keys_per_block,
+                c.threads_per_block,
+                c.keys_per_thread,
+                c.local_sort_threshold
+            ),
             (3_456, 384, 18, 5_760)
         );
         let c = SortConfig::pairs_64_64();
         assert_eq!(
-            (c.keys_per_block, c.threads_per_block, c.keys_per_thread, c.local_sort_threshold),
+            (
+                c.keys_per_block,
+                c.threads_per_block,
+                c.keys_per_thread,
+                c.local_sort_threshold
+            ),
             (2_304, 256, 9, 3_840)
         );
     }

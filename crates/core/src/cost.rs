@@ -140,7 +140,10 @@ pub fn evaluate(
 
         // Histogram kernel: reads keys, writes per-block histograms.
         let mut hist_traffic = MemoryTraffic::default();
-        hist_traffic.read(keys_total).write(block_hist_bytes).launch();
+        hist_traffic
+            .read(keys_total)
+            .write(block_hist_bytes)
+            .launch();
         hist_traffic.shared_atomic(pass.histogram_updates);
         let (hist_strategy, hist_updates) = if opts.thread_reduction_histogram {
             (HistogramStrategy::ThreadReduction, pass.n_keys)
@@ -160,8 +163,8 @@ pub fn evaluate(
         // Bookkeeping kernel: prefix sums over the bucket histograms and
         // generation of the next pass's block / local-sort assignments.
         let bucket_hist_bytes = pass.n_buckets * pass.radix as u64 * 4;
-        let assignment_bytes = (pass.n_blocks + pass.sub_buckets_created) * 16
-            + pass.local_buckets_created * 12;
+        let assignment_bytes =
+            (pass.n_blocks + pass.sub_buckets_created) * 16 + pass.local_buckets_created * 12;
         let mut book_traffic = MemoryTraffic::default();
         book_traffic
             .read(bucket_hist_bytes)
@@ -189,9 +192,10 @@ pub fn evaluate(
         let scatter_eff = model.scatter_rw_efficiency * tx_eff;
         // The scatter stages through shared memory with one atomic per key
         // (or per combined run when the look-ahead is active).
-        let scatter_rate = model
-            .atomics
-            .device_keys_per_sec(device, HistogramStrategy::AtomicsOnly, distinct);
+        let scatter_rate =
+            model
+                .atomics
+                .device_keys_per_sec(device, HistogramStrategy::AtomicsOnly, distinct);
         let scatter_timing = KernelCost::memory_bound(KernelKind::Scatter, scatter_traffic)
             .with_efficiency(scatter_eff)
             .with_compute(pass.scatter_updates, scatter_rate)
@@ -222,10 +226,8 @@ pub fn evaluate(
         // Scheduling overhead is additive on top of the kernel time.
         let mut local_total = local_timing;
         local_total.compute_time += SimTime::from_secs(scheduling_overhead);
-        local_total.total = local_total
-            .memory_time
-            .max(local_total.compute_time)
-            + local_total.launch_overhead;
+        local_total.total =
+            local_total.memory_time.max(local_total.compute_time) + local_total.launch_overhead;
         local_total.memory_bound = local_total.memory_time >= local_total.compute_time;
         traffic += local_traffic;
         kernels.push(("local sorts".to_string(), local_total));
@@ -276,12 +278,8 @@ mod tests {
     fn uniform_report_64(n: u64, passes: u32, local_keys: u64) -> SortReport {
         let mut r = SortReport::new(n, 8, 0);
         // Bucket counts are capped by the analytical bound n/∂̂ (rule I1).
-        let buckets_at = |p: u32| -> u64 {
-            256u64
-                .checked_pow(p)
-                .unwrap_or(u64::MAX)
-                .min(n / 4_224 + 1)
-        };
+        let buckets_at =
+            |p: u32| -> u64 { 256u64.checked_pow(p).unwrap_or(u64::MAX).min(n / 4_224 + 1) };
         for p in 0..passes {
             r.passes.push(PassStats {
                 pass: p,
@@ -296,7 +294,11 @@ mod tests {
                 max_bin_fraction: 0.004,
                 sub_buckets_created: buckets_at(p + 1),
                 local_buckets_created: if p + 1 == passes { 65_536 } else { 0 },
-                counting_buckets_forwarded: if p + 1 == passes { 0 } else { buckets_at(p + 1) },
+                counting_buckets_forwarded: if p + 1 == passes {
+                    0
+                } else {
+                    buckets_at(p + 1)
+                },
                 lookahead_active_blocks: 0,
             });
         }

@@ -159,7 +159,10 @@ pub fn run_counting_pass<K: SortKey, V: Copy>(
         stats.sub_buckets_created += sub_buckets.len() as u64;
         stats.local_buckets_created += local.len() as u64;
         stats.counting_buckets_forwarded += counting.len() as u64;
-        distinct_sum += block_hists.iter().map(|b| b.distinct_values as u64).sum::<u64>();
+        distinct_sum += block_hists
+            .iter()
+            .map(|b| b.distinct_values as u64)
+            .sum::<u64>();
         max_bin_keys += bucket_hist.iter().copied().max().unwrap_or(0);
 
         out.local.extend(local);
@@ -224,8 +227,10 @@ mod tests {
         assert!(workloads::stats::is_permutation_of(&keys, &dst));
         assert_eq!(out.stats.n_keys, 50_000);
         assert_eq!(out.stats.n_buckets, 1);
-        assert_eq!(out.stats.sub_buckets_created as usize,
-                   workloads::distinct_values(&keys.iter().map(|k| k >> 24).collect::<Vec<_>>()));
+        assert_eq!(
+            out.stats.sub_buckets_created as usize,
+            workloads::distinct_values(&keys.iter().map(|k| k >> 24).collect::<Vec<_>>())
+        );
         // 50 000 / 256 ≈ 195 keys per digit value: below ∂̂ = 300, so every
         // sub-bucket goes to the local sort.
         assert_eq!(out.next_counting.len(), 0);
@@ -310,13 +315,29 @@ mod tests {
         let mut dst_vals = vec![(); n];
         let mut next_id = 1;
         let out0 = run_counting_pass(
-            &keys, &mut buf1, &src_vals, &mut dst_vals,
-            &[Bucket::root(n)], 0, &cfg, &opts, &mut next_id, None,
+            &keys,
+            &mut buf1,
+            &src_vals,
+            &mut dst_vals,
+            &[Bucket::root(n)],
+            0,
+            &cfg,
+            &opts,
+            &mut next_id,
+            None,
         );
         let mut buf2 = vec![0u32; n];
         let out1 = run_counting_pass(
-            &buf1, &mut buf2, &src_vals, &mut dst_vals,
-            &out0.next_counting, 1, &cfg, &opts, &mut next_id, None,
+            &buf1,
+            &mut buf2,
+            &src_vals,
+            &mut dst_vals,
+            &out0.next_counting,
+            1,
+            &cfg,
+            &opts,
+            &mut next_id,
+            None,
         );
         // Keys covered by second-pass buckets are now sorted on their top
         // 16 bits within each first-pass bucket region.

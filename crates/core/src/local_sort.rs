@@ -152,7 +152,10 @@ mod tests {
         );
         assert!(bufs[1][..400].windows(2).all(|w| w[0] <= w[1]));
         assert!(bufs[1][400..].windows(2).all(|w| w[0] <= w[1]));
-        assert!(workloads::stats::is_permutation_of(&keys[..400], &bufs[1][..400]));
+        assert!(workloads::stats::is_permutation_of(
+            &keys[..400],
+            &bufs[1][..400]
+        ));
         assert_eq!(stats.invocations, 2);
         assert_eq!(stats.n_keys, 1_000);
         assert_eq!(stats.largest_bucket, 600);
@@ -208,9 +211,14 @@ mod tests {
         let mut bufs = [keys.clone(), vec![0u32; 200]];
         let mut vals: [Vec<()>; 2] = [vec![(); 200], vec![(); 200]];
         run_local_sorts(
-            &mut bufs, &mut vals, 0, 1,
+            &mut bufs,
+            &mut vals,
+            0,
+            1,
             &[bucket(0, 100), bucket(100, 100)],
-            &cfg, &Optimizations::all_on(), &mut stats_multi,
+            &cfg,
+            &Optimizations::all_on(),
+            &mut stats_multi,
         );
         // Two 100-key buckets fall into the [1,128] class.
         assert_eq!(stats_multi.provisioned_keys, 256);
@@ -219,9 +227,14 @@ mod tests {
         let mut bufs = [keys, vec![0u32; 200]];
         let mut vals: [Vec<()>; 2] = [vec![(); 200], vec![(); 200]];
         run_local_sorts(
-            &mut bufs, &mut vals, 0, 1,
+            &mut bufs,
+            &mut vals,
+            0,
+            1,
             &[bucket(0, 100), bucket(100, 100)],
-            &cfg, &Optimizations::single_local_sort_config(), &mut stats_single,
+            &cfg,
+            &Optimizations::single_local_sort_config(),
+            &mut stats_single,
         );
         // The single configuration provisions ∂̂ keys per bucket.
         assert_eq!(stats_single.provisioned_keys, 2 * 9_216);
@@ -241,8 +254,14 @@ mod tests {
             sorted_passes: 1,
         };
         run_local_sorts(
-            &mut bufs, &mut vals, 0, 1, &[merged],
-            &SortConfig::keys_32(), &Optimizations::all_on(), &mut stats,
+            &mut bufs,
+            &mut vals,
+            0,
+            1,
+            &[merged],
+            &SortConfig::keys_32(),
+            &Optimizations::all_on(),
+            &mut stats,
         );
         assert_eq!(stats.merged_buckets, 1);
     }

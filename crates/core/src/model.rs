@@ -140,7 +140,11 @@ impl AnalyticalModel {
     /// The largest number of keys of `key_bits` bits that fits into
     /// `device_memory_bytes` under this configuration (binary search over
     /// the closed-form total).
-    pub fn max_keys_for_memory(key_bits: u32, config: &SortConfig, device_memory_bytes: u64) -> u64 {
+    pub fn max_keys_for_memory(
+        key_bits: u32,
+        config: &SortConfig,
+        device_memory_bytes: u64,
+    ) -> u64 {
         let mut lo = 0u64;
         let mut hi = device_memory_bytes / (key_bits as u64 / 8).max(1) + 1;
         while lo < hi {
@@ -255,7 +259,9 @@ mod tests {
     #[test]
     fn render_contains_all_rows() {
         let s = AnalyticalModel::paper_example(1_000_000).render();
-        for needle in ["I1", "I2", "I3", "I4", "M1", "M2", "M3", "M4", "M5", "overhead"] {
+        for needle in [
+            "I1", "I2", "I3", "I4", "M1", "M2", "M3", "M4", "M5", "overhead",
+        ] {
             assert!(s.contains(needle), "missing {needle}");
         }
     }

@@ -100,9 +100,15 @@ impl Optimizations {
     /// they appear in the paper's legend.
     pub fn ablation_variants() -> Vec<(&'static str, Optimizations)> {
         vec![
-            ("single local sort config", Optimizations::single_local_sort_config()),
+            (
+                "single local sort config",
+                Optimizations::single_local_sort_config(),
+            ),
             ("no bucket merging", Optimizations::no_bucket_merging()),
-            ("no merge + single config", Optimizations::no_merge_single_config()),
+            (
+                "no merge + single config",
+                Optimizations::no_merge_single_config(),
+            ),
             ("no look-ahead", Optimizations::no_lookahead()),
             ("no thread red. histo", Optimizations::no_thread_reduction()),
             ("all optimisations off", Optimizations::all_off()),

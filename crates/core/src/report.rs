@@ -139,6 +139,62 @@ impl SortReport {
         scale(&mut self.local.largest_bucket);
     }
 
+    /// Accumulates another run's statistics into this report, aligning
+    /// counting passes by digit index.  This is the aggregation hook used by
+    /// multi-device engines: each shard produces its own `SortReport`, and
+    /// the fleet-wide view sums keys, blocks and atomic updates while
+    /// keeping per-block averages as key-weighted means.  The `simulated`
+    /// breakdown is *not* combined — shards execute concurrently, so their
+    /// simulated times compose by critical path, not by addition; the
+    /// caller owns that schedule.
+    pub fn absorb(&mut self, other: &SortReport) {
+        self.n += other.n;
+        while self.passes.len() < other.passes.len() {
+            let pass = self.passes.len() as u32;
+            self.passes.push(PassStats {
+                pass,
+                ..PassStats::default()
+            });
+        }
+        for (mine, theirs) in self.passes.iter_mut().zip(other.passes.iter()) {
+            let total_keys = mine.n_keys + theirs.n_keys;
+            let weighted = |a: f64, b: f64| {
+                if total_keys == 0 {
+                    0.0
+                } else {
+                    (a * mine.n_keys as f64 + b * theirs.n_keys as f64) / total_keys as f64
+                }
+            };
+            mine.avg_block_distinct = weighted(mine.avg_block_distinct, theirs.avg_block_distinct);
+            mine.avg_occupied_sub_buckets = weighted(
+                mine.avg_occupied_sub_buckets,
+                theirs.avg_occupied_sub_buckets,
+            );
+            mine.max_bin_fraction = mine.max_bin_fraction.max(theirs.max_bin_fraction);
+            mine.radix = mine.radix.max(theirs.radix);
+            mine.n_keys = total_keys;
+            mine.n_buckets += theirs.n_buckets;
+            mine.n_blocks += theirs.n_blocks;
+            mine.histogram_updates += theirs.histogram_updates;
+            mine.scatter_updates += theirs.scatter_updates;
+            mine.sub_buckets_created += theirs.sub_buckets_created;
+            mine.local_buckets_created += theirs.local_buckets_created;
+            mine.counting_buckets_forwarded += theirs.counting_buckets_forwarded;
+            mine.lookahead_active_blocks += theirs.lookahead_active_blocks;
+        }
+        self.local.invocations += other.local.invocations;
+        self.local.n_keys += other.local.n_keys;
+        self.local.provisioned_keys += other.local.provisioned_keys;
+        self.local.merged_buckets += other.local.merged_buckets;
+        self.local.largest_bucket = self.local.largest_bucket.max(other.local.largest_bucket);
+        self.local.classes_used = self.local.classes_used.max(other.local.classes_used);
+        self.total_sub_buckets += other.total_sub_buckets;
+        // Shards are live on different devices at the same time, so the
+        // fleet-wide maximum is the sum of the per-device maxima.
+        self.max_live_buckets += other.max_live_buckets;
+        self.fallback_comparison_sort |= other.fallback_comparison_sort;
+    }
+
     /// A one-line summary suitable for experiment logs.
     pub fn summary(&self) -> String {
         format!(
@@ -268,6 +324,33 @@ mod tests {
         assert_eq!(r.passes[1].n_buckets, buckets_before);
         assert_eq!(r.passes[1].n_blocks, blocks_before);
         assert_eq!(r.local.invocations, invocations_before);
+    }
+
+    #[test]
+    fn absorb_sums_counts_and_weights_averages() {
+        let mut a = sample_report();
+        let b = sample_report();
+        let keys_before = a.passes[0].n_keys;
+        let distinct_before = a.passes[0].avg_block_distinct;
+        a.absorb(&b);
+        assert_eq!(a.n, 2_000_000);
+        assert_eq!(a.passes[0].n_keys, 2 * keys_before);
+        // Equal-weight absorb of an identical report keeps the average.
+        assert!((a.passes[0].avg_block_distinct - distinct_before).abs() < 1e-9);
+        assert_eq!(a.local.n_keys, 2_000_000);
+        assert_eq!(a.local.invocations, 130_000);
+        assert_eq!(a.max_live_buckets, 130_000);
+        assert_eq!(a.total_sub_buckets, 2 * 65_256);
+    }
+
+    #[test]
+    fn absorb_pads_missing_passes() {
+        let mut a = SortReport::new(10, 4, 0);
+        let b = sample_report();
+        a.absorb(&b);
+        assert_eq!(a.passes.len(), b.passes.len());
+        assert_eq!(a.passes[1].n_keys, b.passes[1].n_keys);
+        assert_eq!(a.counting_passes(), 2);
     }
 
     #[test]

@@ -126,8 +126,8 @@ pub fn scatter_bucket<K: SortKey, V: Copy>(
         outcome.occupied_sub_buckets_sum += hist.distinct_values as u64;
         outcome.blocks += 1;
 
-        for d in 0..params.radix {
-            running[d] += hist.counts[d] as usize;
+        for (r, &count) in running.iter_mut().zip(hist.counts.iter()) {
+            *r += count as usize;
         }
     }
     outcome
@@ -183,7 +183,16 @@ mod tests {
         let bucket = Bucket::root(n);
         let block_hists: Vec<BlockHistogram> = keys
             .chunks(p.keys_per_block)
-            .map(|c| block_histogram(c, p.digit_bits, p.pass, p.radix, HistogramStrategy::AtomicsOnly, 18))
+            .map(|c| {
+                block_histogram(
+                    c,
+                    p.digit_bits,
+                    p.pass,
+                    p.radix,
+                    HistogramStrategy::AtomicsOnly,
+                    18,
+                )
+            })
             .collect();
         let hist = aggregate_histograms(&block_hists, p.radix);
         let hist_usize: Vec<usize> = hist.iter().map(|&h| h as usize).collect();
@@ -193,7 +202,14 @@ mod tests {
         let src_vals = vec![(); n];
         let mut dst_vals = vec![(); n];
         let outcome = scatter_bucket(
-            &keys, &mut dst, &src_vals, &mut dst_vals, &bucket, &block_hists, &prefix, &p,
+            &keys,
+            &mut dst,
+            &src_vals,
+            &mut dst_vals,
+            &bucket,
+            &block_hists,
+            &prefix,
+            &p,
         );
         (dst, outcome)
     }
@@ -232,7 +248,14 @@ mod tests {
         let mut dst_keys = vec![0u32; n];
         let mut dst_vals = vec![0u32; n];
         scatter_bucket(
-            &keys, &mut dst_keys, &vals, &mut dst_vals, &bucket, &block_hists, &prefix, &p,
+            &keys,
+            &mut dst_keys,
+            &vals,
+            &mut dst_vals,
+            &bucket,
+            &block_hists,
+            &prefix,
+            &p,
         );
         for i in 0..n {
             assert_eq!(keys[dst_vals[i] as usize], dst_keys[i]);
@@ -277,8 +300,16 @@ mod tests {
         let n = 4_000;
         let mut all = uniform_keys::<u32>(n, 6);
         // Make the middle 2 000 keys the bucket of interest.
-        let bucket = Bucket { id: 7, offset: 1_000, len: 2_000, pass: 1 };
-        let p = ScatterParams { pass: 1, ..params(false) };
+        let bucket = Bucket {
+            id: 7,
+            offset: 1_000,
+            len: 2_000,
+            pass: 1,
+        };
+        let p = ScatterParams {
+            pass: 1,
+            ..params(false)
+        };
         let block_hists: Vec<BlockHistogram> = all[1_000..3_000]
             .chunks(p.keys_per_block)
             .map(|c| block_histogram(c, 8, 1, 256, HistogramStrategy::AtomicsOnly, 18))
@@ -291,7 +322,14 @@ mod tests {
         let src_vals = vec![(); n];
         let mut dst_vals = vec![(); n];
         scatter_bucket(
-            &all, &mut dst, &src_vals, &mut dst_vals, &bucket, &block_hists, &prefix, &p,
+            &all,
+            &mut dst,
+            &src_vals,
+            &mut dst_vals,
+            &bucket,
+            &block_hists,
+            &prefix,
+            &p,
         );
         assert!(dst[..1_000].iter().all(|&k| k == sentinel));
         assert!(dst[3_000..].iter().all(|&k| k == sentinel));

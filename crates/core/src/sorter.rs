@@ -347,8 +347,7 @@ mod tests {
     #[test]
     fn constant_distribution_runs_all_passes() {
         let mut keys = vec![0xDEAD_BEEFu32; 20_000];
-        let sorter =
-            HybridRadixSorter::new(SortConfig::keys_32().scaled_for(20_000, 500_000_000));
+        let sorter = HybridRadixSorter::new(SortConfig::keys_32().scaled_for(20_000, 500_000_000));
         let report = sorter.sort(&mut keys);
         // Every pass sees one bucket holding all keys; no local sort can
         // trigger before the digits run out.

@@ -16,13 +16,31 @@
 /// The optimal 25-comparator sorting network for nine elements, given as
 /// compare-exchange index pairs.
 pub const NETWORK_9: [(usize, usize); 25] = [
-    (0, 3), (1, 7), (2, 5), (4, 8),
-    (0, 7), (2, 4), (3, 8), (5, 6),
-    (0, 2), (1, 3), (4, 5), (7, 8),
-    (1, 4), (3, 6), (5, 7),
-    (0, 1), (2, 4), (3, 5), (6, 8),
-    (2, 3), (4, 5), (6, 7),
-    (1, 2), (3, 4), (5, 6),
+    (0, 3),
+    (1, 7),
+    (2, 5),
+    (4, 8),
+    (0, 7),
+    (2, 4),
+    (3, 8),
+    (5, 6),
+    (0, 2),
+    (1, 3),
+    (4, 5),
+    (7, 8),
+    (1, 4),
+    (3, 6),
+    (5, 7),
+    (0, 1),
+    (2, 4),
+    (3, 5),
+    (6, 8),
+    (2, 3),
+    (4, 5),
+    (6, 7),
+    (1, 2),
+    (3, 4),
+    (5, 6),
 ];
 
 /// Sorts up to nine elements in place using [`NETWORK_9`] (shorter slices

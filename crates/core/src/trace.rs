@@ -156,7 +156,10 @@ impl SortTrace {
                 TraceEvent::BufferState { label, keys } => {
                     out.push_str(&format!(
                         "{label}: {}\n",
-                        keys.iter().map(|&k| fmt_key(k)).collect::<Vec<_>>().join(" ")
+                        keys.iter()
+                            .map(|&k| fmt_key(k))
+                            .collect::<Vec<_>>()
+                            .join(" ")
                     ));
                 }
             }
@@ -172,7 +175,10 @@ mod tests {
     #[test]
     fn trace_records_and_filters_events() {
         let mut t = SortTrace::new(32);
-        t.push(TraceEvent::PassStart { pass: 0, buckets: 1 });
+        t.push(TraceEvent::PassStart {
+            pass: 0,
+            buckets: 1,
+        });
         t.push(TraceEvent::BucketHistogram {
             pass: 0,
             offset: 0,

@@ -12,7 +12,10 @@ fn main() {
         println!(
             "{}",
             format_table(
-                &format!("{fig} — sorting rate (GB/s) vs input size, {}", shape.describe()),
+                &format!(
+                    "{fig} — sorting rate (GB/s) vs input size, {}",
+                    shape.describe()
+                ),
                 "input size",
                 &series
             )

@@ -17,7 +17,13 @@ fn main() {
     for b in bars {
         println!(
             "{:<8} | {:>9.3} | {:>11.3} | {:>9.3} | {:>12.3} | {:>11.3} | {:>8.3}",
-            b.label, b.pcie_htod, b.on_gpu_sort, b.pcie_dtoh, b.chunked_sort, b.cpu_merging, b.total()
+            b.label,
+            b.pcie_htod,
+            b.on_gpu_sort,
+            b.pcie_dtoh,
+            b.chunked_sort,
+            b.cpu_merging,
+            b.total()
         );
     }
 }

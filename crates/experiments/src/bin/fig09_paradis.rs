@@ -10,8 +10,16 @@ use experiments::{format_table, PaperScale};
 fn main() {
     let scale = PaperScale::default_bins();
     for (fig, dist, name) in [
-        ("Figure 9a", ReportedDistribution::Uniform, "uniform distribution"),
-        ("Figure 9b", ReportedDistribution::Zipf075, "skewed distribution (zipf, theta=0.75)"),
+        (
+            "Figure 9a",
+            ReportedDistribution::Uniform,
+            "uniform distribution",
+        ),
+        (
+            "Figure 9b",
+            ReportedDistribution::Zipf075,
+            "skewed distribution (zipf, theta=0.75)",
+        ),
     ] {
         let series = fig09_paradis(dist, &scale);
         println!(

@@ -21,7 +21,10 @@ fn main() {
         println!(
             "{}",
             format_table(
-                &format!("{fig} — performance change (%) when switching off optimisations, {}", shape.describe()),
+                &format!(
+                    "{fig} — performance change (%) when switching off optimisations, {}",
+                    shape.describe()
+                ),
                 "entropy (bits)",
                 &series
             )

@@ -18,7 +18,11 @@ fn main() {
     println!("{}", figures::table2_trace());
     println!(
         "{}",
-        format_table("Figure 2", "distinct values", &figures::fig02_histogram_utilisation())
+        format_table(
+            "Figure 2",
+            "distinct values",
+            &figures::fig02_histogram_utilisation()
+        )
     );
     let mut all_hold = true;
     for shape in Shape::all() {
@@ -51,6 +55,10 @@ fn main() {
     println!("{}", figures::model_bounds_text());
     println!(
         "overall: {}",
-        if all_hold { "all figure-6 claims hold" } else { "SOME CLAIMS FAILED" }
+        if all_hold {
+            "all figure-6 claims hold"
+        } else {
+            "SOME CLAIMS FAILED"
+        }
     );
 }

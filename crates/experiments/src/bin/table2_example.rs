@@ -3,6 +3,8 @@
 //! decisions of every pass.
 
 fn main() {
-    println!("Table 2 — hybrid radix sorting example (k=4 bits, d=2 bits, r=4, local-sort threshold 3)");
+    println!(
+        "Table 2 — hybrid radix sorting example (k=4 bits, d=2 bits, r=4, local-sort threshold 3)"
+    );
     println!("{}", experiments::figures::table2_trace());
 }

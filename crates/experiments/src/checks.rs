@@ -56,7 +56,11 @@ pub fn check_fig06_claims(shape: Shape, scale: &PaperScale) -> Vec<ClaimCheck> {
     let hrs = &series[0];
     let cub = &series[1];
     let mgpu = series.iter().find(|s| s.label == "MGPU").unwrap();
-    let uniform_label = hrs.points.first().map(|(x, _)| x.clone()).unwrap_or_default();
+    let uniform_label = hrs
+        .points
+        .first()
+        .map(|(x, _)| x.clone())
+        .unwrap_or_default();
     let constant_label = "0.00";
 
     let min_cub = min_speedup(hrs, cub);
@@ -75,22 +79,34 @@ pub fn check_fig06_claims(shape: Shape, scale: &PaperScale) -> Vec<ClaimCheck> {
 
     vec![
         ClaimCheck::new(
-            format!("{}: HRS beats CUB for every distribution (min speed-up ≥ {min_expected:.2})", shape.describe()),
+            format!(
+                "{}: HRS beats CUB for every distribution (min speed-up ≥ {min_expected:.2})",
+                shape.describe()
+            ),
             min_cub,
             min_cub >= min_expected,
         ),
         ClaimCheck::new(
-            format!("{}: uniform-distribution speed-up over CUB ≥ {uniform_expected:.2}", shape.describe()),
+            format!(
+                "{}: uniform-distribution speed-up over CUB ≥ {uniform_expected:.2}",
+                shape.describe()
+            ),
             uniform_cub,
             uniform_cub >= uniform_expected,
         ),
         ClaimCheck::new(
-            format!("{}: worst-case speed-up over CUB comes from the traffic ratio (≤ 2.4)", shape.describe()),
+            format!(
+                "{}: worst-case speed-up over CUB comes from the traffic ratio (≤ 2.4)",
+                shape.describe()
+            ),
             constant_cub,
             constant_cub > 1.2 && constant_cub < 2.4,
         ),
         ClaimCheck::new(
-            format!("{}: HRS beats the MGPU merge sort by ≥ {mgpu_expected:.1}x everywhere", shape.describe()),
+            format!(
+                "{}: HRS beats the MGPU merge sort by ≥ {mgpu_expected:.1}x everywhere",
+                shape.describe()
+            ),
             min_mgpu,
             min_mgpu >= mgpu_expected,
         ),

@@ -16,9 +16,7 @@ use baselines::{
 use gpu_sim::{AtomicModel, DeviceSpec, HistogramStrategy, SimTime};
 use hetero::{parallel_merge_sorted_runs, HeterogeneousSorter};
 use hrs_core::{AnalyticalModel, HybridRadixSorter, Optimizations, SortConfig};
-use workloads::{
-    Distribution, EntropyLevel, SplitMix64, ENTROPY_LEVELS_32, ENTROPY_LEVELS_64,
-};
+use workloads::{Distribution, EntropyLevel, SplitMix64, ENTROPY_LEVELS_32, ENTROPY_LEVELS_64};
 
 /// The four input shapes of Figures 6 and 10–14.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -229,11 +227,17 @@ pub fn fig07_input_size(shape: Shape, scale: &PaperScale) -> Vec<Series> {
     for &n in &sizes {
         cub.push(
             size_label(n, shape),
-            GpuLsdRadixSort::cub_1_5_1().simulate(n, kb, vb).sorting_rate.gb_per_s(),
+            GpuLsdRadixSort::cub_1_5_1()
+                .simulate(n, kb, vb)
+                .sorting_rate
+                .gb_per_s(),
         );
         mgpu.push(
             size_label(n, shape),
-            GpuMergeSort::mgpu().simulate(n, kb, vb).sorting_rate.gb_per_s(),
+            GpuMergeSort::mgpu()
+                .simulate(n, kb, vb)
+                .sorting_rate
+                .gb_per_s(),
         );
     }
     out.push(cub);
@@ -487,7 +491,11 @@ pub fn fig10_latest(shape: Shape, scale: &PaperScale) -> Vec<Series> {
 /// Figures 11–14: relative performance change (in percent, negative =
 /// slower) when disabling individual optimisations, over the entropy
 /// ladder of the given shape.
-pub fn ablation(shape: Shape, scale: &PaperScale, levels: &[(String, EntropyLevel)]) -> Vec<Series> {
+pub fn ablation(
+    shape: Shape,
+    scale: &PaperScale,
+    levels: &[(String, EntropyLevel)],
+) -> Vec<Series> {
     let baseline: Vec<(String, f64)> = levels
         .iter()
         .map(|(label, level)| {
@@ -563,13 +571,18 @@ pub fn table3_text() -> String {
         ("32-bit/32-bit pairs", SortConfig::pairs_32_32()),
         ("64-bit/64-bit pairs", SortConfig::pairs_64_64()),
     ];
-    let mut out = String::from("key/value size        |   KPB | threads | KPT |  local sort threshold\n");
+    let mut out =
+        String::from("key/value size        |   KPB | threads | KPT |  local sort threshold\n");
     out.push_str(&"-".repeat(78));
     out.push('\n');
     for (name, cfg) in rows {
         out.push_str(&format!(
             "{:<21} | {:>5} | {:>7} | {:>3} | {:>21}\n",
-            name, cfg.keys_per_block, cfg.threads_per_block, cfg.keys_per_thread, cfg.local_sort_threshold
+            name,
+            cfg.keys_per_block,
+            cfg.threads_per_block,
+            cfg.keys_per_thread,
+            cfg.local_sort_threshold
         ));
     }
     out
@@ -628,8 +641,10 @@ mod tests {
         let uniform_speedup = hrs.get("64.00").unwrap() / cub.get("64.00").unwrap();
         let constant_speedup = hrs.get("0.00").unwrap() / cub.get("0.00").unwrap();
         assert!(uniform_speedup > 2.0, "uniform speed-up {uniform_speedup}");
-        assert!(constant_speedup > 1.3 && constant_speedup < 2.2,
-                "constant speed-up {constant_speedup}");
+        assert!(
+            constant_speedup > 1.3 && constant_speedup < 2.2,
+            "constant speed-up {constant_speedup}"
+        );
         assert!(uniform_speedup > constant_speedup);
     }
 
@@ -638,7 +653,10 @@ mod tests {
         let t = table2_trace();
         assert!(t.contains("histogram  4 8 2 2"), "{t}");
         assert!(t.contains("prefix-sum 0 4 12 14"), "{t}");
-        assert!(t.contains("final: 00 01 03 03 10 10 11 12 12 12 12 13 22 23 31 31"), "{t}");
+        assert!(
+            t.contains("final: 00 01 03 03 10 10 11 12 12 12 12 13 22 23 31 31"),
+            "{t}"
+        );
     }
 
     #[test]

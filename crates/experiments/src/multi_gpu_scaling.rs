@@ -1,0 +1,191 @@
+//! Multi-GPU scaling study: simulated speedup over the device count.
+//!
+//! For every workload (uniform / Zipfian / pre-sorted) and shape (key-only
+//! / key-value) the study sorts the same input over 1, 2, 4 and 8 simulated
+//! Titan X (Pascal) devices and records the critical-path simulated time of
+//! the device phase.  On uniform inputs the speedup should grow
+//! monotonically with the device count: every device owns an independent
+//! PCIe link, so both the transfers and the on-GPU sorting scale with the
+//! shard size.
+
+use crate::series::Series;
+use hrs_core::HybridRadixSorter;
+use multi_gpu::{DevicePool, ShardedSorter};
+use workloads::pairs::SortValue;
+use workloads::{Distribution, SortKey};
+
+/// One measured point of a scaling curve.
+#[derive(Debug, Clone)]
+pub struct ScalingPoint {
+    /// Simulated devices used.
+    pub devices: usize,
+    /// Critical-path simulated time of the device phase, in seconds.
+    pub critical_path_s: f64,
+    /// End-to-end time (host partition + device phase + host merge), in
+    /// seconds.
+    pub end_to_end_s: f64,
+    /// Speedup of the critical path relative to the 1-device run.
+    pub speedup: f64,
+}
+
+/// The scaling behaviour of one workload × shape combination.
+#[derive(Debug, Clone)]
+pub struct ScalingCurve {
+    /// Workload name (e.g. `"uniform"`).
+    pub workload: String,
+    /// Shape name (e.g. `"u64 keys"`).
+    pub shape: String,
+    /// One point per device count, in ascending device order.
+    pub points: Vec<ScalingPoint>,
+}
+
+impl ScalingCurve {
+    /// Whether the speedup grows strictly with every added device.
+    pub fn speedup_is_monotonic(&self) -> bool {
+        self.points.windows(2).all(|w| w[1].speedup > w[0].speedup)
+    }
+}
+
+/// The device counts of the paper-style scaling sweep.
+pub const DEVICE_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// The workloads of the sweep: uniform, the paper's Zipfian (θ = 0.75) and
+/// a pre-sorted input.
+pub fn scaling_workloads(n: usize) -> Vec<(String, Distribution)> {
+    vec![
+        ("uniform".to_string(), Distribution::Uniform),
+        (
+            "zipf(0.75)".to_string(),
+            Distribution::paper_zipf((n as u64 / 4).max(2)),
+        ),
+        ("sorted".to_string(), Distribution::Sorted),
+    ]
+}
+
+fn run_curve<K: SortKey, V: SortValue>(
+    workload: &str,
+    shape: &str,
+    dist: Distribution,
+    n: usize,
+    device_counts: &[usize],
+    template: &HybridRadixSorter,
+    make_values: fn(usize) -> Vec<V>,
+) -> ScalingCurve {
+    let keys: Vec<K> = dist.generate(n, 0xC0FFEE);
+    let merge_threads = std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(4);
+    let mut points = Vec::with_capacity(device_counts.len());
+    let mut base = None;
+    for &p in device_counts {
+        let sorter = ShardedSorter::new(DevicePool::titan_cluster(p))
+            .with_sorter(template.clone())
+            .with_merge_threads(merge_threads);
+        let mut k = keys.clone();
+        let mut v = make_values(n);
+        let report = sorter.sort_pairs(&mut k, &mut v);
+        let cp = report.critical_path.secs();
+        let base_cp = *base.get_or_insert(cp);
+        points.push(ScalingPoint {
+            devices: p,
+            critical_path_s: cp,
+            end_to_end_s: report.end_to_end.secs(),
+            speedup: base_cp / cp,
+        });
+    }
+    ScalingCurve {
+        workload: workload.to_string(),
+        shape: shape.to_string(),
+        points,
+    }
+}
+
+/// Scaling curve for key-only 64-bit sorts.
+pub fn scaling_keys_u64(
+    workload: &str,
+    dist: Distribution,
+    n: usize,
+    device_counts: &[usize],
+    template: &HybridRadixSorter,
+) -> ScalingCurve {
+    run_curve::<u64, ()>(
+        workload,
+        "u64 keys",
+        dist,
+        n,
+        device_counts,
+        template,
+        |n| vec![(); n],
+    )
+}
+
+/// Scaling curve for 32-bit key + 32-bit value (row-id) sorts.
+pub fn scaling_pairs_u32(
+    workload: &str,
+    dist: Distribution,
+    n: usize,
+    device_counts: &[usize],
+    template: &HybridRadixSorter,
+) -> ScalingCurve {
+    run_curve::<u32, u32>(
+        workload,
+        "u32+u32 pairs",
+        dist,
+        n,
+        device_counts,
+        template,
+        |n| (0..n as u32).collect(),
+    )
+}
+
+/// Renders curves sharing the same device counts as speedup series for
+/// [`crate::series::format_table`].
+pub fn speedup_series(curves: &[ScalingCurve]) -> Vec<Series> {
+    curves
+        .iter()
+        .map(|c| {
+            let mut s = Series::new(format!("{} / {}", c.workload, c.shape));
+            for p in &c.points {
+                s.push(format!("{} dev", p.devices), p.speedup);
+            }
+            s
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hrs_core::SortConfig;
+
+    #[test]
+    fn uniform_speedup_is_monotonic_at_test_scale() {
+        let template =
+            HybridRadixSorter::new(SortConfig::keys_64().scaled_for(100_000, 250_000_000));
+        let curve = scaling_keys_u64(
+            "uniform",
+            Distribution::Uniform,
+            100_000,
+            &[1, 2, 4],
+            &template,
+        );
+        assert_eq!(curve.points.len(), 3);
+        assert!(
+            curve.speedup_is_monotonic(),
+            "speedups: {:?}",
+            curve.points.iter().map(|p| p.speedup).collect::<Vec<_>>()
+        );
+        assert!((curve.points[0].speedup - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pair_curves_carry_the_shape_label() {
+        let template =
+            HybridRadixSorter::new(SortConfig::pairs_32_32().scaled_for(50_000, 500_000_000));
+        let curve = scaling_pairs_u32("uniform", Distribution::Uniform, 50_000, &[1, 2], &template);
+        assert_eq!(curve.shape, "u32+u32 pairs");
+        let series = speedup_series(&[curve]);
+        assert_eq!(series.len(), 1);
+        assert!(series[0].get("2 dev").is_some());
+    }
+}

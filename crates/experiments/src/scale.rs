@@ -177,7 +177,11 @@ mod tests {
             &PaperScale::fast(),
         );
         // Paper: ~30 GB/s; accept the model within a generous band.
-        assert!(run.rate_gb_s > 20.0 && run.rate_gb_s < 50.0, "{}", run.rate_gb_s);
+        assert!(
+            run.rate_gb_s > 20.0 && run.rate_gb_s < 50.0,
+            "{}",
+            run.rate_gb_s
+        );
         // Two counting passes plus local sorts for the uniform distribution.
         assert!(run.report.counting_passes() <= 3);
         assert!(run.report.local.n_keys > 0);
@@ -188,11 +192,20 @@ mod tests {
         let scale = PaperScale::fast();
         let target = PaperScale::paper_n_for_2gb(KeyKind::U64);
         let uniform = run_hrs_scaled(
-            &Distribution::Uniform, KeyKind::U64, 0, target, Optimizations::all_on(), &scale,
+            &Distribution::Uniform,
+            KeyKind::U64,
+            0,
+            target,
+            Optimizations::all_on(),
+            &scale,
         );
         let constant = run_hrs_scaled(
             &Distribution::Entropy(EntropyLevel::constant()),
-            KeyKind::U64, 0, target, Optimizations::all_on(), &scale,
+            KeyKind::U64,
+            0,
+            target,
+            Optimizations::all_on(),
+            &scale,
         );
         assert!(constant.report.counting_passes() == 8);
         assert!(uniform.rate_gb_s > constant.rate_gb_s * 1.8);
@@ -204,14 +217,20 @@ mod tests {
         // histogram only reads the keys.
         let scale = PaperScale::fast();
         let keys_only = run_hrs_scaled(
-            &Distribution::Uniform, KeyKind::U32, 0,
+            &Distribution::Uniform,
+            KeyKind::U32,
+            0,
             PaperScale::paper_n_for_2gb(KeyKind::U32),
-            Optimizations::all_on(), &scale,
+            Optimizations::all_on(),
+            &scale,
         );
         let pairs = run_hrs_scaled(
-            &Distribution::Uniform, KeyKind::U32, 4,
+            &Distribution::Uniform,
+            KeyKind::U32,
+            4,
             250_000_000, // 2 GB of 32+32 pairs
-            Optimizations::all_on(), &scale,
+            Optimizations::all_on(),
+            &scale,
         );
         assert!(
             pairs.rate_gb_s > keys_only.rate_gb_s * 1.05,
@@ -229,7 +248,10 @@ mod tests {
             0,
             50_000,
             Optimizations::all_on(),
-            &PaperScale { functional_n: 1_000_000, seed: 1 },
+            &PaperScale {
+                functional_n: 1_000_000,
+                seed: 1,
+            },
         );
         assert_eq!(run.report.n, 50_000);
     }

@@ -31,7 +31,11 @@ impl Series {
 
     /// Minimum y value (0 if the series is empty).
     pub fn min(&self) -> f64 {
-        self.points.iter().map(|(_, y)| *y).fold(f64::INFINITY, f64::min).min(f64::INFINITY)
+        self.points
+            .iter()
+            .map(|(_, y)| *y)
+            .fold(f64::INFINITY, f64::min)
+            .min(f64::INFINITY)
     }
 
     /// Maximum y value (0 if the series is empty).

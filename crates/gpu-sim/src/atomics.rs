@@ -74,11 +74,7 @@ impl AtomicModel {
 
     /// Shared-memory updates per SM per second for a histogram over a
     /// distribution with `distinct_values` distinct digit values.
-    pub fn updates_per_sm_per_sec(
-        &self,
-        strategy: HistogramStrategy,
-        distinct_values: u32,
-    ) -> f64 {
+    pub fn updates_per_sm_per_sec(&self, strategy: HistogramStrategy, distinct_values: u32) -> f64 {
         let q = distinct_values.max(1);
         match strategy {
             HistogramStrategy::AtomicsOnly => match q {
@@ -182,8 +178,7 @@ mod tests {
     fn thread_reduction_mitigates_the_drop() {
         let m = model();
         for q in [1u32, 2, 3, 4, 8, 64, 256] {
-            let util =
-                m.bandwidth_utilisation(&titan(), HistogramStrategy::ThreadReduction, q, 4);
+            let util = m.bandwidth_utilisation(&titan(), HistogramStrategy::ThreadReduction, q, 4);
             assert!(util > 0.85, "q = {q}, utilisation = {util}");
         }
     }

@@ -1,0 +1,228 @@
+//! Per-link interconnect abstraction (multi-device extension of the PCIe
+//! model).
+//!
+//! The heterogeneous pipeline of Section 5 models a single full-duplex PCIe
+//! bus.  A multi-GPU system has one *link* per device — possibly of
+//! different classes (PCIe 3.0/4.0, NVLink) — and the links operate
+//! independently of each other, so shard uploads to different devices
+//! overlap fully.  [`LinkSpec`] generalises [`crate::pcie::PcieBus`] with a
+//! link class, a name and the same per-direction bandwidth + fixed-latency
+//! timing model; the two types convert into each other so the existing
+//! pipeline code keeps working.
+
+use crate::pcie::{PcieBus, TransferDirection};
+use crate::simtime::{Bandwidth, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// The class of a host↔device (or device↔device) link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkKind {
+    /// PCI Express 3.0 ×16 (the paper's test system, ≈ 12 GB/s pinned).
+    PcieGen3x16,
+    /// PCI Express 4.0 ×16 (≈ 24 GB/s pinned).
+    PcieGen4x16,
+    /// NVLink 2.0 (≈ 45 GB/s per direction usable).
+    NvLink2,
+    /// NVLink 3.0 (≈ 90 GB/s per direction usable).
+    NvLink3,
+    /// Anything else (custom bandwidths).
+    Custom,
+}
+
+impl LinkKind {
+    /// Short display name of the link class.
+    pub fn label(self) -> &'static str {
+        match self {
+            LinkKind::PcieGen3x16 => "PCIe3x16",
+            LinkKind::PcieGen4x16 => "PCIe4x16",
+            LinkKind::NvLink2 => "NVLink2",
+            LinkKind::NvLink3 => "NVLink3",
+            LinkKind::Custom => "custom",
+        }
+    }
+}
+
+/// A full-duplex host↔device link with per-direction bandwidths.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Link class.
+    pub kind: LinkKind,
+    /// Host-to-device bandwidth.
+    pub htod: Bandwidth,
+    /// Device-to-host bandwidth.
+    pub dtoh: Bandwidth,
+    /// Fixed per-transfer latency (driver + DMA setup).
+    pub per_transfer_latency: SimTime,
+}
+
+impl LinkSpec {
+    /// PCIe 3.0 ×16: ≈ 12 GB/s per direction with pinned memory.
+    pub fn pcie_gen3_x16() -> Self {
+        LinkSpec {
+            kind: LinkKind::PcieGen3x16,
+            htod: Bandwidth::from_gb_per_s(12.0),
+            dtoh: Bandwidth::from_gb_per_s(12.0),
+            per_transfer_latency: SimTime::from_micros(10.0),
+        }
+    }
+
+    /// PCIe 4.0 ×16: ≈ 24 GB/s per direction with pinned memory.
+    pub fn pcie_gen4_x16() -> Self {
+        LinkSpec {
+            kind: LinkKind::PcieGen4x16,
+            htod: Bandwidth::from_gb_per_s(24.0),
+            dtoh: Bandwidth::from_gb_per_s(24.0),
+            per_transfer_latency: SimTime::from_micros(8.0),
+        }
+    }
+
+    /// NVLink 2.0: ≈ 45 GB/s usable per direction, much lower setup latency.
+    pub fn nvlink2() -> Self {
+        LinkSpec {
+            kind: LinkKind::NvLink2,
+            htod: Bandwidth::from_gb_per_s(45.0),
+            dtoh: Bandwidth::from_gb_per_s(45.0),
+            per_transfer_latency: SimTime::from_micros(2.0),
+        }
+    }
+
+    /// NVLink 3.0: ≈ 90 GB/s usable per direction.
+    pub fn nvlink3() -> Self {
+        LinkSpec {
+            kind: LinkKind::NvLink3,
+            htod: Bandwidth::from_gb_per_s(90.0),
+            dtoh: Bandwidth::from_gb_per_s(90.0),
+            per_transfer_latency: SimTime::from_micros(2.0),
+        }
+    }
+
+    /// A custom link.
+    pub fn custom(htod: Bandwidth, dtoh: Bandwidth, per_transfer_latency: SimTime) -> Self {
+        LinkSpec {
+            kind: LinkKind::Custom,
+            htod,
+            dtoh,
+            per_transfer_latency,
+        }
+    }
+
+    /// Bandwidth in a given direction.
+    pub fn bandwidth(&self, dir: TransferDirection) -> Bandwidth {
+        match dir {
+            TransferDirection::HostToDevice => self.htod,
+            TransferDirection::DeviceToHost => self.dtoh,
+        }
+    }
+
+    /// Duration of one transfer of `bytes` bytes in direction `dir`.
+    pub fn transfer_time(&self, dir: TransferDirection, bytes: u64) -> SimTime {
+        if bytes == 0 {
+            return SimTime::ZERO;
+        }
+        self.bandwidth(dir).time_for_bytes(bytes as f64) + self.per_transfer_latency
+    }
+
+    /// Duration of `bytes` bytes split into `chunks` serialised transfers
+    /// (the latency is paid once per transfer).
+    pub fn chunked_transfer_time(
+        &self,
+        dir: TransferDirection,
+        bytes: u64,
+        chunks: u32,
+    ) -> SimTime {
+        if bytes == 0 || chunks == 0 {
+            return SimTime::ZERO;
+        }
+        self.bandwidth(dir).time_for_bytes(bytes as f64) + self.per_transfer_latency * chunks as f64
+    }
+
+    /// The single-bus view of this link, for interop with the Section 5
+    /// pipeline model.
+    pub fn to_pcie_bus(&self) -> PcieBus {
+        PcieBus {
+            htod: self.htod,
+            dtoh: self.dtoh,
+            per_transfer_latency: self.per_transfer_latency,
+        }
+    }
+}
+
+impl Default for LinkSpec {
+    fn default() -> Self {
+        LinkSpec::pcie_gen3_x16()
+    }
+}
+
+impl From<PcieBus> for LinkSpec {
+    fn from(bus: PcieBus) -> Self {
+        LinkSpec {
+            kind: LinkKind::Custom,
+            htod: bus.htod,
+            dtoh: bus.dtoh,
+            per_transfer_latency: bus.per_transfer_latency,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_classes_are_ordered_by_bandwidth() {
+        let g3 = LinkSpec::pcie_gen3_x16();
+        let g4 = LinkSpec::pcie_gen4_x16();
+        let nv2 = LinkSpec::nvlink2();
+        let nv3 = LinkSpec::nvlink3();
+        assert!(g3.htod.gb_per_s() < g4.htod.gb_per_s());
+        assert!(g4.htod.gb_per_s() < nv2.htod.gb_per_s());
+        assert!(nv2.htod.gb_per_s() < nv3.htod.gb_per_s());
+    }
+
+    #[test]
+    fn nvlink_moves_a_shard_faster_than_pcie() {
+        let bytes = 1_000_000_000;
+        let pcie = LinkSpec::pcie_gen3_x16().transfer_time(TransferDirection::HostToDevice, bytes);
+        let nv = LinkSpec::nvlink2().transfer_time(TransferDirection::HostToDevice, bytes);
+        assert!(nv.secs() < pcie.secs() / 3.0);
+    }
+
+    #[test]
+    fn pcie_bus_round_trip_preserves_timing() {
+        let link = LinkSpec::pcie_gen3_x16();
+        let bus = link.to_pcie_bus();
+        let back: LinkSpec = bus.into();
+        for bytes in [0u64, 1_000, 123_456_789] {
+            assert_eq!(
+                link.transfer_time(TransferDirection::DeviceToHost, bytes),
+                back.transfer_time(TransferDirection::DeviceToHost, bytes),
+            );
+        }
+        assert_eq!(back.kind, LinkKind::Custom);
+    }
+
+    #[test]
+    fn chunking_only_adds_latency() {
+        let link = LinkSpec::nvlink3();
+        let whole = link.transfer_time(TransferDirection::HostToDevice, 4_000_000_000);
+        let chunked = link.chunked_transfer_time(TransferDirection::HostToDevice, 4_000_000_000, 8);
+        assert!(chunked > whole);
+        assert!(chunked.secs() - whole.secs() < 1e-3);
+    }
+
+    #[test]
+    fn labels_are_short_and_distinct() {
+        let kinds = [
+            LinkKind::PcieGen3x16,
+            LinkKind::PcieGen4x16,
+            LinkKind::NvLink2,
+            LinkKind::NvLink3,
+            LinkKind::Custom,
+        ];
+        for (i, a) in kinds.iter().enumerate() {
+            for b in &kinds[i + 1..] {
+                assert_ne!(a.label(), b.label());
+            }
+        }
+    }
+}

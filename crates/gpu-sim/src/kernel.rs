@@ -94,13 +94,12 @@ impl KernelCost {
         } else {
             SimTime::from_secs(f64::INFINITY)
         };
-        let compute_time = if self.compute_items_per_sec.is_finite()
-            && self.compute_items_per_sec > 0.0
-        {
-            SimTime::from_secs(self.items as f64 / self.compute_items_per_sec)
-        } else {
-            SimTime::ZERO
-        };
+        let compute_time =
+            if self.compute_items_per_sec.is_finite() && self.compute_items_per_sec > 0.0 {
+                SimTime::from_secs(self.items as f64 / self.compute_items_per_sec)
+            } else {
+                SimTime::ZERO
+            };
         let launch_overhead =
             SimTime::from_secs(device.kernel_launch_overhead_s * self.launches as f64);
         let total = memory_time.max(compute_time) + launch_overhead;

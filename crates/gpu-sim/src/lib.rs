@@ -23,6 +23,8 @@
 //! * [`occupancy`] computes how many thread blocks fit on an SM.
 //! * [`pcie::PcieBus`] and [`timeline::Timeline`] model the full-duplex PCIe
 //!   bus and the pipelined schedule of Section 5.
+//! * [`interconnect::LinkSpec`] generalises the bus into per-device links
+//!   (PCIe 3.0/4.0, NVLink classes) for multi-GPU systems.
 //! * [`memory::DeviceMemoryPlanner`] tracks device-memory budgets for the
 //!   in-place replacement strategy (three chunk slots instead of four).
 //!
@@ -30,6 +32,7 @@
 
 pub mod atomics;
 pub mod device;
+pub mod interconnect;
 pub mod kernel;
 pub mod memory;
 pub mod occupancy;
@@ -41,6 +44,7 @@ pub mod transaction;
 
 pub use atomics::{AtomicModel, HistogramStrategy};
 pub use device::{DeviceSpec, GpuGeneration};
+pub use interconnect::{LinkKind, LinkSpec};
 pub use kernel::{KernelCost, KernelKind, KernelTiming};
 pub use memory::{DeviceAllocation, DeviceMemoryPlanner};
 pub use occupancy::{BlockResources, Occupancy};
@@ -64,7 +68,7 @@ mod tests {
 
     #[test]
     fn constants_are_consistent() {
-        assert!(GIB > GB);
+        const { assert!(GIB > GB) };
         assert_eq!(GB, 1e9);
     }
 }

@@ -85,16 +85,14 @@ impl Occupancy {
         }
 
         let by_threads = device.max_threads_per_sm / res.threads;
-        let by_registers = if res.total_registers() == 0 {
-            u32::MAX
-        } else {
-            device.registers_per_sm / res.total_registers()
-        };
-        let by_shared = if res.shared_mem_bytes == 0 {
-            u32::MAX
-        } else {
-            device.shared_mem_per_sm / res.shared_mem_bytes
-        };
+        let by_registers = device
+            .registers_per_sm
+            .checked_div(res.total_registers())
+            .unwrap_or(u32::MAX);
+        let by_shared = device
+            .shared_mem_per_sm
+            .checked_div(res.shared_mem_bytes)
+            .unwrap_or(u32::MAX);
         let by_blocks = device.max_blocks_per_sm;
 
         let blocks = by_threads.min(by_registers).min(by_shared).min(by_blocks);

@@ -44,7 +44,10 @@ impl PcieBus {
     /// A PCIe 3.0 ×16 link as in the paper's system (≈ 12 GB/s per
     /// direction once pinned-memory transfers are used).
     pub fn gen3_x16() -> Self {
-        PcieBus::new(Bandwidth::from_gb_per_s(12.0), Bandwidth::from_gb_per_s(12.0))
+        PcieBus::new(
+            Bandwidth::from_gb_per_s(12.0),
+            Bandwidth::from_gb_per_s(12.0),
+        )
     }
 
     /// Builds the bus from a device spec.
@@ -80,8 +83,7 @@ impl PcieBus {
         if bytes == 0 || chunks == 0 {
             return SimTime::ZERO;
         }
-        self.bandwidth(dir).time_for_bytes(bytes as f64)
-            + self.per_transfer_latency * chunks as f64
+        self.bandwidth(dir).time_for_bytes(bytes as f64) + self.per_transfer_latency * chunks as f64
     }
 }
 
@@ -106,7 +108,10 @@ mod tests {
 
     #[test]
     fn directions_are_independent() {
-        let bus = PcieBus::new(Bandwidth::from_gb_per_s(12.0), Bandwidth::from_gb_per_s(6.0));
+        let bus = PcieBus::new(
+            Bandwidth::from_gb_per_s(12.0),
+            Bandwidth::from_gb_per_s(6.0),
+        );
         let up = bus.transfer_time(TransferDirection::HostToDevice, 1_000_000_000);
         let down = bus.transfer_time(TransferDirection::DeviceToHost, 1_000_000_000);
         assert!(down.secs() > up.secs() * 1.9);

@@ -97,6 +97,22 @@ impl Timeline {
         event
     }
 
+    /// Schedules a task that may only start once every dependency has
+    /// finished (in addition to the resource being free).  `deps` are the
+    /// end times of the prerequisite events; an empty slice means "no
+    /// dependencies".  This is the primitive multi-device schedules use:
+    /// a shard's sort depends on its upload, its download on its sort.
+    pub fn schedule_after(
+        &mut self,
+        label: impl Into<String>,
+        resource: ResourceId,
+        deps: &[SimTime],
+        duration: SimTime,
+    ) -> TimelineEvent {
+        let earliest = deps.iter().copied().fold(SimTime::ZERO, SimTime::max);
+        self.schedule(label, resource, earliest, duration)
+    }
+
     /// All scheduled events in scheduling order.
     pub fn events(&self) -> &[TimelineEvent] {
         &self.events
@@ -207,5 +223,25 @@ mod tests {
     #[test]
     fn empty_timeline_has_zero_makespan() {
         assert_eq!(Timeline::new().makespan(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn schedule_after_waits_for_all_dependencies() {
+        let mut tl = Timeline::new();
+        let htod = tl.add_resource("HtD");
+        let gpu = tl.add_resource("GPU");
+        let up_a = tl.schedule("up a", htod, SimTime::ZERO, SimTime::from_millis(4.0));
+        let up_b = tl.schedule("up b", htod, SimTime::ZERO, SimTime::from_millis(4.0));
+        // Sorting needs both uploads here; the later one gates the start.
+        let sort = tl.schedule_after(
+            "sort",
+            gpu,
+            &[up_a.end, up_b.end],
+            SimTime::from_millis(2.0),
+        );
+        assert_eq!(sort.start, up_b.end);
+        // No dependencies start as early as the resource allows.
+        let free = tl.schedule_after("free", gpu, &[], SimTime::from_millis(1.0));
+        assert_eq!(free.start, sort.end);
     }
 }

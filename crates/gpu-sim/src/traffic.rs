@@ -129,7 +129,11 @@ mod tests {
     #[test]
     fn ledger_accumulates() {
         let mut t = MemoryTraffic::new();
-        t.read(100).write(50).global_atomic(3).shared_atomic(7).launch();
+        t.read(100)
+            .write(50)
+            .global_atomic(3)
+            .shared_atomic(7)
+            .launch();
         assert_eq!(t.bytes_read, 100);
         assert_eq!(t.bytes_written, 50);
         assert_eq!(t.total_bytes(), 150);

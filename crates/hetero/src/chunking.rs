@@ -80,7 +80,13 @@ mod tests {
 
     #[test]
     fn chunks_cover_the_input_without_overlap() {
-        for (n, s) in [(100usize, 4usize), (101, 4), (7, 16), (0, 3), (1_000_000, 7)] {
+        for (n, s) in [
+            (100usize, 4usize),
+            (101, 4),
+            (7, 16),
+            (0, 3),
+            (1_000_000, 7),
+        ] {
             let plan = split_into_chunks(n, s);
             assert_eq!(plan.total_len(), n, "n={n} s={s}");
             let mut expected_start = 0;

@@ -155,7 +155,8 @@ impl HeterogeneousSorter {
             SimTime::from_secs(measured_merge.as_secs_f64())
         };
 
-        let schedule = PipelineSchedule::build(&self.pipeline, &chunk_bytes, &sort_times, cpu_merge);
+        let schedule =
+            PipelineSchedule::build(&self.pipeline, &chunk_bytes, &sort_times, cpu_merge);
 
         HeteroReport {
             chunks: plan.num_chunks(),
@@ -285,11 +286,8 @@ mod tests {
         let s = sorter();
         let naive = s.naive("CUB", 1_000_000_000, SimTime::from_millis(100.0));
         assert!(
-            (naive.total().secs()
-                - naive.htod.secs()
-                - naive.gpu_sort.secs()
-                - naive.dtoh.secs())
-            .abs()
+            (naive.total().secs() - naive.htod.secs() - naive.gpu_sort.secs() - naive.dtoh.secs())
+                .abs()
                 < 1e-12
         );
         assert_eq!(naive.name, "CUB");

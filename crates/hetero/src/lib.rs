@@ -35,5 +35,8 @@ pub mod pipeline;
 
 pub use chunking::{split_into_chunks, ChunkPlan};
 pub use hetero_sort::{HeteroReport, HeterogeneousSorter, NaiveGpuReport};
-pub use multiway_merge::{merge_sorted_runs, parallel_merge_sorted_runs, LoserTree};
+pub use multiway_merge::{
+    merge_sorted_runs, merge_sorted_runs_by, parallel_merge_sorted_runs,
+    parallel_merge_sorted_runs_by, LoserTree,
+};
 pub use pipeline::{PipelineBreakdown, PipelineConfig, PipelineSchedule};

@@ -13,7 +13,7 @@
 //! at s = 4 — and the same degradation with the run count is observable with
 //! this implementation (see the benches).
 
-use crossbeam::thread;
+use std::thread;
 use workloads::SortKey;
 
 /// A k-way merger over sorted runs, yielding their elements in
@@ -93,9 +93,15 @@ impl<'a, T: Copy> LoserTree<'a, T> {
 /// Merges `runs` (each sorted by the key's radix order) into a single sorted
 /// vector, sequentially.
 pub fn merge_sorted_runs<K: SortKey>(runs: &[&[K]]) -> Vec<K> {
+    merge_sorted_runs_by(runs, |k: &K| k.to_radix())
+}
+
+/// Generalised sequential p-way merge: merges runs of any copyable element
+/// type sorted by `key_of` (e.g. `(key, value)` records of a sharded sort).
+pub fn merge_sorted_runs_by<T: Copy>(runs: &[&[T]], key_of: fn(&T) -> u64) -> Vec<T> {
     let total: usize = runs.iter().map(|r| r.len()).sum();
     let mut out = Vec::with_capacity(total);
-    let mut tree = LoserTree::new(runs.to_vec(), |k: &K| k.to_radix());
+    let mut tree = LoserTree::new(runs.to_vec(), key_of);
     while let Some(item) = tree.pop() {
         out.push(item);
     }
@@ -107,10 +113,23 @@ pub fn merge_sorted_runs<K: SortKey>(runs: &[&[K]]) -> Vec<K> {
 /// determines its input ranges with a value-domain binary search (so no two
 /// workers touch the same elements) and merges them independently.
 pub fn parallel_merge_sorted_runs<K: SortKey>(runs: &[&[K]], threads: usize) -> Vec<K> {
+    parallel_merge_sorted_runs_by(runs, threads, |k: &K| k.to_radix())
+}
+
+/// Generalised parallel p-way merge over any copyable element type sorted by
+/// `key_of`.  This is the recombination primitive of the multi-GPU sharded
+/// sort: each device returns one sorted run (keys alone or zipped key-value
+/// records), and the host merges the `p` runs with the same range-splitting
+/// front end the Section 5 pipeline uses.
+pub fn parallel_merge_sorted_runs_by<T: Copy + Send + Sync + Default>(
+    runs: &[&[T]],
+    threads: usize,
+    key_of: fn(&T) -> u64,
+) -> Vec<T> {
     let total: usize = runs.iter().map(|r| r.len()).sum();
     let threads = threads.clamp(1, total.max(1));
     if threads == 1 || total < 4_096 {
-        return merge_sorted_runs(runs);
+        return merge_sorted_runs_by(runs, key_of);
     }
 
     // Determine, for each worker boundary, the split position in every run
@@ -119,13 +138,13 @@ pub fn parallel_merge_sorted_runs<K: SortKey>(runs: &[&[K]], threads: usize) -> 
     boundaries.push(vec![0; runs.len()]);
     for t in 1..threads {
         let target = total * t / threads;
-        boundaries.push(split_positions(runs, target));
+        boundaries.push(split_positions(runs, target, key_of));
     }
     boundaries.push(runs.iter().map(|r| r.len()).collect());
 
-    let mut out = vec![K::default(); total];
+    let mut out = vec![T::default(); total];
     // Split the output buffer into per-worker ranges.
-    let mut out_slices: Vec<&mut [K]> = Vec::with_capacity(threads);
+    let mut out_slices: Vec<&mut [T]> = Vec::with_capacity(threads);
     {
         let mut rest = out.as_mut_slice();
         for t in 0..threads {
@@ -142,18 +161,17 @@ pub fn parallel_merge_sorted_runs<K: SortKey>(runs: &[&[K]], threads: usize) -> 
         for (t, out_slice) in out_slices.into_iter().enumerate() {
             let lo = boundaries[t].clone();
             let hi = boundaries[t + 1].clone();
-            s.spawn(move |_| {
-                let sub_runs: Vec<&[K]> = runs
+            s.spawn(move || {
+                let sub_runs: Vec<&[T]> = runs
                     .iter()
                     .enumerate()
                     .map(|(r, run)| &run[lo[r]..hi[r]])
                     .collect();
-                let merged = merge_sorted_runs(&sub_runs);
+                let merged = merge_sorted_runs_by(&sub_runs, key_of);
                 out_slice.copy_from_slice(&merged);
             });
         }
-    })
-    .expect("merge workers panicked");
+    });
 
     out
 }
@@ -161,14 +179,14 @@ pub fn parallel_merge_sorted_runs<K: SortKey>(runs: &[&[K]], threads: usize) -> 
 /// Finds, for every run, the number of leading elements that belong to the
 /// first `target` elements of the merged output (a co-rank / value-domain
 /// binary search).
-fn split_positions<K: SortKey>(runs: &[&[K]], target: usize) -> Vec<usize> {
+fn split_positions<T: Copy>(runs: &[&[T]], target: usize, key_of: fn(&T) -> u64) -> Vec<usize> {
     // Binary search over the key domain for the smallest key value `v` such
     // that at least `target` elements are <= v, then distribute the ties.
     let mut lo = 0u64;
     let mut hi = u64::MAX;
     let count_le = |v: u64| -> usize {
         runs.iter()
-            .map(|r| r.partition_point(|k| k.to_radix() <= v))
+            .map(|r| r.partition_point(|k| key_of(k) <= v))
             .sum()
     };
     while lo < hi {
@@ -184,7 +202,7 @@ fn split_positions<K: SortKey>(runs: &[&[K]], target: usize) -> Vec<usize> {
     // included left-to-right across runs until the target is reached.
     let below: Vec<usize> = runs
         .iter()
-        .map(|r| r.partition_point(|k| k.to_radix() < v))
+        .map(|r| r.partition_point(|k| key_of(k) < v))
         .collect();
     let mut need = target - below.iter().sum::<usize>().min(target);
     let mut positions = below;
@@ -192,7 +210,7 @@ fn split_positions<K: SortKey>(runs: &[&[K]], target: usize) -> Vec<usize> {
         if need == 0 {
             break;
         }
-        let ties = run.partition_point(|k| k.to_radix() <= v) - positions[r];
+        let ties = run.partition_point(|k| key_of(k) <= v) - positions[r];
         let take = ties.min(need);
         positions[r] += take;
         need -= take;
@@ -295,6 +313,33 @@ mod tests {
         tree.pop();
         tree.pop();
         assert_eq!(tree.remaining(), 2);
+    }
+
+    #[test]
+    fn generalized_merge_carries_values_with_keys() {
+        // Merge (key, value) records from several sorted runs and check the
+        // values still ride with their keys — the multi-GPU recombination
+        // path for key-value sorts.
+        let mut rng = SplitMix64::new(77);
+        let runs: Vec<Vec<(u32, u32)>> = (0..5)
+            .map(|_| {
+                let mut run: Vec<(u32, u32)> = (0..10_000)
+                    .map(|_| {
+                        let k = rng.next_u32();
+                        (k, !k)
+                    })
+                    .collect();
+                run.sort_unstable_by_key(|&(k, _)| k);
+                run
+            })
+            .collect();
+        let refs: Vec<&[(u32, u32)]> = runs.iter().map(|r| r.as_slice()).collect();
+        for threads in [1usize, 4] {
+            let merged = parallel_merge_sorted_runs_by(&refs, threads, |p: &(u32, u32)| p.0 as u64);
+            assert_eq!(merged.len(), 50_000);
+            assert!(merged.windows(2).all(|w| w[0].0 <= w[1].0));
+            assert!(merged.iter().all(|&(k, v)| v == !k));
+        }
     }
 
     #[test]

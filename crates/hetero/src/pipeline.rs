@@ -142,10 +142,7 @@ mod tests {
 
     fn uniform_chunks(total_bytes: u64, s: usize, sort_each_ms: f64) -> (Vec<u64>, Vec<SimTime>) {
         let per = total_bytes / s as u64;
-        (
-            vec![per; s],
-            vec![SimTime::from_millis(sort_each_ms); s],
-        )
+        (vec![per; s], vec![SimTime::from_millis(sort_each_ms); s])
     }
 
     #[test]
@@ -199,12 +196,22 @@ mod tests {
         let total_bytes = 12_000_000_000u64;
         let (bytes, sorts) = uniform_chunks(total_bytes, 6, 150.0);
         let three = PipelineSchedule::build(
-            &PipelineConfig { in_place_replacement: true, ..Default::default() },
-            &bytes, &sorts, SimTime::ZERO,
+            &PipelineConfig {
+                in_place_replacement: true,
+                ..Default::default()
+            },
+            &bytes,
+            &sorts,
+            SimTime::ZERO,
         );
         let four = PipelineSchedule::build(
-            &PipelineConfig { in_place_replacement: false, ..Default::default() },
-            &bytes, &sorts, SimTime::ZERO,
+            &PipelineConfig {
+                in_place_replacement: false,
+                ..Default::default()
+            },
+            &bytes,
+            &sorts,
+            SimTime::ZERO,
         );
         // The stricter dependency can only delay things.
         assert!(three.breakdown.chunked_sort >= four.breakdown.chunked_sort);
@@ -216,13 +223,9 @@ mod tests {
     fn merge_time_is_added_to_the_end_to_end_duration() {
         let cfg = PipelineConfig::default();
         let (bytes, sorts) = uniform_chunks(4_000_000_000, 4, 80.0);
-        let sched =
-            PipelineSchedule::build(&cfg, &bytes, &sorts, SimTime::from_secs(1.5));
+        let sched = PipelineSchedule::build(&cfg, &bytes, &sorts, SimTime::from_secs(1.5));
         assert!(
-            (sched.breakdown.end_to_end.secs()
-                - sched.breakdown.chunked_sort.secs()
-                - 1.5)
-                .abs()
+            (sched.breakdown.end_to_end.secs() - sched.breakdown.chunked_sort.secs() - 1.5).abs()
                 < 1e-9
         );
     }

@@ -1,0 +1,155 @@
+//! The set of simulated devices a sharded sort runs on.
+//!
+//! Each device couples a [`DeviceSpec`] (the analytical GPU model) with the
+//! [`LinkSpec`] of its own host↔device interconnect.  Links are independent:
+//! shard uploads to different devices overlap fully, which is what makes
+//! range-partitioned multi-GPU sorting scale in the first place (Arkhipov et
+//! al., *Sorting with GPUs: A Survey*).
+
+use gpu_sim::{DeviceSpec, LinkSpec};
+use serde::{Deserialize, Serialize};
+
+/// One simulated GPU and the link that attaches it to the host.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimDevice {
+    /// Hardware model of the device.
+    pub spec: DeviceSpec,
+    /// The device's own host link.
+    pub link: LinkSpec,
+}
+
+impl SimDevice {
+    /// A device on a PCIe 3.0 ×16 link (the paper's configuration).
+    pub fn on_pcie3(spec: DeviceSpec) -> Self {
+        SimDevice {
+            spec,
+            link: LinkSpec::pcie_gen3_x16(),
+        }
+    }
+
+    /// A device on an NVLink 2.0 link.
+    pub fn on_nvlink2(spec: DeviceSpec) -> Self {
+        SimDevice {
+            spec,
+            link: LinkSpec::nvlink2(),
+        }
+    }
+
+    /// The weight used for capacity-proportional shard sizing: the device's
+    /// achievable memory bandwidth.  The hybrid radix sort is bandwidth
+    /// bound (Section 4 of the paper), so a device with twice the bandwidth
+    /// finishes a shard of twice the size in the same simulated time.
+    pub fn capacity_weight(&self) -> f64 {
+        self.spec.effective_bandwidth.gb_per_s()
+    }
+}
+
+/// An ordered collection of simulated devices.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DevicePool {
+    devices: Vec<SimDevice>,
+}
+
+impl DevicePool {
+    /// A pool from explicit devices.  Panics on an empty list.
+    pub fn new(devices: Vec<SimDevice>) -> Self {
+        assert!(!devices.is_empty(), "device pool must not be empty");
+        DevicePool { devices }
+    }
+
+    /// `n` identical devices.
+    pub fn homogeneous(n: usize, device: SimDevice) -> Self {
+        assert!(n > 0, "device pool must not be empty");
+        DevicePool {
+            devices: vec![device; n],
+        }
+    }
+
+    /// `n` Titan X (Pascal) cards, each on its own PCIe 3.0 ×16 link — the
+    /// paper's device, scaled out.
+    pub fn titan_cluster(n: usize) -> Self {
+        DevicePool::homogeneous(n, SimDevice::on_pcie3(DeviceSpec::titan_x_pascal()))
+    }
+
+    /// A deliberately heterogeneous demo pool: a Tesla P100 on NVLink, two
+    /// Titan X (Pascal) on PCIe 3.0 and a GTX 980 on PCIe 3.0.  Shard sizes
+    /// follow each device's bandwidth, so the P100 takes the largest range
+    /// and the GTX 980 the smallest.
+    pub fn mixed_demo() -> Self {
+        DevicePool::new(vec![
+            SimDevice::on_nvlink2(DeviceSpec::tesla_p100()),
+            SimDevice::on_pcie3(DeviceSpec::titan_x_pascal()),
+            SimDevice::on_pcie3(DeviceSpec::titan_x_pascal()),
+            SimDevice::on_pcie3(DeviceSpec::gtx_980()),
+        ])
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Whether the pool is empty (never true for a constructed pool).
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// The devices in shard order.
+    pub fn devices(&self) -> &[SimDevice] {
+        &self.devices
+    }
+
+    /// Capacity weights of all devices, in shard order.
+    pub fn capacity_weights(&self) -> Vec<f64> {
+        self.devices
+            .iter()
+            .map(SimDevice::capacity_weight)
+            .collect()
+    }
+
+    /// Total device-memory capacity of the pool in bytes.
+    pub fn total_device_memory(&self) -> u64 {
+        self.devices
+            .iter()
+            .map(|d| d.spec.device_memory_bytes)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn titan_cluster_is_homogeneous() {
+        let pool = DevicePool::titan_cluster(4);
+        assert_eq!(pool.len(), 4);
+        let w = pool.capacity_weights();
+        assert!(w.windows(2).all(|x| (x[0] - x[1]).abs() < 1e-12));
+    }
+
+    #[test]
+    fn mixed_pool_weights_follow_bandwidth() {
+        let pool = DevicePool::mixed_demo();
+        let w = pool.capacity_weights();
+        // P100 > Titan X > GTX 980.
+        assert!(w[0] > w[1]);
+        assert_eq!(w[1], w[2]);
+        assert!(w[2] > w[3]);
+    }
+
+    #[test]
+    fn pool_memory_adds_up() {
+        let pool = DevicePool::titan_cluster(2);
+        assert_eq!(
+            pool.total_device_memory(),
+            2 * DeviceSpec::titan_x_pascal().device_memory_bytes
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_pool_panics() {
+        DevicePool::new(Vec::new());
+    }
+}

@@ -1,0 +1,441 @@
+//! The sharded multi-device sorting engine.
+//!
+//! [`ShardedSorter`] runs one logical sort across every device of a
+//! [`DevicePool`]:
+//!
+//! 1. **Partition** (host): splitters are selected from MSD digit
+//!    histograms ([`crate::partition`]) so that the expected shard sizes
+//!    are proportional to the devices' capacity weights, and the input is
+//!    scattered into one buffer per device.  Measured for real.
+//! 2. **Device phase** (simulated, functionally real): every shard is
+//!    uploaded over its device's own link, sorted with the full
+//!    [`HybridRadixSorter`] configured for that device, and downloaded.
+//!    Each shard's transfers are split into chunks so uploads, sorting and
+//!    downloads overlap within a device — and devices overlap with each
+//!    other completely, since every link is independent.  The schedule is
+//!    built on a shared [`gpu_sim::Timeline`]; its makespan is the
+//!    critical-path simulated time.
+//! 3. **Recombination** (host): the `p` sorted runs are merged with the
+//!    generalised parallel p-way merge of
+//!    [`hetero::parallel_merge_sorted_runs_by`].  Range partitioning means
+//!    equal keys never straddle shards, so the merge simply concatenates
+//!    logically — but running the real merge keeps the engine honest for
+//!    any splitter policy.  Measured for real.
+
+use crate::device_pool::DevicePool;
+use crate::partition::{compute_splitters, PartitionConfig, SplitterSet};
+use crate::report::{ShardReport, ShardedReport};
+use gpu_sim::{SimTime, Timeline, TransferDirection};
+use hetero::chunking::split_into_chunks;
+use hetero::multiway_merge::parallel_merge_sorted_runs_by;
+use hrs_core::{HybridRadixSorter, SortReport};
+use std::thread;
+use std::time::Instant;
+use workloads::keys::SortKey;
+use workloads::pairs::SortValue;
+
+/// Key extractor for zipped `(key, value)` merge records.
+fn pair_key<K: SortKey, V>(p: &(K, V)) -> u64 {
+    p.0.to_radix()
+}
+
+/// A sorter that shards one input across several simulated GPUs.
+#[derive(Debug, Clone)]
+pub struct ShardedSorter {
+    pool: DevicePool,
+    template: HybridRadixSorter,
+    merge_threads: usize,
+    partition: PartitionConfig,
+    chunks_per_shard: usize,
+}
+
+impl ShardedSorter {
+    /// A sharded sorter over an explicit device pool, using the paper's
+    /// default hybrid-radix-sort configuration on every device.
+    pub fn new(pool: DevicePool) -> Self {
+        ShardedSorter {
+            pool,
+            template: HybridRadixSorter::with_defaults(),
+            merge_threads: 6,
+            partition: PartitionConfig::default(),
+            chunks_per_shard: 4,
+        }
+    }
+
+    /// Four Titan X (Pascal) cards on independent PCIe 3.0 links.
+    pub fn with_defaults() -> Self {
+        ShardedSorter::new(DevicePool::titan_cluster(4))
+    }
+
+    /// Replaces the per-device sorter template (its device model is
+    /// overridden per shard by each pool device's spec).
+    pub fn with_sorter(mut self, template: HybridRadixSorter) -> Self {
+        self.template = template;
+        self
+    }
+
+    /// Replaces the device pool.
+    pub fn with_pool(mut self, pool: DevicePool) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// Sets the host-side merge thread count.
+    pub fn with_merge_threads(mut self, threads: usize) -> Self {
+        self.merge_threads = threads.max(1);
+        self
+    }
+
+    /// Replaces the splitter-selection configuration.
+    pub fn with_partition_config(mut self, cfg: PartitionConfig) -> Self {
+        self.partition = cfg;
+        self
+    }
+
+    /// Sets how many chunks each shard's transfers are split into (more
+    /// chunks = finer upload/sort/download overlap per device).
+    pub fn with_chunks_per_shard(mut self, chunks: usize) -> Self {
+        self.chunks_per_shard = chunks.max(1);
+        self
+    }
+
+    /// The device pool in use.
+    pub fn pool(&self) -> &DevicePool {
+        &self.pool
+    }
+
+    /// Sorts `keys` across the pool and returns the aggregated report.
+    pub fn sort<K: SortKey>(&self, keys: &mut Vec<K>) -> ShardedReport {
+        let mut values: Vec<()> = vec![(); keys.len()];
+        self.sort_impl(keys, &mut values)
+    }
+
+    /// Sorts `keys` across the pool, permuting `values` along with them.
+    pub fn sort_pairs<K: SortKey, V: SortValue>(
+        &self,
+        keys: &mut Vec<K>,
+        values: &mut Vec<V>,
+    ) -> ShardedReport {
+        assert_eq!(
+            keys.len(),
+            values.len(),
+            "keys and values must have the same length"
+        );
+        self.sort_impl(keys, values)
+    }
+
+    fn sort_impl<K: SortKey, V: SortValue>(
+        &self,
+        keys: &mut Vec<K>,
+        values: &mut Vec<V>,
+    ) -> ShardedReport {
+        let n = keys.len();
+        let value_bytes = std::mem::size_of::<V>() as u32;
+        let elem_bytes = K::BYTES as u64 + value_bytes as u64;
+
+        // 1. Partition (host, measured).
+        let partition_start = Instant::now();
+        let splitters = compute_splitters(keys, &self.pool.capacity_weights(), &self.partition);
+        let (mut shard_keys, mut shard_vals) = scatter_into_shards(keys, values, &splitters);
+        let measured_partition = partition_start.elapsed();
+
+        // 2. Device phase: real per-shard sorts, simulated schedule.
+        let reports = self.sort_shards(&mut shard_keys, &mut shard_vals);
+        let (timeline, shards) = self.build_schedule(&splitters, &shard_keys, &reports, elem_bytes);
+        let critical_path = timeline.makespan();
+
+        // 3. Recombination (host, measured): generalised p-way merge over
+        // zipped (key, value) records.
+        let merge_start = Instant::now();
+        let runs: Vec<Vec<(K, V)>> = shard_keys
+            .iter()
+            .zip(shard_vals.iter())
+            .map(|(ks, vs)| ks.iter().copied().zip(vs.iter().copied()).collect())
+            .collect();
+        let refs: Vec<&[(K, V)]> = runs.iter().map(|r| r.as_slice()).collect();
+        let merged = parallel_merge_sorted_runs_by(&refs, self.merge_threads, pair_key::<K, V>);
+        *keys = merged.iter().map(|&(k, _)| k).collect();
+        *values = merged.into_iter().map(|(_, v)| v).collect();
+        let measured_merge = merge_start.elapsed();
+
+        // Aggregate the per-shard reports through the core hook.
+        let mut combined = SortReport::new(0, K::BYTES, value_bytes);
+        for r in &reports {
+            combined.absorb(r);
+        }
+
+        let end_to_end = SimTime::from_secs(measured_partition.as_secs_f64())
+            + critical_path
+            + SimTime::from_secs(measured_merge.as_secs_f64());
+
+        ShardedReport {
+            n: n as u64,
+            key_bytes: K::BYTES,
+            value_bytes,
+            shards,
+            splitters,
+            critical_path,
+            measured_partition,
+            measured_merge,
+            end_to_end,
+            combined,
+            timeline,
+        }
+    }
+
+    /// Runs the functional hybrid radix sort of every shard, one host
+    /// thread per simulated device.
+    fn sort_shards<K: SortKey, V: SortValue>(
+        &self,
+        shard_keys: &mut [Vec<K>],
+        shard_vals: &mut [Vec<V>],
+    ) -> Vec<SortReport> {
+        let mut reports = Vec::with_capacity(self.pool.len());
+        thread::scope(|scope| {
+            let handles: Vec<_> = shard_keys
+                .iter_mut()
+                .zip(shard_vals.iter_mut())
+                .enumerate()
+                .map(|(i, (ks, vs))| {
+                    let sorter = self
+                        .template
+                        .clone()
+                        .with_device(self.pool.devices()[i].spec.clone());
+                    scope.spawn(move || sorter.sort_pairs(ks, vs))
+                })
+                .collect();
+            for h in handles {
+                reports.push(h.join().expect("shard sort panicked"));
+            }
+        });
+        reports
+    }
+
+    /// Schedules every shard's chunked upload → sort → download on its
+    /// device's resources and returns the shared timeline plus the
+    /// per-shard reports.
+    fn build_schedule<K: SortKey>(
+        &self,
+        splitters: &SplitterSet,
+        shard_keys: &[Vec<K>],
+        reports: &[SortReport],
+        elem_bytes: u64,
+    ) -> (Timeline, Vec<ShardReport>) {
+        let mut tl = Timeline::new();
+        let ranges = splitters.ranges();
+        let mut shards = Vec::with_capacity(self.pool.len());
+        for (i, device) in self.pool.devices().iter().enumerate() {
+            let htod = tl.add_resource(format!("dev{i} HtD"));
+            let gpu = tl.add_resource(format!("dev{i} GPU"));
+            let dtoh = tl.add_resource(format!("dev{i} DtH"));
+
+            let shard_n = shard_keys[i].len();
+            let sort_total = reports[i].simulated.total;
+            let mut upload = SimTime::ZERO;
+            let mut gpu_sort = SimTime::ZERO;
+            let mut download = SimTime::ZERO;
+            let mut finish = SimTime::ZERO;
+            if shard_n > 0 {
+                let plan = split_into_chunks(shard_n, self.chunks_per_shard.min(shard_n));
+                for (j, &(start, end)) in plan.ranges.iter().enumerate() {
+                    let chunk_len = end - start;
+                    let chunk_bytes = chunk_len as u64 * elem_bytes;
+                    let up = tl.schedule(
+                        format!("HtD s{i} c{j}"),
+                        htod,
+                        SimTime::ZERO,
+                        device
+                            .link
+                            .transfer_time(TransferDirection::HostToDevice, chunk_bytes),
+                    );
+                    let sort = tl.schedule_after(
+                        format!("sort s{i} c{j}"),
+                        gpu,
+                        &[up.end],
+                        sort_total * (chunk_len as f64 / shard_n as f64),
+                    );
+                    let down = tl.schedule_after(
+                        format!("DtH s{i} c{j}"),
+                        dtoh,
+                        &[sort.end],
+                        device
+                            .link
+                            .transfer_time(TransferDirection::DeviceToHost, chunk_bytes),
+                    );
+                    upload += up.duration();
+                    gpu_sort += sort.duration();
+                    download += down.duration();
+                    finish = finish.max(down.end);
+                }
+            }
+            shards.push(ShardReport {
+                device: device.spec.name.clone(),
+                link: device.link.kind.label().to_string(),
+                n: shard_n as u64,
+                range: ranges[i],
+                report: reports[i].clone(),
+                upload,
+                gpu_sort,
+                download,
+                finish,
+            });
+        }
+        (tl, shards)
+    }
+}
+
+impl Default for ShardedSorter {
+    fn default() -> Self {
+        ShardedSorter::with_defaults()
+    }
+}
+
+/// Scatters the input into one key (and value) buffer per shard, consuming
+/// the input buffers.
+fn scatter_into_shards<K: SortKey, V: SortValue>(
+    keys: &mut Vec<K>,
+    values: &mut Vec<V>,
+    splitters: &SplitterSet,
+) -> (Vec<Vec<K>>, Vec<Vec<V>>) {
+    let p = splitters.num_shards();
+    // Size each shard buffer exactly with a counting pass so the scatter
+    // never reallocates (mirroring the on-GPU histogram + scatter shape).
+    let mut counts = vec![0usize; p];
+    for k in keys.iter() {
+        counts[splitters.shard_of(k.to_radix())] += 1;
+    }
+    let mut shard_keys: Vec<Vec<K>> = counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+    let mut shard_vals: Vec<Vec<V>> = counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+    for (k, v) in keys.drain(..).zip(values.drain(..)) {
+        let s = splitters.shard_of(k.to_radix());
+        shard_keys[s].push(k);
+        shard_vals[s].push(v);
+    }
+    (shard_keys, shard_vals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device_pool::{DevicePool, SimDevice};
+    use gpu_sim::DeviceSpec;
+    use hrs_core::SortConfig;
+    use workloads::{uniform_keys, KeyCodec, ZipfGenerator};
+
+    fn test_sorter(p: usize) -> ShardedSorter {
+        // Scale the on-GPU configuration to the small functional inputs used
+        // in tests (same trick as the hetero tests).
+        let gpu = HybridRadixSorter::new(SortConfig::keys_64().scaled_for(40_000, 250_000_000));
+        ShardedSorter::new(DevicePool::titan_cluster(p))
+            .with_sorter(gpu)
+            .with_merge_threads(4)
+    }
+
+    #[test]
+    fn sorts_uniform_keys_across_device_counts() {
+        let keys = uniform_keys::<u64>(120_000, 1);
+        let expected = KeyCodec::std_sorted(&keys);
+        for p in [1usize, 2, 4] {
+            let mut k = keys.clone();
+            let report = test_sorter(p).sort(&mut k);
+            assert_eq!(k, expected, "p = {p}");
+            assert_eq!(report.shards.len(), p);
+            assert_eq!(report.n, 120_000);
+            assert!(report.critical_path.secs() > 0.0);
+        }
+    }
+
+    #[test]
+    fn zipf_keys_sort_correctly() {
+        let keys: Vec<u64> = ZipfGenerator::paper_keys(100_000, 7);
+        let expected = KeyCodec::std_sorted(&keys);
+        let mut k = keys;
+        let report = test_sorter(4).sort(&mut k);
+        assert_eq!(k, expected);
+        assert_eq!(report.combined.n, 100_000);
+    }
+
+    #[test]
+    fn pairs_travel_with_their_keys() {
+        let keys = uniform_keys::<u32>(50_000, 3);
+        let mut sorted_keys = keys.clone();
+        let mut vals: Vec<u32> = (0..50_000).collect();
+        let gpu = HybridRadixSorter::new(SortConfig::pairs_32_32().scaled_for(50_000, 500_000_000));
+        let sorter = ShardedSorter::new(DevicePool::titan_cluster(3)).with_sorter(gpu);
+        let report = sorter.sort_pairs(&mut sorted_keys, &mut vals);
+        assert!(workloads::pairs::verify_indexed_pair_sort(
+            &keys,
+            &sorted_keys,
+            &vals
+        ));
+        assert_eq!(report.value_bytes, 4);
+        assert_eq!(report.input_bytes(), 50_000 * 8);
+    }
+
+    #[test]
+    fn more_devices_shorten_the_critical_path() {
+        let keys = uniform_keys::<u64>(200_000, 5);
+        let mut last = f64::INFINITY;
+        for p in [1usize, 2, 4] {
+            let mut k = keys.clone();
+            let report = test_sorter(p).sort(&mut k);
+            assert!(
+                report.critical_path.secs() < last,
+                "p = {p}: {} not faster than {last}",
+                report.critical_path.secs()
+            );
+            last = report.critical_path.secs();
+        }
+    }
+
+    #[test]
+    fn heterogeneous_pool_gives_the_fast_device_the_biggest_shard() {
+        let pool = DevicePool::new(vec![
+            SimDevice::on_nvlink2(DeviceSpec::tesla_p100()),
+            SimDevice::on_pcie3(DeviceSpec::gtx_980()),
+        ]);
+        let keys = uniform_keys::<u64>(150_000, 9);
+        let expected = KeyCodec::std_sorted(&keys);
+        let gpu = HybridRadixSorter::new(SortConfig::keys_64().scaled_for(75_000, 250_000_000));
+        let mut k = keys;
+        let report = ShardedSorter::new(pool).with_sorter(gpu).sort(&mut k);
+        assert_eq!(k, expected);
+        // P100 (580 GB/s) should hold ~3.2x the keys of the GTX 980
+        // (180 GB/s).
+        let ratio = report.shards[0].n as f64 / report.shards[1].n.max(1) as f64;
+        assert!(ratio > 2.0, "capacity-proportional ratio {ratio}");
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let sorter = test_sorter(4);
+        let mut empty: Vec<u64> = Vec::new();
+        let report = sorter.sort(&mut empty);
+        assert!(empty.is_empty());
+        assert_eq!(report.n, 0);
+        assert_eq!(report.critical_path, SimTime::ZERO);
+
+        let mut tiny = vec![9u64, 1, 5];
+        sorter.sort(&mut tiny);
+        assert_eq!(tiny, vec![1, 5, 9]);
+    }
+
+    #[test]
+    fn report_bookkeeping_is_consistent() {
+        let mut keys = uniform_keys::<u64>(80_000, 11);
+        let report = test_sorter(4).sort(&mut keys);
+        assert_eq!(report.shards.iter().map(|s| s.n).sum::<u64>(), 80_000);
+        assert_eq!(report.combined.n, 80_000);
+        // Every shard finished no later than the critical path.
+        for s in &report.shards {
+            assert!(s.finish <= report.critical_path);
+        }
+        // The timeline rendered schedule mentions every device.
+        let rendered = report.timeline.render();
+        for i in 0..4 {
+            assert!(rendered.contains(&format!("dev{i}")));
+        }
+        assert!(report.end_to_end >= report.critical_path);
+        assert!(report.shard_imbalance() >= 1.0);
+    }
+}

@@ -1,0 +1,364 @@
+//! Range partitioning via splitter selection over MSD digit histograms.
+//!
+//! A sharded sort needs splitters that divide the *key space* into `p`
+//! contiguous ranges whose populations match the devices' capacity weights.
+//! Splitters are found the way the hybrid radix sort itself looks at keys:
+//! with most-significant-digit histograms ([`hrs_core::histogram`]).  A
+//! histogram of the top 8 bits locates the bin every weighted rank target
+//! falls into; heavily populated bins are refined by recursing into the next
+//! 8-bit digit (up to [`PartitionConfig::refine_levels`] levels), which
+//! keeps splitters accurate even for skewed (Zipfian) inputs.
+//!
+//! Because every key with the same radix value maps to the same shard,
+//! shard outputs are non-overlapping ranges: the recombination merge never
+//! interleaves elements from different shards, and equal keys can never
+//! straddle a shard boundary.
+
+use gpu_sim::HistogramStrategy;
+use hrs_core::histogram::block_histogram;
+use serde::{Deserialize, Serialize};
+use workloads::SortKey;
+
+/// Tuning knobs of the splitter search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartitionConfig {
+    /// Maximum number of keys sampled for the histograms (the full input is
+    /// strided down to at most this many samples).
+    pub max_samples: usize,
+    /// How many 8-bit digit levels to refine into (1 = MSD histogram only;
+    /// 3 gives 24-bit splitter granularity, enough to balance a Zipf
+    /// distribution over millions of distinct values).
+    pub refine_levels: u32,
+    /// Bits per digit of the histogram descent.
+    pub digit_bits: u32,
+}
+
+impl Default for PartitionConfig {
+    fn default() -> Self {
+        PartitionConfig {
+            max_samples: 1 << 20,
+            refine_levels: 3,
+            digit_bits: 8,
+        }
+    }
+}
+
+/// The chosen splitters: `cuts` in the key's radix space, strictly
+/// increasing, one fewer than the number of shards.  Shard `i` owns the
+/// half-open radix range `[cuts[i-1], cuts[i])` (with 0 and the maximum
+/// radix closing the ends).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SplitterSet {
+    /// Strictly increasing shard boundaries in radix space.
+    pub cuts: Vec<u64>,
+    /// Width of the key type the cuts apply to.
+    pub key_bits: u32,
+}
+
+impl SplitterSet {
+    /// Number of shards the set partitions into.
+    pub fn num_shards(&self) -> usize {
+        self.cuts.len() + 1
+    }
+
+    /// Largest representable radix value for the key width.
+    pub fn max_radix(&self) -> u64 {
+        if self.key_bits >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.key_bits) - 1
+        }
+    }
+
+    /// The shard a radix value belongs to.
+    pub fn shard_of(&self, radix: u64) -> usize {
+        self.cuts.partition_point(|&c| c <= radix)
+    }
+
+    /// Inclusive `[lo, hi]` radix ranges of every shard.  Together the
+    /// ranges tile the whole key space: the first starts at 0, the last
+    /// ends at [`SplitterSet::max_radix`], and each range starts exactly one
+    /// past its predecessor's end.
+    pub fn ranges(&self) -> Vec<(u64, u64)> {
+        let mut ranges = Vec::with_capacity(self.num_shards());
+        let mut lo = 0u64;
+        for &cut in &self.cuts {
+            ranges.push((lo, cut - 1));
+            lo = cut;
+        }
+        ranges.push((lo, self.max_radix()));
+        ranges
+    }
+
+    /// Validates the structural invariants (strictly increasing cuts within
+    /// the key space).  Returns a description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut prev = 0u64;
+        for (i, &cut) in self.cuts.iter().enumerate() {
+            if cut <= prev {
+                return Err(format!(
+                    "cut {i} = {cut} is not strictly greater than its predecessor {prev}"
+                ));
+            }
+            if cut > self.max_radix() {
+                return Err(format!(
+                    "cut {i} = {cut} exceeds the key space (max radix {})",
+                    self.max_radix()
+                ));
+            }
+            prev = cut;
+        }
+        Ok(())
+    }
+}
+
+/// Chooses splitters for `keys` so that the expected shard populations are
+/// proportional to `weights` (one weight per shard, all positive).
+pub fn compute_splitters<K: SortKey>(
+    keys: &[K],
+    weights: &[f64],
+    cfg: &PartitionConfig,
+) -> SplitterSet {
+    let shards = weights.len().max(1);
+    assert!(
+        weights.iter().all(|&w| w > 0.0),
+        "capacity weights must be positive"
+    );
+    let max_radix = if K::BITS >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << K::BITS) - 1
+    };
+    assert!(
+        (shards as u64 - 1) <= max_radix,
+        "more shards than representable key values"
+    );
+
+    if shards == 1 {
+        return SplitterSet {
+            cuts: Vec::new(),
+            key_bits: K::BITS,
+        };
+    }
+
+    // Normalise every sampled key's radix into the top bits of a u64 so the
+    // histogram descent always works on 8-bit digits from bit 63 downward,
+    // independent of the key width.
+    let norm_shift = 64 - K::BITS;
+    let stride = keys.len().div_ceil(cfg.max_samples.max(1)).max(1);
+    let sample: Vec<u64> = keys
+        .iter()
+        .step_by(stride)
+        .map(|k| k.to_radix() << norm_shift)
+        .collect();
+
+    let total_weight: f64 = weights.iter().sum();
+    let levels = cfg
+        .refine_levels
+        .clamp(1, K::BITS.div_ceil(cfg.digit_bits))
+        .min(64 / cfg.digit_bits);
+
+    let mut cuts = Vec::with_capacity(shards - 1);
+    let mut cum_weight = 0.0;
+    for w in &weights[..shards - 1] {
+        cum_weight += w;
+        let target = sample.len() as f64 * cum_weight / total_weight;
+        let cut_norm = if sample.is_empty() {
+            // No data: fall back to an equal-width partition of the key
+            // space itself.
+            ((u128::from(u64::MAX) + 1) * (cum_weight / total_weight * 1024.0) as u128 / 1024)
+                .min(u128::from(u64::MAX)) as u64
+        } else {
+            find_cut(&sample, 0, 0, target, levels, cfg.digit_bits)
+        };
+        cuts.push(cut_norm >> norm_shift);
+    }
+
+    // Enforce strict monotonicity (heavy skew can collapse neighbouring
+    // targets into the same histogram bin); a forced one-step cut yields an
+    // empty shard but keeps the ranges a true partition of the key space.
+    let mut prev = 0u64;
+    for (i, cut) in cuts.iter_mut().enumerate() {
+        let floor = prev + 1;
+        let ceil = max_radix - (shards as u64 - 2 - i as u64);
+        *cut = (*cut).clamp(floor, ceil);
+        prev = *cut;
+    }
+
+    SplitterSet {
+        cuts,
+        key_bits: K::BITS,
+    }
+}
+
+/// Descends the digit histogram of `subset` (all sharing `prefix` above the
+/// current digit) to locate the radix value whose rank is closest to
+/// `target`.  Returns a cut aligned to the finest refined digit boundary.
+fn find_cut(
+    subset: &[u64],
+    prefix: u64,
+    level: u32,
+    target: f64,
+    levels: u32,
+    digit_bits: u32,
+) -> u64 {
+    let radix = 1usize << digit_bits;
+    let shift = 64 - digit_bits * (level + 1);
+    let hist = block_histogram(
+        subset,
+        digit_bits,
+        level,
+        radix,
+        HistogramStrategy::AtomicsOnly,
+        usize::MAX,
+    );
+
+    let mut cum_before = 0.0;
+    for (b, &count) in hist.counts.iter().enumerate() {
+        let count = count as f64;
+        if cum_before + count >= target || b == radix - 1 {
+            let bin_lo = prefix | ((b as u64) << shift);
+            if count > 1.0 && level + 1 < levels {
+                // The target falls inside a populated bin: refine on the
+                // next digit, restricted to this bin's keys.
+                let sub: Vec<u64> = subset
+                    .iter()
+                    .copied()
+                    .filter(|&k| (k >> shift) & ((radix - 1) as u64) == b as u64)
+                    .collect();
+                if !sub.is_empty() {
+                    return find_cut(
+                        &sub,
+                        bin_lo,
+                        level + 1,
+                        target - cum_before,
+                        levels,
+                        digit_bits,
+                    );
+                }
+            }
+            // Out of refinement levels: snap to the nearer bin boundary.
+            if target - cum_before <= count / 2.0 {
+                return bin_lo;
+            }
+            let bin_hi = u128::from(prefix) + ((b as u128 + 1) << shift);
+            return bin_hi.min(u128::from(u64::MAX)) as u64;
+        }
+        cum_before += count;
+    }
+    u64::MAX
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::{uniform_keys, ZipfGenerator};
+
+    fn shard_counts<K: SortKey>(keys: &[K], s: &SplitterSet) -> Vec<usize> {
+        let mut counts = vec![0usize; s.num_shards()];
+        for k in keys {
+            counts[s.shard_of(k.to_radix())] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn uniform_keys_split_evenly() {
+        let keys = uniform_keys::<u64>(200_000, 1);
+        let s = compute_splitters(&keys, &[1.0; 4], &PartitionConfig::default());
+        s.validate().unwrap();
+        let counts = shard_counts(&keys, &s);
+        for &c in &counts {
+            let expected = keys.len() / 4;
+            assert!(
+                (c as f64 - expected as f64).abs() < expected as f64 * 0.1,
+                "unbalanced shards: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_split_follows_capacity() {
+        let keys = uniform_keys::<u64>(200_000, 2);
+        let s = compute_splitters(&keys, &[3.0, 1.0], &PartitionConfig::default());
+        let counts = shard_counts(&keys, &s);
+        let frac = counts[0] as f64 / keys.len() as f64;
+        assert!((frac - 0.75).abs() < 0.05, "weighted fraction {frac}");
+    }
+
+    #[test]
+    fn zipf_keys_balance_through_refinement() {
+        let keys: Vec<u64> = ZipfGenerator::paper_keys(300_000, 3);
+        let s = compute_splitters(&keys, &[1.0; 4], &PartitionConfig::default());
+        s.validate().unwrap();
+        let counts = shard_counts(&keys, &s);
+        let max = *counts.iter().max().unwrap() as f64;
+        // Perfect balance is impossible when single values repeat heavily,
+        // but refinement must keep the largest shard well below "almost
+        // everything in one shard".
+        assert!(
+            max < keys.len() as f64 * 0.55,
+            "zipf shards too skewed: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn constant_input_still_partitions_the_key_space() {
+        let keys = vec![0xABCDu32; 10_000];
+        let s = compute_splitters(&keys, &[1.0; 4], &PartitionConfig::default());
+        s.validate().unwrap();
+        let ranges = s.ranges();
+        assert_eq!(ranges.len(), 4);
+        assert_eq!(ranges[0].0, 0);
+        assert_eq!(ranges[3].1, u32::MAX as u64);
+        // All keys land in exactly one shard.
+        let counts = shard_counts(&keys, &s);
+        assert_eq!(counts.iter().sum::<usize>(), keys.len());
+        assert_eq!(*counts.iter().max().unwrap(), keys.len());
+    }
+
+    #[test]
+    fn ranges_tile_the_key_space_without_gaps() {
+        let keys = uniform_keys::<u32>(50_000, 5);
+        for shards in [2usize, 3, 5, 8] {
+            let s = compute_splitters(&keys, &vec![1.0; shards], &PartitionConfig::default());
+            s.validate().unwrap();
+            let ranges = s.ranges();
+            assert_eq!(ranges[0].0, 0);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].1 + 1, w[1].0, "gap or overlap between {w:?}");
+            }
+            assert_eq!(ranges.last().unwrap().1, u32::MAX as u64);
+        }
+    }
+
+    #[test]
+    fn empty_input_falls_back_to_equal_width() {
+        let keys: Vec<u64> = Vec::new();
+        let s = compute_splitters(&keys, &[1.0, 1.0], &PartitionConfig::default());
+        s.validate().unwrap();
+        // The single cut should sit near the middle of the key space.
+        let mid = s.cuts[0] as f64 / u64::MAX as f64;
+        assert!((mid - 0.5).abs() < 0.01, "fallback cut at {mid}");
+    }
+
+    #[test]
+    fn single_shard_has_no_cuts() {
+        let keys = uniform_keys::<u64>(1_000, 7);
+        let s = compute_splitters(&keys, &[1.0], &PartitionConfig::default());
+        assert_eq!(s.num_shards(), 1);
+        assert_eq!(s.ranges(), vec![(0, u64::MAX)]);
+    }
+
+    #[test]
+    fn sorted_input_splits_evenly() {
+        let mut keys = uniform_keys::<u64>(100_000, 11);
+        keys.sort_unstable();
+        let s = compute_splitters(&keys, &[1.0; 8], &PartitionConfig::default());
+        s.validate().unwrap();
+        let counts = shard_counts(&keys, &s);
+        for &c in &counts {
+            assert!(c > keys.len() / 16, "sorted shards unbalanced: {counts:?}");
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Aggregated reporting for sharded multi-device sorts.
+
+use crate::partition::SplitterSet;
+use gpu_sim::{SimTime, Timeline};
+use hrs_core::SortReport;
+
+/// What one device did for its shard.
+#[derive(Debug, Clone)]
+pub struct ShardReport {
+    /// Device name (from its [`gpu_sim::DeviceSpec`]).
+    pub device: String,
+    /// Link class label (e.g. `"PCIe3x16"`).
+    pub link: String,
+    /// Keys in the shard.
+    pub n: u64,
+    /// Inclusive radix range the shard owns.
+    pub range: (u64, u64),
+    /// The shard's own hybrid-radix-sort report.
+    pub report: SortReport,
+    /// Simulated upload duration (sum over the shard's chunks).
+    pub upload: SimTime,
+    /// Simulated on-GPU sorting duration.
+    pub gpu_sort: SimTime,
+    /// Simulated download duration.
+    pub download: SimTime,
+    /// When the device's last download finished on the shared timeline.
+    pub finish: SimTime,
+}
+
+/// Full report of one sharded multi-GPU sort.
+#[derive(Debug, Clone)]
+pub struct ShardedReport {
+    /// Total elements sorted.
+    pub n: u64,
+    /// Key width in bytes.
+    pub key_bytes: u32,
+    /// Value width in bytes (0 for key-only sorts).
+    pub value_bytes: u32,
+    /// Per-device shard reports, in shard (key-range) order.
+    pub shards: Vec<ShardReport>,
+    /// The splitters that defined the shards.
+    pub splitters: SplitterSet,
+    /// Critical path of the simulated device phase: the time at which the
+    /// slowest device finished returning its sorted shard (uploads, sorts
+    /// and downloads of all devices overlap on their own links).
+    pub critical_path: SimTime,
+    /// Measured wall-clock duration of the host-side partitioning
+    /// (splitter selection + scatter into shard buffers).
+    pub measured_partition: std::time::Duration,
+    /// Measured wall-clock duration of the host-side p-way merge.
+    pub measured_merge: std::time::Duration,
+    /// End-to-end time: host partition, device critical path, host merge.
+    pub end_to_end: SimTime,
+    /// Fleet-wide statistics: every shard's report accumulated via
+    /// [`SortReport::absorb`].  Its `simulated` breakdown is empty — shards
+    /// run concurrently, so their times compose via `critical_path`.
+    pub combined: SortReport,
+    /// The simulated schedule of every transfer and sort.
+    pub timeline: Timeline,
+}
+
+impl ShardedReport {
+    /// Total input size in bytes (keys + values).
+    pub fn input_bytes(&self) -> u64 {
+        self.n * (self.key_bytes as u64 + self.value_bytes as u64)
+    }
+
+    /// Ratio of the largest shard to the mean shard size (1.0 = perfectly
+    /// balanced; meaningful for equal-capacity pools).
+    pub fn shard_imbalance(&self) -> f64 {
+        if self.n == 0 || self.shards.is_empty() {
+            return 1.0;
+        }
+        let mean = self.n as f64 / self.shards.len() as f64;
+        let max = self.shards.iter().map(|s| s.n).max().unwrap_or(0) as f64;
+        max / mean
+    }
+
+    /// Simulated speedup of this run's device phase over `baseline`'s
+    /// (typically a single-device run of the same input).
+    pub fn speedup_over(&self, baseline: &ShardedReport) -> f64 {
+        if self.critical_path.secs() <= 0.0 {
+            return 1.0;
+        }
+        baseline.critical_path.secs() / self.critical_path.secs()
+    }
+
+    /// One-line summary for experiment logs.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} keys over {} devices: critical path {}, partition {:?}, merge {:?}, end-to-end {}, imbalance {:.2}",
+            self.n,
+            self.shards.len(),
+            self.critical_path,
+            self.measured_partition,
+            self.measured_merge,
+            self.end_to_end,
+            self.shard_imbalance(),
+        )
+    }
+
+    /// A per-shard table for the experiment binaries.
+    pub fn shard_table(&self) -> String {
+        let mut out = String::from(
+            "shard | device                      | link     |      keys |   upload |     sort | download |   finish\n",
+        );
+        for (i, s) in self.shards.iter().enumerate() {
+            out.push_str(&format!(
+                "{:>5} | {:<27} | {:<8} | {:>9} | {:>8} | {:>8} | {:>8} | {:>8}\n",
+                i, s.device, s.link, s.n, s.upload, s.gpu_sort, s.download, s.finish,
+            ));
+        }
+        out
+    }
+}

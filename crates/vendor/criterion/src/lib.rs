@@ -1,0 +1,227 @@
+//! Offline stand-in for the `criterion` benchmarking crate.
+//!
+//! The container has no crates.io access, so this shim implements the small
+//! slice of the Criterion API the workspace's bench targets use: benchmark
+//! groups, `bench_function` / `bench_with_input`, `BenchmarkId`, `iter`, and
+//! the `criterion_group!` / `criterion_main!` macros.  Measurements are
+//! simple wall-clock medians over a configurable sample count — good enough
+//! to compare the relative cost of the paper's kernels, not a statistics
+//! suite.  Passing `--bench` (as `cargo bench` does) runs the full sample
+//! count; any other invocation runs a single quick iteration per benchmark
+//! so the targets stay usable as smoke tests.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for one parameterised benchmark case.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter display value.
+    pub fn new(name: impl Into<String>, parameter: impl ToString) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.name, self.parameter)
+    }
+}
+
+/// Timing loop handle passed to the closure of a benchmark.
+pub struct Bencher {
+    samples: usize,
+    /// Collected per-sample durations of the most recent `iter` call.
+    last_samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly, recording one wall-clock sample per run.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        self.last_samples.clear();
+        // One untimed warm-up run.
+        black_box(f());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            self.last_samples.push(start.elapsed());
+        }
+    }
+
+    fn median(&self) -> Duration {
+        if self.last_samples.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut s = self.last_samples.clone();
+        s.sort();
+        s[s.len() / 2]
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim has a fixed single warm-up
+    /// run.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim times a fixed sample count
+    /// instead of a target duration.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl ToString, mut f: F) {
+        let mut b = Bencher {
+            samples: self.effective_samples(),
+            last_samples: Vec::new(),
+        };
+        f(&mut b);
+        println!(
+            "bench {:<50} median {:>12.3?} ({} samples)",
+            format!("{}/{}", self.name, id.to_string()),
+            b.median(),
+            b.last_samples.len()
+        );
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Finishes the group (prints a trailing newline).
+    pub fn finish(&mut self) {
+        println!();
+    }
+
+    fn effective_samples(&self) -> usize {
+        if self.criterion.quick {
+            1
+        } else {
+            self.sample_size
+        }
+    }
+}
+
+/// Throughput annotation (accepted, not reported, by the shim).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Criterion {
+    /// Creates a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Standalone `bench_function` (outside a group).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl ToString, f: F) {
+        self.benchmark_group("").bench_function(id, f);
+    }
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` passes `--bench`; anything else (plain execution,
+        // `cargo test` running the target) gets the quick single-iteration
+        // mode.
+        let full = std::env::args().any(|a| a == "--bench");
+        Criterion { quick: !full }
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_and_reports() {
+        let mut c = Criterion { quick: true };
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        let mut runs = 0u32;
+        group.bench_function("counting", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        group.finish();
+        // One warm-up plus one quick sample.
+        assert_eq!(runs, 2);
+    }
+
+    #[test]
+    fn benchmark_id_displays_name_and_parameter() {
+        let id = BenchmarkId::new("merge", "s=4");
+        assert_eq!(id.to_string(), "merge/s=4");
+    }
+}

@@ -1,0 +1,86 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A half-open range of permissible collection lengths.  Mirrors
+/// `proptest::collection::SizeRange` closely enough that bare integer range
+/// literals (`0..400`) infer as `usize`.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    start: usize,
+    end: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        SizeRange {
+            start: r.start,
+            end: r.end.max(r.start + 1),
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            start: *r.start(),
+            end: *r.end() + 1,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(len: usize) -> Self {
+        SizeRange {
+            start: len,
+            end: len + 1,
+        }
+    }
+}
+
+/// Strategy for vectors whose length is drawn from a [`SizeRange`] and whose
+/// elements are drawn from `element`.
+pub struct VecStrategy<S> {
+    element: S,
+    len: SizeRange,
+}
+
+/// Builds a vector strategy, mirroring `proptest::collection::vec`.
+pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        len: len.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.len.end - self.len.start) as u64;
+        let n = self.len.start + rng.next_bounded(span) as usize;
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::any;
+
+    #[test]
+    fn vec_strategy_uses_length_range() {
+        let mut rng = TestRng::new(9);
+        let s = vec(any::<u8>(), 3..4);
+        for _ in 0..20 {
+            assert_eq!(s.generate(&mut rng).len(), 3);
+        }
+        let s = vec(any::<u8>(), 5);
+        assert_eq!(s.generate(&mut rng).len(), 5);
+        let s = vec(any::<u8>(), 0..=2);
+        for _ in 0..20 {
+            assert!(s.generate(&mut rng).len() <= 2);
+        }
+    }
+}

@@ -234,19 +234,22 @@ mod tests {
             f32::INFINITY,
         ];
         for w in vals.windows(2) {
-            assert!(
-                w[0].to_radix() <= w[1].to_radix(),
-                "{} vs {}",
-                w[0],
-                w[1]
-            );
+            assert!(w[0].to_radix() <= w[1].to_radix(), "{} vs {}", w[0], w[1]);
         }
         for &v in &vals {
             if v != 0.0 {
                 roundtrip(v);
             }
         }
-        let vals = [f64::NEG_INFINITY, -1e300, -2.5, 0.0, 2.5, 1e300, f64::INFINITY];
+        let vals = [
+            f64::NEG_INFINITY,
+            -1e300,
+            -2.5,
+            0.0,
+            2.5,
+            1e300,
+            f64::INFINITY,
+        ];
         for w in vals.windows(2) {
             assert!(w[0].to_radix() < w[1].to_radix());
         }
@@ -260,7 +263,14 @@ mod tests {
 
     #[test]
     fn float_roundtrip_preserves_bit_pattern() {
-        for v in [1.25f64, -1.25, 0.0, f64::MAX, f64::MIN_POSITIVE, -f64::MIN_POSITIVE] {
+        for v in [
+            1.25f64,
+            -1.25,
+            0.0,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+            -f64::MIN_POSITIVE,
+        ] {
             assert_eq!(f64::from_radix(v.to_radix()).to_bits(), v.to_bits());
         }
     }

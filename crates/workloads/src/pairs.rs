@@ -35,7 +35,11 @@ pub struct DecomposedPairs<K: SortKey, V: SortValue> {
 impl<K: SortKey, V: SortValue> DecomposedPairs<K, V> {
     /// Creates a pair set from matching key and value arrays.
     pub fn new(keys: Vec<K>, values: Vec<V>) -> Self {
-        assert_eq!(keys.len(), values.len(), "keys and values must match in length");
+        assert_eq!(
+            keys.len(),
+            values.len(),
+            "keys and values must match in length"
+        );
         DecomposedPairs { keys, values }
     }
 
@@ -201,11 +205,23 @@ mod tests {
     fn verify_indexed_pair_sort_rejects_broken_sorts() {
         let keys = vec![5u32, 1, 3, 1];
         // Keys not sorted.
-        assert!(!verify_indexed_pair_sort(&keys, &[5, 1, 3, 1], &[0, 1, 2, 3]));
+        assert!(!verify_indexed_pair_sort(
+            &keys,
+            &[5, 1, 3, 1],
+            &[0, 1, 2, 3]
+        ));
         // Value points at a position with a different key.
-        assert!(!verify_indexed_pair_sort(&keys, &[1, 1, 3, 5], &[1, 2, 3, 0]));
+        assert!(!verify_indexed_pair_sort(
+            &keys,
+            &[1, 1, 3, 5],
+            &[1, 2, 3, 0]
+        ));
         // Duplicate value reference.
-        assert!(!verify_indexed_pair_sort(&keys, &[1, 1, 3, 5], &[1, 1, 2, 0]));
+        assert!(!verify_indexed_pair_sort(
+            &keys,
+            &[1, 1, 3, 5],
+            &[1, 1, 2, 0]
+        ));
         // Length mismatch.
         assert!(!verify_indexed_pair_sort(&keys, &[1, 1, 3], &[1, 3, 2]));
     }

@@ -10,7 +10,11 @@ use std::hash::Hash;
 
 /// Number of distinct values in a slice.
 pub fn distinct_values<T: Eq + Hash + Copy>(values: &[T]) -> usize {
-    values.iter().copied().collect::<std::collections::HashSet<_>>().len()
+    values
+        .iter()
+        .copied()
+        .collect::<std::collections::HashSet<_>>()
+        .len()
 }
 
 /// Empirical Shannon entropy (in bits) of the value distribution of a slice.

@@ -23,7 +23,9 @@ fn key_mask<K: SortKey>() -> u64 {
 pub fn uniform_keys<K: SortKey>(n: usize, seed: u64) -> Vec<K> {
     let mut rng = SplitMix64::new(seed);
     let mask = key_mask::<K>();
-    (0..n).map(|_| K::from_radix(rng.next_u64() & mask)).collect()
+    (0..n)
+        .map(|_| K::from_radix(rng.next_u64() & mask))
+        .collect()
 }
 
 /// Generates `n` copies of the same key (the zero-entropy distribution).
@@ -60,8 +62,8 @@ pub fn nearly_sorted_keys<K: SortKey>(n: usize, swap_fraction: f64, seed: u64) -
     let swaps = ((n as f64) * swap_fraction.clamp(0.0, 1.0)) as usize;
     for _ in 0..swaps {
         let i = rng.next_bounded(n as u64 - 1) as usize;
-        let j = (i + 1 + rng.next_bounded(16.min(n as u64 - 1 - i as u64).max(1)) as usize)
-            .min(n - 1);
+        let j =
+            (i + 1 + rng.next_bounded(16.min(n as u64 - 1 - i as u64).max(1)) as usize).min(n - 1);
         keys.swap(i, j);
     }
     keys
@@ -131,7 +133,7 @@ mod tests {
     #[test]
     fn constant_has_one_distinct_value() {
         let keys = constant_keys(5_000, 77u64);
-        assert_eq!(distinct_values(&keys.iter().map(|&k| k).collect::<Vec<_>>()), 1);
+        assert_eq!(distinct_values(&keys), 1);
     }
 
     #[test]

@@ -44,13 +44,15 @@ impl ZipfGenerator {
     /// values, seeded deterministically.
     pub fn new(theta: f64, universe: u64, seed: u64) -> Self {
         assert!(universe > 0, "universe must be non-empty");
-        assert!((0.0..1.0).contains(&theta) || theta > 0.0, "theta must be non-negative");
+        assert!(
+            (0.0..1.0).contains(&theta) || theta > 0.0,
+            "theta must be non-negative"
+        );
         let universe = universe.max(2);
         let zetan = zeta(universe, theta);
         let zeta2theta = zeta(2, theta);
         let alpha = 1.0 / (1.0 - theta);
-        let eta = (1.0 - (2.0 / universe as f64).powf(1.0 - theta))
-            / (1.0 - zeta2theta / zetan);
+        let eta = (1.0 - (2.0 / universe as f64).powf(1.0 - theta)) / (1.0 - zeta2theta / zetan);
         ZipfGenerator {
             theta,
             universe,
@@ -86,8 +88,7 @@ impl ZipfGenerator {
         if uz < 1.0 + 0.5f64.powf(self.theta) {
             return 1;
         }
-        let rank =
-            (self.universe as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        let rank = (self.universe as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
         rank.min(self.universe - 1)
     }
 

@@ -26,7 +26,11 @@ fn main() {
     assert!(measurements.windows(2).all(|w| w[0] <= w[1]));
     assert_eq!(measurements[0], f64::NEG_INFINITY);
     assert_eq!(*measurements.last().unwrap(), f64::INFINITY);
-    println!("sorted {} f64 measurements ({} counting passes)", report.n, report.counting_passes());
+    println!(
+        "sorted {} f64 measurements ({} counting passes)",
+        report.n,
+        report.counting_passes()
+    );
 
     // Account balances: signed 64-bit integers, many negative.
     let mut balances: Vec<i64> = (0..1_000_000)
@@ -34,15 +38,26 @@ fn main() {
         .collect();
     sorter.sort(&mut balances);
     assert!(balances.windows(2).all(|w| w[0] <= w[1]));
-    println!("sorted {} i64 balances (min = {}, max = {})", balances.len(), balances[0], balances.last().unwrap());
+    println!(
+        "sorted {} i64 balances (min = {}, max = {})",
+        balances.len(),
+        balances[0],
+        balances.last().unwrap()
+    );
 
     // Temperatures: f32 keys with an associated station id.
-    let temps: Vec<f32> = (0..500_000).map(|_| (rng.next_f64() as f32 - 0.5) * 80.0).collect();
+    let temps: Vec<f32> = (0..500_000)
+        .map(|_| (rng.next_f64() as f32 - 0.5) * 80.0)
+        .collect();
     let mut sorted_temps = temps.clone();
     let mut stations: Vec<u32> = (0..temps.len() as u32).collect();
     sorter.sort_pairs(&mut sorted_temps, &mut stations);
-    assert!(hybrid_radix_sort::workloads::pairs::verify_indexed_pair_sort(
-        &temps, &sorted_temps, &stations
-    ));
+    assert!(
+        hybrid_radix_sort::workloads::pairs::verify_indexed_pair_sort(
+            &temps,
+            &sorted_temps,
+            &stations
+        )
+    );
     println!("sorted {} (f32 temperature, station) pairs", temps.len());
 }

@@ -25,7 +25,11 @@ fn main() {
     assert!(verify_indexed_pair_sort(&fact_fk, &sorted_fk, &fact_rowids));
     println!("built fact-table index over {n} rows");
     println!("  simulated GPU time: {}", report.simulated.total);
-    println!("  counting passes: {}, local sorts: {}", report.counting_passes(), report.local.invocations);
+    println!(
+        "  counting passes: {}, local sorts: {}",
+        report.counting_passes(),
+        report.local.invocations
+    );
 
     // Dimension table: unique keys, already sorted after its own index build.
     let mut dim_keys: Vec<u64> = Distribution::Uniform.generate(100_000, 2);

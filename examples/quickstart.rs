@@ -22,9 +22,11 @@ fn main() {
     let original = pair_keys.clone();
     let mut row_ids: Vec<u32> = (0..pair_keys.len() as u32).collect();
     let report = sorter.sort_pairs(&mut pair_keys, &mut row_ids);
-    assert!(hybrid_radix_sort::workloads::pairs::verify_indexed_pair_sort(
-        &original, &pair_keys, &row_ids
-    ));
+    assert!(
+        hybrid_radix_sort::workloads::pairs::verify_indexed_pair_sort(
+            &original, &pair_keys, &row_ids
+        )
+    );
     println!(
         "sorted {} key-value pairs at a simulated {}",
         report.n, report.simulated.sorting_rate
@@ -34,5 +36,8 @@ fn main() {
     let mut floats: Vec<f64> = (0..1_000).map(|i| (500 - i) as f64 * 0.25).collect();
     sorter.sort(&mut floats);
     assert!(floats.windows(2).all(|w| w[0] <= w[1]));
-    println!("float keys sorted: first = {}, last = {}", floats[0], floats[999]);
+    println!(
+        "float keys sorted: first = {}, last = {}",
+        floats[0], floats[999]
+    );
 }

@@ -10,6 +10,7 @@
 //! * [`workloads`] — key/value generators and codecs,
 //! * [`baselines`] — CUB/Thrust/MGPU/Multisplit/PARADIS comparison sorts,
 //! * [`hetero`] — the pipelined heterogeneous (out-of-core) sort,
+//! * [`multi_gpu`] — the sharded sort engine over several simulated GPUs,
 //! * [`experiments`] — the harness regenerating every table and figure.
 //!
 //! ```
@@ -26,14 +27,16 @@ pub use experiments;
 pub use gpu_sim;
 pub use hetero;
 pub use hrs_core;
+pub use multi_gpu;
 pub use workloads;
 
 /// Commonly used types, re-exported for convenience.
 pub mod prelude {
     pub use baselines::{GpuLsdRadixSort, GpuMergeSort, MultisplitRadixSort, ParadisSort};
-    pub use gpu_sim::{DeviceSpec, SimTime};
+    pub use gpu_sim::{DeviceSpec, LinkSpec, SimTime};
     pub use hetero::HeterogeneousSorter;
     pub use hrs_core::{HybridRadixSorter, Optimizations, SortConfig, SortReport};
+    pub use multi_gpu::{DevicePool, ShardedReport, ShardedSorter, SimDevice};
     pub use workloads::{Distribution, EntropyLevel, SortKey, ZipfGenerator};
 }
 
@@ -49,5 +52,15 @@ mod tests {
         assert_eq!(report.n, 5_000);
         let _ = DeviceSpec::titan_x_pascal();
         let _ = Optimizations::all_on();
+    }
+
+    #[test]
+    fn umbrella_exposes_the_multi_gpu_engine() {
+        let mut keys = workloads::uniform_keys::<u64>(30_000, 8);
+        let report = ShardedSorter::new(DevicePool::titan_cluster(2)).sort(&mut keys);
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(report.shards.len(), 2);
+        let _ = LinkSpec::nvlink2();
+        let _ = SimDevice::on_pcie3(DeviceSpec::gtx_980());
     }
 }

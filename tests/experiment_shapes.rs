@@ -6,8 +6,8 @@
 use hybrid_radix_sort::baselines::{GpuLsdRadixSort, ReportedDistribution};
 use hybrid_radix_sort::experiments::checks::{check_fig06_claims, min_speedup, speedup_at};
 use hybrid_radix_sort::experiments::figures::{
-    ablation, fig02_histogram_utilisation, fig06_on_gpu, fig08_chunks, fig09_paradis,
-    fig10_latest, Shape,
+    ablation, fig02_histogram_utilisation, fig06_on_gpu, fig08_chunks, fig09_paradis, fig10_latest,
+    Shape,
 };
 use hybrid_radix_sort::experiments::{PaperScale, Series};
 
@@ -67,7 +67,12 @@ fn figure_7_crossover_cub_wins_only_for_small_skewed_inputs() {
     // Small input (250 k keys = 2 MB): CUB wins for the worst case.
     let small = hrs_worst.points.first().unwrap();
     let cub_small = cub.get(&small.0).unwrap();
-    assert!(small.1 < cub_small * 1.1, "HRS {} vs CUB {}", small.1, cub_small);
+    assert!(
+        small.1 < cub_small * 1.1,
+        "HRS {} vs CUB {}",
+        small.1,
+        cub_small
+    );
     // Large input (2 GB): the hybrid sort wins even for the worst case.
     let large = hrs_worst.points.last().unwrap();
     let cub_large = cub.get(&large.0).unwrap();
@@ -77,7 +82,12 @@ fn figure_7_crossover_cub_wins_only_for_small_skewed_inputs() {
 #[test]
 fn figure_8_ordering_naive_cub_slowest_heterogeneous_best_at_medium_chunk_counts() {
     let bars = fig08_chunks(&scale());
-    let total = |label: &str| bars.iter().find(|b| b.label == label).map(|b| b.total()).unwrap();
+    let total = |label: &str| {
+        bars.iter()
+            .find(|b| b.label == label)
+            .map(|b| b.total())
+            .unwrap()
+    };
     // Naive CUB is the slowest variant; naive HRS improves on it.
     assert!(total("CUB") > total("HRS"));
     // Every heterogeneous configuration beats naive CUB end to end.
@@ -95,8 +105,14 @@ fn figure_8_ordering_naive_cub_slowest_heterogeneous_best_at_medium_chunk_counts
 fn figure_9_heterogeneous_sort_beats_reported_paradis() {
     for dist in [ReportedDistribution::Uniform, ReportedDistribution::Zipf075] {
         let series = fig09_paradis(dist, &scale());
-        let total = series.iter().find(|s| s.label == "heterogeneous sort").unwrap();
-        let paradis = series.iter().find(|s| s.label == "PARADIS (reported)").unwrap();
+        let total = series
+            .iter()
+            .find(|s| s.label == "heterogeneous sort")
+            .unwrap();
+        let paradis = series
+            .iter()
+            .find(|s| s.label == "PARADIS (reported)")
+            .unwrap();
         for (x, _) in &paradis.points {
             let speedup = speedup_at(paradis, total, x).unwrap();
             assert!(speedup > 1.0, "{dist:?} at {x}: speed-up {speedup}");
@@ -139,7 +155,12 @@ fn ablation_signs_match_the_appendix() {
     ];
     let series = ablation(Shape::Keys32, &scale(), &levels);
     let get = |label: &str, x: &str| -> f64 {
-        series.iter().find(|s| s.label == label).unwrap().get(x).unwrap()
+        series
+            .iter()
+            .find(|s| s.label == label)
+            .unwrap()
+            .get(x)
+            .unwrap()
     };
     // Disabling optimisations never helps by more than noise (~5 %).
     for s in &series {

@@ -12,7 +12,9 @@ use hybrid_radix_sort::workloads::{uniform_keys, Distribution, KeyCodec};
 
 fn sorter() -> HeterogeneousSorter {
     let gpu = HybridRadixSorter::new(SortConfig::keys_64().scaled_for(30_000, 250_000_000));
-    HeterogeneousSorter::with_defaults().with_gpu_sorter(gpu).with_merge_threads(4)
+    HeterogeneousSorter::with_defaults()
+        .with_gpu_sorter(gpu)
+        .with_merge_threads(4)
 }
 
 #[test]
@@ -108,16 +110,28 @@ fn pipeline_schedule_respects_resource_exclusivity() {
     for a in events {
         for b in events {
             if a != b && a.resource == b.resource {
-                assert!(a.end.secs() <= b.start.secs() + 1e-12 || b.end.secs() <= a.start.secs() + 1e-12,
-                        "overlap: {a:?} vs {b:?}");
+                assert!(
+                    a.end.secs() <= b.start.secs() + 1e-12
+                        || b.end.secs() <= a.start.secs() + 1e-12,
+                    "overlap: {a:?} vs {b:?}"
+                );
             }
         }
     }
     // Sorts start only after their upload finished.
     for i in 0..6 {
-        let up = events.iter().find(|e| e.label == format!("HtD chunk {i}")).unwrap();
-        let sort = events.iter().find(|e| e.label == format!("sort chunk {i}")).unwrap();
-        let down = events.iter().find(|e| e.label == format!("DtH chunk {i}")).unwrap();
+        let up = events
+            .iter()
+            .find(|e| e.label == format!("HtD chunk {i}"))
+            .unwrap();
+        let sort = events
+            .iter()
+            .find(|e| e.label == format!("sort chunk {i}"))
+            .unwrap();
+        let down = events
+            .iter()
+            .find(|e| e.label == format!("DtH chunk {i}"))
+            .unwrap();
         assert!(sort.start >= up.end);
         assert!(down.start >= sort.end);
     }

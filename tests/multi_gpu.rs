@@ -1,0 +1,152 @@
+//! Integration tests of the multi-GPU sharded sort engine: output equality
+//! with the standard-library sort for every key shape and distribution,
+//! capacity-proportional sharding on heterogeneous pools, and scaling of
+//! the simulated critical path.
+
+use hybrid_radix_sort::gpu_sim::DeviceSpec;
+use hybrid_radix_sort::multi_gpu::{DevicePool, ShardedSorter, SimDevice};
+use hybrid_radix_sort::prelude::*;
+use hybrid_radix_sort::workloads::{uniform_keys, Distribution, KeyCodec, ZipfGenerator};
+
+fn sorter(p: usize) -> ShardedSorter {
+    // Scale the on-GPU configuration to the functional test input sizes so
+    // the shards run several counting passes plus local sorts.
+    let gpu = HybridRadixSorter::new(SortConfig::keys_64().scaled_for(50_000, 250_000_000));
+    ShardedSorter::new(DevicePool::titan_cluster(p))
+        .with_sorter(gpu)
+        .with_merge_threads(4)
+}
+
+#[test]
+fn matches_std_sort_for_u32_u64_and_distributions() {
+    for p in [1usize, 2, 4] {
+        let s = sorter(p);
+        for dist in [
+            Distribution::Uniform,
+            Distribution::paper_zipf(10_000),
+            Distribution::Sorted,
+            Distribution::ReverseSorted,
+            Distribution::Constant,
+        ] {
+            let keys64: Vec<u64> = dist.generate(90_000, 42);
+            let expected = KeyCodec::std_sorted(&keys64);
+            let mut k = keys64;
+            s.sort(&mut k);
+            assert_eq!(k, expected, "u64, p={p}, {}", dist.name());
+
+            let keys32: Vec<u32> = dist.generate(60_000, 43);
+            let expected = KeyCodec::std_sorted(&keys32);
+            let mut k = keys32;
+            s.sort(&mut k);
+            assert_eq!(k, expected, "u32, p={p}, {}", dist.name());
+        }
+    }
+}
+
+#[test]
+fn key_value_pairs_stay_associated() {
+    let keys: Vec<u64> = ZipfGenerator::paper_keys(80_000, 5);
+    for p in [2usize, 4] {
+        let mut k = keys.clone();
+        let mut v: Vec<u64> = k.iter().map(|&key| !key).collect();
+        let report = sorter(p).sort_pairs(&mut k, &mut v);
+        assert!(k.windows(2).all(|w| w[0] <= w[1]));
+        assert!(k.iter().zip(v.iter()).all(|(&key, &val)| val == !key));
+        assert_eq!(report.value_bytes, 8);
+        assert_eq!(report.shards.len(), p);
+    }
+}
+
+#[test]
+fn signed_and_float_keys_sort_via_their_codec() {
+    let s = sorter(3);
+    let mut ints: Vec<i64> = Distribution::Uniform.generate(70_000, 7);
+    let expected = KeyCodec::std_sorted(&ints);
+    s.sort(&mut ints);
+    assert_eq!(ints, expected);
+
+    let mut floats: Vec<f64> = (0..70_000)
+        .map(|i| ((i as f64) - 35_000.0) * 0.73)
+        .rev()
+        .collect();
+    s.sort(&mut floats);
+    assert!(floats.windows(2).all(|w| w[0] <= w[1]));
+}
+
+#[test]
+fn critical_path_shrinks_with_more_devices_on_uniform_input() {
+    let keys = uniform_keys::<u64>(250_000, 99);
+    let mut last = f64::INFINITY;
+    for p in [1usize, 2, 4, 8] {
+        let mut k = keys.clone();
+        let report = sorter(p).sort(&mut k);
+        let cp = report.critical_path.secs();
+        assert!(cp < last, "p={p}: critical path {cp} did not shrink");
+        last = cp;
+    }
+}
+
+#[test]
+fn heterogeneous_pool_sorts_and_loads_by_capacity() {
+    let pool = DevicePool::new(vec![
+        SimDevice::on_nvlink2(DeviceSpec::tesla_p100()),
+        SimDevice::on_pcie3(DeviceSpec::titan_x_pascal()),
+        SimDevice::on_pcie3(DeviceSpec::gtx_980()),
+    ]);
+    let gpu = HybridRadixSorter::new(SortConfig::keys_64().scaled_for(50_000, 250_000_000));
+    let s = ShardedSorter::new(pool).with_sorter(gpu);
+
+    let keys = uniform_keys::<u64>(150_000, 3);
+    let expected = KeyCodec::std_sorted(&keys);
+    let mut k = keys;
+    let report = s.sort(&mut k);
+    assert_eq!(k, expected);
+    // Shards follow bandwidth: P100 (580) > Titan X (369) > GTX 980 (180).
+    assert!(report.shards[0].n > report.shards[1].n);
+    assert!(report.shards[1].n > report.shards[2].n);
+}
+
+#[test]
+fn shard_ranges_tile_the_key_space_and_own_their_keys() {
+    let keys: Vec<u64> = Distribution::paper_zipf(5_000).generate(120_000, 13);
+    let mut k = keys;
+    let report = sorter(4).sort(&mut k);
+    let ranges: Vec<(u64, u64)> = report.shards.iter().map(|s| s.range).collect();
+    assert_eq!(ranges[0].0, 0);
+    assert_eq!(ranges.last().unwrap().1, u64::MAX);
+    for w in ranges.windows(2) {
+        assert_eq!(w[0].1 + 1, w[1].0, "gap/overlap between shard ranges");
+    }
+    // The sorted output is the concatenation of the shards in range order.
+    let mut offset = 0usize;
+    for s in &report.shards {
+        let slice = &k[offset..offset + s.n as usize];
+        assert!(slice
+            .iter()
+            .all(|&key| key >= s.range.0 && key <= s.range.1));
+        offset += s.n as usize;
+    }
+    assert_eq!(offset, k.len());
+}
+
+#[test]
+fn nvlink_beats_pcie_for_the_same_device() {
+    let keys = uniform_keys::<u64>(200_000, 21);
+    let gpu = HybridRadixSorter::new(SortConfig::keys_64().scaled_for(100_000, 250_000_000));
+    let run = |link: fn(DeviceSpec) -> SimDevice| {
+        let pool = DevicePool::homogeneous(2, link(DeviceSpec::titan_x_pascal()));
+        let mut k = keys.clone();
+        ShardedSorter::new(pool)
+            .with_sorter(gpu.clone())
+            .sort(&mut k)
+            .critical_path
+    };
+    let pcie = run(SimDevice::on_pcie3);
+    let nvlink = run(SimDevice::on_nvlink2);
+    assert!(
+        nvlink.secs() < pcie.secs(),
+        "NVLink {} should beat PCIe {}",
+        nvlink,
+        pcie
+    );
+}

@@ -1,10 +1,12 @@
 //! Property-based tests over the core invariants: any input is sorted into a
 //! permutation of itself, values follow their keys, codecs preserve order,
-//! bucket classification conserves keys, and the pipeline schedule respects
-//! its dependencies.
+//! bucket classification conserves keys, multi-GPU shard boundaries
+//! partition the key space, and the pipeline schedule respects its
+//! dependencies.
 
 use hybrid_radix_sort::hrs_core::bucket::{classify_sub_buckets, SubBucket};
 use hybrid_radix_sort::hrs_core::{HybridRadixSorter, Optimizations, SortConfig};
+use hybrid_radix_sort::multi_gpu::{compute_splitters, DevicePool, PartitionConfig, ShardedSorter};
 use hybrid_radix_sort::prelude::SortKey;
 use hybrid_radix_sort::workloads::{pairs::verify_indexed_pair_sort, KeyCodec};
 use proptest::prelude::*;
@@ -109,6 +111,55 @@ proptest! {
             }
             prop_assert!(l.len <= local);
         }
+    }
+
+    #[test]
+    fn shard_boundaries_partition_the_key_space(
+        keys in proptest::collection::vec(any::<u32>(), 0..4000),
+        shards in 2usize..9,
+        heavy_weight in 1usize..5,
+    ) {
+        // Heterogeneous capacity weights: the first device is up to 4x the
+        // rest.
+        let mut weights = vec![1.0; shards];
+        weights[0] = heavy_weight as f64;
+        let s = compute_splitters(&keys, &weights, &PartitionConfig::default());
+        prop_assert!(s.validate().is_ok(), "{:?}", s.validate());
+        // The inclusive ranges tile [0, max_radix] with no gaps or
+        // overlaps, regardless of the input's shape.
+        let ranges = s.ranges();
+        prop_assert_eq!(ranges.len(), shards);
+        prop_assert_eq!(ranges[0].0, 0);
+        prop_assert_eq!(ranges.last().unwrap().1, u32::MAX as u64);
+        for w in ranges.windows(2) {
+            prop_assert_eq!(w[0].1 + 1, w[1].0);
+        }
+        // Every key lands in exactly the shard whose range contains it, and
+        // the shard populations sum back to the input size.
+        let mut counts = vec![0usize; shards];
+        for k in &keys {
+            let shard = s.shard_of(k.to_radix());
+            let (lo, hi) = ranges[shard];
+            prop_assert!(k.to_radix() >= lo && k.to_radix() <= hi);
+            counts[shard] += 1;
+        }
+        prop_assert_eq!(counts.iter().sum::<usize>(), keys.len());
+    }
+
+    #[test]
+    fn sharded_sort_matches_std_sort(
+        keys in proptest::collection::vec(any::<u32>(), 0..3000),
+        devices in 1usize..5,
+    ) {
+        let gpu = HybridRadixSorter::new(tiny_config(128, 43, 96, 8));
+        let sorter = ShardedSorter::new(DevicePool::titan_cluster(devices))
+            .with_sorter(gpu)
+            .with_merge_threads(2);
+        let mut sorted = keys.clone();
+        let report = sorter.sort(&mut sorted);
+        prop_assert_eq!(sorted, KeyCodec::std_sorted(&keys));
+        prop_assert_eq!(report.n as usize, keys.len());
+        prop_assert_eq!(report.shards.iter().map(|s| s.n).sum::<u64>() as usize, keys.len());
     }
 
     #[test]

@@ -61,12 +61,18 @@ fn sorts_every_distribution_u64() {
 fn sorts_signed_and_float_keys_end_to_end() {
     let sorter = HybridRadixSorter::with_defaults();
 
-    let mut i32s: Vec<i32> = uniform_keys::<u32>(40_000, 3).into_iter().map(|k| k as i32).collect();
+    let mut i32s: Vec<i32> = uniform_keys::<u32>(40_000, 3)
+        .into_iter()
+        .map(|k| k as i32)
+        .collect();
     let expected = KeyCodec::std_sorted(&i32s);
     sorter.sort(&mut i32s);
     assert_eq!(i32s, expected);
 
-    let mut i64s: Vec<i64> = uniform_keys::<u64>(40_000, 4).into_iter().map(|k| k as i64).collect();
+    let mut i64s: Vec<i64> = uniform_keys::<u64>(40_000, 4)
+        .into_iter()
+        .map(|k| k as i64)
+        .collect();
     let expected = KeyCodec::std_sorted(&i64s);
     sorter.sort(&mut i64s);
     assert_eq!(i64s, expected);
@@ -146,18 +152,29 @@ fn report_statistics_are_internally_consistent() {
         assert!(w[1].n_keys <= w[0].n_keys);
     }
     // Simulated breakdown adds up.
-    let sum: f64 = report.simulated.kernels.iter().map(|(_, t)| t.total.secs()).sum();
+    let sum: f64 = report
+        .simulated
+        .kernels
+        .iter()
+        .map(|(_, t)| t.total.secs())
+        .sum();
     assert!((sum - report.simulated.total.secs()).abs() < 1e-9);
     // The distribution is skewed, so the scatter look-ahead was active for
     // at least some blocks in the later passes.
-    let lookahead_blocks: u64 = report.passes.iter().map(|p| p.lookahead_active_blocks).sum();
+    let lookahead_blocks: u64 = report
+        .passes
+        .iter()
+        .map(|p| p.lookahead_active_blocks)
+        .sum();
     assert!(lookahead_blocks > 0);
     let _ = workloads::stats::is_sorted(&keys);
 }
 
 #[test]
 fn baselines_agree_with_the_hybrid_sort() {
-    use hybrid_radix_sort::baselines::{GpuLsdRadixSort, GpuMergeSort, MultisplitRadixSort, ParadisSort};
+    use hybrid_radix_sort::baselines::{
+        GpuLsdRadixSort, GpuMergeSort, MultisplitRadixSort, ParadisSort,
+    };
     let n = 40_000;
     let keys: Vec<u64> = Distribution::paper_zipf(3_000).generate(n, 55);
     let mut expected = keys.clone();
