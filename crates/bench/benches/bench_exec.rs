@@ -1,0 +1,66 @@
+//! Criterion benchmark for the execution backends: the same functional
+//! hybrid radix sort under the sequential baseline and the real-thread
+//! backend over worker counts, key-only and key-value — the
+//! steady-state (arena-warm) wall-clock the perf trajectory tracks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hrs_bench::{BENCH_KEYS, BENCH_SEED};
+use hrs_core::{Executor, HybridRadixSorter};
+use std::hint::black_box;
+use std::time::Duration;
+use workloads::uniform_keys;
+
+fn backends() -> Vec<(String, Executor)> {
+    let mut out = vec![("seq".to_string(), Executor::Sequential)];
+    for workers in [2usize, 4, 8] {
+        let exec = Executor::with_workers(workers);
+        out.push((exec.label(), exec));
+    }
+    out
+}
+
+fn bench_backend_keys(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exec_backend_u32_keys");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    let keys = uniform_keys::<u32>(BENCH_KEYS, BENCH_SEED);
+    for (label, exec) in backends() {
+        let sorter = HybridRadixSorter::with_defaults().with_executor(exec);
+        // Warm the arena outside the measurement.
+        let mut warm = keys.clone();
+        sorter.sort(&mut warm);
+        group.bench_with_input(BenchmarkId::new("sort", &label), &keys, |b, keys| {
+            b.iter(|| {
+                let mut k = keys.clone();
+                black_box(sorter.sort(&mut k));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_backend_pairs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exec_backend_u32_pairs");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    let keys = uniform_keys::<u32>(BENCH_KEYS, BENCH_SEED);
+    for (label, exec) in backends() {
+        let sorter = HybridRadixSorter::with_defaults().with_executor(exec);
+        let mut warm_k = keys.clone();
+        let mut warm_v: Vec<u32> = (0..BENCH_KEYS as u32).collect();
+        sorter.sort_pairs(&mut warm_k, &mut warm_v);
+        group.bench_with_input(BenchmarkId::new("sort_pairs", &label), &keys, |b, keys| {
+            b.iter(|| {
+                let mut k = keys.clone();
+                let mut v: Vec<u32> = (0..BENCH_KEYS as u32).collect();
+                black_box(sorter.sort_pairs(&mut k, &mut v));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_backend_keys, bench_backend_pairs);
+criterion_main!(benches);

@@ -1,0 +1,238 @@
+//! Zero-allocation scratch arena for the hot sort path.
+//!
+//! Wall-clock measurements of the functional sorter used to be dominated by
+//! the allocator: every `sort` call allocated a fresh ping-pong buffer, and
+//! every bucket of every pass allocated its histogram, prefix and offset
+//! tables.  [`ScratchArena`] fixes that by owning all of this memory and
+//! handing it out for reuse:
+//!
+//! * **typed spare buffers** (the second halves of the key/value double
+//!   buffers, per key/value type) are parked in a type-keyed map between
+//!   sorts and resized — never reallocated — when the input size repeats;
+//! * **[`PassScratch`]** holds the per-radix tables (bucket histogram,
+//!   prefix sum), the per-block histogram strips and scatter base tables,
+//!   the per-worker write cursors and the bucket bookkeeping lists, all of
+//!   which retain their capacity across passes *and* across sorts.
+//!
+//! After the first sort of a given size (the warm-up), the steady-state
+//! pass loop performs no heap allocation; [`ScratchArena::stats`] exposes
+//! the retained capacities so tests can assert exactly that.
+
+use crate::bucket::{Bucket, LocalBucket, PassBlock, SubBucket};
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+
+/// Role of a typed spare buffer within the sorter (several buffers may
+/// share an element type, e.g. `u64` keys with `u64` values).
+pub(crate) const ROLE_SPARE_KEYS: u8 = 0;
+/// Role tag of the spare value buffer.
+pub(crate) const ROLE_SPARE_VALS: u8 = 1;
+
+/// Per-block bookkeeping record filled by the histogram and scatter phases
+/// of a counting pass (one per key block, reused across passes).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BlockStat {
+    /// Shared-memory atomic updates the histogram strategy issued.
+    pub atomic_updates: u64,
+    /// Distinct digit values present in the block.
+    pub distinct: u32,
+    /// Shared-memory atomic updates issued while staging the scatter.
+    pub shared_updates: u64,
+    /// Whether the look-ahead write combiner was active for this block.
+    pub lookahead_active: bool,
+}
+
+/// All reusable working memory of the counting-pass loop.
+#[derive(Debug, Default)]
+pub struct PassScratch {
+    /// Block assignments of the current pass (bucket-major order).
+    pub blocks: Vec<PassBlock>,
+    /// Per-block histogram strips: `blocks.len() × radix` counters.
+    pub block_counts: Vec<u32>,
+    /// Per-block scatter bases: `blocks.len() × radix` destination offsets.
+    pub block_bases: Vec<usize>,
+    /// Per-block histogram/scatter statistics.
+    pub block_stats: Vec<BlockStat>,
+    /// Digit histogram of the bucket currently being combined.
+    pub bucket_hist: Vec<u64>,
+    /// Exclusive prefix sum of `bucket_hist`.
+    pub prefix: Vec<usize>,
+    /// Per-worker digit write cursors: `workers × radix` offsets.
+    pub worker_cursors: Vec<usize>,
+    /// Sub-buckets of the bucket currently being classified.
+    pub sub_buckets: Vec<SubBucket>,
+    /// Buckets entering the current pass.
+    pub counting_in: Vec<Bucket>,
+    /// Buckets produced for the next pass.
+    pub counting_out: Vec<Bucket>,
+    /// Buckets routed to the local sort in the current pass.
+    pub local: Vec<LocalBucket>,
+}
+
+impl PassScratch {
+    /// Retained capacity of every scratch vector, in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.blocks.capacity() * std::mem::size_of::<PassBlock>()
+            + self.block_counts.capacity() * std::mem::size_of::<u32>()
+            + self.block_bases.capacity() * std::mem::size_of::<usize>()
+            + self.block_stats.capacity() * std::mem::size_of::<BlockStat>()
+            + self.bucket_hist.capacity() * std::mem::size_of::<u64>()
+            + self.prefix.capacity() * std::mem::size_of::<usize>()
+            + self.worker_cursors.capacity() * std::mem::size_of::<usize>()
+            + self.sub_buckets.capacity() * std::mem::size_of::<SubBucket>()
+            + self.counting_in.capacity() * std::mem::size_of::<Bucket>()
+            + self.counting_out.capacity() * std::mem::size_of::<Bucket>()
+            + self.local.capacity() * std::mem::size_of::<LocalBucket>()
+    }
+}
+
+/// A parked spare buffer plus its retained size (the `dyn Any` erases the
+/// element type, so the byte count is recorded at park time).
+struct TypedBuffer {
+    vec: Box<dyn Any + Send>,
+    capacity_bytes: usize,
+}
+
+/// Retained-memory snapshot of an arena, comparable across sorts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Bytes retained by the typed spare buffers.
+    pub buffer_bytes: usize,
+    /// Number of parked spare buffers.
+    pub buffers: usize,
+    /// Bytes retained by the pass scratch tables.
+    pub scratch_bytes: usize,
+}
+
+impl ArenaStats {
+    /// Total retained bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.buffer_bytes + self.scratch_bytes
+    }
+}
+
+/// Reusable scratch memory owned by a
+/// [`HybridRadixSorter`](crate::HybridRadixSorter).
+#[derive(Default)]
+pub struct ScratchArena {
+    /// The counting-pass working set.
+    pub pass: PassScratch,
+    buffers: HashMap<(TypeId, u8), TypedBuffer>,
+}
+
+impl ScratchArena {
+    /// An empty arena; memory is acquired lazily on the first sort.
+    pub fn new() -> Self {
+        ScratchArena::default()
+    }
+
+    /// Takes the spare buffer for `(T, role)` out of the arena, cleared and
+    /// resized to `len` default elements.  Returns a fresh vector the first
+    /// time; thereafter the parked allocation is reused (growing only when
+    /// `len` exceeds the retained capacity).
+    pub(crate) fn take_buffer<T: Copy + Default + Send + 'static>(
+        &mut self,
+        role: u8,
+        len: usize,
+    ) -> Vec<T> {
+        let mut buf: Vec<T> = self
+            .buffers
+            .remove(&(TypeId::of::<T>(), role))
+            .and_then(|b| b.vec.downcast::<Vec<T>>().ok())
+            .map(|b| *b)
+            .unwrap_or_default();
+        buf.clear();
+        buf.resize(len, T::default());
+        buf
+    }
+
+    /// Parks a buffer for reuse by the next [`ScratchArena::take_buffer`]
+    /// with the same type and role.
+    pub(crate) fn put_buffer<T: Copy + Default + Send + 'static>(&mut self, role: u8, buf: Vec<T>) {
+        let capacity_bytes = buf.capacity() * std::mem::size_of::<T>();
+        self.buffers.insert(
+            (TypeId::of::<T>(), role),
+            TypedBuffer {
+                vec: Box::new(buf),
+                capacity_bytes,
+            },
+        );
+    }
+
+    /// Snapshot of the retained memory.  Two consecutive sorts of the same
+    /// input size must report identical stats — that equality is the
+    /// "zero steady-state allocation" regression check.
+    pub fn stats(&self) -> ArenaStats {
+        ArenaStats {
+            buffer_bytes: self.buffers.values().map(|b| b.capacity_bytes).sum(),
+            buffers: self.buffers.len(),
+            scratch_bytes: self.pass.capacity_bytes(),
+        }
+    }
+}
+
+impl std::fmt::Debug for ScratchArena {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScratchArena")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_then_put_reuses_the_allocation() {
+        let mut arena = ScratchArena::new();
+        let buf = arena.take_buffer::<u64>(0, 1_000);
+        assert_eq!(buf.len(), 1_000);
+        let ptr = buf.as_ptr();
+        arena.put_buffer(0, buf);
+        assert_eq!(arena.stats().buffers, 1);
+        assert_eq!(arena.stats().buffer_bytes, 1_000 * 8);
+        let again = arena.take_buffer::<u64>(0, 500);
+        assert_eq!(again.len(), 500);
+        assert_eq!(again.as_ptr(), ptr, "allocation was not reused");
+    }
+
+    #[test]
+    fn roles_keep_same_typed_buffers_apart() {
+        let mut arena = ScratchArena::new();
+        let a = arena.take_buffer::<u32>(0, 10);
+        let b = arena.take_buffer::<u32>(1, 20);
+        arena.put_buffer(0, a);
+        arena.put_buffer(1, b);
+        assert_eq!(arena.stats().buffers, 2);
+        assert_eq!(arena.take_buffer::<u32>(0, 10).capacity(), 10);
+        assert_eq!(arena.take_buffer::<u32>(1, 20).capacity(), 20);
+    }
+
+    #[test]
+    fn zero_sized_elements_cost_nothing() {
+        let mut arena = ScratchArena::new();
+        let buf = arena.take_buffer::<()>(1, 1 << 20);
+        assert_eq!(buf.len(), 1 << 20);
+        arena.put_buffer(1, buf);
+        assert_eq!(arena.stats().buffer_bytes, 0);
+    }
+
+    #[test]
+    fn stats_are_stable_when_sizes_repeat() {
+        let mut arena = ScratchArena::new();
+        for _ in 0..3 {
+            let buf = arena.take_buffer::<u64>(0, 4_096);
+            arena.put_buffer(0, buf);
+            arena.pass.bucket_hist.clear();
+            arena.pass.bucket_hist.resize(256, 0);
+        }
+        let snap = arena.stats();
+        let buf = arena.take_buffer::<u64>(0, 4_096);
+        arena.put_buffer(0, buf);
+        arena.pass.bucket_hist.clear();
+        arena.pass.bucket_hist.resize(256, 0);
+        assert_eq!(arena.stats(), snap);
+        assert_eq!(snap.total_bytes(), snap.buffer_bytes + snap.scratch_bytes);
+    }
+}

@@ -82,6 +82,36 @@ pub fn block_assignments(buckets: &[Bucket], keys_per_block: usize) -> Vec<Block
     out
 }
 
+/// A key block as scheduled by one counting pass: the unit of work of the
+/// executor's histogram and scatter tasks.  Blocks are emitted
+/// bucket-major, so a block's position in the pass's block list doubles as
+/// the index of its histogram strip and scatter-base strip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PassBlock {
+    /// Offset of the block's first key in the key buffer.
+    pub key_offset: usize,
+    /// Number of keys in the block.
+    pub key_count: usize,
+}
+
+/// Tiles `buckets` into [`PassBlock`]s, bucket-major, reusing `out`'s
+/// allocation (the scratch-arena variant of [`block_assignments`]).
+pub fn pass_blocks_into(buckets: &[Bucket], keys_per_block: usize, out: &mut Vec<PassBlock>) {
+    out.clear();
+    let keys_per_block = keys_per_block.max(1);
+    for b in buckets {
+        let mut offset = b.offset;
+        while offset < b.end() {
+            let count = keys_per_block.min(b.end() - offset);
+            out.push(PassBlock {
+                key_offset: offset,
+                key_count: count,
+            });
+            offset += count;
+        }
+    }
+}
+
 /// A bucket that is ready for a local sort — the paper's
 /// `{b_id:uint, b_offs:uint, is_merged:bool}` record, extended with the
 /// length and the number of counting-sort passes already applied (the local
@@ -148,21 +178,49 @@ pub fn classify_sub_buckets(
     next_id: &mut u64,
 ) -> Classified {
     let mut out = Classified::default();
+    classify_sub_buckets_into(
+        sub_buckets,
+        next_pass,
+        local_threshold,
+        merge_threshold,
+        merging,
+        next_id,
+        &mut out.local,
+        &mut out.counting,
+    );
+    out
+}
+
+/// Allocation-free variant of [`classify_sub_buckets`]: appends the
+/// classified buckets to `out_local` / `out_counting` (typically the
+/// scratch arena's reusable lists) instead of building fresh vectors.
+#[allow(clippy::too_many_arguments)]
+pub fn classify_sub_buckets_into(
+    sub_buckets: &[SubBucket],
+    next_pass: u32,
+    local_threshold: usize,
+    merge_threshold: usize,
+    merging: bool,
+    next_id: &mut u64,
+    out_local: &mut Vec<LocalBucket>,
+    out_counting: &mut Vec<Bucket>,
+) {
     let mut pending: Option<(usize, usize, u32)> = None; // (offset, len, merged_from)
 
-    let flush =
-        |pending: &mut Option<(usize, usize, u32)>, out: &mut Classified, next_id: &mut u64| {
-            if let Some((offset, len, merged_from)) = pending.take() {
-                out.local.push(LocalBucket {
-                    id: *next_id,
-                    offset,
-                    len,
-                    merged_from,
-                    sorted_passes: next_pass,
-                });
-                *next_id += 1;
-            }
-        };
+    let flush = |pending: &mut Option<(usize, usize, u32)>,
+                 out_local: &mut Vec<LocalBucket>,
+                 next_id: &mut u64| {
+        if let Some((offset, len, merged_from)) = pending.take() {
+            out_local.push(LocalBucket {
+                id: *next_id,
+                offset,
+                len,
+                merged_from,
+                sorted_passes: next_pass,
+            });
+            *next_id += 1;
+        }
+    };
 
     for sb in sub_buckets.iter().filter(|sb| sb.len > 0) {
         if merging {
@@ -172,13 +230,13 @@ pub fn classify_sub_buckets(
                     pending = Some((offset, len + sb.len, merged_from + 1));
                     continue;
                 }
-                flush(&mut pending, &mut out, next_id);
+                flush(&mut pending, out_local, next_id);
             }
         }
         if merging && sb.len < merge_threshold {
             pending = Some((sb.offset, sb.len, 1));
         } else if sb.len <= local_threshold {
-            out.local.push(LocalBucket {
+            out_local.push(LocalBucket {
                 id: *next_id,
                 offset: sb.offset,
                 len: sb.len,
@@ -187,7 +245,7 @@ pub fn classify_sub_buckets(
             });
             *next_id += 1;
         } else {
-            out.counting.push(Bucket {
+            out_counting.push(Bucket {
                 id: *next_id,
                 offset: sb.offset,
                 len: sb.len,
@@ -196,8 +254,7 @@ pub fn classify_sub_buckets(
             *next_id += 1;
         }
     }
-    flush(&mut pending, &mut out, next_id);
-    out
+    flush(&mut pending, out_local, next_id);
 }
 
 #[cfg(test)]

@@ -10,35 +10,42 @@
 //! 3. scatters keys (and values) into the sub-buckets,
 //! 4. merges tiny neighbouring sub-buckets and classifies each sub-bucket as
 //!    *local sort* or *next counting pass*.
+//!
+//! The pass is executed by an [`Executor`]: steps 1 and 3 are
+//! embarrassingly parallel over key blocks (each block owns its histogram
+//! strip and its reserved destination chunks), so the threaded backend runs
+//! one task per block on real OS threads; step 2 and the classification are
+//! cheap `O(buckets × radix)` combines that stay on the calling thread,
+//! mirroring how the GPU implementation runs them in a single small kernel.
+//! All working memory comes from a [`PassScratch`], so a warmed-up pass
+//! performs no heap allocation.
 
-use crate::bucket::{classify_sub_buckets, Bucket, Classified, LocalBucket, SubBucket};
+use crate::arena::{BlockStat, PassScratch};
+use crate::bucket::{classify_sub_buckets_into, pass_blocks_into, Bucket, LocalBucket, SubBucket};
 use crate::config::SortConfig;
 use crate::digit::radix_of_pass;
-use crate::histogram::{aggregate_histograms, block_histogram};
+use crate::exec::{Executor, SharedMut};
+use crate::histogram::block_histogram_into;
 use crate::opts::Optimizations;
-use crate::prefix_sum::exclusive_prefix_sum_usize;
+use crate::prefix_sum::exclusive_prefix_sum_into;
 use crate::report::PassStats;
-use crate::scatter::{scatter_bucket, ScatterParams};
+use crate::scatter::{scatter_block, ScatterParams};
 use crate::trace::{SortTrace, TraceEvent};
 use gpu_sim::HistogramStrategy;
+use workloads::pairs::SortValue;
 use workloads::SortKey;
-
-/// Result of one counting-sort pass.
-#[derive(Debug, Clone, Default)]
-pub struct PassOutput {
-    /// Buckets that need another counting-sort pass.
-    pub next_counting: Vec<Bucket>,
-    /// Buckets ready for a local sort.
-    pub local: Vec<LocalBucket>,
-    /// Statistics of the pass.
-    pub stats: PassStats,
-}
 
 /// Runs one counting-sort pass over `buckets`, reading keys/values from the
 /// `src` buffers and writing the partitioned sub-buckets into the `dst`
 /// buffers.  `next_id` supplies bucket identifiers.
+///
+/// Buckets forwarded to the next pass are appended to `out_counting` and
+/// buckets ready for a local sort to `out_local` (both are cleared first);
+/// the pass's working memory lives in `scratch` and is reused across passes
+/// and sorts.  The histogram and scatter phases are distributed over the
+/// `exec` backend's workers, one task per key block.
 #[allow(clippy::too_many_arguments)]
-pub fn run_counting_pass<K: SortKey, V: Copy>(
+pub fn run_counting_pass<K: SortKey, V: SortValue>(
     src_keys: &[K],
     dst_keys: &mut [K],
     src_vals: &[V],
@@ -48,8 +55,12 @@ pub fn run_counting_pass<K: SortKey, V: Copy>(
     config: &SortConfig,
     opts: &Optimizations,
     next_id: &mut u64,
+    exec: &Executor,
+    scratch: &mut PassScratch,
+    out_local: &mut Vec<LocalBucket>,
+    out_counting: &mut Vec<Bucket>,
     mut trace: Option<&mut SortTrace>,
-) -> PassOutput {
+) -> PassStats {
     let radix = radix_of_pass(K::BITS, config.digit_bits, pass);
     let strategy = if opts.thread_reduction_histogram {
         HistogramStrategy::ThreadReduction
@@ -67,14 +78,13 @@ pub fn run_counting_pass<K: SortKey, V: Copy>(
         skew_threshold: config.lookahead_skew_threshold,
     };
 
-    let mut out = PassOutput {
-        stats: PassStats {
-            pass,
-            radix,
-            ..PassStats::default()
-        },
-        ..PassOutput::default()
+    let mut stats = PassStats {
+        pass,
+        radix,
+        ..PassStats::default()
     };
+    out_local.clear();
+    out_counting.clear();
     if let Some(t) = trace.as_deref_mut() {
         t.push(TraceEvent::PassStart {
             pass,
@@ -82,94 +92,179 @@ pub fn run_counting_pass<K: SortKey, V: Copy>(
         });
     }
 
-    let mut distinct_sum = 0u64;
+    // Block assignments of the pass, bucket-major (the by-product the
+    // previous pass's sub-bucket offsets make available on the GPU).
+    pass_blocks_into(buckets, config.keys_per_block, &mut scratch.blocks);
+    let n_blocks = scratch.blocks.len();
+
+    // (1) Per-block histograms into the strip table, one executor task per
+    // block.  Every block owns strip `b * radix ..` exclusively.
+    scratch.block_counts.clear();
+    scratch.block_counts.resize(n_blocks * radix, 0);
+    scratch.block_stats.clear();
+    scratch.block_stats.resize(n_blocks, BlockStat::default());
+    {
+        let blocks = &scratch.blocks;
+        let counts = SharedMut::new(&mut scratch.block_counts);
+        let block_stats = SharedMut::new(&mut scratch.block_stats);
+        exec.for_each_task(n_blocks, |b, _worker| {
+            let blk = &blocks[b];
+            let keys = &src_keys[blk.key_offset..blk.key_offset + blk.key_count];
+            // SAFETY: strip `b` and stat slot `b` belong to this task only.
+            let strip = unsafe { counts.slice_mut(b * radix, radix) };
+            let (atomic_updates, distinct) = block_histogram_into(
+                strip,
+                keys,
+                config.digit_bits,
+                pass,
+                strategy,
+                config.keys_per_thread as usize,
+            );
+            unsafe {
+                block_stats.write(
+                    b,
+                    BlockStat {
+                        atomic_updates,
+                        distinct,
+                        ..BlockStat::default()
+                    },
+                );
+            }
+        });
+    }
+
+    // (2) Per bucket: aggregate the strips, prefix-sum into sub-bucket
+    // offsets, derive every block's scatter bases, classify sub-buckets.
+    scratch.block_bases.clear();
+    scratch.block_bases.resize(n_blocks * radix, 0);
+    let mut block_cursor = 0usize;
     let mut max_bin_keys = 0u64;
-
     for bucket in buckets {
-        let bucket_keys = &src_keys[bucket.offset..bucket.end()];
+        let nb = bucket.num_blocks(config.keys_per_block);
+        let bucket_blocks = block_cursor..block_cursor + nb;
+        block_cursor += nb;
 
-        // (1) Per-block histograms.
-        let block_hists: Vec<_> = bucket_keys
-            .chunks(config.keys_per_block)
-            .map(|block| {
-                block_histogram(
-                    block,
-                    config.digit_bits,
-                    pass,
-                    radix,
-                    strategy,
-                    config.keys_per_thread as usize,
-                )
-            })
-            .collect();
-        let bucket_hist = aggregate_histograms(&block_hists, radix);
-
-        // (2) Exclusive prefix sum -> sub-bucket offsets.
-        let hist_usize: Vec<usize> = bucket_hist.iter().map(|&h| h as usize).collect();
-        let (prefix, total) = exclusive_prefix_sum_usize(&hist_usize);
+        scratch.bucket_hist.clear();
+        scratch.bucket_hist.resize(radix, 0);
+        for b in bucket_blocks.clone() {
+            let strip = &scratch.block_counts[b * radix..(b + 1) * radix];
+            for (t, &c) in scratch.bucket_hist.iter_mut().zip(strip) {
+                *t += c as u64;
+            }
+        }
+        let total = exclusive_prefix_sum_into(&scratch.bucket_hist, &mut scratch.prefix);
         debug_assert_eq!(total, bucket.len);
 
-        if let Some(t) = trace.as_deref_mut() {
-            t.push(TraceEvent::BucketHistogram {
-                pass,
-                offset: bucket.offset,
-                len: bucket.len,
-                histogram: bucket_hist.clone(),
-                prefix: prefix.clone(),
-            });
+        // Scatter bases: for digit d, block b writes its keys with digit d
+        // at `bucket.offset + prefix[d] + Σ counts of earlier blocks` — the
+        // chunk the GPU block reserves with one atomicAdd.
+        for (d, &p) in scratch.prefix.iter().enumerate() {
+            let mut run = bucket.offset + p;
+            for b in bucket_blocks.clone() {
+                scratch.block_bases[b * radix + d] = run;
+                run += scratch.block_counts[b * radix + d] as usize;
+            }
         }
 
-        // (3) Scatter keys and values into the sub-buckets.
-        let scatter = scatter_bucket(
-            src_keys,
-            dst_keys,
-            src_vals,
-            dst_vals,
-            bucket,
-            &block_hists,
-            &prefix,
-            &scatter_params,
-        );
-
-        // (4) Build, merge and classify the sub-buckets.
-        let sub_buckets: Vec<SubBucket> = (0..radix)
-            .filter(|&d| hist_usize[d] > 0)
-            .map(|d| SubBucket {
-                offset: bucket.offset + prefix[d],
-                len: hist_usize[d],
-            })
-            .collect();
-        let Classified { local, counting } = classify_sub_buckets(
-            &sub_buckets,
+        // Build, merge and classify the sub-buckets.
+        scratch.sub_buckets.clear();
+        for (d, &count) in scratch.bucket_hist.iter().enumerate() {
+            if count > 0 {
+                scratch.sub_buckets.push(SubBucket {
+                    offset: bucket.offset + scratch.prefix[d],
+                    len: count as usize,
+                });
+            }
+        }
+        let local_before = out_local.len();
+        let counting_before = out_counting.len();
+        classify_sub_buckets_into(
+            &scratch.sub_buckets,
             pass + 1,
             config.local_sort_threshold,
             config.merge_threshold,
             opts.bucket_merging,
             next_id,
+            out_local,
+            out_counting,
         );
 
-        // Accumulate statistics.
-        let stats = &mut out.stats;
         stats.n_keys += bucket.len as u64;
         stats.n_buckets += 1;
-        stats.n_blocks += block_hists.len() as u64;
-        stats.histogram_updates += block_hists.iter().map(|b| b.atomic_updates).sum::<u64>();
-        stats.scatter_updates += scatter.shared_updates;
-        stats.lookahead_active_blocks += scatter.lookahead_active_blocks;
-        stats.sub_buckets_created += sub_buckets.len() as u64;
-        stats.local_buckets_created += local.len() as u64;
-        stats.counting_buckets_forwarded += counting.len() as u64;
-        distinct_sum += block_hists
-            .iter()
-            .map(|b| b.distinct_values as u64)
-            .sum::<u64>();
-        max_bin_keys += bucket_hist.iter().copied().max().unwrap_or(0);
+        stats.n_blocks += nb as u64;
+        stats.sub_buckets_created += scratch.sub_buckets.len() as u64;
+        stats.local_buckets_created += (out_local.len() - local_before) as u64;
+        stats.counting_buckets_forwarded += (out_counting.len() - counting_before) as u64;
+        max_bin_keys += scratch.bucket_hist.iter().copied().max().unwrap_or(0);
 
-        out.local.extend(local);
-        out.next_counting.extend(counting);
+        if let Some(t) = trace.as_deref_mut() {
+            // Move the tables into the trace instead of cloning them; the
+            // scratch vectors are rebuilt on the next bucket (tracing is a
+            // debugging path, so the extra allocations are acceptable).
+            t.push(TraceEvent::BucketHistogram {
+                pass,
+                offset: bucket.offset,
+                len: bucket.len,
+                histogram: std::mem::take(&mut scratch.bucket_hist),
+                prefix: std::mem::take(&mut scratch.prefix),
+            });
+        }
     }
 
-    let stats = &mut out.stats;
+    // (3) Cooperative scatter, one executor task per block.  Each worker
+    // seeds its private cursor strip from the block's bases; destination
+    // chunks of distinct blocks are disjoint.
+    scratch.worker_cursors.clear();
+    scratch.worker_cursors.resize(exec.workers() * radix, 0);
+    {
+        let blocks = &scratch.blocks;
+        let bases = &scratch.block_bases;
+        let counts = &scratch.block_counts;
+        let cursors = SharedMut::new(&mut scratch.worker_cursors);
+        let block_stats = SharedMut::new(&mut scratch.block_stats);
+        let dst_keys = SharedMut::new(dst_keys);
+        let dst_vals = SharedMut::new(dst_vals);
+        let values_present = std::mem::size_of::<V>() != 0;
+        exec.for_each_task(n_blocks, |b, worker| {
+            let blk = &blocks[b];
+            let block_keys = &src_keys[blk.key_offset..blk.key_offset + blk.key_count];
+            let block_vals = if values_present {
+                &src_vals[blk.key_offset..blk.key_offset + blk.key_count]
+            } else {
+                &src_vals[0..0]
+            };
+            // SAFETY: cursor strip `worker` belongs to this thread only.
+            let cursor = unsafe { cursors.slice_mut(worker * radix, radix) };
+            cursor.copy_from_slice(&bases[b * radix..(b + 1) * radix]);
+            let max_bin = counts[b * radix..(b + 1) * radix]
+                .iter()
+                .copied()
+                .max()
+                .unwrap_or(0);
+            let (shared_updates, lookahead_active) = scatter_block(
+                block_keys,
+                block_vals,
+                cursor,
+                &dst_keys,
+                &dst_vals,
+                &scatter_params,
+                max_bin,
+            );
+            // SAFETY: stat slot `b` belongs to this task only.
+            let stat = unsafe { &mut block_stats.slice_mut(b, 1)[0] };
+            stat.shared_updates = shared_updates;
+            stat.lookahead_active = lookahead_active;
+        });
+    }
+
+    // (4) Fold the per-block records into the pass statistics.
+    let mut distinct_sum = 0u64;
+    for s in &scratch.block_stats {
+        stats.histogram_updates += s.atomic_updates;
+        stats.scatter_updates += s.shared_updates;
+        stats.lookahead_active_blocks += s.lookahead_active as u64;
+        distinct_sum += s.distinct as u64;
+    }
     if stats.n_blocks > 0 {
         stats.avg_block_distinct = distinct_sum as f64 / stats.n_blocks as f64;
         stats.avg_occupied_sub_buckets = distinct_sum as f64 / stats.n_blocks as f64;
@@ -177,7 +272,7 @@ pub fn run_counting_pass<K: SortKey, V: Copy>(
     if stats.n_keys > 0 {
         stats.max_bin_fraction = max_bin_keys as f64 / stats.n_keys as f64;
     }
-    out
+    stats
 }
 
 #[cfg(test)]
@@ -185,25 +280,70 @@ mod tests {
     use super::*;
     use workloads::{uniform_keys, EntropyLevel, KeyCodec};
 
+    /// Output of one pass as the tests inspect it.
+    struct PassRun {
+        next_counting: Vec<Bucket>,
+        local: Vec<LocalBucket>,
+        stats: PassStats,
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_pass<K: SortKey>(
+        keys: &[K],
+        dst: &mut [K],
+        buckets: &[Bucket],
+        pass: u32,
+        config: &SortConfig,
+        opts: &Optimizations,
+        exec: &Executor,
+        next_id: &mut u64,
+        trace: Option<&mut SortTrace>,
+    ) -> PassRun {
+        let src_vals: Vec<()> = Vec::new();
+        let mut dst_vals: Vec<()> = Vec::new();
+        let mut scratch = PassScratch::default();
+        let mut local = Vec::new();
+        let mut counting = Vec::new();
+        let stats = run_counting_pass(
+            keys,
+            dst,
+            &src_vals,
+            &mut dst_vals,
+            buckets,
+            pass,
+            config,
+            opts,
+            next_id,
+            exec,
+            &mut scratch,
+            &mut local,
+            &mut counting,
+            trace,
+        );
+        PassRun {
+            next_counting: counting,
+            local,
+            stats,
+        }
+    }
+
     fn run_pass_u32(
         keys: &[u32],
         config: &SortConfig,
         opts: &Optimizations,
-    ) -> (Vec<u32>, PassOutput) {
+        exec: &Executor,
+    ) -> (Vec<u32>, PassRun) {
         let n = keys.len();
         let mut dst = vec![0u32; n];
-        let src_vals = vec![(); n];
-        let mut dst_vals = vec![(); n];
         let mut next_id = 1;
-        let out = run_counting_pass(
+        let out = run_pass(
             keys,
             &mut dst,
-            &src_vals,
-            &mut dst_vals,
             &[Bucket::root(n)],
             0,
             config,
             opts,
+            exec,
             &mut next_id,
             None,
         );
@@ -222,7 +362,12 @@ mod tests {
     #[test]
     fn pass_partitions_and_preserves_keys() {
         let keys = uniform_keys::<u32>(50_000, 1);
-        let (dst, out) = run_pass_u32(&keys, &small_config(), &Optimizations::all_on());
+        let (dst, out) = run_pass_u32(
+            &keys,
+            &small_config(),
+            &Optimizations::all_on(),
+            &Executor::Sequential,
+        );
         assert!(dst.windows(2).all(|w| (w[0] >> 24) <= (w[1] >> 24)));
         assert!(workloads::stats::is_permutation_of(&keys, &dst));
         assert_eq!(out.stats.n_keys, 50_000);
@@ -238,9 +383,31 @@ mod tests {
     }
 
     #[test]
+    fn threaded_executor_produces_identical_partitions() {
+        let keys = uniform_keys::<u32>(40_000, 8);
+        let cfg = small_config();
+        let opts = Optimizations::all_on();
+        let (seq_dst, seq) = run_pass_u32(&keys, &cfg, &opts, &Executor::Sequential);
+        for workers in [2usize, 7] {
+            let (thr_dst, thr) = run_pass_u32(&keys, &cfg, &opts, &Executor::with_workers(workers));
+            assert_eq!(seq_dst, thr_dst, "workers = {workers}");
+            assert_eq!(seq.next_counting, thr.next_counting);
+            assert_eq!(seq.local, thr.local);
+            assert_eq!(seq.stats.histogram_updates, thr.stats.histogram_updates);
+            assert_eq!(seq.stats.scatter_updates, thr.stats.scatter_updates);
+            assert_eq!(seq.stats.sub_buckets_created, thr.stats.sub_buckets_created);
+        }
+    }
+
+    #[test]
     fn sub_bucket_sizes_sum_to_input() {
         let keys = EntropyLevel::with_and_count(2).generate_u32(20_000, 2);
-        let (_, out) = run_pass_u32(&keys, &small_config(), &Optimizations::all_on());
+        let (_, out) = run_pass_u32(
+            &keys,
+            &small_config(),
+            &Optimizations::all_on(),
+            &Executor::Sequential,
+        );
         let local: usize = out.local.iter().map(|l| l.len).sum();
         let counting: usize = out.next_counting.iter().map(|b| b.len).sum();
         assert_eq!(local + counting, 20_000);
@@ -253,7 +420,12 @@ mod tests {
     #[test]
     fn forwarded_buckets_advance_the_pass_index() {
         let keys = EntropyLevel::constant().generate_u32(10_000, 3);
-        let (_, out) = run_pass_u32(&keys, &small_config(), &Optimizations::all_on());
+        let (_, out) = run_pass_u32(
+            &keys,
+            &small_config(),
+            &Optimizations::all_on(),
+            &Executor::Sequential,
+        );
         assert_eq!(out.next_counting.len(), 1);
         assert_eq!(out.next_counting[0].pass, 1);
         assert_eq!(out.next_counting[0].len, 10_000);
@@ -267,8 +439,9 @@ mod tests {
         // A distribution with many tiny sub-buckets: uniform over few keys.
         let keys = uniform_keys::<u32>(5_000, 4);
         let cfg = small_config();
-        let (_, with) = run_pass_u32(&keys, &cfg, &Optimizations::all_on());
-        let (_, without) = run_pass_u32(&keys, &cfg, &Optimizations::no_bucket_merging());
+        let exec = Executor::Sequential;
+        let (_, with) = run_pass_u32(&keys, &cfg, &Optimizations::all_on(), &exec);
+        let (_, without) = run_pass_u32(&keys, &cfg, &Optimizations::no_bucket_merging(), &exec);
         assert!(with.local.len() < without.local.len());
         assert!(with.local.iter().any(|l| l.is_merged()));
         assert!(without.local.iter().all(|l| !l.is_merged()));
@@ -283,19 +456,16 @@ mod tests {
         let keys = uniform_keys::<u32>(1_000, 5);
         let n = keys.len();
         let mut dst = vec![0u32; n];
-        let src_vals = vec![(); n];
-        let mut dst_vals = vec![(); n];
         let mut next_id = 1;
         let mut trace = SortTrace::new(0);
-        run_counting_pass(
+        run_pass(
             &keys,
             &mut dst,
-            &src_vals,
-            &mut dst_vals,
             &[Bucket::root(n)],
             0,
             &small_config(),
             &Optimizations::all_on(),
+            &Executor::Sequential,
             &mut next_id,
             Some(&mut trace),
         );
@@ -309,33 +479,30 @@ mod tests {
         let keys = uniform_keys::<u32>(30_000, 6);
         let cfg = small_config();
         let opts = Optimizations::all_on();
+        let exec = Executor::with_workers(3);
         let n = keys.len();
         let mut buf1 = vec![0u32; n];
-        let src_vals = vec![(); n];
-        let mut dst_vals = vec![(); n];
         let mut next_id = 1;
-        let out0 = run_counting_pass(
+        let out0 = run_pass(
             &keys,
             &mut buf1,
-            &src_vals,
-            &mut dst_vals,
             &[Bucket::root(n)],
             0,
             &cfg,
             &opts,
+            &exec,
             &mut next_id,
             None,
         );
         let mut buf2 = vec![0u32; n];
-        let out1 = run_counting_pass(
+        let out1 = run_pass(
             &buf1,
             &mut buf2,
-            &src_vals,
-            &mut dst_vals,
             &out0.next_counting,
             1,
             &cfg,
             &opts,
+            &exec,
             &mut next_id,
             None,
         );

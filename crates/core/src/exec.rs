@@ -1,0 +1,284 @@
+//! Real-thread parallel execution backend.
+//!
+//! The paper's speedups come from running the histogram, prefix-sum and
+//! scatter kernels over thousands of GPU threads.  This module provides the
+//! CPU analogue: an [`Executor`] that runs the per-block work of a counting
+//! pass (and the per-bucket local sorts) either on the calling thread
+//! ([`Executor::Sequential`]) or across real `std::thread::scope` workers
+//! ([`Executor::Threaded`]), in the spirit of PARADIS (Cho et al., PVLDB
+//! 2015).  Work is distributed dynamically: an atomic cursor hands block
+//! indices to whichever worker is free, so skewed buckets (many keys in few
+//! blocks) cannot strand a worker.
+//!
+//! Both backends produce identical output (bucket-order semantics are
+//! preserved because every block's destination ranges are precomputed from
+//! the per-block histograms); only wall-clock time differs.  Stability is
+//! not required, matching the paper's MSD design.
+//!
+//! [`SharedMut`] is the low-level escape hatch the parallel kernels use to
+//! write disjoint regions of one destination buffer from several workers —
+//! the CPU equivalent of every thread block owning the chunks it reserved
+//! with `atomicAdd`.
+
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// How the hot loops of the hybrid radix sort are executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Executor {
+    /// Everything runs on the calling thread, in block order.  This is the
+    /// deterministic default and has zero scheduling overhead.
+    #[default]
+    Sequential,
+    /// Per-block work is distributed over `workers` scoped OS threads.
+    Threaded {
+        /// Number of worker threads (the calling thread doubles as worker
+        /// 0, so exactly `workers` threads participate).
+        workers: usize,
+    },
+}
+
+impl Executor {
+    /// A threaded backend sized to the machine's available parallelism.
+    pub fn threaded() -> Self {
+        Executor::Threaded {
+            workers: std::thread::available_parallelism()
+                .map(|t| t.get())
+                .unwrap_or(1),
+        }
+    }
+
+    /// A threaded backend with an explicit worker count (clamped to ≥ 1).
+    pub fn with_workers(workers: usize) -> Self {
+        Executor::Threaded {
+            workers: workers.max(1),
+        }
+    }
+
+    /// Number of workers that may run tasks concurrently (1 for
+    /// [`Executor::Sequential`]).
+    pub fn workers(&self) -> usize {
+        match *self {
+            Executor::Sequential => 1,
+            Executor::Threaded { workers } => workers.max(1),
+        }
+    }
+
+    /// Whether tasks may run on more than one thread.
+    pub fn is_parallel(&self) -> bool {
+        self.workers() > 1
+    }
+
+    /// Short display label (`"seq"` or `"threads(n)"`).
+    pub fn label(&self) -> String {
+        match *self {
+            Executor::Sequential => "seq".to_string(),
+            Executor::Threaded { workers } => format!("threads({workers})"),
+        }
+    }
+
+    /// Runs `n_tasks` indexed tasks, calling `f(task_index, worker_index)`
+    /// for each.  Tasks are claimed dynamically from an atomic cursor;
+    /// `worker_index` is in `0..self.workers()` and identifies the thread a
+    /// task runs on (so tasks can use per-worker scratch without locking).
+    ///
+    /// The sequential backend runs every task on the caller in ascending
+    /// order; the threaded backend makes no ordering guarantee between
+    /// tasks, so `f` must only touch state that is disjoint per task (or
+    /// per worker).
+    pub fn for_each_task<F>(&self, n_tasks: usize, f: F)
+    where
+        F: Fn(usize, usize) + Sync,
+    {
+        let workers = self.workers().min(n_tasks.max(1));
+        if workers <= 1 || n_tasks <= 1 {
+            for t in 0..n_tasks {
+                f(t, 0);
+            }
+            return;
+        }
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let cursor = &cursor;
+            let f = &f;
+            for w in 1..workers {
+                scope.spawn(move || loop {
+                    let t = cursor.fetch_add(1, Ordering::Relaxed);
+                    if t >= n_tasks {
+                        break;
+                    }
+                    f(t, w);
+                });
+            }
+            // The calling thread is worker 0.
+            loop {
+                let t = cursor.fetch_add(1, Ordering::Relaxed);
+                if t >= n_tasks {
+                    break;
+                }
+                f(t, 0);
+            }
+        });
+    }
+
+    /// Splits `data` into chunks of `chunk` elements and runs
+    /// `f(chunk_index, chunk_slice)` for each, in parallel on the threaded
+    /// backend.  Chunks are disjoint, so no synchronisation is needed.
+    pub fn for_each_chunk_mut<T, F>(&self, data: &mut [T], chunk: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        let chunk = chunk.max(1);
+        let n = data.len();
+        let n_chunks = n.div_ceil(chunk);
+        let shared = SharedMut::new(data);
+        self.for_each_task(n_chunks, |c, _w| {
+            let start = c * chunk;
+            let len = chunk.min(n - start);
+            // SAFETY: chunk `c` covers `start..start + len`, and distinct
+            // tasks cover disjoint ranges.
+            let slice = unsafe { shared.slice_mut(start, len) };
+            f(c, slice);
+        });
+    }
+}
+
+/// A `Send + Sync` view of a mutable slice that lets several workers write
+/// *disjoint* elements or sub-ranges concurrently.
+///
+/// This mirrors what the GPU kernels do in device memory: after chunk
+/// reservation, every thread block owns a set of destination indices nobody
+/// else will touch, so unsynchronised writes are safe.  The compiler cannot
+/// prove that disjointness, hence the `unsafe` accessors; every call site
+/// documents why its indices are disjoint.
+pub struct SharedMut<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: `SharedMut` only hands out access through `unsafe` methods whose
+// contract requires disjointness; the wrapper itself carries no thread
+// affinity beyond the element type's.
+unsafe impl<T: Send> Send for SharedMut<'_, T> {}
+unsafe impl<T: Send> Sync for SharedMut<'_, T> {}
+
+impl<'a, T> SharedMut<'a, T> {
+    /// Wraps a mutable slice for disjoint concurrent writes.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        SharedMut {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Length of the underlying slice.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the underlying slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Writes `value` at `idx`, dropping the previous element.
+    ///
+    /// # Safety
+    ///
+    /// `idx` must be in bounds and no other thread may read or write
+    /// element `idx` concurrently.
+    pub unsafe fn write(&self, idx: usize, value: T) {
+        debug_assert!(idx < self.len);
+        *self.ptr.add(idx) = value;
+    }
+
+    /// Returns the sub-slice `start..start + len` as mutable.
+    ///
+    /// # Safety
+    ///
+    /// The range must be in bounds and no other thread may access any
+    /// element of it while the returned borrow lives.
+    #[allow(clippy::mut_from_ref)] // disjointness is the caller's contract
+    pub unsafe fn slice_mut(&self, start: usize, len: usize) -> &mut [T] {
+        debug_assert!(start + len <= self.len);
+        std::slice::from_raw_parts_mut(self.ptr.add(start), len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn sequential_runs_every_task_in_order_on_worker_zero() {
+        let exec = Executor::Sequential;
+        let mut seen = Vec::new();
+        let log = std::sync::Mutex::new(&mut seen);
+        exec.for_each_task(5, |t, w| {
+            assert_eq!(w, 0);
+            log.lock().unwrap().push(t);
+        });
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn threaded_runs_every_task_exactly_once() {
+        for workers in [1usize, 2, 3, 7] {
+            let exec = Executor::with_workers(workers);
+            assert_eq!(exec.workers(), workers);
+            let n = 257;
+            let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+            exec.for_each_task(n, |t, w| {
+                assert!(w < workers);
+                hits[t].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        }
+    }
+
+    #[test]
+    fn zero_tasks_is_a_no_op() {
+        Executor::with_workers(4).for_each_task(0, |_, _| panic!("no tasks"));
+        Executor::Sequential.for_each_task(0, |_, _| panic!("no tasks"));
+    }
+
+    #[test]
+    fn chunked_map_covers_the_slice() {
+        for exec in [Executor::Sequential, Executor::with_workers(3)] {
+            let mut data = vec![0u64; 1_000];
+            exec.for_each_chunk_mut(&mut data, 64, |c, chunk| {
+                for (i, v) in chunk.iter_mut().enumerate() {
+                    *v = (c * 64 + i) as u64;
+                }
+            });
+            assert!(data.iter().enumerate().all(|(i, &v)| v == i as u64));
+        }
+    }
+
+    #[test]
+    fn shared_mut_disjoint_writes_land() {
+        let mut data = vec![0u32; 100];
+        {
+            let shared = SharedMut::new(&mut data);
+            Executor::with_workers(4).for_each_task(100, |t, _| unsafe {
+                shared.write(t, t as u32 + 1);
+            });
+        }
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i as u32 + 1));
+    }
+
+    #[test]
+    fn labels_and_parallelism_flags() {
+        assert_eq!(Executor::Sequential.label(), "seq");
+        assert_eq!(Executor::with_workers(4).label(), "threads(4)");
+        assert!(!Executor::Sequential.is_parallel());
+        assert!(Executor::with_workers(2).is_parallel());
+        assert!(!Executor::with_workers(1).is_parallel());
+        assert!(Executor::threaded().workers() >= 1);
+        assert_eq!(Executor::default(), Executor::Sequential);
+    }
+}

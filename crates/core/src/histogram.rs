@@ -60,8 +60,39 @@ pub fn block_histogram<K: SortKey>(
     keys_per_thread: usize,
 ) -> BlockHistogram {
     let mut counts = vec![0u32; radix];
-    let mut atomic_updates = 0u64;
+    let (atomic_updates, distinct_values) = block_histogram_into(
+        &mut counts,
+        keys,
+        digit_bits,
+        pass,
+        strategy,
+        keys_per_thread,
+    );
+    BlockHistogram {
+        counts,
+        atomic_updates,
+        distinct_values,
+    }
+}
 
+/// Allocation-free variant of [`block_histogram`]: accumulates the digit
+/// counts into `counts` (a zeroed strip of length `radix`, typically a
+/// slice of the scratch arena's per-block strip table) and returns
+/// `(atomic_updates, distinct_values)`.
+///
+/// The thread-reduction strategy stages each register run in a fixed
+/// 9-element buffer, so even the simulated sorting-network path touches no
+/// heap — this is what lets the executor run one histogram task per block
+/// with zero steady-state allocation.
+pub fn block_histogram_into<K: SortKey>(
+    counts: &mut [u32],
+    keys: &[K],
+    digit_bits: u32,
+    pass: u32,
+    strategy: HistogramStrategy,
+    keys_per_thread: usize,
+) -> (u64, u32) {
+    let mut atomic_updates = 0u64;
     match strategy {
         HistogramStrategy::AtomicsOnly => {
             for key in keys {
@@ -76,27 +107,23 @@ pub fn block_histogram<K: SortKey>(
                 // Each thread extracts its digit values into registers and
                 // sorts runs of up to nine values with the sorting network,
                 // combining equal neighbours into one atomicAdd.
-                let mut digits: Vec<u16> = thread_keys
-                    .iter()
-                    .map(|k| digit_of(k.to_radix(), K::BITS, digit_bits, pass) as u16)
-                    .collect();
-                for run in digits.chunks_mut(9) {
-                    sort_up_to_9(run);
-                    atomic_updates += count_runs(run) as u64;
-                }
-                for &d in &digits {
-                    counts[d as usize] += 1;
+                for run_keys in thread_keys.chunks(9) {
+                    let mut run = [0u16; 9];
+                    let m = run_keys.len();
+                    for (slot, k) in run[..m].iter_mut().zip(run_keys) {
+                        *slot = digit_of(k.to_radix(), K::BITS, digit_bits, pass) as u16;
+                    }
+                    sort_up_to_9(&mut run[..m]);
+                    atomic_updates += count_runs(&run[..m]) as u64;
+                    for &d in &run[..m] {
+                        counts[d as usize] += 1;
+                    }
                 }
             }
         }
     }
-
     let distinct_values = counts.iter().filter(|&&c| c > 0).count() as u32;
-    BlockHistogram {
-        counts,
-        atomic_updates,
-        distinct_values,
-    }
+    (atomic_updates, distinct_values)
 }
 
 /// Sums block histograms into the bucket histogram.

@@ -31,6 +31,11 @@
 //!
 //! ## Module map
 //!
+//! * [`exec`] — the execution backends: [`Executor::Sequential`] and the
+//!   real-thread [`Executor::Threaded`] running the per-block work of every
+//!   pass on scoped OS workers.
+//! * [`arena`] — the zero-allocation scratch arena reused across passes and
+//!   sorts (ping-pong buffers, histogram strips, offset tables).
 //! * [`config`] — Table 3 configurations (`KPB`, threads, `KPT`, ∂̂) and the
 //!   local-sort size classes.
 //! * [`opts`] — the optimisation toggles exercised by the Appendix-B
@@ -54,11 +59,13 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod bucket;
 pub mod config;
 pub mod cost;
 pub mod counting_sort;
 pub mod digit;
+pub mod exec;
 pub mod histogram;
 pub mod local_sort;
 pub mod model;
@@ -70,8 +77,10 @@ pub mod sorter;
 pub mod sorting_network;
 pub mod trace;
 
+pub use arena::{ArenaStats, ScratchArena};
 pub use config::{LocalSortClass, SortConfig};
 pub use cost::SimBreakdown;
+pub use exec::{Executor, SharedMut};
 pub use model::AnalyticalModel;
 pub use opts::Optimizations;
 pub use report::{LocalSortStats, PassStats, SortReport};

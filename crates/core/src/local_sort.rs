@@ -13,12 +13,19 @@
 //! enough threads (and an appropriately specialised sorting algorithm) for
 //! its maximum bucket size.  The ablation's "single local sort config"
 //! variant instead schedules every bucket on the ∂̂-sized configuration.
+//!
+//! Like the GPU, which launches the local sorts of a pass as independent
+//! thread blocks, the [`Executor`] distributes buckets over its workers:
+//! every bucket occupies a distinct range of the destination buffer, so
+//! workers sort concurrently without synchronisation.
 
 use crate::bucket::LocalBucket;
 use crate::config::SortConfig;
+use crate::exec::{Executor, SharedMut};
 use crate::opts::Optimizations;
 use crate::report::LocalSortStats;
 use crate::sorting_network::network_sort;
+use workloads::pairs::SortValue;
 use workloads::SortKey;
 
 /// Buckets at most this large are sorted with a comparison network instead
@@ -26,14 +33,14 @@ use workloads::SortKey;
 /// configurations can use a sorting network).
 pub const NETWORK_SORT_LIMIT: usize = 32;
 
-/// Sorts all `buckets` whose keys currently live in `src` (at their
+/// Sorts all `buckets` whose keys currently live in buffer `src` (at their
 /// respective offsets) and places the sorted runs at the same offsets in
-/// `dst`.  `src` and `dst` may be the same buffer (`src_is_dst`), in which
-/// case the sort happens in place.
-///
-/// Returns aggregated statistics for the cost model.
+/// buffer `dst`.  `src` and `dst` may be the same buffer, in which case the
+/// sort happens in place.  Buckets are distributed over the executor's
+/// workers; the per-bucket statistics are accumulated on the calling
+/// thread.
 #[allow(clippy::too_many_arguments)]
-pub fn run_local_sorts<K: SortKey, V: Copy>(
+pub fn run_local_sorts<K: SortKey, V: SortValue>(
     buffers_keys: &mut [Vec<K>; 2],
     buffers_vals: &mut [Vec<V>; 2],
     src: usize,
@@ -41,15 +48,18 @@ pub fn run_local_sorts<K: SortKey, V: Copy>(
     buckets: &[LocalBucket],
     config: &SortConfig,
     opts: &Optimizations,
+    exec: &Executor,
     stats: &mut LocalSortStats,
 ) {
-    let mut classes_seen: Vec<usize> = Vec::new();
+    // Bookkeeping first (cheap, O(1) per bucket): size classes, merge and
+    // provisioning statistics.
+    let mut classes_seen = [0usize; 64];
+    let mut n_classes = 0usize;
     for bucket in buckets {
-        sort_one_bucket(buffers_keys, buffers_vals, src, dst, bucket);
-
         let class = config.class_for(bucket.len, !opts.multiple_local_sort_configs);
-        if !classes_seen.contains(&class.max_keys) {
-            classes_seen.push(class.max_keys);
+        if !classes_seen[..n_classes].contains(&class.max_keys) && n_classes < classes_seen.len() {
+            classes_seen[n_classes] = class.max_keys;
+            n_classes += 1;
         }
         stats.invocations += 1;
         stats.n_keys += bucket.len as u64;
@@ -59,41 +69,107 @@ pub fn run_local_sorts<K: SortKey, V: Copy>(
         }
         stats.largest_bucket = stats.largest_bucket.max(bucket.len as u64);
     }
-    stats.classes_used = stats.classes_used.max(classes_seen.len() as u64);
+    stats.classes_used = stats.classes_used.max(n_classes as u64);
+
+    if buckets.is_empty() {
+        return;
+    }
+
+    // One dynamically scheduled task per bucket (so a handful of
+    // near-threshold buckets cannot strand a worker behind a chunk of
+    // them), with one record staging buffer per *worker* — a pass still
+    // issues at most `workers` staging allocations.
+    let mut stagings: Vec<Vec<(u64, K, V)>> = (0..exec.workers()).map(|_| Vec::new()).collect();
+    let staging_view = SharedMut::new(&mut stagings);
+
+    if src == dst {
+        let keys = SharedMut::new(buffers_keys[dst].as_mut_slice());
+        let vals = SharedMut::new(buffers_vals[dst].as_mut_slice());
+        exec.for_each_task(buckets.len(), |b, worker| {
+            // SAFETY: bucket ranges are disjoint across tasks, and staging
+            // slot `worker` belongs to this thread only.
+            unsafe {
+                let records = &mut staging_view.slice_mut(worker, 1)[0];
+                sort_range_in_place(&keys, &vals, &buckets[b], records);
+            }
+        });
+    } else {
+        let (src_keys, dst_keys) = split_src_dst(buffers_keys, src, dst);
+        let (src_vals, dst_vals) = split_src_dst(buffers_vals, src, dst);
+        let dst_keys = SharedMut::new(dst_keys);
+        let dst_vals = SharedMut::new(dst_vals);
+        exec.for_each_task(buckets.len(), |b, worker| {
+            let bucket = &buckets[b];
+            let range = bucket.offset..bucket.offset + bucket.len;
+            // SAFETY: bucket ranges are disjoint across tasks, and staging
+            // slot `worker` belongs to this thread only.
+            unsafe {
+                let keys = dst_keys.slice_mut(bucket.offset, bucket.len);
+                keys.copy_from_slice(&src_keys[range.clone()]);
+                if std::mem::size_of::<V>() != 0 {
+                    let vals = dst_vals.slice_mut(bucket.offset, bucket.len);
+                    vals.copy_from_slice(&src_vals[range]);
+                    let records = &mut staging_view.slice_mut(worker, 1)[0];
+                    sort_pairs_with_staging(keys, vals, records);
+                } else {
+                    sort_keys_in_shared_memory(keys);
+                }
+            }
+        });
+    }
 }
 
-/// Sorts a single bucket from buffer `src` into buffer `dst` (both indices
-/// into the double buffer), staging through a scratch vector exactly like
-/// the GPU stages the bucket through shared memory.
-fn sort_one_bucket<K: SortKey, V: Copy>(
-    buffers_keys: &mut [Vec<K>; 2],
-    buffers_vals: &mut [Vec<V>; 2],
-    src: usize,
-    dst: usize,
-    bucket: &LocalBucket,
-) {
-    let range = bucket.offset..bucket.offset + bucket.len;
-
-    if std::mem::size_of::<V>() == 0 {
-        // Key-only sort: stage the keys, sort, write back.
-        let mut staged: Vec<K> = buffers_keys[src][range.clone()].to_vec();
-        sort_keys_in_shared_memory(&mut staged);
-        buffers_keys[dst][range].copy_from_slice(&staged);
+/// Splits the double buffer into the source (shared) and destination
+/// (mutable) halves.  `src` and `dst` must differ.
+fn split_src_dst<T>(bufs: &mut [Vec<T>; 2], src: usize, dst: usize) -> (&[T], &mut [T]) {
+    assert_ne!(src, dst);
+    let (a, b) = bufs.split_at_mut(1);
+    if src == 0 {
+        (a[0].as_slice(), b[0].as_mut_slice())
     } else {
-        // Key-value sort: stage (key, value) records, sort by key, write
-        // both components back.
-        let staged_keys = &buffers_keys[src][range.clone()];
-        let staged_vals = &buffers_vals[src][range.clone()];
-        let mut records: Vec<(u64, K, V)> = staged_keys
-            .iter()
-            .zip(staged_vals.iter())
-            .map(|(&k, &v)| (k.to_radix(), k, v))
-            .collect();
-        records.sort_unstable_by_key(|r| r.0);
-        for (i, (_, k, v)) in records.into_iter().enumerate() {
-            buffers_keys[dst][bucket.offset + i] = k;
-            buffers_vals[dst][bucket.offset + i] = v;
-        }
+        (b[0].as_slice(), a[0].as_mut_slice())
+    }
+}
+
+/// Sorts one bucket in place inside the shared destination views.
+///
+/// # Safety
+///
+/// The bucket's range must be in bounds and owned exclusively by the
+/// calling task.
+unsafe fn sort_range_in_place<K: SortKey, V: SortValue>(
+    keys: &SharedMut<'_, K>,
+    vals: &SharedMut<'_, V>,
+    bucket: &LocalBucket,
+    records: &mut Vec<(u64, K, V)>,
+) {
+    let key_slice = keys.slice_mut(bucket.offset, bucket.len);
+    if std::mem::size_of::<V>() != 0 {
+        let val_slice = vals.slice_mut(bucket.offset, bucket.len);
+        sort_pairs_with_staging(key_slice, val_slice, records);
+    } else {
+        sort_keys_in_shared_memory(key_slice);
+    }
+}
+
+/// Co-sorts a key slice and its value slice by key, staging `(radix, key,
+/// value)` records in a reusable buffer exactly like the GPU stages a
+/// bucket's pairs through shared memory.
+fn sort_pairs_with_staging<K: SortKey, V: SortValue>(
+    keys: &mut [K],
+    vals: &mut [V],
+    records: &mut Vec<(u64, K, V)>,
+) {
+    records.clear();
+    records.extend(
+        keys.iter()
+            .zip(vals.iter())
+            .map(|(&k, &v)| (k.to_radix(), k, v)),
+    );
+    records.sort_unstable_by_key(|r| r.0);
+    for (i, (_, k, v)) in records.drain(..).enumerate() {
+        keys[i] = k;
+        vals[i] = v;
     }
 }
 
@@ -104,10 +180,15 @@ pub fn sort_keys_in_shared_memory<K: SortKey>(staged: &mut [K]) {
         return;
     }
     if staged.len() <= NETWORK_SORT_LIMIT {
-        // Tiny buckets: comparison network on the radix representation.
-        let mut encoded: Vec<u64> = staged.iter().map(|k| k.to_radix()).collect();
-        network_sort(&mut encoded);
-        for (slot, bits) in staged.iter_mut().zip(encoded) {
+        // Tiny buckets: comparison network on the radix representation,
+        // staged in a fixed register-sized buffer.
+        let mut encoded = [0u64; NETWORK_SORT_LIMIT];
+        let m = staged.len();
+        for (slot, k) in encoded[..m].iter_mut().zip(staged.iter()) {
+            *slot = k.to_radix();
+        }
+        network_sort(&mut encoded[..m]);
+        for (slot, &bits) in staged.iter_mut().zip(&encoded[..m]) {
             *slot = K::from_radix(bits);
         }
     } else {
@@ -137,7 +218,7 @@ mod tests {
     fn sorts_buckets_into_the_destination_buffer() {
         let keys = uniform_keys::<u64>(1_000, 1);
         let mut bufs = [keys.clone(), vec![0u64; 1_000]];
-        let mut vals: [Vec<()>; 2] = [vec![(); 1_000], vec![(); 1_000]];
+        let mut vals: [Vec<()>; 2] = [Vec::new(), Vec::new()];
         let buckets = vec![bucket(0, 400), bucket(400, 600)];
         let mut stats = LocalSortStats::default();
         run_local_sorts(
@@ -148,6 +229,7 @@ mod tests {
             &buckets,
             &SortConfig::keys_64(),
             &Optimizations::all_on(),
+            &Executor::Sequential,
             &mut stats,
         );
         assert!(bufs[1][..400].windows(2).all(|w| w[0] <= w[1]));
@@ -162,11 +244,47 @@ mod tests {
     }
 
     #[test]
+    fn threaded_executor_matches_sequential() {
+        let keys = uniform_keys::<u64>(6_000, 7);
+        let buckets: Vec<LocalBucket> = (0..30).map(|i| bucket(i * 200, 200)).collect();
+        let mut expect = [keys.clone(), vec![0u64; 6_000]];
+        let mut vals: [Vec<()>; 2] = [Vec::new(), Vec::new()];
+        let mut stats = LocalSortStats::default();
+        run_local_sorts(
+            &mut expect,
+            &mut vals,
+            0,
+            1,
+            &buckets,
+            &SortConfig::keys_64(),
+            &Optimizations::all_on(),
+            &Executor::Sequential,
+            &mut stats,
+        );
+        for workers in [2usize, 7] {
+            let mut got = [keys.clone(), vec![0u64; 6_000]];
+            let mut vals: [Vec<()>; 2] = [Vec::new(), Vec::new()];
+            let mut stats = LocalSortStats::default();
+            run_local_sorts(
+                &mut got,
+                &mut vals,
+                0,
+                1,
+                &buckets,
+                &SortConfig::keys_64(),
+                &Optimizations::all_on(),
+                &Executor::with_workers(workers),
+                &mut stats,
+            );
+            assert_eq!(got[1], expect[1], "workers = {workers}");
+        }
+    }
+
+    #[test]
     fn in_place_sort_when_src_equals_dst() {
         let keys = uniform_keys::<u32>(500, 2);
-        let mut bufs = [keys.clone(), Vec::new()];
-        bufs[1] = vec![0u32; 500];
-        let mut vals: [Vec<()>; 2] = [vec![(); 500], vec![(); 500]];
+        let mut bufs = [keys.clone(), vec![0u32; 500]];
+        let mut vals: [Vec<()>; 2] = [Vec::new(), Vec::new()];
         let mut stats = LocalSortStats::default();
         run_local_sorts(
             &mut bufs,
@@ -176,6 +294,7 @@ mod tests {
             &[bucket(0, 500)],
             &SortConfig::keys_32(),
             &Optimizations::all_on(),
+            &Executor::Sequential,
             &mut stats,
         );
         assert_eq!(bufs[0], KeyCodec::std_sorted(&keys));
@@ -196,6 +315,7 @@ mod tests {
             &[bucket(0, 300)],
             &SortConfig::pairs_32_32(),
             &Optimizations::all_on(),
+            &Executor::with_workers(2),
             &mut stats,
         );
         assert!(workloads::pairs::verify_indexed_pair_sort(
@@ -209,7 +329,7 @@ mod tests {
         let cfg = SortConfig::keys_32();
         let mut stats_multi = LocalSortStats::default();
         let mut bufs = [keys.clone(), vec![0u32; 200]];
-        let mut vals: [Vec<()>; 2] = [vec![(); 200], vec![(); 200]];
+        let mut vals: [Vec<()>; 2] = [Vec::new(), Vec::new()];
         run_local_sorts(
             &mut bufs,
             &mut vals,
@@ -218,6 +338,7 @@ mod tests {
             &[bucket(0, 100), bucket(100, 100)],
             &cfg,
             &Optimizations::all_on(),
+            &Executor::Sequential,
             &mut stats_multi,
         );
         // Two 100-key buckets fall into the [1,128] class.
@@ -225,7 +346,7 @@ mod tests {
 
         let mut stats_single = LocalSortStats::default();
         let mut bufs = [keys, vec![0u32; 200]];
-        let mut vals: [Vec<()>; 2] = [vec![(); 200], vec![(); 200]];
+        let mut vals: [Vec<()>; 2] = [Vec::new(), Vec::new()];
         run_local_sorts(
             &mut bufs,
             &mut vals,
@@ -234,6 +355,7 @@ mod tests {
             &[bucket(0, 100), bucket(100, 100)],
             &cfg,
             &Optimizations::single_local_sort_config(),
+            &Executor::Sequential,
             &mut stats_single,
         );
         // The single configuration provisions ∂̂ keys per bucket.
@@ -244,7 +366,7 @@ mod tests {
     fn merged_buckets_are_counted() {
         let keys = uniform_keys::<u32>(100, 5);
         let mut bufs = [keys, vec![0u32; 100]];
-        let mut vals: [Vec<()>; 2] = [vec![(); 100], vec![(); 100]];
+        let mut vals: [Vec<()>; 2] = [Vec::new(), Vec::new()];
         let mut stats = LocalSortStats::default();
         let merged = LocalBucket {
             id: 1,
@@ -261,6 +383,7 @@ mod tests {
             &[merged],
             &SortConfig::keys_32(),
             &Optimizations::all_on(),
+            &Executor::Sequential,
             &mut stats,
         );
         assert_eq!(stats.merged_buckets, 1);

@@ -28,6 +28,20 @@ pub fn exclusive_prefix_sum_usize(input: &[usize]) -> (Vec<usize>, usize) {
     (out, acc)
 }
 
+/// Exclusive prefix sum of `u64` counts into a reusable `usize` output
+/// vector (the scratch-arena variant used by the counting pass: sub-bucket
+/// offsets are buffer indices).  Returns the grand total.
+pub fn exclusive_prefix_sum_into(input: &[u64], out: &mut Vec<usize>) -> usize {
+    out.clear();
+    out.reserve(input.len());
+    let mut acc = 0usize;
+    for &v in input {
+        out.push(acc);
+        acc += v as usize;
+    }
+    acc
+}
+
 /// Inclusive prefix sum: `out[i] = Σ_{j<=i} input[j]`.
 pub fn inclusive_prefix_sum(input: &[u64]) -> Vec<u64> {
     let mut out = Vec::with_capacity(input.len());

@@ -21,6 +21,7 @@
 
 use crate::bucket::Bucket;
 use crate::digit::digit_of;
+use crate::exec::SharedMut;
 use crate::histogram::BlockHistogram;
 use workloads::SortKey;
 
@@ -131,6 +132,58 @@ pub fn scatter_bucket<K: SortKey, V: Copy>(
         }
     }
     outcome
+}
+
+/// Scatters a single key block through precomputed per-digit write cursors
+/// — the unit of work of the executor's cooperative scatter.
+///
+/// `cursor` must be seeded with the block's destination base offset for
+/// every digit value (bucket offset + bucket prefix + counts of earlier
+/// blocks), exactly the chunk the GPU block would have reserved with one
+/// `atomicAdd` per occupied sub-bucket.  Because every block owns disjoint
+/// destination chunks, blocks scatter concurrently without synchronisation;
+/// `dst_keys`/`dst_vals` are therefore [`SharedMut`] views of the full
+/// destination buffers.
+///
+/// `max_bin_count` is the largest digit count of the block's histogram
+/// (already available from the histogram phase); it decides whether the
+/// look-ahead write combiner is active.  Returns the shared-memory update
+/// count after combining and whether the look-ahead was active.
+pub fn scatter_block<K: SortKey, V: Copy>(
+    block_keys: &[K],
+    block_vals: &[V],
+    cursor: &mut [usize],
+    dst_keys: &SharedMut<'_, K>,
+    dst_vals: &SharedMut<'_, V>,
+    params: &ScatterParams,
+    max_bin_count: u32,
+) -> (u64, bool) {
+    let values_present = std::mem::size_of::<V>() != 0;
+    let lookahead_active = params.lookahead_enabled
+        && !block_keys.is_empty()
+        && max_bin_count as f64 / block_keys.len() as f64 >= params.skew_threshold;
+
+    for (i, key) in block_keys.iter().enumerate() {
+        let d = digit_of(key.to_radix(), K::BITS, params.digit_bits, params.pass);
+        let pos = cursor[d];
+        cursor[d] += 1;
+        // SAFETY: `pos` lies inside the chunk this block reserved for digit
+        // `d`; chunks of distinct blocks are disjoint by construction of
+        // the per-block bases, so no other task touches `pos`.
+        unsafe {
+            dst_keys.write(pos, *key);
+            if values_present {
+                dst_vals.write(pos, block_vals[i]);
+            }
+        }
+    }
+
+    let shared_updates = if lookahead_active {
+        count_combined_writes::<K>(block_keys, params)
+    } else {
+        block_keys.len() as u64
+    };
+    (shared_updates, lookahead_active)
 }
 
 /// Number of shared-memory writes after combining runs of up to

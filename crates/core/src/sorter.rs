@@ -1,8 +1,9 @@
 //! The hybrid radix sort driver (Section 4.1).
 //!
 //! [`HybridRadixSorter`] owns the configuration, optimisation flags, device
-//! model and cost calibration, and exposes `sort` / `sort_pairs` entry
-//! points for any [`SortKey`] type.  The driver
+//! model, cost calibration, the [`Executor`] running the hot loops and the
+//! [`ScratchArena`] holding all reusable working memory, and exposes
+//! `sort` / `sort_pairs` entry points for any [`SortKey`] type.  The driver
 //!
 //! 1. starts with a single bucket covering the whole input and the
 //!    most-significant digit,
@@ -14,23 +15,31 @@
 //! 4. stops when no bucket needs further partitioning or all digits are
 //!    consumed.
 //!
+//! The ping-pong buffers, per-pass tables and bucket lists all come from
+//! the arena, so repeated sorts through one sorter allocate nothing once
+//! warmed up; with [`Executor::Threaded`] the histogram, scatter and local
+//! sort phases run on real OS threads.
+//!
 //! The returned [`SortReport`] contains the recorded statistics and the
 //! simulated GPU execution breakdown.
 
+use crate::arena::{ArenaStats, ScratchArena, ROLE_SPARE_KEYS, ROLE_SPARE_VALS};
 use crate::bucket::Bucket;
 use crate::config::SortConfig;
 use crate::cost::{self, CostModel};
 use crate::counting_sort::run_counting_pass;
+use crate::exec::Executor;
 use crate::local_sort::run_local_sorts;
 use crate::opts::Optimizations;
 use crate::report::SortReport;
 use crate::trace::{SortTrace, TraceEvent};
 use gpu_sim::DeviceSpec;
+use std::sync::{Mutex, TryLockError};
 use workloads::keys::SortKey;
 use workloads::pairs::SortValue;
 
 /// The hybrid MSD radix sorter.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct HybridRadixSorter {
     /// Explicit configuration; when `None` the Table 3 configuration
     /// matching the key/value widths is chosen per sort call.
@@ -41,17 +50,27 @@ pub struct HybridRadixSorter {
     device: DeviceSpec,
     /// Cost-model calibration.
     cost: CostModel,
+    /// Execution backend for the histogram/scatter/local-sort loops.
+    exec: Executor,
+    /// Reusable working memory, interior-mutable so `sort` can stay
+    /// `&self`.  Uncontended sorts reuse it; when a sorter is shared
+    /// across threads, concurrent sorts never block — they fall back to a
+    /// private arena for that call.
+    arena: Mutex<ScratchArena>,
 }
 
 impl HybridRadixSorter {
     /// A sorter with the paper's defaults: Table 3 configuration selected by
-    /// key/value width, all optimisations on, Titan X (Pascal) device model.
+    /// key/value width, all optimisations on, Titan X (Pascal) device model,
+    /// sequential execution.
     pub fn with_defaults() -> Self {
         HybridRadixSorter {
             config: None,
             opts: Optimizations::all_on(),
             device: DeviceSpec::titan_x_pascal(),
             cost: CostModel::default(),
+            exec: Executor::Sequential,
+            arena: Mutex::new(ScratchArena::new()),
         }
     }
 
@@ -87,6 +106,12 @@ impl HybridRadixSorter {
         self
     }
 
+    /// Replaces the execution backend.
+    pub fn with_executor(mut self, exec: Executor) -> Self {
+        self.exec = exec;
+        self
+    }
+
     /// The configuration that will be used for keys/values of the given
     /// widths.
     pub fn effective_config(&self, key_bytes: u32, value_bytes: u32) -> SortConfig {
@@ -105,10 +130,27 @@ impl HybridRadixSorter {
         &self.device
     }
 
+    /// The execution backend in effect.
+    pub fn executor(&self) -> Executor {
+        self.exec
+    }
+
+    /// Snapshot of the scratch arena's retained memory.  Two consecutive
+    /// sorts of the same input size report identical stats — the
+    /// steady-state hot path allocates nothing.
+    pub fn arena_stats(&self) -> ArenaStats {
+        self.arena
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .stats()
+    }
+
     /// Sorts `keys` in ascending order (by the key type's radix total
     /// order) and returns the execution report.
     pub fn sort<K: SortKey>(&self, keys: &mut Vec<K>) -> SortReport {
-        let mut values: Vec<()> = vec![(); keys.len()];
+        // Key-only sorts ride the zero-size-value fast path: no value
+        // buffer is ever materialised.
+        let mut values: Vec<()> = Vec::new();
         self.sort_impl(keys, &mut values, None)
     }
 
@@ -133,7 +175,7 @@ impl HybridRadixSorter {
         keys: &mut Vec<K>,
         snapshot_limit: usize,
     ) -> (SortReport, SortTrace) {
-        let mut values: Vec<()> = vec![(); keys.len()];
+        let mut values: Vec<()> = Vec::new();
         let mut trace = SortTrace::new(snapshot_limit);
         let report = self.sort_impl(keys, &mut values, Some(&mut trace));
         (report, trace)
@@ -154,10 +196,11 @@ impl HybridRadixSorter {
     ) -> SortReport {
         let n = keys.len();
         let key_bytes = K::BYTES;
-        let value_bytes = if std::mem::size_of::<V>() == 0 {
-            0
-        } else {
+        let values_present = std::mem::size_of::<V>() != 0;
+        let value_bytes = if values_present {
             std::mem::size_of::<V>() as u32
+        } else {
+            0
         };
         let config = self.effective_config(key_bytes, value_bytes);
         debug_assert!(config.validate().is_ok());
@@ -182,9 +225,30 @@ impl HybridRadixSorter {
         let num_passes = config.num_passes(K::BITS);
         let final_buf = (num_passes % 2) as usize;
 
-        // Double buffers for keys and values.
-        let mut key_bufs: [Vec<K>; 2] = [std::mem::take(keys), vec![K::default(); n]];
-        let mut val_bufs: [Vec<V>; 2] = [std::mem::take(values), vec![V::default(); n]];
+        // Reuse the shared arena when it is free; concurrent sorts through
+        // a sorter shared between threads never block, they just skip the
+        // reuse for that call.
+        let mut fallback_arena: Option<ScratchArena> = None;
+        let mut guard = match self.arena.try_lock() {
+            Ok(g) => Some(g),
+            Err(TryLockError::Poisoned(poisoned)) => Some(poisoned.into_inner()),
+            Err(TryLockError::WouldBlock) => None,
+        };
+        let arena: &mut ScratchArena = match guard.as_deref_mut() {
+            Some(shared) => shared,
+            None => fallback_arena.get_or_insert_with(ScratchArena::new),
+        };
+
+        // Double buffers for keys and values; the spare halves come from
+        // (and return to) the arena, so repeated sorts reuse them.
+        let spare_keys = arena.take_buffer::<K>(ROLE_SPARE_KEYS, n);
+        let spare_vals = if values_present {
+            arena.take_buffer::<V>(ROLE_SPARE_VALS, n)
+        } else {
+            Vec::new()
+        };
+        let mut key_bufs: [Vec<K>; 2] = [std::mem::take(keys), spare_keys];
+        let mut val_bufs: [Vec<V>; 2] = [std::mem::take(values), spare_vals];
 
         if let Some(t) = trace.as_deref_mut() {
             if n <= t.snapshot_limit {
@@ -195,9 +259,15 @@ impl HybridRadixSorter {
             }
         }
 
-        let mut counting = vec![Bucket::root(n)];
+        // Bucket bookkeeping lists, reused across sorts via the arena.
+        let mut counting = std::mem::take(&mut arena.pass.counting_in);
+        let mut next_counting = std::mem::take(&mut arena.pass.counting_out);
+        let mut local = std::mem::take(&mut arena.pass.local);
+        counting.clear();
+        counting.push(Bucket::root(n));
         let mut next_id: u64 = 1;
         let mut cur = 0usize;
+        let mut swaps = 0usize;
 
         for pass in 0..num_passes {
             if counting.is_empty() {
@@ -209,7 +279,7 @@ impl HybridRadixSorter {
             let (src_keys, dst_keys) = split_two(&mut key_bufs, cur, dst);
             let (src_vals, dst_vals) = split_two(&mut val_bufs, cur, dst);
 
-            let output = run_counting_pass(
+            let pass_stats = run_counting_pass(
                 src_keys,
                 dst_keys,
                 src_vals,
@@ -219,20 +289,24 @@ impl HybridRadixSorter {
                 &config,
                 &self.opts,
                 &mut next_id,
+                &self.exec,
+                &mut arena.pass,
+                &mut local,
+                &mut next_counting,
                 trace.as_deref_mut(),
             );
 
-            report.total_sub_buckets += output.stats.sub_buckets_created;
+            report.total_sub_buckets += pass_stats.sub_buckets_created;
             report.max_live_buckets = report
                 .max_live_buckets
-                .max((output.next_counting.len() + output.local.len()) as u64);
-            report.passes.push(output.stats);
+                .max((next_counting.len() + local.len()) as u64);
+            report.passes.push(pass_stats);
 
             // Local sorts read from the freshly written destination buffer
             // and place their result in the buffer holding the final output.
-            if !output.local.is_empty() {
+            if !local.is_empty() {
                 if let Some(t) = trace.as_deref_mut() {
-                    for l in &output.local {
+                    for l in &local {
                         t.push(TraceEvent::LocalSort {
                             pass: l.sorted_passes,
                             offset: l.offset,
@@ -246,14 +320,16 @@ impl HybridRadixSorter {
                     &mut val_bufs,
                     dst,
                     final_buf,
-                    &output.local,
+                    &local,
                     &config,
                     &self.opts,
+                    &self.exec,
                     &mut report.local,
                 );
             }
 
-            counting = output.next_counting;
+            std::mem::swap(&mut counting, &mut next_counting);
+            swaps += 1;
             cur = dst;
 
             if let Some(t) = trace.as_deref_mut() {
@@ -273,6 +349,33 @@ impl HybridRadixSorter {
 
         *keys = std::mem::take(&mut key_bufs[final_buf]);
         *values = std::mem::take(&mut val_bufs[final_buf]);
+        if !values_present && values.len() != n {
+            // Zero-size fast path: restore the caller-visible length (free
+            // for ZSTs — no heap memory is involved).
+            values.resize(n, V::default());
+        }
+
+        // Park the spare halves and the bucket lists for the next sort.
+        arena.put_buffer(
+            ROLE_SPARE_KEYS,
+            std::mem::take(&mut key_bufs[1 - final_buf]),
+        );
+        if values_present {
+            arena.put_buffer(
+                ROLE_SPARE_VALS,
+                std::mem::take(&mut val_bufs[1 - final_buf]),
+            );
+        }
+        // Undo an odd number of swaps before parking, so a repeated sort
+        // runs each physical list through the same pass sequence and the
+        // warmed-up capacities are a fixed point (the arena-reuse
+        // regression tests assert exactly this).
+        if swaps % 2 == 1 {
+            std::mem::swap(&mut counting, &mut next_counting);
+        }
+        arena.pass.counting_in = counting;
+        arena.pass.counting_out = next_counting;
+        arena.pass.local = local;
 
         report.simulated = cost::evaluate(&self.device, &config, &self.opts, &self.cost, &report);
         report
@@ -282,6 +385,21 @@ impl HybridRadixSorter {
 impl Default for HybridRadixSorter {
     fn default() -> Self {
         HybridRadixSorter::with_defaults()
+    }
+}
+
+impl Clone for HybridRadixSorter {
+    /// Clones the configuration; the clone starts with a fresh (empty)
+    /// arena, so clones can be moved to other threads cheaply.
+    fn clone(&self) -> Self {
+        HybridRadixSorter {
+            config: self.config.clone(),
+            opts: self.opts,
+            device: self.device.clone(),
+            cost: self.cost.clone(),
+            exec: self.exec,
+            arena: Mutex::new(ScratchArena::new()),
+        }
     }
 }
 
@@ -299,6 +417,10 @@ fn split_two<T>(bufs: &mut [Vec<T>; 2], src: usize, dst: usize) -> (&[T], &mut [
 
 /// Comparison sort used by the small-input fallback.
 fn sort_small<K: SortKey, V: SortValue>(keys: &mut [K], values: &mut [V]) {
+    if std::mem::size_of::<V>() == 0 {
+        keys.sort_unstable_by_key(|k| k.to_radix());
+        return;
+    }
     let mut idx: Vec<usize> = (0..keys.len()).collect();
     idx.sort_unstable_by_key(|&i| keys[i].to_radix());
     let sorted_keys: Vec<K> = idx.iter().map(|&i| keys[i]).collect();
@@ -330,6 +452,74 @@ mod tests {
         assert!(report.counting_passes() >= 1);
         assert!(report.local.invocations > 0);
         assert!(report.simulated.total.secs() > 0.0);
+    }
+
+    #[test]
+    fn threaded_executor_sorts_identically() {
+        let keys = uniform_keys::<u64>(80_000, 23);
+        let expected = KeyCodec::std_sorted(&keys);
+        for workers in [1usize, 2, 7] {
+            let mut k = keys.clone();
+            let sorter = HybridRadixSorter::new(scaled_config_64())
+                .with_executor(Executor::with_workers(workers));
+            let report = sorter.sort(&mut k);
+            assert_eq!(k, expected, "workers = {workers}");
+            assert!(report.counting_passes() >= 1);
+        }
+    }
+
+    #[test]
+    fn arena_is_reused_across_sorts() {
+        // The regression check behind the "zero steady-state allocation"
+        // claim: after the warm-up sort, repeated sorts of the same input
+        // must not grow any retained arena capacity.
+        let keys = uniform_keys::<u64>(60_000, 21);
+        for exec in [Executor::Sequential, Executor::with_workers(4)] {
+            let sorter = HybridRadixSorter::new(scaled_config_64()).with_executor(exec);
+            let mut k = keys.clone();
+            sorter.sort(&mut k);
+            let warm = sorter.arena_stats();
+            assert!(warm.total_bytes() > 0);
+            assert!(warm.buffers >= 1);
+            for _ in 0..2 {
+                let mut k = keys.clone();
+                sorter.sort(&mut k);
+                assert_eq!(
+                    sorter.arena_stats(),
+                    warm,
+                    "arena grew on a repeated sort ({})",
+                    exec.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn arena_is_reused_for_pairs_too() {
+        let keys = uniform_keys::<u32>(30_000, 2);
+        let sorter =
+            HybridRadixSorter::new(SortConfig::pairs_32_32().scaled_for(30_000, 500_000_000));
+        let mut k = keys.clone();
+        let mut v: Vec<u32> = (0..30_000).collect();
+        sorter.sort_pairs(&mut k, &mut v);
+        let warm = sorter.arena_stats();
+        // Key and value spare buffers are both parked.
+        assert!(warm.buffers >= 2);
+        let mut k = keys.clone();
+        let mut v: Vec<u32> = (0..30_000).collect();
+        sorter.sort_pairs(&mut k, &mut v);
+        assert_eq!(sorter.arena_stats(), warm);
+    }
+
+    #[test]
+    fn clone_starts_with_a_fresh_arena() {
+        let sorter = HybridRadixSorter::new(scaled_config_64());
+        let mut keys = uniform_keys::<u64>(50_000, 3);
+        sorter.sort(&mut keys);
+        assert!(sorter.arena_stats().total_bytes() > 0);
+        let clone = sorter.clone();
+        assert_eq!(clone.arena_stats().total_bytes(), 0);
+        assert_eq!(clone.executor(), sorter.executor());
     }
 
     #[test]
@@ -377,6 +567,18 @@ mod tests {
         assert!(verify_indexed_pair_sort(&keys, &sorted_keys, &values));
         assert_eq!(report.value_bytes, 4);
         assert_eq!(report.input_bytes(), 30_000 * 8);
+    }
+
+    #[test]
+    fn sort_pairs_with_threads_preserves_association() {
+        let keys = uniform_keys::<u64>(40_000, 19);
+        let mut sorted_keys = keys.clone();
+        let mut values: Vec<u32> = (0..40_000).collect();
+        let sorter =
+            HybridRadixSorter::new(SortConfig::pairs_64_64().scaled_for(40_000, 225_000_000))
+                .with_executor(Executor::with_workers(3));
+        sorter.sort_pairs(&mut sorted_keys, &mut values);
+        assert!(verify_indexed_pair_sort(&keys, &sorted_keys, &values));
     }
 
     #[test]

@@ -1,0 +1,285 @@
+//! Wall-clock throughput of the execution backends.
+//!
+//! Everything else in this crate reports *simulated* GPU times; this module
+//! starts the repo's **real** performance trajectory.  It measures keys/sec
+//! of the functional hybrid radix sort under the [`Executor::Sequential`]
+//! baseline and the real-thread [`Executor::Threaded`] backend across
+//! worker counts, workloads (uniform / Zipfian / pre-sorted) and shapes
+//! (key-only and key-value), and serialises the sweep as
+//! `BENCH_wallclock.json` so CI can archive the trajectory.
+//!
+//! Every timed run is preceded by a warm-up sort of the same input, so the
+//! scratch arena is hot and the numbers measure the algorithm, not the
+//! allocator.
+
+use hrs_core::{Executor, HybridRadixSorter};
+use std::time::Instant;
+use workloads::Distribution;
+
+/// One measured configuration of the sweep.
+#[derive(Debug, Clone)]
+pub struct WallclockPoint {
+    /// Workload name (`"uniform"`, `"zipf"`, `"sorted"`).
+    pub workload: String,
+    /// Shape name (`"u32 keys"`, `"u32+u32 pairs"`).
+    pub shape: String,
+    /// Input size in keys.
+    pub n: usize,
+    /// Worker count (1 runs the `Sequential` baseline).
+    pub workers: usize,
+    /// Backend label (`"seq"`, `"threads(4)"`).
+    pub backend: String,
+    /// Best wall-clock seconds over the measured repetitions.
+    pub secs: f64,
+    /// Sorted keys per second.
+    pub keys_per_sec: f64,
+    /// Speedup over the sequential baseline of the same configuration.
+    pub speedup_vs_seq: f64,
+}
+
+/// Sweep parameters.
+#[derive(Debug, Clone)]
+pub struct WallclockConfig {
+    /// Input sizes in keys.
+    pub sizes: Vec<usize>,
+    /// Worker counts to measure (1 = sequential baseline; always measured
+    /// even when absent from this list, since it anchors the speedups).
+    pub worker_counts: Vec<usize>,
+    /// Timed repetitions per configuration (the best is reported).
+    pub reps: usize,
+    /// Whether to also measure the key-value shape.
+    pub pairs: bool,
+}
+
+impl WallclockConfig {
+    /// The full sweep of the perf trajectory: 2^20–2^26 keys, 1/2/4/8
+    /// workers, both shapes.
+    pub fn full() -> Self {
+        WallclockConfig {
+            sizes: vec![1 << 20, 1 << 22, 1 << 24, 1 << 26],
+            worker_counts: vec![1, 2, 4, 8],
+            reps: 3,
+            pairs: true,
+        }
+    }
+
+    /// A CI-sized smoke run (one small size, few workers, one rep).
+    pub fn smoke() -> Self {
+        WallclockConfig {
+            sizes: vec![1 << 20],
+            worker_counts: vec![1, 2, 4],
+            reps: 1,
+            pairs: true,
+        }
+    }
+}
+
+/// The workloads of the sweep.
+pub fn wallclock_workloads(n: usize) -> Vec<(String, Distribution)> {
+    vec![
+        ("uniform".to_string(), Distribution::Uniform),
+        (
+            "zipf".to_string(),
+            Distribution::paper_zipf((n as u64 / 4).max(2)),
+        ),
+        ("sorted".to_string(), Distribution::Sorted),
+    ]
+}
+
+fn executor_for(workers: usize) -> Executor {
+    if workers <= 1 {
+        Executor::Sequential
+    } else {
+        Executor::with_workers(workers)
+    }
+}
+
+/// Measures one configuration: best-of-`reps` wall-clock of sorting `keys`
+/// (cloned per run) with optional index values, after one warm-up run.
+fn measure<F: FnMut() -> f64>(reps: usize, mut run: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        best = best.min(run());
+    }
+    best
+}
+
+fn run_shape(
+    points: &mut Vec<WallclockPoint>,
+    workload: &str,
+    shape: &str,
+    keys: &[u32],
+    pairs: bool,
+    cfg: &WallclockConfig,
+) {
+    let n = keys.len();
+    // The sequential baseline anchors every speedup, so it is always
+    // measured and always measured first, whatever order (or subset) the
+    // caller asked for.
+    let mut workers_list: Vec<usize> = vec![1];
+    for &w in &cfg.worker_counts {
+        if w != 1 && !workers_list.contains(&w) {
+            workers_list.push(w);
+        }
+    }
+    let mut seq_secs = f64::NAN;
+    for &workers in &workers_list {
+        let exec = executor_for(workers);
+        let sorter = HybridRadixSorter::with_defaults().with_executor(exec);
+        // Warm-up: populates the arena so the timed runs are steady-state.
+        let run = || {
+            let mut k = keys.to_vec();
+            if pairs {
+                let mut v: Vec<u32> = (0..n as u32).collect();
+                let start = Instant::now();
+                sorter.sort_pairs(&mut k, &mut v);
+                start.elapsed().as_secs_f64()
+            } else {
+                let start = Instant::now();
+                sorter.sort(&mut k);
+                start.elapsed().as_secs_f64()
+            }
+        };
+        run();
+        let secs = measure(cfg.reps, run);
+        if workers == 1 {
+            seq_secs = secs;
+        }
+        points.push(WallclockPoint {
+            workload: workload.to_string(),
+            shape: shape.to_string(),
+            n,
+            workers,
+            backend: exec.label(),
+            secs,
+            keys_per_sec: n as f64 / secs.max(1e-12),
+            speedup_vs_seq: seq_secs / secs.max(1e-12),
+        });
+    }
+}
+
+/// Runs the whole sweep and returns one point per configuration.
+pub fn run_wallclock_sweep(cfg: &WallclockConfig) -> Vec<WallclockPoint> {
+    let mut points = Vec::new();
+    for &n in &cfg.sizes {
+        for (workload, dist) in wallclock_workloads(n) {
+            let keys: Vec<u32> = dist.generate(n, 0xBE);
+            run_shape(&mut points, &workload, "u32 keys", &keys, false, cfg);
+            if cfg.pairs {
+                run_shape(&mut points, &workload, "u32+u32 pairs", &keys, true, cfg);
+            }
+        }
+    }
+    points
+}
+
+/// Serialises the sweep as the `BENCH_wallclock.json` document (hand-rolled
+/// JSON: the workspace's vendored `serde` is a no-op shim).
+pub fn wallclock_to_json(points: &[WallclockPoint]) -> String {
+    let mut out = String::from(
+        "{\n  \"bench\": \"wallclock\",\n  \"unit\": \"keys_per_sec\",\n  \"points\": [\n",
+    );
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"shape\": \"{}\", \"n\": {}, \"workers\": {}, \
+             \"backend\": \"{}\", \"secs\": {:.6}, \"keys_per_sec\": {:.1}, \"speedup_vs_seq\": {:.3}}}{}\n",
+            p.workload,
+            p.shape,
+            p.n,
+            p.workers,
+            p.backend,
+            p.secs,
+            p.keys_per_sec,
+            p.speedup_vs_seq,
+            if i + 1 == points.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Renders the sweep as an aligned text table (one row per point).
+pub fn wallclock_table(points: &[WallclockPoint]) -> String {
+    let mut out = String::from(
+        "workload | shape          |        n | workers | backend     |    secs |   Mkeys/s | speedup\n",
+    );
+    for p in points {
+        out.push_str(&format!(
+            "{:<8} | {:<14} | {:>8} | {:>7} | {:<11} | {:>7.3} | {:>9.2} | {:>6.2}x\n",
+            p.workload,
+            p.shape,
+            p.n,
+            p.workers,
+            p.backend,
+            p.secs,
+            p.keys_per_sec / 1e6,
+            p.speedup_vs_seq,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> WallclockConfig {
+        WallclockConfig {
+            sizes: vec![20_000],
+            worker_counts: vec![1, 2],
+            reps: 1,
+            pairs: true,
+        }
+    }
+
+    #[test]
+    fn sweep_covers_every_configuration() {
+        let points = run_wallclock_sweep(&tiny_config());
+        // 1 size × 3 workloads × 2 shapes × 2 worker counts.
+        assert_eq!(points.len(), 12);
+        for p in &points {
+            assert!(p.secs > 0.0, "{p:?}");
+            assert!(p.keys_per_sec > 0.0, "{p:?}");
+            assert!(p.speedup_vs_seq > 0.0, "{p:?}");
+        }
+        // The sequential baseline has speedup exactly 1.
+        assert!(points
+            .iter()
+            .filter(|p| p.workers == 1)
+            .all(|p| (p.speedup_vs_seq - 1.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn descending_worker_order_still_anchors_speedups() {
+        // Regression: the baseline used to be measured only when the loop
+        // *reached* workers == 1, leaving earlier points with NaN speedups
+        // (and invalid JSON).
+        let points = run_wallclock_sweep(&WallclockConfig {
+            sizes: vec![8_000],
+            worker_counts: vec![2, 1],
+            reps: 1,
+            pairs: false,
+        });
+        assert_eq!(points[0].workers, 1, "baseline must be measured first");
+        assert!(points.iter().all(|p| p.speedup_vs_seq.is_finite()));
+        assert!(!wallclock_to_json(&points).contains("NaN"));
+    }
+
+    #[test]
+    fn json_document_is_well_formed_enough() {
+        let points = run_wallclock_sweep(&WallclockConfig {
+            sizes: vec![10_000],
+            worker_counts: vec![1],
+            reps: 1,
+            pairs: false,
+        });
+        let json = wallclock_to_json(&points);
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert_eq!(json.matches("\"workload\"").count(), points.len());
+        assert!(json.contains("\"bench\": \"wallclock\""));
+        // No trailing comma before the closing bracket.
+        assert!(!json.contains(",\n  ]"));
+        let table = wallclock_table(&points);
+        assert!(table.contains("Mkeys/s"));
+    }
+}

@@ -22,6 +22,11 @@ pub enum GpuGeneration {
     Maxwell,
     /// Pascal-class devices (Titan X Pascal, Tesla P100).
     Pascal,
+    /// Not a GPU at all: a host CPU socket driven by the real-thread
+    /// backend.  Modelled with full atomic support (CPU caches are
+    /// coherent), it exists so a CPU socket can join a multi-device pool
+    /// as a first-class device.
+    HostCpu,
 }
 
 impl GpuGeneration {
@@ -151,6 +156,38 @@ impl DeviceSpec {
             pcie_dtoh: Bandwidth::from_gb_per_s(12.0),
             memory_transaction_bytes: 32,
             kernel_launch_overhead_s: 5e-6,
+        }
+    }
+
+    /// A host CPU socket with `workers` hardware threads, described in the
+    /// same vocabulary as a GPU so it can join a device pool: every worker
+    /// is one "SM" with one "core", and the achievable bandwidth reflects
+    /// what a memory-bound radix sort sustains per core on a commodity
+    /// dual-channel socket (≈ 1.5 GB/s each, capped by the socket's ~24
+    /// GB/s memory system).  Capacity-proportional shard sizing therefore
+    /// hands a CPU socket a realistically small slice next to a GPU.
+    pub fn cpu_socket(workers: usize) -> Self {
+        let workers = workers.max(1) as u32;
+        let bandwidth = (1.5 * workers as f64).min(24.0);
+        DeviceSpec {
+            name: format!("CPU socket ({workers} workers)"),
+            generation: GpuGeneration::HostCpu,
+            num_sms: workers,
+            cores_per_sm: 1,
+            shared_mem_per_sm: 1024 * 1024, // L2 slice standing in for SMEM
+            max_shared_mem_per_block: 1024 * 1024,
+            registers_per_sm: 65_536,
+            max_threads_per_sm: 2,
+            max_blocks_per_sm: 2,
+            warp_size: 1,
+            device_memory_bytes: 64 * 1024 * 1024 * 1024,
+            theoretical_bandwidth: Bandwidth::from_gb_per_s(38.4),
+            effective_bandwidth: Bandwidth::from_gb_per_s(bandwidth),
+            base_clock_hz: 3_000e6,
+            pcie_htod: Bandwidth::from_gb_per_s(25.0),
+            pcie_dtoh: Bandwidth::from_gb_per_s(25.0),
+            memory_transaction_bytes: 64, // one cache line
+            kernel_launch_overhead_s: 2e-6,
         }
     }
 

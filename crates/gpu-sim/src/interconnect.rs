@@ -25,6 +25,9 @@ pub enum LinkKind {
     NvLink2,
     /// NVLink 3.0 (≈ 90 GB/s per direction usable).
     NvLink3,
+    /// No interconnect at all: the "device" is a CPU socket working on
+    /// host memory, so a transfer is at most a memcpy.
+    HostMemory,
     /// Anything else (custom bandwidths).
     Custom,
 }
@@ -37,6 +40,7 @@ impl LinkKind {
             LinkKind::PcieGen4x16 => "PCIe4x16",
             LinkKind::NvLink2 => "NVLink2",
             LinkKind::NvLink3 => "NVLink3",
+            LinkKind::HostMemory => "host-mem",
             LinkKind::Custom => "custom",
         }
     }
@@ -93,6 +97,18 @@ impl LinkSpec {
             htod: Bandwidth::from_gb_per_s(90.0),
             dtoh: Bandwidth::from_gb_per_s(90.0),
             per_transfer_latency: SimTime::from_micros(2.0),
+        }
+    }
+
+    /// The degenerate link of a CPU-socket "device": its shard already
+    /// lives in host memory, so the only cost is a streaming memcpy (one
+    /// memory read + write per byte on a commodity dual-channel socket).
+    pub fn host_memory() -> Self {
+        LinkSpec {
+            kind: LinkKind::HostMemory,
+            htod: Bandwidth::from_gb_per_s(25.0),
+            dtoh: Bandwidth::from_gb_per_s(25.0),
+            per_transfer_latency: SimTime::from_micros(0.5),
         }
     }
 

@@ -7,15 +7,49 @@
 //! al., *Sorting with GPUs: A Survey*).
 
 use gpu_sim::{DeviceSpec, LinkSpec};
+use hrs_core::Executor;
 use serde::{Deserialize, Serialize};
 
-/// One simulated GPU and the link that attaches it to the host.
+/// How a pool device actually executes its shard sort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeviceBackend {
+    /// A simulated GPU: the shard is sorted functionally on the host and
+    /// its kernel/transfer times come from the analytical model.
+    SimulatedGpu,
+    /// A real CPU socket: the shard is sorted by the threaded
+    /// [`Executor`] backend with this many workers, and the *measured*
+    /// wall-clock time enters the schedule instead of a simulated time.
+    CpuSocket {
+        /// Worker threads driving the shard's hybrid radix sort.
+        workers: usize,
+    },
+}
+
+impl DeviceBackend {
+    /// The executor a shard sort on this backend should use.
+    pub fn executor(&self) -> Executor {
+        match *self {
+            DeviceBackend::SimulatedGpu => Executor::Sequential,
+            DeviceBackend::CpuSocket { workers } => Executor::with_workers(workers),
+        }
+    }
+
+    /// Whether this backend's sort time is measured rather than simulated.
+    pub fn is_measured(&self) -> bool {
+        matches!(self, DeviceBackend::CpuSocket { .. })
+    }
+}
+
+/// One device of the pool (a simulated GPU or a real CPU socket) and the
+/// link that attaches it to the host.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimDevice {
     /// Hardware model of the device.
     pub spec: DeviceSpec,
     /// The device's own host link.
     pub link: LinkSpec,
+    /// How the device executes its shard.
+    pub backend: DeviceBackend,
 }
 
 impl SimDevice {
@@ -24,6 +58,7 @@ impl SimDevice {
         SimDevice {
             spec,
             link: LinkSpec::pcie_gen3_x16(),
+            backend: DeviceBackend::SimulatedGpu,
         }
     }
 
@@ -32,6 +67,19 @@ impl SimDevice {
         SimDevice {
             spec,
             link: LinkSpec::nvlink2(),
+            backend: DeviceBackend::SimulatedGpu,
+        }
+    }
+
+    /// A CPU socket with `workers` hardware threads, sorted for real by
+    /// the threaded executor.  Its "link" is a host-memory memcpy.
+    pub fn cpu_socket(workers: usize) -> Self {
+        SimDevice {
+            spec: DeviceSpec::cpu_socket(workers),
+            link: LinkSpec::host_memory(),
+            backend: DeviceBackend::CpuSocket {
+                workers: workers.max(1),
+            },
         }
     }
 
@@ -82,6 +130,20 @@ impl DevicePool {
             SimDevice::on_pcie3(DeviceSpec::titan_x_pascal()),
             SimDevice::on_pcie3(DeviceSpec::gtx_980()),
         ])
+    }
+
+    /// Adds a device to the pool (builder style).
+    pub fn with_device(mut self, device: SimDevice) -> Self {
+        self.devices.push(device);
+        self
+    }
+
+    /// Registers a CPU socket with `workers` hardware threads as an
+    /// additional pool device.  Its shard is sorted *for real* by the
+    /// threaded execution backend — this is what turns a GPU pool into a
+    /// true hybrid CPU+GPU fleet.
+    pub fn add_cpu_socket(self, workers: usize) -> Self {
+        self.with_device(SimDevice::cpu_socket(workers))
     }
 
     /// Number of devices.
@@ -151,5 +213,21 @@ mod tests {
     #[should_panic(expected = "must not be empty")]
     fn empty_pool_panics() {
         DevicePool::new(Vec::new());
+    }
+
+    #[test]
+    fn cpu_socket_joins_the_pool_with_a_small_weight() {
+        let pool = DevicePool::titan_cluster(2).add_cpu_socket(8);
+        assert_eq!(pool.len(), 3);
+        let cpu = &pool.devices()[2];
+        assert_eq!(cpu.backend, DeviceBackend::CpuSocket { workers: 8 });
+        assert!(cpu.backend.is_measured());
+        assert_eq!(cpu.backend.executor().workers(), 8);
+        // The socket's capacity weight must be far below a Titan X's.
+        let w = pool.capacity_weights();
+        assert!(w[2] < w[0] / 10.0, "cpu weight {} vs gpu {}", w[2], w[0]);
+        // GPU backends stay simulated and sequential.
+        assert_eq!(pool.devices()[0].backend, DeviceBackend::SimulatedGpu);
+        assert!(!pool.devices()[0].backend.is_measured());
     }
 }

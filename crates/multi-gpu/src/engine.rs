@@ -23,14 +23,13 @@
 //!    any splitter policy.  Measured for real.
 
 use crate::device_pool::DevicePool;
-use crate::partition::{compute_splitters, PartitionConfig, SplitterSet};
+use crate::partition::{compute_splitters, scatter_into_shards, PartitionConfig, SplitterSet};
 use crate::report::{ShardReport, ShardedReport};
 use gpu_sim::{SimTime, Timeline, TransferDirection};
 use hetero::chunking::split_into_chunks;
 use hetero::multiway_merge::parallel_merge_sorted_runs_by;
-use hrs_core::{HybridRadixSorter, SortReport};
-use std::thread;
-use std::time::Instant;
+use hrs_core::{Executor, HybridRadixSorter, SharedMut, SortReport};
+use std::time::{Duration, Instant};
 use workloads::keys::SortKey;
 use workloads::pairs::SortValue;
 
@@ -39,7 +38,15 @@ fn pair_key<K: SortKey, V>(p: &(K, V)) -> u64 {
     p.0.to_radix()
 }
 
-/// A sorter that shards one input across several simulated GPUs.
+/// One shard's completed device phase: the functional sort report plus the
+/// measured wall-clock the sort took on the host.
+struct ShardRun {
+    report: SortReport,
+    measured: Duration,
+}
+
+/// A sorter that shards one input across several devices (simulated GPUs
+/// and/or real CPU sockets).
 #[derive(Debug, Clone)]
 pub struct ShardedSorter {
     pool: DevicePool,
@@ -47,11 +54,14 @@ pub struct ShardedSorter {
     merge_threads: usize,
     partition: PartitionConfig,
     chunks_per_shard: usize,
+    host_exec: Executor,
 }
 
 impl ShardedSorter {
     /// A sharded sorter over an explicit device pool, using the paper's
-    /// default hybrid-radix-sort configuration on every device.
+    /// default hybrid-radix-sort configuration on every device.  Host-side
+    /// phases (partition scatter, shard fan-out) run on the machine's
+    /// available parallelism.
     pub fn new(pool: DevicePool) -> Self {
         ShardedSorter {
             pool,
@@ -59,6 +69,7 @@ impl ShardedSorter {
             merge_threads: 6,
             partition: PartitionConfig::default(),
             chunks_per_shard: 4,
+            host_exec: Executor::threaded(),
         }
     }
 
@@ -99,6 +110,14 @@ impl ShardedSorter {
         self
     }
 
+    /// Replaces the executor running the host-side phases (the partition
+    /// scatter and the shard fan-out).  Per-shard *device* execution is
+    /// chosen by each device's [`crate::DeviceBackend`] instead.
+    pub fn with_host_executor(mut self, exec: Executor) -> Self {
+        self.host_exec = exec;
+        self
+    }
+
     /// The device pool in use.
     pub fn pool(&self) -> &DevicePool {
         &self.pool
@@ -106,7 +125,9 @@ impl ShardedSorter {
 
     /// Sorts `keys` across the pool and returns the aggregated report.
     pub fn sort<K: SortKey>(&self, keys: &mut Vec<K>) -> ShardedReport {
-        let mut values: Vec<()> = vec![(); keys.len()];
+        // Zero-size values ride the engine's fast path: no value buffers
+        // are materialised anywhere.
+        let mut values: Vec<()> = Vec::new();
         self.sort_impl(keys, &mut values)
     }
 
@@ -133,15 +154,20 @@ impl ShardedSorter {
         let value_bytes = std::mem::size_of::<V>() as u32;
         let elem_bytes = K::BYTES as u64 + value_bytes as u64;
 
-        // 1. Partition (host, measured).
+        // 1. Partition (host, measured): splitter selection plus the
+        // executor-parallel scatter into shard buffers.
         let partition_start = Instant::now();
         let splitters = compute_splitters(keys, &self.pool.capacity_weights(), &self.partition);
-        let (mut shard_keys, mut shard_vals) = scatter_into_shards(keys, values, &splitters);
+        let (mut shard_keys, mut shard_vals) =
+            scatter_into_shards(keys, values, &splitters, &self.host_exec);
         let measured_partition = partition_start.elapsed();
 
-        // 2. Device phase: real per-shard sorts, simulated schedule.
-        let reports = self.sort_shards(&mut shard_keys, &mut shard_vals);
-        let (timeline, shards) = self.build_schedule(&splitters, &shard_keys, &reports, elem_bytes);
+        // 2. Device phase: real per-shard sorts fanned out over the host
+        // executor's workers, simulated schedule (measured for CPU-socket
+        // devices).
+        let shard_runs = self.sort_shards(&mut shard_keys, &mut shard_vals);
+        let (timeline, shards) =
+            self.build_schedule(&splitters, &shard_keys, &shard_runs, elem_bytes);
         let critical_path = timeline.makespan();
 
         // 3. Recombination (host, measured): generalised p-way merge over
@@ -160,8 +186,8 @@ impl ShardedSorter {
 
         // Aggregate the per-shard reports through the core hook.
         let mut combined = SortReport::new(0, K::BYTES, value_bytes);
-        for r in &reports {
-            combined.absorb(r);
+        for r in &shard_runs {
+            combined.absorb(&r.report);
         }
 
         let end_to_end = SimTime::from_secs(measured_partition.as_secs_f64())
@@ -183,32 +209,73 @@ impl ShardedSorter {
         }
     }
 
-    /// Runs the functional hybrid radix sort of every shard, one host
-    /// thread per simulated device.
+    /// Runs the functional hybrid radix sort of every shard.
+    ///
+    /// Simulated-GPU shards sort with the sequential backend (their time
+    /// comes from the analytical model) and are fanned out over the host
+    /// executor's workers.  CPU-socket shards sort with the threaded
+    /// backend sized to the socket's workers — and because their measured
+    /// wall-clock *is* the schedule input, each one runs in isolation
+    /// after the simulated fan-out, so host contention from other shards
+    /// cannot inflate the one number the feature claims to measure for
+    /// real.
     fn sort_shards<K: SortKey, V: SortValue>(
         &self,
         shard_keys: &mut [Vec<K>],
         shard_vals: &mut [Vec<V>],
-    ) -> Vec<SortReport> {
-        let mut reports = Vec::with_capacity(self.pool.len());
-        thread::scope(|scope| {
-            let handles: Vec<_> = shard_keys
-                .iter_mut()
-                .zip(shard_vals.iter_mut())
-                .enumerate()
-                .map(|(i, (ks, vs))| {
-                    let sorter = self
-                        .template
-                        .clone()
-                        .with_device(self.pool.devices()[i].spec.clone());
-                    scope.spawn(move || sorter.sort_pairs(ks, vs))
-                })
-                .collect();
-            for h in handles {
-                reports.push(h.join().expect("shard sort panicked"));
+    ) -> Vec<ShardRun> {
+        let p = self.pool.len();
+        let sorter_for = |i: usize| {
+            let device = &self.pool.devices()[i];
+            self.template
+                .clone()
+                .with_device(device.spec.clone())
+                .with_executor(device.backend.executor())
+        };
+        let simulated: Vec<usize> = (0..p)
+            .filter(|&i| !self.pool.devices()[i].backend.is_measured())
+            .collect();
+
+        let mut runs: Vec<Option<ShardRun>> = (0..p).map(|_| None).collect();
+        {
+            let keys_view = SharedMut::new(shard_keys);
+            let vals_view = SharedMut::new(shard_vals);
+            let runs_view = SharedMut::new(&mut runs);
+            self.host_exec.for_each_task(simulated.len(), |t, _worker| {
+                let i = simulated[t];
+                // SAFETY: shard indices are distinct across tasks, so task
+                // `t` exclusively owns shard `i`'s buffers and result slot.
+                let (ks, vs, slot) = unsafe {
+                    (
+                        &mut keys_view.slice_mut(i, 1)[0],
+                        &mut vals_view.slice_mut(i, 1)[0],
+                        &mut runs_view.slice_mut(i, 1)[0],
+                    )
+                };
+                let start = Instant::now();
+                let report = sorter_for(i).sort_pairs(ks, vs);
+                *slot = Some(ShardRun {
+                    report,
+                    measured: start.elapsed(),
+                });
+            });
+        }
+        // Measured (CPU-socket) shards, one at a time on an otherwise idle
+        // host.
+        for i in 0..p {
+            if runs[i].is_some() {
+                continue;
             }
-        });
-        reports
+            let start = Instant::now();
+            let report = sorter_for(i).sort_pairs(&mut shard_keys[i], &mut shard_vals[i]);
+            runs[i] = Some(ShardRun {
+                report,
+                measured: start.elapsed(),
+            });
+        }
+        runs.into_iter()
+            .map(|r| r.expect("shard sort did not run"))
+            .collect()
     }
 
     /// Schedules every shard's chunked upload → sort → download on its
@@ -218,7 +285,7 @@ impl ShardedSorter {
         &self,
         splitters: &SplitterSet,
         shard_keys: &[Vec<K>],
-        reports: &[SortReport],
+        runs: &[ShardRun],
         elem_bytes: u64,
     ) -> (Timeline, Vec<ShardReport>) {
         let mut tl = Timeline::new();
@@ -230,7 +297,14 @@ impl ShardedSorter {
             let dtoh = tl.add_resource(format!("dev{i} DtH"));
 
             let shard_n = shard_keys[i].len();
-            let sort_total = reports[i].simulated.total;
+            // Simulated GPUs contribute their modelled kernel time; a CPU
+            // socket contributes the wall-clock its threaded sort really
+            // took.
+            let sort_total = if device.backend.is_measured() {
+                SimTime::from_secs(runs[i].measured.as_secs_f64())
+            } else {
+                runs[i].report.simulated.total
+            };
             let mut upload = SimTime::ZERO;
             let mut gpu_sort = SimTime::ZERO;
             let mut download = SimTime::ZERO;
@@ -273,11 +347,12 @@ impl ShardedSorter {
                 link: device.link.kind.label().to_string(),
                 n: shard_n as u64,
                 range: ranges[i],
-                report: reports[i].clone(),
+                report: runs[i].report.clone(),
                 upload,
                 gpu_sort,
                 download,
                 finish,
+                measured_sort: device.backend.is_measured().then_some(runs[i].measured),
             });
         }
         (tl, shards)
@@ -288,30 +363,6 @@ impl Default for ShardedSorter {
     fn default() -> Self {
         ShardedSorter::with_defaults()
     }
-}
-
-/// Scatters the input into one key (and value) buffer per shard, consuming
-/// the input buffers.
-fn scatter_into_shards<K: SortKey, V: SortValue>(
-    keys: &mut Vec<K>,
-    values: &mut Vec<V>,
-    splitters: &SplitterSet,
-) -> (Vec<Vec<K>>, Vec<Vec<V>>) {
-    let p = splitters.num_shards();
-    // Size each shard buffer exactly with a counting pass so the scatter
-    // never reallocates (mirroring the on-GPU histogram + scatter shape).
-    let mut counts = vec![0usize; p];
-    for k in keys.iter() {
-        counts[splitters.shard_of(k.to_radix())] += 1;
-    }
-    let mut shard_keys: Vec<Vec<K>> = counts.iter().map(|&c| Vec::with_capacity(c)).collect();
-    let mut shard_vals: Vec<Vec<V>> = counts.iter().map(|&c| Vec::with_capacity(c)).collect();
-    for (k, v) in keys.drain(..).zip(values.drain(..)) {
-        let s = splitters.shard_of(k.to_radix());
-        shard_keys[s].push(k);
-        shard_vals[s].push(v);
-    }
-    (shard_keys, shard_vals)
 }
 
 #[cfg(test)]
@@ -418,6 +469,39 @@ mod tests {
         let mut tiny = vec![9u64, 1, 5];
         sorter.sort(&mut tiny);
         assert_eq!(tiny, vec![1, 5, 9]);
+    }
+
+    #[test]
+    fn cpu_socket_device_sorts_its_shard_for_real() {
+        let pool = DevicePool::titan_cluster(2).add_cpu_socket(4);
+        let gpu = HybridRadixSorter::new(SortConfig::keys_64().scaled_for(40_000, 250_000_000));
+        let sorter = ShardedSorter::new(pool).with_sorter(gpu);
+        let keys = uniform_keys::<u64>(90_000, 13);
+        let expected = KeyCodec::std_sorted(&keys);
+        let mut k = keys;
+        let report = sorter.sort(&mut k);
+        assert_eq!(k, expected);
+        assert_eq!(report.shards.len(), 3);
+        // The CPU shard carries a measured time, the GPU shards do not.
+        assert!(report.shards[2].measured_sort.is_some());
+        assert!(report.shards[0].measured_sort.is_none());
+        assert!(report.shards[1].measured_sort.is_none());
+        assert_eq!(report.shards[2].link, "host-mem");
+        // Capacity weighting keeps the CPU shard the smallest.
+        assert!(report.shards[2].n < report.shards[0].n);
+        assert!(report.shards.iter().map(|s| s.n).sum::<u64>() == 90_000);
+    }
+
+    #[test]
+    fn host_executor_choice_does_not_change_the_output() {
+        let keys = uniform_keys::<u64>(60_000, 17);
+        let expected = KeyCodec::std_sorted(&keys);
+        for exec in [Executor::Sequential, Executor::with_workers(3)] {
+            let mut k = keys.clone();
+            let report = test_sorter(4).with_host_executor(exec).sort(&mut k);
+            assert_eq!(k, expected, "exec {}", exec.label());
+            assert_eq!(report.n, 60_000);
+        }
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub mod engine;
 pub mod partition;
 pub mod report;
 
-pub use device_pool::{DevicePool, SimDevice};
+pub use device_pool::{DeviceBackend, DevicePool, SimDevice};
 pub use engine::ShardedSorter;
-pub use partition::{compute_splitters, PartitionConfig, SplitterSet};
+pub use partition::{compute_splitters, scatter_into_shards, PartitionConfig, SplitterSet};
 pub use report::{ShardReport, ShardedReport};

@@ -16,7 +16,9 @@
 
 use gpu_sim::HistogramStrategy;
 use hrs_core::histogram::block_histogram;
+use hrs_core::{Executor, SharedMut};
 use serde::{Deserialize, Serialize};
+use workloads::pairs::SortValue;
 use workloads::SortKey;
 
 /// Tuning knobs of the splitter search.
@@ -191,6 +193,98 @@ pub fn compute_splitters<K: SortKey>(
     }
 }
 
+/// Granularity of the parallel partition scatter: chunks of this many keys
+/// are counted and scattered as independent executor tasks.
+const SCATTER_CHUNK: usize = 64 * 1024;
+
+/// Scatters the input into one key (and value) buffer per shard, consuming
+/// the input buffers.  The scatter mirrors the counting-sort shape — a
+/// parallel per-chunk count, a prefix sum over chunks, then a parallel
+/// scatter into exactly-sized shard buffers — so the measured partition
+/// phase scales with the executor's workers.
+pub fn scatter_into_shards<K: SortKey, V: SortValue>(
+    keys: &mut Vec<K>,
+    values: &mut Vec<V>,
+    splitters: &SplitterSet,
+    exec: &Executor,
+) -> (Vec<Vec<K>>, Vec<Vec<V>>) {
+    let p = splitters.num_shards();
+    let n = keys.len();
+    let values_present = std::mem::size_of::<V>() != 0;
+    if values_present {
+        assert_eq!(values.len(), n, "keys and values must match in length");
+    }
+    let n_chunks = n.div_ceil(SCATTER_CHUNK);
+
+    // (1) Per-chunk shard histograms: strip `c` of the count table belongs
+    // to input chunk `c`, so the chunked-mutation helper fits exactly.
+    let mut chunk_counts = vec![0usize; n_chunks * p];
+    {
+        let keys_ref = &keys[..];
+        exec.for_each_chunk_mut(&mut chunk_counts, p, |c, strip| {
+            let start = c * SCATTER_CHUNK;
+            let end = n.min(start + SCATTER_CHUNK);
+            for k in &keys_ref[start..end] {
+                strip[splitters.shard_of(k.to_radix())] += 1;
+            }
+        });
+    }
+
+    // (2) Exclusive prefix over chunks per shard: the strips become each
+    // chunk's write bases, and the totals size the shard buffers exactly.
+    let mut totals = vec![0usize; p];
+    for (s, total) in totals.iter_mut().enumerate() {
+        let mut run = 0usize;
+        for c in 0..n_chunks {
+            let v = chunk_counts[c * p + s];
+            chunk_counts[c * p + s] = run;
+            run += v;
+        }
+        *total = run;
+    }
+    let mut shard_keys: Vec<Vec<K>> = totals.iter().map(|&t| vec![K::default(); t]).collect();
+    let mut shard_vals: Vec<Vec<V>> = totals.iter().map(|&t| vec![V::default(); t]).collect();
+
+    // (3) Parallel scatter: every chunk owns disjoint destination ranges in
+    // every shard (its base .. next chunk's base), so chunks write
+    // concurrently without synchronisation.
+    {
+        let key_views: Vec<SharedMut<'_, K>> = shard_keys
+            .iter_mut()
+            .map(|v| SharedMut::new(v.as_mut_slice()))
+            .collect();
+        let val_views: Vec<SharedMut<'_, V>> = shard_vals
+            .iter_mut()
+            .map(|v| SharedMut::new(v.as_mut_slice()))
+            .collect();
+        let keys_ref = &keys[..];
+        let vals_ref = &values[..];
+        exec.for_each_chunk_mut(&mut chunk_counts, p, |c, cursor| {
+            let start = c * SCATTER_CHUNK;
+            let end = n.min(start + SCATTER_CHUNK);
+            for i in start..end {
+                let k = keys_ref[i];
+                let s = splitters.shard_of(k.to_radix());
+                let pos = cursor[s];
+                cursor[s] += 1;
+                // SAFETY: `pos` lies in the destination range chunk `c`
+                // reserved for shard `s` (its base .. the next chunk's
+                // base), disjoint from every other chunk's positions.
+                unsafe {
+                    key_views[s].write(pos, k);
+                    if values_present {
+                        val_views[s].write(pos, vals_ref[i]);
+                    }
+                }
+            }
+        });
+    }
+
+    keys.clear();
+    values.clear();
+    (shard_keys, shard_vals)
+}
+
 /// Descends the digit histogram of `subset` (all sharing `prefix` above the
 /// current digit) to locate the radix value whose rank is closest to
 /// `target`.  Returns a cut aligned to the finest refined digit boundary.
@@ -348,6 +442,42 @@ mod tests {
         let s = compute_splitters(&keys, &[1.0], &PartitionConfig::default());
         assert_eq!(s.num_shards(), 1);
         assert_eq!(s.ranges(), vec![(0, u64::MAX)]);
+    }
+
+    #[test]
+    fn scatter_into_shards_routes_every_key() {
+        let keys = uniform_keys::<u64>(150_000, 21);
+        let s = compute_splitters(&keys, &[1.0; 4], &PartitionConfig::default());
+        let mut k = keys.clone();
+        let mut v: Vec<u32> = (0..150_000).collect();
+        let (shard_keys, shard_vals) =
+            scatter_into_shards(&mut k, &mut v, &s, &Executor::Sequential);
+        assert!(k.is_empty() && v.is_empty());
+        assert_eq!(shard_keys.iter().map(Vec::len).sum::<usize>(), 150_000);
+        for (si, (ks, vs)) in shard_keys.iter().zip(shard_vals.iter()).enumerate() {
+            assert_eq!(ks.len(), vs.len());
+            for (key, &val) in ks.iter().zip(vs.iter()) {
+                assert_eq!(s.shard_of(key.to_radix()), si);
+                // Values still ride with their original keys.
+                assert_eq!(keys[val as usize], *key);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_scatter_matches_sequential() {
+        let keys = uniform_keys::<u32>(200_000, 22);
+        let s = compute_splitters(&keys, &[2.0, 1.0, 1.0], &PartitionConfig::default());
+        let mut k_seq = keys.clone();
+        let mut v_seq: Vec<()> = Vec::new();
+        let (seq, _) = scatter_into_shards(&mut k_seq, &mut v_seq, &s, &Executor::Sequential);
+        for workers in [2usize, 7] {
+            let mut k_par = keys.clone();
+            let mut v_par: Vec<()> = Vec::new();
+            let (par, _) =
+                scatter_into_shards(&mut k_par, &mut v_par, &s, &Executor::with_workers(workers));
+            assert_eq!(seq, par, "workers = {workers}");
+        }
     }
 
     #[test]

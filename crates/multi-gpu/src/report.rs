@@ -25,6 +25,10 @@ pub struct ShardReport {
     pub download: SimTime,
     /// When the device's last download finished on the shared timeline.
     pub finish: SimTime,
+    /// Measured wall-clock of the shard sort when the device is a real CPU
+    /// socket ([`crate::DeviceBackend::CpuSocket`]); `None` for simulated
+    /// GPUs, whose `gpu_sort` time comes from the analytical model.
+    pub measured_sort: Option<std::time::Duration>,
 }
 
 /// Full report of one sharded multi-GPU sort.

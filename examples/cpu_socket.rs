@@ -1,0 +1,65 @@
+//! A hybrid CPU+GPU fleet: two simulated Titan X cards plus a real CPU
+//! socket driven by the threaded execution backend.
+//!
+//! ```text
+//! cargo run --release --example cpu_socket
+//! ```
+//!
+//! The GPU shards are sorted functionally with simulated timings; the CPU
+//! shard is sorted by real `std::thread::scope` workers and its *measured*
+//! wall-clock enters the schedule.  The example also shows the threaded
+//! backend stand-alone: the same sorter, sequential vs threaded, on the
+//! same input — with the arena footprint staying flat across repeats.
+
+use hybrid_radix_sort::prelude::*;
+use hybrid_radix_sort::workloads::uniform_keys;
+use std::time::Instant;
+
+const N: usize = 8_000_000;
+
+fn main() {
+    let workers = std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(4);
+    println!("generating {N} uniform u32 keys ({workers} workers available)...\n");
+    let keys = uniform_keys::<u32>(N, 7);
+
+    // 1. The threaded backend stand-alone.
+    for exec in [Executor::Sequential, Executor::with_workers(workers)] {
+        let sorter = HybridRadixSorter::with_defaults().with_executor(exec);
+        let mut warm = keys.clone(); // warm the arena
+        sorter.sort(&mut warm);
+        let mut k = keys.clone();
+        let start = Instant::now();
+        sorter.sort(&mut k);
+        let secs = start.elapsed().as_secs_f64();
+        assert!(k.windows(2).all(|w| w[0] <= w[1]));
+        println!(
+            "backend {:<12} {:>7.1} ms  ({:.1} Mkeys/s, arena {} KiB)",
+            sorter.executor().label(),
+            secs * 1e3,
+            N as f64 / secs / 1e6,
+            sorter.arena_stats().total_bytes() / 1024,
+        );
+    }
+
+    // 2. The hybrid fleet: the CPU socket registers as one more device.
+    let pool = DevicePool::titan_cluster(2).add_cpu_socket(workers);
+    let sorter = ShardedSorter::new(pool);
+    let mut k = keys.clone();
+    let report = sorter.sort(&mut k);
+    assert!(k.windows(2).all(|w| w[0] <= w[1]));
+
+    println!("\n== 2x Titan X (Pascal) + 1 CPU socket");
+    println!("{}\n", report.summary());
+    println!("{}", report.shard_table());
+    for shard in &report.shards {
+        if let Some(measured) = shard.measured_sort {
+            println!(
+                "CPU shard: {} keys sorted for real in {:.1} ms",
+                shard.n,
+                measured.as_secs_f64() * 1e3
+            );
+        }
+    }
+}

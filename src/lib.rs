@@ -35,8 +35,8 @@ pub mod prelude {
     pub use baselines::{GpuLsdRadixSort, GpuMergeSort, MultisplitRadixSort, ParadisSort};
     pub use gpu_sim::{DeviceSpec, LinkSpec, SimTime};
     pub use hetero::HeterogeneousSorter;
-    pub use hrs_core::{HybridRadixSorter, Optimizations, SortConfig, SortReport};
-    pub use multi_gpu::{DevicePool, ShardedReport, ShardedSorter, SimDevice};
+    pub use hrs_core::{Executor, HybridRadixSorter, Optimizations, SortConfig, SortReport};
+    pub use multi_gpu::{DeviceBackend, DevicePool, ShardedReport, ShardedSorter, SimDevice};
     pub use workloads::{Distribution, EntropyLevel, SortKey, ZipfGenerator};
 }
 
