@@ -17,6 +17,31 @@
 //! After the first sort of a given size (the warm-up), the steady-state
 //! pass loop performs no heap allocation; [`ScratchArena::stats`] exposes
 //! the retained capacities so tests can assert exactly that.
+//!
+//! ## Example: the arena footprint stays flat across sorts
+//!
+//! Every [`HybridRadixSorter`](crate::HybridRadixSorter) owns one arena;
+//! the first sort warms it up and every following sort of the same size
+//! reuses it (`cargo run --release --example cpu_socket` prints the
+//! footprint next to the timings):
+//!
+//! ```
+//! use hrs_core::HybridRadixSorter;
+//!
+//! let sorter = HybridRadixSorter::with_defaults();
+//! let mut warm = workloads::uniform_keys::<u32>(40_000, 7);
+//! sorter.sort(&mut warm); // warm-up populates the arena
+//!
+//! let stats = sorter.arena_stats();
+//! assert!(stats.total_bytes() > 0);
+//! for seed in 0..3 {
+//!     let mut keys = workloads::uniform_keys::<u32>(40_000, seed);
+//!     sorter.sort(&mut keys);
+//!     // Same-size sorts retain exactly the warmed capacities: the pass
+//!     // loop performed no steady-state allocation.
+//!     assert_eq!(sorter.arena_stats(), stats);
+//! }
+//! ```
 
 use crate::bucket::{Bucket, LocalBucket, PassBlock, SubBucket};
 use std::any::{Any, TypeId};

@@ -1,0 +1,71 @@
+//! Batch sort service throughput (real wall-clock): batched vs
+//! one-request-per-batch scheduling over small/medium/mixed request mixes,
+//! written to `BENCH_service.json`.
+//!
+//! ```text
+//! cargo run --release --bin bench_service [-- --smoke] [--out <path>]
+//!     [--requests 192] [--devices 4] [--linger-ms 2]
+//! ```
+//!
+//! `--smoke` runs the CI-sized sweep.  Each point submits the whole request
+//! sequence closed-loop and waits for every ticket; the headline is the
+//! batched-over-unbatched requests/sec ratio per mix.
+
+use experiments::service_bench::{
+    batching_speedups, run_service_sweep, service_table, service_to_json, ServiceBenchConfig,
+};
+use std::time::Duration;
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).map(|i| {
+        args.get(i + 1)
+            .unwrap_or_else(|| panic!("{flag} expects a value"))
+            .clone()
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut cfg = if args.iter().any(|a| a == "--smoke") {
+        ServiceBenchConfig::smoke()
+    } else {
+        ServiceBenchConfig::full()
+    };
+    if let Some(requests) = arg_value(&args, "--requests") {
+        cfg.requests = requests
+            .parse()
+            .unwrap_or_else(|_| panic!("--requests expects an integer"));
+    }
+    if let Some(devices) = arg_value(&args, "--devices") {
+        cfg.devices = devices
+            .parse()
+            .unwrap_or_else(|_| panic!("--devices expects an integer"));
+    }
+    if let Some(linger) = arg_value(&args, "--linger-ms") {
+        let ms: f64 = linger
+            .parse()
+            .unwrap_or_else(|_| panic!("--linger-ms expects a number"));
+        cfg.linger = Duration::from_secs_f64(ms / 1e3);
+    }
+    let out_path = arg_value(&args, "--out").unwrap_or_else(|| "BENCH_service.json".to_string());
+
+    println!(
+        "# Batch sort service sweep ({} requests/point, {} devices, linger {:?})\n",
+        cfg.requests, cfg.devices, cfg.linger
+    );
+    let points = run_service_sweep(&cfg);
+    println!("{}", service_table(&points));
+
+    // Headline: what coalescing buys per mix.  Device throughput is the
+    // scheduling-quality metric (the pool is simulated); wall-clock on a
+    // single-core host tracks total CPU work and stays roughly neutral.
+    for (mix, sim, wall) in batching_speedups(&points) {
+        println!(
+            "mix {mix}: batched/unbatched device throughput {sim:.2}x (host wall-clock {wall:.2}x)"
+        );
+    }
+
+    std::fs::write(&out_path, service_to_json(&points))
+        .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("\nwrote {out_path}");
+}

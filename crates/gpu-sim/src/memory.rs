@@ -10,6 +10,7 @@
 //! validated, and the hybrid sort's bookkeeping overhead (Section 4.5) can
 //! be checked against the "< 5 %" claim.
 
+use crate::device::DeviceSpec;
 use serde::{Deserialize, Serialize};
 
 /// A named allocation inside the device-memory plan.
@@ -60,6 +61,25 @@ impl DeviceMemoryPlanner {
             allocations: Vec::new(),
             next_id: 0,
         }
+    }
+
+    /// A planner sized to a device's full memory — the budget-query entry
+    /// point used by schedulers that must decide whether a sort fits on a
+    /// device *before* dispatching it.
+    pub fn for_device(spec: &DeviceSpec) -> Self {
+        DeviceMemoryPlanner::new(spec.device_memory_bytes)
+    }
+
+    /// The largest sortable *payload* (keys + values) in bytes, given the
+    /// remaining capacity.
+    ///
+    /// The hybrid radix sort is double-buffered — input buffer plus a
+    /// ping-pong spare of the same size — and its bookkeeping (block
+    /// histograms, bucket tables) stays below 5 % of one buffer
+    /// (Section 4.5 of the paper), so the budget is
+    /// `available / (2 + 0.05)`.
+    pub fn sort_budget_bytes(&self) -> u64 {
+        self.max_chunk_bytes(2, 0.05)
     }
 
     /// Capacity in bytes.
@@ -192,6 +212,22 @@ mod tests {
     fn zero_slots_returns_zero() {
         let p = DeviceMemoryPlanner::new(100);
         assert_eq!(p.max_chunk_bytes(0, 0.0), 0);
+    }
+
+    #[test]
+    fn device_budget_query() {
+        let spec = DeviceSpec::titan_x_pascal();
+        let p = DeviceMemoryPlanner::for_device(&spec);
+        assert_eq!(p.capacity(), spec.device_memory_bytes);
+        // Double buffering + <5 % bookkeeping: just under half the memory.
+        let budget = p.sort_budget_bytes();
+        assert!(budget < spec.device_memory_bytes / 2);
+        assert!(budget > spec.device_memory_bytes * 4 / 10);
+        // Prior allocations shrink the budget.
+        let mut used = DeviceMemoryPlanner::for_device(&spec);
+        used.allocate("resident index", spec.device_memory_bytes / 2)
+            .unwrap();
+        assert!(used.sort_budget_bytes() < budget / 2 + 1);
     }
 
     #[test]

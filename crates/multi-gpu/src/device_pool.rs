@@ -6,7 +6,7 @@
 //! range-partitioned multi-GPU sorting scale in the first place (Arkhipov et
 //! al., *Sorting with GPUs: A Survey*).
 
-use gpu_sim::{DeviceSpec, LinkSpec};
+use gpu_sim::{DeviceMemoryPlanner, DeviceSpec, LinkSpec};
 use hrs_core::Executor;
 use serde::{Deserialize, Serialize};
 
@@ -176,6 +176,34 @@ impl DevicePool {
             .map(|d| d.spec.device_memory_bytes)
             .sum()
     }
+
+    /// The largest input payload (keys + values, in bytes) a single sharded
+    /// sort over this pool can admit without any device exceeding its
+    /// memory budget.
+    ///
+    /// Shard sizes are capacity-proportional, so device `i` receives a
+    /// `weight_i / Σ weights` fraction of the input; its
+    /// [`DeviceMemoryPlanner::sort_budget_bytes`] (double buffering plus
+    /// bookkeeping overhead) bounds that fraction, and the pool-wide budget
+    /// is the tightest such bound.  Admission control in the sort service
+    /// layers an extra slack factor on top for splitter imbalance.
+    pub fn batch_budget_bytes(&self) -> u64 {
+        let weights = self.capacity_weights();
+        let total: f64 = weights.iter().sum();
+        self.devices
+            .iter()
+            .zip(&weights)
+            .map(|(d, &w)| {
+                let budget = DeviceMemoryPlanner::for_device(&d.spec).sort_budget_bytes() as f64;
+                if w <= 0.0 {
+                    u64::MAX
+                } else {
+                    (budget * total / w) as u64
+                }
+            })
+            .min()
+            .unwrap_or(0)
+    }
 }
 
 #[cfg(test)]
@@ -207,6 +235,20 @@ mod tests {
             pool.total_device_memory(),
             2 * DeviceSpec::titan_x_pascal().device_memory_bytes
         );
+    }
+
+    #[test]
+    fn batch_budget_follows_the_tightest_device() {
+        // Homogeneous pools: the budget is the whole pool's aggregate
+        // sortable payload (p devices, each holding its 1/p fraction).
+        let one = DevicePool::titan_cluster(1).batch_budget_bytes();
+        let four = DevicePool::titan_cluster(4).batch_budget_bytes();
+        assert!(four > 3 * one && four < 5 * one, "{one} vs {four}");
+        // A heterogeneous pool is bounded by whichever device's
+        // budget-per-weight-fraction is smallest, never by the sum.
+        let mixed = DevicePool::mixed_demo();
+        assert!(mixed.batch_budget_bytes() < mixed.total_device_memory());
+        assert!(mixed.batch_budget_bytes() > 0);
     }
 
     #[test]

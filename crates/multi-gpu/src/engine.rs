@@ -24,11 +24,12 @@
 
 use crate::device_pool::DevicePool;
 use crate::partition::{compute_splitters, scatter_into_shards, PartitionConfig, SplitterSet};
-use crate::report::{ShardReport, ShardedReport};
+use crate::report::{RequestSpan, ShardReport, ShardedReport};
 use gpu_sim::{SimTime, Timeline, TransferDirection};
 use hetero::chunking::split_into_chunks;
 use hetero::multiway_merge::parallel_merge_sorted_runs_by;
 use hrs_core::{Executor, HybridRadixSorter, SharedMut, SortReport};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 use workloads::keys::SortKey;
 use workloads::pairs::SortValue;
@@ -47,7 +48,7 @@ struct ShardRun {
 
 /// A sorter that shards one input across several devices (simulated GPUs
 /// and/or real CPU sockets).
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct ShardedSorter {
     pool: DevicePool,
     template: HybridRadixSorter,
@@ -55,6 +56,16 @@ pub struct ShardedSorter {
     partition: PartitionConfig,
     chunks_per_shard: usize,
     host_exec: Executor,
+    /// One persistent [`HybridRadixSorter`] per pool device ("device
+    /// lane").  Each lane owns its own [`hrs_core::ScratchArena`], so
+    /// repeated sorts through one `ShardedSorter` — the steady state of the
+    /// batch sort service — perform no per-sort scratch allocation once the
+    /// lanes are warm.  Built lazily on first use; invalidated by the
+    /// builders that change what a lane would be ([`Self::with_sorter`],
+    /// [`Self::with_pool`]).  `try_lock` with an ephemeral fallback keeps
+    /// concurrent sorts through one sorter safe (they simply skip lane
+    /// reuse), mirroring the arena handling inside `HybridRadixSorter`.
+    lanes: Mutex<Vec<HybridRadixSorter>>,
 }
 
 impl ShardedSorter {
@@ -70,6 +81,7 @@ impl ShardedSorter {
             partition: PartitionConfig::default(),
             chunks_per_shard: 4,
             host_exec: Executor::threaded(),
+            lanes: Mutex::new(Vec::new()),
         }
     }
 
@@ -82,12 +94,14 @@ impl ShardedSorter {
     /// overridden per shard by each pool device's spec).
     pub fn with_sorter(mut self, template: HybridRadixSorter) -> Self {
         self.template = template;
+        self.lanes = Mutex::new(Vec::new());
         self
     }
 
     /// Replaces the device pool.
     pub fn with_pool(mut self, pool: DevicePool) -> Self {
         self.pool = pool;
+        self.lanes = Mutex::new(Vec::new());
         self
     }
 
@@ -123,6 +137,17 @@ impl ShardedSorter {
         &self.pool
     }
 
+    /// Retained scratch-arena footprint of every device lane (empty until
+    /// the first sort builds the lanes).  Two snapshots around a repeated
+    /// same-size sort must be identical — the regression hook behind the
+    /// sort service's zero-steady-state-allocation claim.
+    pub fn lane_arena_stats(&self) -> Vec<hrs_core::ArenaStats> {
+        self.lanes
+            .lock()
+            .map(|lanes| lanes.iter().map(|l| l.arena_stats()).collect())
+            .unwrap_or_default()
+    }
+
     /// Sorts `keys` across the pool and returns the aggregated report.
     pub fn sort<K: SortKey>(&self, keys: &mut Vec<K>) -> ShardedReport {
         // Zero-size values ride the engine's fast path: no value buffers
@@ -143,6 +168,68 @@ impl ShardedSorter {
             "keys and values must have the same length"
         );
         self.sort_impl(keys, values)
+    }
+
+    /// Batch-aware entry point: sorts the concatenation of several
+    /// requests' keys as one sharded sort and records each request's
+    /// [`RequestSpan`] in the report, so a batching front end can hand
+    /// every requester its slice of the shared schedule.
+    ///
+    /// `request_lens` lists each request's element count in submission
+    /// order; the lengths must sum to `keys.len()`.  Note the output is the
+    /// *globally* sorted batch — demultiplexing interleaved requests back
+    /// apart is the caller's job (the `sort_service` crate tags keys with
+    /// their request slot for exactly this).
+    pub fn sort_batch<K: SortKey>(
+        &self,
+        keys: &mut Vec<K>,
+        request_lens: &[usize],
+    ) -> ShardedReport {
+        let mut values: Vec<()> = Vec::new();
+        let mut report = self.sort_impl(keys, &mut values);
+        report.requests = Self::request_spans(keys.len(), request_lens);
+        report
+    }
+
+    /// Batch-aware pair sort: like [`Self::sort_batch`], with a value
+    /// permuted along with every key (the service uses the value as the
+    /// demux tag).
+    pub fn sort_batch_pairs<K: SortKey, V: SortValue>(
+        &self,
+        keys: &mut Vec<K>,
+        values: &mut Vec<V>,
+        request_lens: &[usize],
+    ) -> ShardedReport {
+        assert_eq!(
+            keys.len(),
+            values.len(),
+            "keys and values must have the same length"
+        );
+        let mut report = self.sort_impl(keys, values);
+        report.requests = Self::request_spans(keys.len(), request_lens);
+        report
+    }
+
+    fn request_spans(total: usize, request_lens: &[usize]) -> Vec<RequestSpan> {
+        assert_eq!(
+            request_lens.iter().sum::<usize>(),
+            total,
+            "request lengths must cover the whole batch"
+        );
+        let mut offset = 0u64;
+        request_lens
+            .iter()
+            .enumerate()
+            .map(|(index, &len)| {
+                let span = RequestSpan {
+                    index,
+                    offset,
+                    len: len as u64,
+                };
+                offset += len as u64;
+                span
+            })
+            .collect()
     }
 
     fn sort_impl<K: SortKey, V: SortValue>(
@@ -206,6 +293,7 @@ impl ShardedSorter {
             end_to_end,
             combined,
             timeline,
+            requests: Vec::new(),
         }
     }
 
@@ -232,6 +320,19 @@ impl ShardedSorter {
                 .with_device(device.spec.clone())
                 .with_executor(device.backend.executor())
         };
+        // Reuse the persistent device lanes (and their warm scratch
+        // arenas) when they are free; a concurrent sort through the same
+        // sorter falls back to ephemeral lanes instead of blocking.
+        let mut fallback: Option<Vec<HybridRadixSorter>> = None;
+        let mut guard = self.lanes.try_lock().ok();
+        let lanes: &mut Vec<HybridRadixSorter> = match guard.as_deref_mut() {
+            Some(lanes) => lanes,
+            None => fallback.get_or_insert_with(Vec::new),
+        };
+        if lanes.len() != p {
+            *lanes = (0..p).map(sorter_for).collect();
+        }
+        let lanes: &[HybridRadixSorter] = lanes;
         let simulated: Vec<usize> = (0..p)
             .filter(|&i| !self.pool.devices()[i].backend.is_measured())
             .collect();
@@ -253,7 +354,7 @@ impl ShardedSorter {
                     )
                 };
                 let start = Instant::now();
-                let report = sorter_for(i).sort_pairs(ks, vs);
+                let report = lanes[i].sort_pairs(ks, vs);
                 *slot = Some(ShardRun {
                     report,
                     measured: start.elapsed(),
@@ -267,7 +368,7 @@ impl ShardedSorter {
                 continue;
             }
             let start = Instant::now();
-            let report = sorter_for(i).sort_pairs(&mut shard_keys[i], &mut shard_vals[i]);
+            let report = lanes[i].sort_pairs(&mut shard_keys[i], &mut shard_vals[i]);
             runs[i] = Some(ShardRun {
                 report,
                 measured: start.elapsed(),
@@ -362,6 +463,22 @@ impl ShardedSorter {
 impl Default for ShardedSorter {
     fn default() -> Self {
         ShardedSorter::with_defaults()
+    }
+}
+
+impl Clone for ShardedSorter {
+    /// Clones the configuration; the clone starts with cold (empty) device
+    /// lanes, so clones can be moved to other threads cheaply.
+    fn clone(&self) -> Self {
+        ShardedSorter {
+            pool: self.pool.clone(),
+            template: self.template.clone(),
+            merge_threads: self.merge_threads,
+            partition: self.partition.clone(),
+            chunks_per_shard: self.chunks_per_shard,
+            host_exec: self.host_exec,
+            lanes: Mutex::new(Vec::new()),
+        }
     }
 }
 
@@ -502,6 +619,58 @@ mod tests {
             assert_eq!(k, expected, "exec {}", exec.label());
             assert_eq!(report.n, 60_000);
         }
+    }
+
+    #[test]
+    fn batch_entry_records_request_spans() {
+        let lens = [30_000usize, 10_000, 20_000];
+        let mut keys = uniform_keys::<u64>(60_000, 21);
+        let expected = KeyCodec::std_sorted(&keys);
+        let report = test_sorter(2).sort_batch(&mut keys, &lens);
+        assert_eq!(keys, expected);
+        assert_eq!(report.requests.len(), 3);
+        assert_eq!(report.requests[0].offset, 0);
+        assert_eq!(report.requests[1].offset, 30_000);
+        assert_eq!(report.requests[2].offset, 40_000);
+        assert!(report
+            .requests
+            .iter()
+            .zip(lens)
+            .all(|(s, l)| s.len == l as u64));
+        assert!((report.requests[2].fraction_of(report.n) - 1.0 / 3.0).abs() < 1e-12);
+        // Plain sorts carry no request bookkeeping.
+        let mut again = uniform_keys::<u64>(10_000, 22);
+        assert!(test_sorter(2).sort(&mut again).requests.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cover the whole batch")]
+    fn batch_entry_rejects_mismatched_lens() {
+        let mut keys = uniform_keys::<u64>(1_000, 23);
+        test_sorter(2).sort_batch(&mut keys, &[400, 400]);
+    }
+
+    #[test]
+    fn device_lanes_are_reused_across_sorts() {
+        let sorter = test_sorter(4);
+        assert!(sorter.lane_arena_stats().is_empty(), "lanes start cold");
+        let keys = uniform_keys::<u64>(100_000, 29);
+        let mut k = keys.clone();
+        sorter.sort(&mut k); // warm-up builds the lanes
+        let warm = sorter.lane_arena_stats();
+        assert_eq!(warm.len(), 4);
+        assert!(warm.iter().any(|s| s.total_bytes() > 0));
+        for _ in 0..2 {
+            let mut k = keys.clone();
+            sorter.sort(&mut k);
+            assert_eq!(
+                sorter.lane_arena_stats(),
+                warm,
+                "lane arenas grew on a repeated same-size sort"
+            );
+        }
+        // Clones start with cold lanes of their own.
+        assert!(sorter.clone().lane_arena_stats().is_empty());
     }
 
     #[test]

@@ -45,4 +45,4 @@ pub mod report;
 pub use device_pool::{DeviceBackend, DevicePool, SimDevice};
 pub use engine::ShardedSorter;
 pub use partition::{compute_splitters, scatter_into_shards, PartitionConfig, SplitterSet};
-pub use report::{ShardReport, ShardedReport};
+pub use report::{RequestSpan, ShardReport, ShardedReport};

@@ -31,6 +31,34 @@ pub struct ShardReport {
     pub measured_sort: Option<std::time::Duration>,
 }
 
+/// The span one batched request occupied in a concatenated batch input.
+///
+/// Produced by the batch-aware entry points
+/// ([`crate::ShardedSorter::sort_batch`] /
+/// [`crate::ShardedSorter::sort_batch_pairs`]) so that a batching front end
+/// (the `sort_service` crate) can hand every requester its own slice of the
+/// shared [`ShardedReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestSpan {
+    /// Index of the request within its batch, in submission order.
+    pub index: usize,
+    /// Offset of the request's first element in the concatenated input.
+    pub offset: u64,
+    /// Number of elements the request contributed.
+    pub len: u64,
+}
+
+impl RequestSpan {
+    /// The request's share of the batch, in `[0, 1]`.
+    pub fn fraction_of(&self, total: u64) -> f64 {
+        if total == 0 {
+            0.0
+        } else {
+            self.len as f64 / total as f64
+        }
+    }
+}
+
 /// Full report of one sharded multi-GPU sort.
 #[derive(Debug, Clone)]
 pub struct ShardedReport {
@@ -61,6 +89,9 @@ pub struct ShardedReport {
     pub combined: SortReport,
     /// The simulated schedule of every transfer and sort.
     pub timeline: Timeline,
+    /// Per-request offset bookkeeping when this sort ran a coalesced batch
+    /// (see [`RequestSpan`]); empty for plain single-request sorts.
+    pub requests: Vec<RequestSpan>,
 }
 
 impl ShardedReport {

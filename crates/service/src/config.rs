@@ -1,0 +1,120 @@
+//! Service tuning knobs.
+
+use hrs_core::Executor;
+use std::time::Duration;
+
+/// Configuration of a [`SortService`](crate::SortService).
+///
+/// The two batching knobs trade latency for throughput exactly like a
+/// group-commit log: `max_batch_bytes` is the size-based admission
+/// threshold (a class flushes as soon as its pending bytes reach it) and
+/// `max_linger` is the deadline-based one (no admitted request waits longer
+/// than this for co-travellers).  Both are further capped by the device
+/// pool's memory budget at service start.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Maximum requests in flight (admitted but not yet resolved) before
+    /// [`submit`](crate::SortService::submit) returns
+    /// [`SubmitError::Saturated`](crate::SubmitError::Saturated).
+    pub queue_depth: usize,
+    /// Flush a key class once its pending payload reaches this many batch
+    /// bytes (keys + demux tags).  Clamped to the pool admission budget.
+    pub max_batch_bytes: u64,
+    /// Flush a key class once its oldest pending request has waited this
+    /// long.
+    pub max_linger: Duration,
+    /// Flush a key class once it holds this many pending requests.  Set to
+    /// `1` to disable coalescing entirely (every request becomes its own
+    /// batch) — the baseline mode of `bench_service`.
+    pub max_batch_requests: usize,
+    /// Fraction of [`multi_gpu::DevicePool::batch_budget_bytes`]
+    /// the admission budget uses.  The slack absorbs splitter
+    /// imbalance (shards are only *expected* to be capacity-proportional)
+    /// and the one-request overshoot a flush-after-admit batch can carry.
+    pub budget_slack: f64,
+    /// Executor that runs ready batches of different key classes
+    /// concurrently.  Shard fan-out *within* a batch is governed by the
+    /// sorter's own host executor instead.
+    pub flush_executor: Executor,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            queue_depth: 256,
+            max_batch_bytes: 32 << 20,
+            max_linger: Duration::from_millis(2),
+            max_batch_requests: 1024,
+            budget_slack: 0.5,
+            flush_executor: Executor::with_workers(2),
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Sets the in-flight request limit (≥ 1).
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth.max(1);
+        self
+    }
+
+    /// Sets the size-based flush threshold.
+    pub fn with_max_batch_bytes(mut self, bytes: u64) -> Self {
+        self.max_batch_bytes = bytes.max(1);
+        self
+    }
+
+    /// Sets the deadline-based flush threshold.
+    pub fn with_max_linger(mut self, linger: Duration) -> Self {
+        self.max_linger = linger;
+        self
+    }
+
+    /// Sets the request-count flush threshold (≥ 1; `1` disables
+    /// coalescing).
+    pub fn with_max_batch_requests(mut self, requests: usize) -> Self {
+        self.max_batch_requests = requests.max(1);
+        self
+    }
+
+    /// Sets the admission-budget slack fraction (clamped to `(0, 1]`).
+    pub fn with_budget_slack(mut self, slack: f64) -> Self {
+        self.budget_slack = slack.clamp(f64::MIN_POSITIVE, 1.0);
+        self
+    }
+
+    /// Replaces the executor that flushes ready classes concurrently.
+    pub fn with_flush_executor(mut self, exec: Executor) -> Self {
+        self.flush_executor = exec;
+        self
+    }
+
+    /// A configuration that makes every request its own batch — the
+    /// one-request-per-batch scheduling `bench_service` compares against.
+    pub fn unbatched() -> Self {
+        ServiceConfig::default()
+            .with_max_batch_requests(1)
+            .with_max_linger(Duration::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_clamp() {
+        let cfg = ServiceConfig::default()
+            .with_queue_depth(0)
+            .with_max_batch_bytes(0)
+            .with_max_batch_requests(0)
+            .with_budget_slack(7.0);
+        assert_eq!(cfg.queue_depth, 1);
+        assert_eq!(cfg.max_batch_bytes, 1);
+        assert_eq!(cfg.max_batch_requests, 1);
+        assert_eq!(cfg.budget_slack, 1.0);
+        assert!(ServiceConfig::default().budget_slack < 1.0);
+        assert_eq!(ServiceConfig::unbatched().max_batch_requests, 1);
+        assert_eq!(ServiceConfig::unbatched().max_linger, Duration::ZERO);
+    }
+}

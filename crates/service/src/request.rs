@@ -1,0 +1,312 @@
+//! Request and response types of the batch sort service.
+
+use multi_gpu::{RequestSpan, ShardedReport};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The key class a payload sorts under.  Only payloads of the same class
+/// can be coalesced into one batch (their keys are concatenated into a
+/// single buffer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KeyClass {
+    /// 32-bit keys.
+    U32,
+    /// 64-bit keys.
+    U64,
+}
+
+impl KeyClass {
+    /// Human-readable label (`"u32"` / `"u64"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            KeyClass::U32 => "u32",
+            KeyClass::U64 => "u64",
+        }
+    }
+}
+
+/// One sort request's data, and — inside a [`SortOutcome`] — its sorted
+/// result, returned in the same buffers that were submitted.
+///
+/// Pair payloads carry a `u32` value per key (a row id in database terms);
+/// the value doubles as the demux tag, which is what lets the service
+/// recover every request's permuted values from the globally sorted batch
+/// without any side-table lookups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SortPayload {
+    /// Key-only sort of 32-bit keys.
+    U32Keys(Vec<u32>),
+    /// Key-only sort of 64-bit keys.
+    U64Keys(Vec<u64>),
+    /// 32-bit keys, each carrying a 32-bit value.
+    U32Pairs {
+        /// The sort keys.
+        keys: Vec<u32>,
+        /// `values[i]` travels with `keys[i]`.
+        values: Vec<u32>,
+    },
+    /// 64-bit keys, each carrying a 32-bit value.
+    U64Pairs {
+        /// The sort keys.
+        keys: Vec<u64>,
+        /// `values[i]` travels with `keys[i]`.
+        values: Vec<u32>,
+    },
+}
+
+impl SortPayload {
+    /// Number of keys in the payload.
+    pub fn len(&self) -> usize {
+        match self {
+            SortPayload::U32Keys(k) => k.len(),
+            SortPayload::U64Keys(k) => k.len(),
+            SortPayload::U32Pairs { keys, .. } => keys.len(),
+            SortPayload::U64Pairs { keys, .. } => keys.len(),
+        }
+    }
+
+    /// Whether the payload holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The key class batching groups this payload under.
+    pub fn class(&self) -> KeyClass {
+        match self {
+            SortPayload::U32Keys(_) | SortPayload::U32Pairs { .. } => KeyClass::U32,
+            SortPayload::U64Keys(_) | SortPayload::U64Pairs { .. } => KeyClass::U64,
+        }
+    }
+
+    /// Whether a value travels with every key.
+    pub fn is_pairs(&self) -> bool {
+        matches!(
+            self,
+            SortPayload::U32Pairs { .. } | SortPayload::U64Pairs { .. }
+        )
+    }
+
+    /// Payload size in bytes as the admission control counts it: keys plus
+    /// the per-key demux tag every batched element carries through the
+    /// device phase (the tag subsumes the pair value).  Shares
+    /// [`crate::batch::elem_bytes`] with the queue accounting so the two
+    /// can never drift apart.
+    pub fn batch_bytes(&self) -> u64 {
+        let elem = match self.class() {
+            KeyClass::U32 => crate::batch::elem_bytes::<u32>(),
+            KeyClass::U64 => crate::batch::elem_bytes::<u64>(),
+        };
+        self.len() as u64 * elem
+    }
+}
+
+/// Why [`SortService::submit`](crate::SortService::submit) rejected a
+/// request.  Rejections are immediate and lossless — the payload was not
+/// enqueued and no ticket exists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// `queue_depth` requests are already in flight; retry after some
+    /// tickets resolve.  This is the explicit backpressure signal.
+    Saturated {
+        /// Requests currently admitted and not yet completed.
+        in_flight: usize,
+        /// The configured admission limit.
+        queue_depth: usize,
+    },
+    /// The single request exceeds the device pool's admission budget — it
+    /// could never be scheduled, batched or not.
+    TooLarge {
+        /// The request's size in batch bytes (keys + demux tags).
+        bytes: u64,
+        /// The pool budget after the configured slack.
+        budget: u64,
+    },
+    /// A pair payload whose key and value lengths differ.
+    MismatchedPair {
+        /// Number of keys submitted.
+        keys: usize,
+        /// Number of values submitted.
+        values: usize,
+    },
+    /// The service is shutting down and accepts no further requests.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Saturated {
+                in_flight,
+                queue_depth,
+            } => write!(
+                f,
+                "service saturated: {in_flight} requests in flight (queue depth {queue_depth})"
+            ),
+            SubmitError::TooLarge { bytes, budget } => write!(
+                f,
+                "request of {bytes} bytes exceeds the pool admission budget of {budget} bytes"
+            ),
+            SubmitError::MismatchedPair { keys, values } => {
+                write!(f, "pair payload with {keys} keys but {values} values")
+            }
+            SubmitError::ShuttingDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// What made the worker close a batch and dispatch it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushReason {
+    /// The class's pending bytes reached `max_batch_bytes`.
+    Bytes,
+    /// The oldest pending request waited `max_linger`.
+    Linger,
+    /// The class's pending request count reached `max_batch_requests`.
+    RequestCap,
+    /// Shutdown drain: the submission queue disconnected.
+    Drain,
+}
+
+impl FlushReason {
+    /// Short label for logs and the bench JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FlushReason::Bytes => "bytes",
+            FlushReason::Linger => "linger",
+            FlushReason::RequestCap => "request-cap",
+            FlushReason::Drain => "drain",
+        }
+    }
+}
+
+/// Identity and shape of the batch a request rode in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchInfo {
+    /// Monotonic batch id, unique per service instance.
+    pub batch: u64,
+    /// Requests coalesced into the batch.
+    pub requests: usize,
+    /// Total keys across the batch.
+    pub elements: u64,
+    /// Total batch bytes (keys + demux tags).
+    pub bytes: u64,
+    /// What triggered the flush.
+    pub reason: FlushReason,
+}
+
+/// The resolved result of one sort request.
+#[derive(Debug)]
+pub struct SortOutcome {
+    /// The sorted payload, in the buffers the request submitted.
+    pub payload: SortPayload,
+    /// This request's slice of the batch (offset/length in the
+    /// concatenated input, mirroring
+    /// [`ShardedReport::requests`]).
+    pub span: RequestSpan,
+    /// The batch's shared sharded-sort report: schedule, critical path,
+    /// per-shard breakdown.  One `Arc` per batch, shared by all its
+    /// requests.
+    pub report: Arc<ShardedReport>,
+    /// The batch this request was coalesced into.
+    pub batch: BatchInfo,
+    /// Time from submission to batch dispatch (queueing + linger).
+    pub queued: Duration,
+}
+
+/// Why waiting on a [`SortTicket`] failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TicketError {
+    /// The service (and its worker) terminated before resolving the
+    /// ticket.  Cannot happen through the public API: shutdown drains every
+    /// pending request first.
+    ServiceDropped,
+}
+
+impl std::fmt::Display for TicketError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TicketError::ServiceDropped => write!(f, "service dropped before the sort completed"),
+        }
+    }
+}
+
+impl std::error::Error for TicketError {}
+
+/// A handle to one in-flight sort request, resolving to a [`SortOutcome`].
+#[derive(Debug)]
+pub struct SortTicket {
+    pub(crate) id: u64,
+    pub(crate) rx: mpsc::Receiver<SortOutcome>,
+}
+
+impl SortTicket {
+    /// The request id assigned at submission (monotonic per service).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks until the request's batch completes and returns the outcome.
+    pub fn wait(self) -> Result<SortOutcome, TicketError> {
+        self.rx.recv().map_err(|_| TicketError::ServiceDropped)
+    }
+
+    /// Non-blocking poll: the outcome if the batch already completed.
+    pub fn try_wait(&mut self) -> Result<Option<SortOutcome>, TicketError> {
+        match self.rx.try_recv() {
+            Ok(outcome) => Ok(Some(outcome)),
+            Err(mpsc::TryRecvError::Empty) => Ok(None),
+            Err(mpsc::TryRecvError::Disconnected) => Err(TicketError::ServiceDropped),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_accounting() {
+        let p = SortPayload::U32Keys(vec![3, 1, 2]);
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+        assert_eq!(p.class(), KeyClass::U32);
+        assert!(!p.is_pairs());
+        assert_eq!(p.batch_bytes(), 3 * (4 + 8));
+
+        let q = SortPayload::U64Pairs {
+            keys: vec![9, 8],
+            values: vec![0, 1],
+        };
+        assert_eq!(q.class(), KeyClass::U64);
+        assert!(q.is_pairs());
+        assert_eq!(q.batch_bytes(), 2 * (8 + 8));
+        assert!(SortPayload::U64Keys(Vec::new()).is_empty());
+        assert_eq!(KeyClass::U32.label(), "u32");
+        assert_eq!(KeyClass::U64.label(), "u64");
+    }
+
+    #[test]
+    fn errors_render() {
+        let s = SubmitError::Saturated {
+            in_flight: 8,
+            queue_depth: 8,
+        };
+        assert!(s.to_string().contains("saturated"));
+        assert!(SubmitError::TooLarge {
+            bytes: 10,
+            budget: 5
+        }
+        .to_string()
+        .contains("budget"));
+        assert!(SubmitError::MismatchedPair { keys: 2, values: 3 }
+            .to_string()
+            .contains("2 keys"));
+        assert!(SubmitError::ShuttingDown.to_string().contains("shutting"));
+        assert!(TicketError::ServiceDropped.to_string().contains("dropped"));
+        assert_eq!(FlushReason::Linger.label(), "linger");
+        assert_eq!(FlushReason::Drain.label(), "drain");
+    }
+}

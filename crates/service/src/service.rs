@@ -1,0 +1,633 @@
+//! The service front end and its worker loop.
+
+use crate::batch::{elem_bytes, ClassQueue, FlushSummary, Pending, ServiceKey};
+use crate::config::ServiceConfig;
+use crate::request::{FlushReason, KeyClass, SortOutcome, SortPayload, SortTicket, SubmitError};
+use hrs_core::Executor;
+use multi_gpu::ShardedSorter;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Lifetime counters of a service, returned by
+/// [`SortService::shutdown`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests admitted (and resolved — shutdown drains everything).
+    pub requests: u64,
+    /// Batches dispatched.
+    pub batches: u64,
+    /// Largest number of requests coalesced into one batch.
+    pub max_batch_requests: usize,
+    /// Total keys sorted.
+    pub elements: u64,
+    /// Batches flushed because the size threshold was reached.
+    pub flushed_by_bytes: u64,
+    /// Batches flushed because the oldest request hit `max_linger`.
+    pub flushed_by_linger: u64,
+    /// Batches flushed because the request-count cap was reached.
+    pub flushed_by_cap: u64,
+    /// Batches flushed by the shutdown drain.
+    pub flushed_by_drain: u64,
+}
+
+impl ServiceStats {
+    fn absorb(&mut self, s: &FlushSummary) {
+        self.batches += 1;
+        self.max_batch_requests = self.max_batch_requests.max(s.requests);
+        self.elements += s.elements;
+        match s.reason {
+            FlushReason::Bytes => self.flushed_by_bytes += 1,
+            FlushReason::Linger => self.flushed_by_linger += 1,
+            FlushReason::RequestCap => self.flushed_by_cap += 1,
+            FlushReason::Drain => self.flushed_by_drain += 1,
+        }
+    }
+
+    /// Mean requests per batch (1.0 when nothing coalesced).
+    pub fn mean_batch_requests(&self) -> f64 {
+        if self.batches == 0 {
+            1.0
+        } else {
+            self.requests as f64 / self.batches as f64
+        }
+    }
+}
+
+/// A request as it travels from [`SortService::submit`] to the worker.
+struct Submission {
+    id: u64,
+    payload: SortPayload,
+    tx: mpsc::Sender<SortOutcome>,
+    submitted: Instant,
+}
+
+/// The async batch sort service (see the [crate docs](crate) for the full
+/// architecture).  Submissions are non-blocking; sorting happens on a
+/// dedicated worker thread that owns the device pool.
+#[derive(Debug)]
+pub struct SortService {
+    tx: Option<mpsc::Sender<Submission>>,
+    worker: Option<JoinHandle<ServiceStats>>,
+    in_flight: Arc<AtomicUsize>,
+    next_id: AtomicU64,
+    queue_depth: usize,
+    admission_budget: u64,
+}
+
+impl SortService {
+    /// Starts a service over `sorter`'s device pool.
+    ///
+    /// The admission budget is resolved here:
+    /// `pool.batch_budget_bytes() × cfg.budget_slack` bounds both a single
+    /// request and the size threshold a batch flushes at, so no formed
+    /// batch can exceed what the devices' memory planners allow.
+    pub fn start(sorter: ShardedSorter, cfg: ServiceConfig) -> Self {
+        let admission_budget =
+            (sorter.pool().batch_budget_bytes() as f64 * cfg.budget_slack).max(1.0) as u64;
+        let queue_depth = cfg.queue_depth;
+        let in_flight = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = mpsc::channel();
+        let worker_inflight = Arc::clone(&in_flight);
+        let worker = std::thread::Builder::new()
+            .name("sort-service".into())
+            .spawn(move || Worker::new(sorter, cfg, admission_budget, worker_inflight).run(rx))
+            .expect("spawning the sort-service worker");
+        SortService {
+            tx: Some(tx),
+            worker: Some(worker),
+            in_flight,
+            next_id: AtomicU64::new(0),
+            queue_depth,
+            admission_budget,
+        }
+    }
+
+    /// The resolved admission budget in batch bytes (pool budget × slack).
+    pub fn admission_budget(&self) -> u64 {
+        self.admission_budget
+    }
+
+    /// Requests currently admitted and not yet resolved.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::Acquire)
+    }
+
+    /// Submits a sort request.  Non-blocking: returns a [`SortTicket`]
+    /// immediately, or a [`SubmitError`] when admission control rejects the
+    /// request (saturation, size, malformed pairs, shutdown).
+    pub fn submit(&self, payload: SortPayload) -> Result<SortTicket, SubmitError> {
+        let (keys_len, values_len) = match &payload {
+            SortPayload::U32Pairs { keys, values } => (keys.len(), values.len()),
+            SortPayload::U64Pairs { keys, values } => (keys.len(), values.len()),
+            _ => (0, 0),
+        };
+        if keys_len != values_len {
+            return Err(SubmitError::MismatchedPair {
+                keys: keys_len,
+                values: values_len,
+            });
+        }
+        let bytes = payload.batch_bytes();
+        if bytes > self.admission_budget {
+            return Err(SubmitError::TooLarge {
+                bytes,
+                budget: self.admission_budget,
+            });
+        }
+        let Some(tx) = self.tx.as_ref() else {
+            return Err(SubmitError::ShuttingDown);
+        };
+        // Reserve an in-flight slot; the worker releases it once the
+        // request's batch completed.
+        let depth = self.queue_depth;
+        if self
+            .in_flight
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                (n < depth).then_some(n + 1)
+            })
+            .is_err()
+        {
+            return Err(SubmitError::Saturated {
+                in_flight: depth,
+                queue_depth: depth,
+            });
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (otx, orx) = mpsc::channel();
+        let submission = Submission {
+            id,
+            payload,
+            tx: otx,
+            submitted: Instant::now(),
+        };
+        if tx.send(submission).is_err() {
+            self.in_flight.fetch_sub(1, Ordering::AcqRel);
+            return Err(SubmitError::ShuttingDown);
+        }
+        Ok(SortTicket { id, rx: orx })
+    }
+
+    /// Shuts the service down: stops admitting, drains and resolves every
+    /// pending request, joins the worker and returns its statistics.
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.shutdown_in_place().unwrap_or_default()
+    }
+
+    fn shutdown_in_place(&mut self) -> Option<ServiceStats> {
+        drop(self.tx.take());
+        self.worker
+            .take()
+            .map(|w| w.join().expect("sort-service worker panicked"))
+    }
+}
+
+impl Drop for SortService {
+    fn drop(&mut self) {
+        let _ = self.shutdown_in_place();
+    }
+}
+
+/// The worker-side state: one class queue per key class, each with its own
+/// sorter clone (and therefore its own warm device lanes).
+struct Worker {
+    q32: ClassQueue<u32>,
+    q64: ClassQueue<u64>,
+    cfg: ServiceConfig,
+    max_batch_bytes: u64,
+    next_batch: u64,
+    stats: ServiceStats,
+}
+
+impl Worker {
+    fn new(
+        sorter: ShardedSorter,
+        cfg: ServiceConfig,
+        admission_budget: u64,
+        in_flight: Arc<AtomicUsize>,
+    ) -> Self {
+        // The size threshold is capped by the admission budget, and
+        // `admit` flushes a class *before* an addition would cross the
+        // threshold, so a formed batch never exceeds `max_batch_bytes` —
+        // and therefore never exceeds the pool's planner budget, at any
+        // slack setting.
+        let max_batch_bytes = cfg.max_batch_bytes.min(admission_budget);
+        Worker {
+            q32: ClassQueue::new(sorter.clone(), Arc::clone(&in_flight)),
+            q64: ClassQueue::new(sorter, in_flight),
+            cfg,
+            max_batch_bytes,
+            next_batch: 0,
+            stats: ServiceStats::default(),
+        }
+    }
+
+    fn run(mut self, rx: mpsc::Receiver<Submission>) -> ServiceStats {
+        loop {
+            match rx.recv_timeout(self.next_deadline()) {
+                Ok(sub) => {
+                    self.stats.requests += 1;
+                    self.admit(sub);
+                    // Greedily drain whatever else already arrived (e.g.
+                    // the backlog built up behind a long flush).  The size
+                    // and request-cap triggers fire between admissions —
+                    // they bound individual batches — but the linger
+                    // *deadline* is checked once at the end of the burst,
+                    // so a stale backlog coalesces into one batch instead
+                    // of flushing as singletons.
+                    self.flush_ready(false);
+                    while let Ok(sub) = rx.try_recv() {
+                        self.stats.requests += 1;
+                        self.admit(sub);
+                        self.flush_ready(false);
+                    }
+                    self.flush_ready(true);
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    self.flush_ready(true);
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    self.flush_all(FlushReason::Drain);
+                    return self.stats;
+                }
+            }
+        }
+    }
+
+    /// Admits a request into its class queue, flushing the class first
+    /// when the addition would push its pending bytes past the size
+    /// threshold.  Flush-before-admit keeps the invariant exact for every
+    /// slack setting: a formed batch's bytes never exceed
+    /// `max_batch_bytes` (a single request is capped at the admission
+    /// budget, which also caps `max_batch_bytes`).
+    fn admit(&mut self, sub: Submission) {
+        match sub.payload.class() {
+            KeyClass::U32 => {
+                let (keys, values) = <u32 as ServiceKey>::split(sub.payload);
+                let incoming = keys.len() as u64 * elem_bytes::<u32>();
+                if !self.q32.is_empty()
+                    && self.q32.pending_bytes() + incoming > self.max_batch_bytes
+                {
+                    let id = self.next_batch;
+                    self.next_batch += 1;
+                    if let Some(s) = self.q32.flush(FlushReason::Bytes, id) {
+                        self.stats.absorb(&s);
+                    }
+                }
+                self.q32.push(Pending {
+                    id: sub.id,
+                    keys,
+                    values,
+                    tx: sub.tx,
+                    submitted: sub.submitted,
+                });
+            }
+            KeyClass::U64 => {
+                let (keys, values) = <u64 as ServiceKey>::split(sub.payload);
+                let incoming = keys.len() as u64 * elem_bytes::<u64>();
+                if !self.q64.is_empty()
+                    && self.q64.pending_bytes() + incoming > self.max_batch_bytes
+                {
+                    let id = self.next_batch;
+                    self.next_batch += 1;
+                    if let Some(s) = self.q64.flush(FlushReason::Bytes, id) {
+                        self.stats.absorb(&s);
+                    }
+                }
+                self.q64.push(Pending {
+                    id: sub.id,
+                    keys,
+                    values,
+                    tx: sub.tx,
+                    submitted: sub.submitted,
+                });
+            }
+        }
+    }
+
+    /// How long the worker may sleep before some class's linger expires.
+    fn next_deadline(&self) -> Duration {
+        let now = Instant::now();
+        let linger = self.cfg.max_linger;
+        [self.q32.oldest(), self.q64.oldest()]
+            .into_iter()
+            .flatten()
+            .map(|oldest| (oldest + linger).saturating_duration_since(now))
+            .min()
+            .unwrap_or(Duration::from_secs(60))
+    }
+
+    /// Decides per class whether a flush is due and runs all due flushes —
+    /// concurrently through the flush executor when more than one class is
+    /// ready.  With `check_linger`, the deadline trigger is evaluated too;
+    /// it runs at the end of every loop pass (not only after a receive
+    /// timeout: under sustained arrivals the channel is never empty, and
+    /// the deadline must still hold).
+    fn flush_ready(&mut self, check_linger: bool) {
+        let now = Instant::now();
+        let linger = self.cfg.max_linger;
+        let cap = self.cfg.max_batch_requests;
+        let max_bytes = self.max_batch_bytes;
+        let due = |len: usize, bytes: u64, oldest: Option<Instant>| -> Option<FlushReason> {
+            if len == 0 {
+                return None;
+            }
+            if bytes >= max_bytes {
+                Some(FlushReason::Bytes)
+            } else if len >= cap {
+                Some(FlushReason::RequestCap)
+            } else if check_linger
+                && oldest.is_some_and(|o| now.saturating_duration_since(o) >= linger)
+            {
+                Some(FlushReason::Linger)
+            } else {
+                None
+            }
+        };
+        let r32 = due(self.q32.len(), self.q32.pending_bytes(), self.q32.oldest());
+        let r64 = due(self.q64.len(), self.q64.pending_bytes(), self.q64.oldest());
+        self.flush_classes(r32, r64);
+    }
+
+    fn flush_all(&mut self, reason: FlushReason) {
+        let r32 = (!self.q32.is_empty()).then_some(reason);
+        let r64 = (!self.q64.is_empty()).then_some(reason);
+        self.flush_classes(r32, r64);
+    }
+
+    /// Runs the requested class flushes.  Two ready classes flush
+    /// concurrently on the flush executor (each owns its sorter clone, so
+    /// both keep warm lanes); batch ids stay monotonic.
+    fn flush_classes(&mut self, r32: Option<FlushReason>, r64: Option<FlushReason>) {
+        let id32 = r32.map(|_| {
+            self.next_batch += 1;
+            self.next_batch - 1
+        });
+        let id64 = r64.map(|_| {
+            self.next_batch += 1;
+            self.next_batch - 1
+        });
+        let summaries: Vec<Option<FlushSummary>> = match (r32, r64) {
+            (None, None) => return,
+            (Some(re), None) => vec![self.q32.flush(re, id32.unwrap())],
+            (None, Some(re)) => vec![self.q64.flush(re, id64.unwrap())],
+            (Some(re32), Some(re64)) => {
+                type Job<'a> = Box<dyn FnOnce() -> Option<FlushSummary> + Send + 'a>;
+                let exec: Executor = self.cfg.flush_executor;
+                let (q32, q64) = (&mut self.q32, &mut self.q64);
+                let (b32, b64) = (id32.unwrap(), id64.unwrap());
+                let slots: [Mutex<Option<Job>>; 2] = [
+                    Mutex::new(Some(Box::new(move || q32.flush(re32, b32)))),
+                    Mutex::new(Some(Box::new(move || q64.flush(re64, b64)))),
+                ];
+                let results: [Mutex<Option<FlushSummary>>; 2] =
+                    [Mutex::new(None), Mutex::new(None)];
+                exec.for_each_task(2, |t, _| {
+                    if let Some(job) = slots[t].lock().unwrap().take() {
+                        *results[t].lock().unwrap() = job();
+                    }
+                });
+                results
+                    .into_iter()
+                    .map(|r| r.into_inner().unwrap())
+                    .collect()
+            }
+        };
+        // In-flight slots were already released per request inside the
+        // flushes, before each outcome send.
+        for summary in summaries.into_iter().flatten() {
+            self.stats.absorb(&summary);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multi_gpu::DevicePool;
+    use workloads::uniform_keys;
+
+    fn small_service(cfg: ServiceConfig) -> SortService {
+        SortService::start(ShardedSorter::new(DevicePool::titan_cluster(2)), cfg)
+    }
+
+    #[test]
+    fn single_request_round_trips() {
+        let service = small_service(ServiceConfig::default());
+        let keys = uniform_keys::<u64>(20_000, 1);
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        let ticket = service.submit(SortPayload::U64Keys(keys)).unwrap();
+        let outcome = ticket.wait().unwrap();
+        assert_eq!(outcome.payload, SortPayload::U64Keys(expect));
+        assert_eq!(outcome.span.len, 20_000);
+        assert_eq!(outcome.report.requests.len(), outcome.batch.requests);
+        let stats = service.shutdown();
+        assert_eq!(stats.requests, 1);
+        assert!(stats.batches >= 1);
+    }
+
+    #[test]
+    fn linger_coalesces_requests_into_one_batch() {
+        // Large byte threshold + generous linger: the two quick submissions
+        // must ride the same batch.
+        let service = small_service(
+            ServiceConfig::default()
+                .with_max_linger(Duration::from_millis(200))
+                .with_max_batch_bytes(u64::MAX),
+        );
+        let t1 = service
+            .submit(SortPayload::U32Keys(uniform_keys::<u32>(5_000, 1)))
+            .unwrap();
+        let t2 = service
+            .submit(SortPayload::U32Keys(uniform_keys::<u32>(5_000, 2)))
+            .unwrap();
+        let (o1, o2) = (t1.wait().unwrap(), t2.wait().unwrap());
+        assert_eq!(o1.batch.batch, o2.batch.batch, "expected one batch");
+        assert_eq!(o1.batch.requests, 2);
+        assert!(o1.queued >= Duration::ZERO);
+        let stats = service.shutdown();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.mean_batch_requests(), 2.0);
+    }
+
+    #[test]
+    fn linger_deadline_holds_under_sustained_arrivals() {
+        // Regression: the linger check used to run only after a receive
+        // *timeout*, so a steady arrival stream (channel never empty at the
+        // deadline) starved the deadline-based flush until the bytes or
+        // request-cap threshold fired.  With arrivals every ~3 ms and a
+        // 10 ms linger, several linger flushes must happen mid-stream.
+        let service = small_service(
+            ServiceConfig::default()
+                .with_max_linger(Duration::from_millis(10))
+                .with_max_batch_bytes(u64::MAX)
+                .with_queue_depth(64),
+        );
+        let tickets: Vec<SortTicket> = (0..20)
+            .map(|s| {
+                std::thread::sleep(Duration::from_millis(3));
+                service
+                    .submit(SortPayload::U32Keys(uniform_keys::<u32>(500, s)))
+                    .unwrap()
+            })
+            .collect();
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        let stats = service.shutdown();
+        assert!(
+            stats.flushed_by_linger >= 2,
+            "linger never fired mid-stream: {stats:?}"
+        );
+        assert!(
+            stats.batches > 1,
+            "everything rode one batch despite a 10 ms linger over ~60 ms of arrivals"
+        );
+    }
+
+    #[test]
+    fn oversized_batches_are_split_before_admission() {
+        // A tiny byte threshold: three 1000-key u64 requests (16 KB each in
+        // batch bytes) against a 20 KB threshold must form three singleton
+        // batches — admit flushes *before* the addition would cross the
+        // threshold, so no formed batch exceeds it.
+        let service = small_service(
+            ServiceConfig::default()
+                .with_max_linger(Duration::from_secs(30))
+                .with_max_batch_bytes(20 * 1024)
+                .with_queue_depth(8),
+        );
+        let tickets: Vec<SortTicket> = (0..3)
+            .map(|s| {
+                service
+                    .submit(SortPayload::U64Keys(uniform_keys::<u64>(1_000, s)))
+                    .unwrap()
+            })
+            .collect();
+        // The last request only flushes at the shutdown drain (its bytes
+        // alone stay under the threshold), so resolve after shutdown.
+        service.shutdown();
+        let outcomes: Vec<_> = tickets.into_iter().map(|t| t.wait().unwrap()).collect();
+        for o in &outcomes {
+            assert!(
+                o.batch.bytes <= 20 * 1024,
+                "batch of {} bytes exceeded the threshold",
+                o.batch.bytes
+            );
+        }
+        let ids: std::collections::HashSet<u64> = outcomes.iter().map(|o| o.batch.batch).collect();
+        assert_eq!(ids.len(), 3, "requests must not have shared a batch");
+    }
+
+    #[test]
+    fn saturation_is_reported_and_recovers() {
+        // Long linger + huge thresholds: admitted requests stay in flight
+        // until the drain, so the fifth submission must bounce.
+        let service = small_service(
+            ServiceConfig::default()
+                .with_queue_depth(4)
+                .with_max_linger(Duration::from_secs(30))
+                .with_max_batch_bytes(u64::MAX),
+        );
+        let tickets: Vec<SortTicket> = (0..4)
+            .map(|s| {
+                service
+                    .submit(SortPayload::U64Keys(uniform_keys::<u64>(1_000, s)))
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(service.in_flight(), 4);
+        let err = service
+            .submit(SortPayload::U64Keys(uniform_keys::<u64>(1_000, 9)))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SubmitError::Saturated {
+                in_flight: 4,
+                queue_depth: 4
+            }
+        );
+        // Shutdown drains: every admitted ticket still resolves, sorted.
+        let stats = service.shutdown();
+        assert_eq!(stats.requests, 4);
+        assert_eq!(stats.flushed_by_drain, 1);
+        for t in tickets {
+            let o = t.wait().unwrap();
+            let SortPayload::U64Keys(keys) = o.payload else {
+                panic!("wrong variant")
+            };
+            assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+            assert_eq!(o.batch.reason, FlushReason::Drain);
+        }
+    }
+
+    #[test]
+    fn oversized_and_malformed_requests_bounce() {
+        let service = small_service(ServiceConfig::default());
+        let budget = service.admission_budget();
+        assert!(budget > 0);
+        let err = service
+            .submit(SortPayload::U32Pairs {
+                keys: vec![1, 2],
+                values: vec![7],
+            })
+            .unwrap_err();
+        assert_eq!(err, SubmitError::MismatchedPair { keys: 2, values: 1 });
+        // A Titan X budget is gigabytes, so instead of allocating an
+        // actually-oversized input, shrink the budget via the slack knob.
+        drop(service);
+        let tiny = SortService::start(
+            ShardedSorter::new(DevicePool::titan_cluster(2)),
+            ServiceConfig::default().with_budget_slack(f64::MIN_POSITIVE),
+        );
+        let err = tiny
+            .submit(SortPayload::U64Keys(uniform_keys::<u64>(10_000, 1)))
+            .unwrap_err();
+        assert!(matches!(err, SubmitError::TooLarge { .. }));
+    }
+
+    #[test]
+    fn submissions_after_shutdown_error_out() {
+        let mut service = small_service(ServiceConfig::default());
+        let _ = service.shutdown_in_place();
+        assert_eq!(
+            service
+                .submit(SortPayload::U32Keys(vec![3, 1]))
+                .unwrap_err(),
+            SubmitError::ShuttingDown
+        );
+    }
+
+    #[test]
+    fn concurrent_class_flushes_resolve_both() {
+        // One u32 and one u64 request pending at drain time → the worker
+        // flushes both classes through the flush executor.
+        let service = small_service(
+            ServiceConfig::default()
+                .with_max_linger(Duration::from_secs(30))
+                .with_max_batch_bytes(u64::MAX),
+        );
+        let t32 = service
+            .submit(SortPayload::U32Keys(uniform_keys::<u32>(4_000, 4)))
+            .unwrap();
+        let t64 = service
+            .submit(SortPayload::U64Pairs {
+                keys: uniform_keys::<u64>(4_000, 5),
+                values: (0..4_000).collect(),
+            })
+            .unwrap();
+        let stats = service.shutdown();
+        assert_eq!(stats.batches, 2);
+        assert_eq!(stats.flushed_by_drain, 2);
+        let o32 = t32.wait().unwrap();
+        let o64 = t64.wait().unwrap();
+        assert_ne!(o32.batch.batch, o64.batch.batch);
+        let SortPayload::U64Pairs { keys, values } = o64.payload else {
+            panic!("wrong variant")
+        };
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(values.len(), 4_000);
+    }
+}

@@ -10,6 +10,8 @@
 //! wall-clock enters the schedule.  The example also shows the threaded
 //! backend stand-alone: the same sorter, sequential vs threaded, on the
 //! same input — with the arena footprint staying flat across repeats.
+//! (The minimal versions of both demonstrations live as doctests on the
+//! `hrs_core::exec` and `hrs_core::arena` module docs.)
 
 use hybrid_radix_sort::prelude::*;
 use hybrid_radix_sort::workloads::uniform_keys;

@@ -11,7 +11,10 @@
 //! * [`baselines`] — CUB/Thrust/MGPU/Multisplit/PARADIS comparison sorts,
 //! * [`hetero`] — the pipelined heterogeneous (out-of-core) sort,
 //! * [`multi_gpu`] — the sharded sort engine over several simulated GPUs,
+//! * [`sort_service`] — the async batch sort service over the device pool,
 //! * [`experiments`] — the harness regenerating every table and figure.
+//!
+//! `ARCHITECTURE.md` at the repository root walks the layers top-down.
 //!
 //! ```
 //! use hybrid_radix_sort::prelude::*;
@@ -28,6 +31,7 @@ pub use gpu_sim;
 pub use hetero;
 pub use hrs_core;
 pub use multi_gpu;
+pub use sort_service;
 pub use workloads;
 
 /// Commonly used types, re-exported for convenience.
@@ -36,7 +40,12 @@ pub mod prelude {
     pub use gpu_sim::{DeviceSpec, LinkSpec, SimTime};
     pub use hetero::HeterogeneousSorter;
     pub use hrs_core::{Executor, HybridRadixSorter, Optimizations, SortConfig, SortReport};
-    pub use multi_gpu::{DeviceBackend, DevicePool, ShardedReport, ShardedSorter, SimDevice};
+    pub use multi_gpu::{
+        DeviceBackend, DevicePool, RequestSpan, ShardedReport, ShardedSorter, SimDevice,
+    };
+    pub use sort_service::{
+        ServiceConfig, SortOutcome, SortPayload, SortService, SortTicket, SubmitError,
+    };
     pub use workloads::{Distribution, EntropyLevel, SortKey, ZipfGenerator};
 }
 
@@ -52,6 +61,23 @@ mod tests {
         assert_eq!(report.n, 5_000);
         let _ = DeviceSpec::titan_x_pascal();
         let _ = Optimizations::all_on();
+    }
+
+    #[test]
+    fn umbrella_exposes_the_sort_service() {
+        let service = SortService::start(
+            ShardedSorter::new(DevicePool::titan_cluster(2)),
+            ServiceConfig::default(),
+        );
+        let keys = workloads::uniform_keys::<u32>(8_000, 4);
+        let ticket = service.submit(SortPayload::U32Keys(keys)).unwrap();
+        let outcome = ticket.wait().unwrap();
+        let SortPayload::U32Keys(sorted) = outcome.payload else {
+            panic!("wrong variant")
+        };
+        assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(outcome.span.len, 8_000);
+        assert_eq!(service.shutdown().requests, 1);
     }
 
     #[test]
