@@ -1,0 +1,82 @@
+//! Out-of-core lane benchmark: in-core vs out-of-core crossover through
+//! the sort service, plus the per-device chunk-count sweep (Figure 8
+//! composed over a pool), written to `BENCH_outofcore.json`.
+//!
+//! ```text
+//! cargo run --release --bin bench_outofcore [-- --smoke] [--out <path>]
+//!     [--devices 2] [--memory-mib 4]
+//! ```
+//!
+//! `--smoke` runs the CI-sized sweep.  The pool's device memories are
+//! deliberately shrunken (`--memory-mib`) so requests cross the admission
+//! budget at container-friendly sizes; the schedule arithmetic is the same
+//! one a 12 GB device would see at paper scale.
+
+use experiments::outofcore_bench::{
+    chunk_table, crossover_boundary, crossover_table, outofcore_to_json, run_chunk_sweep,
+    run_crossover_sweep, OocBenchConfig,
+};
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).map(|i| {
+        args.get(i + 1)
+            .unwrap_or_else(|| panic!("{flag} expects a value"))
+            .clone()
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut cfg = if args.iter().any(|a| a == "--smoke") {
+        OocBenchConfig::smoke()
+    } else {
+        OocBenchConfig::full()
+    };
+    if let Some(devices) = arg_value(&args, "--devices") {
+        cfg.devices = devices
+            .parse()
+            .unwrap_or_else(|_| panic!("--devices expects an integer"));
+    }
+    if let Some(mib) = arg_value(&args, "--memory-mib") {
+        let mib: u64 = mib
+            .parse()
+            .unwrap_or_else(|_| panic!("--memory-mib expects an integer"));
+        cfg.device_memory = mib << 20;
+    }
+    let out_path = arg_value(&args, "--out").unwrap_or_else(|| "BENCH_outofcore.json".to_string());
+
+    println!(
+        "# Out-of-core lane sweep ({} devices × {} MiB device memory)\n",
+        cfg.devices,
+        cfg.device_memory >> 20
+    );
+
+    println!("## In-core / out-of-core crossover (service, OutOfCore policy)\n");
+    let crossover = run_crossover_sweep(&cfg);
+    println!("{}", crossover_table(&crossover));
+    match crossover_boundary(&crossover) {
+        Some((last_in, first_out)) => println!(
+            "crossover: batching lane up to {last_in} keys, out-of-core lane from {first_out} keys\n"
+        ),
+        None => println!("sweep did not straddle the admission budget\n"),
+    }
+
+    println!("## Chunk-count sweep (Figure 8 over the pool)\n");
+    let chunks = run_chunk_sweep(&cfg);
+    println!("{}", chunk_table(&chunks));
+    if let (Some(first), Some(best)) = (
+        chunks.first(),
+        chunks
+            .iter()
+            .min_by(|a, b| a.overlap_ratio.total_cmp(&b.overlap_ratio)),
+    ) {
+        println!(
+            "overlap: {:.3}x of the serial bound at {} chunks/device (vs {:.3}x unchunked)",
+            best.overlap_ratio, best.chunks_per_device, first.overlap_ratio
+        );
+    }
+
+    std::fs::write(&out_path, outofcore_to_json(&crossover, &chunks))
+        .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("\nwrote {out_path}");
+}

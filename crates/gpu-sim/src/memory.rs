@@ -82,6 +82,19 @@ impl DeviceMemoryPlanner {
         self.max_chunk_bytes(2, 0.05)
     }
 
+    /// The largest out-of-core *chunk* (keys + values, in bytes) this
+    /// device can stream through the Section 5 pipeline, given the
+    /// remaining capacity.
+    ///
+    /// With the in-place replacement strategy three chunk-sized slots
+    /// coexist in device memory (incoming chunk, chunk being sorted,
+    /// outgoing run — Figure 5); without it four.  Bookkeeping stays below
+    /// 5 % of one slot, as for [`Self::sort_budget_bytes`].
+    pub fn chunk_budget_bytes(&self, in_place_replacement: bool) -> u64 {
+        let slots = if in_place_replacement { 3 } else { 4 };
+        self.max_chunk_bytes(slots, 0.05)
+    }
+
     /// Capacity in bytes.
     pub fn capacity(&self) -> u64 {
         self.capacity
@@ -228,6 +241,20 @@ mod tests {
         used.allocate("resident index", spec.device_memory_bytes / 2)
             .unwrap();
         assert!(used.sort_budget_bytes() < budget / 2 + 1);
+    }
+
+    #[test]
+    fn chunk_budget_matches_the_slot_count() {
+        let spec = DeviceSpec::titan_x_pascal();
+        let p = DeviceMemoryPlanner::for_device(&spec);
+        let three = p.chunk_budget_bytes(true);
+        let four = p.chunk_budget_bytes(false);
+        assert_eq!(three, p.max_chunk_bytes(3, 0.05));
+        assert_eq!(four, p.max_chunk_bytes(4, 0.05));
+        // In-place replacement supports larger chunks, and a chunk is
+        // always smaller than a resident in-core sort's payload.
+        assert!(three > four);
+        assert!(three < p.sort_budget_bytes());
     }
 
     #[test]

@@ -39,4 +39,4 @@ pub use multiway_merge::{
     merge_sorted_runs, merge_sorted_runs_by, parallel_merge_sorted_runs,
     parallel_merge_sorted_runs_by, LoserTree,
 };
-pub use pipeline::{PipelineBreakdown, PipelineConfig, PipelineSchedule};
+pub use pipeline::{PipelineBreakdown, PipelineConfig, PipelineResources, PipelineSchedule};

@@ -187,9 +187,18 @@ impl DevicePool {
     /// bookkeeping overhead) bounds that fraction, and the pool-wide budget
     /// is the tightest such bound.  Admission control in the sort service
     /// layers an extra slack factor on top for splitter imbalance.
+    ///
+    /// A device with a non-positive weight receives (essentially) no data,
+    /// so it never constrains the budget — but a pool with *no*
+    /// positive-weight device can sort nothing, and its budget is 0.  (It
+    /// used to resolve to `u64::MAX`, which made admission control wave
+    /// arbitrarily large requests into a pool that could not run them.)
     pub fn batch_budget_bytes(&self) -> u64 {
         let weights = self.capacity_weights();
-        let total: f64 = weights.iter().sum();
+        let total: f64 = weights.iter().filter(|&&w| w > 0.0).sum();
+        if total <= 0.0 {
+            return 0;
+        }
         self.devices
             .iter()
             .zip(&weights)
@@ -200,6 +209,22 @@ impl DevicePool {
                 } else {
                     (budget * total / w) as u64
                 }
+            })
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// The tightest per-device out-of-core *chunk* budget in bytes: the
+    /// largest chunk (keys + values) every device of the pool can stream
+    /// through the Section 5 pipeline with the given slot strategy.  The
+    /// out-of-core planner sizes per-shard chunk counts against each
+    /// device's own budget; this pool-wide minimum is the conservative
+    /// single number admission layers may reason with.
+    pub fn chunk_budget_bytes(&self, in_place_replacement: bool) -> u64 {
+        self.devices
+            .iter()
+            .map(|d| {
+                DeviceMemoryPlanner::for_device(&d.spec).chunk_budget_bytes(in_place_replacement)
             })
             .min()
             .unwrap_or(0)
@@ -255,6 +280,56 @@ mod tests {
     #[should_panic(expected = "must not be empty")]
     fn empty_pool_panics() {
         DevicePool::new(Vec::new());
+    }
+
+    fn zero_weight_device() -> SimDevice {
+        let mut spec = DeviceSpec::titan_x_pascal();
+        spec.effective_bandwidth = gpu_sim::Bandwidth::from_gb_per_s(0.0);
+        SimDevice::on_pcie3(spec)
+    }
+
+    #[test]
+    fn all_zero_weight_pool_has_zero_budget() {
+        // Regression: a pool whose every device has a non-positive capacity
+        // weight used to resolve to a u64::MAX budget (each device mapped
+        // to "unconstrained" before the min), so admission control admitted
+        // arbitrarily large requests into a pool that can sort nothing.
+        let pool = DevicePool::new(vec![zero_weight_device(), zero_weight_device()]);
+        assert_eq!(pool.batch_budget_bytes(), 0);
+        assert_eq!(
+            DevicePool::new(vec![zero_weight_device()]).batch_budget_bytes(),
+            0
+        );
+    }
+
+    #[test]
+    fn zero_weight_device_does_not_unbound_a_mixed_pool() {
+        // One dead device next to a healthy one: the budget must stay
+        // finite and within the healthy pool's own bound.
+        let healthy = DevicePool::titan_cluster(1).batch_budget_bytes();
+        let mixed = DevicePool::titan_cluster(1)
+            .with_device(zero_weight_device())
+            .batch_budget_bytes();
+        assert!(mixed > 0);
+        assert!(mixed != u64::MAX);
+        assert!(
+            mixed <= healthy,
+            "dead device raised the budget: {mixed} vs {healthy}"
+        );
+    }
+
+    #[test]
+    fn chunk_budget_is_the_tightest_device() {
+        let pool = DevicePool::mixed_demo();
+        let min_dev = pool
+            .devices()
+            .iter()
+            .map(|d| DeviceMemoryPlanner::for_device(&d.spec).chunk_budget_bytes(true))
+            .min()
+            .unwrap();
+        assert_eq!(pool.chunk_budget_bytes(true), min_dev);
+        // In-place replacement (3 slots) always allows larger chunks.
+        assert!(pool.chunk_budget_bytes(true) > pool.chunk_budget_bytes(false));
     }
 
     #[test]

@@ -35,27 +35,28 @@ use workloads::keys::SortKey;
 use workloads::pairs::SortValue;
 
 /// Key extractor for zipped `(key, value)` merge records.
-fn pair_key<K: SortKey, V>(p: &(K, V)) -> u64 {
+pub(crate) fn pair_key<K: SortKey, V>(p: &(K, V)) -> u64 {
     p.0.to_radix()
 }
 
 /// One shard's completed device phase: the functional sort report plus the
 /// measured wall-clock the sort took on the host.
-struct ShardRun {
-    report: SortReport,
-    measured: Duration,
+pub(crate) struct ShardRun {
+    pub(crate) report: SortReport,
+    pub(crate) measured: Duration,
 }
 
 /// A sorter that shards one input across several devices (simulated GPUs
 /// and/or real CPU sockets).
 #[derive(Debug)]
 pub struct ShardedSorter {
-    pool: DevicePool,
-    template: HybridRadixSorter,
-    merge_threads: usize,
-    partition: PartitionConfig,
-    chunks_per_shard: usize,
-    host_exec: Executor,
+    pub(crate) pool: DevicePool,
+    pub(crate) template: HybridRadixSorter,
+    pub(crate) merge_threads: usize,
+    pub(crate) partition: PartitionConfig,
+    pub(crate) chunks_per_shard: usize,
+    pub(crate) ooc: crate::ooc::OocConfig,
+    pub(crate) host_exec: Executor,
     /// One persistent [`HybridRadixSorter`] per pool device ("device
     /// lane").  Each lane owns its own [`hrs_core::ScratchArena`], so
     /// repeated sorts through one `ShardedSorter` — the steady state of the
@@ -65,7 +66,7 @@ pub struct ShardedSorter {
     /// [`Self::with_pool`]).  `try_lock` with an ephemeral fallback keeps
     /// concurrent sorts through one sorter safe (they simply skip lane
     /// reuse), mirroring the arena handling inside `HybridRadixSorter`.
-    lanes: Mutex<Vec<HybridRadixSorter>>,
+    pub(crate) lanes: Mutex<Vec<HybridRadixSorter>>,
 }
 
 impl ShardedSorter {
@@ -80,6 +81,7 @@ impl ShardedSorter {
             merge_threads: 6,
             partition: PartitionConfig::default(),
             chunks_per_shard: 4,
+            ooc: crate::ooc::OocConfig::default(),
             host_exec: Executor::threaded(),
             lanes: Mutex::new(Vec::new()),
         }
@@ -121,6 +123,13 @@ impl ShardedSorter {
     /// chunks = finer upload/sort/download overlap per device).
     pub fn with_chunks_per_shard(mut self, chunks: usize) -> Self {
         self.chunks_per_shard = chunks.max(1);
+        self
+    }
+
+    /// Replaces the out-of-core configuration used by
+    /// [`Self::sort_out_of_core`] / [`Self::sort_out_of_core_pairs`].
+    pub fn with_ooc_config(mut self, cfg: crate::ooc::OocConfig) -> Self {
+        self.ooc = cfg;
         self
     }
 
@@ -294,6 +303,7 @@ impl ShardedSorter {
             combined,
             timeline,
             requests: Vec::new(),
+            ooc_chunks: Vec::new(),
         }
     }
 
@@ -476,6 +486,7 @@ impl Clone for ShardedSorter {
             merge_threads: self.merge_threads,
             partition: self.partition.clone(),
             chunks_per_shard: self.chunks_per_shard,
+            ooc: self.ooc.clone(),
             host_exec: self.host_exec,
             lanes: Mutex::new(Vec::new()),
         }

@@ -1,0 +1,706 @@
+//! Out-of-core sharded sorting: every device streams its shard through the
+//! Section 5 chunked PCIe pipeline.
+//!
+//! The in-core engine ([`ShardedSorter::sort`]) requires every device's
+//! shard to fit its memory budget, so the largest sortable input is bounded
+//! by the sum of device memories.  This module removes that bound by
+//! composing the sharded engine with `hetero`'s heterogeneous pipeline:
+//!
+//! 1. **Partition** exactly as in core: splitters from MSD digit
+//!    histograms, shards proportional to device capacity.
+//! 2. **Chunk** each shard against its *own* device's memory
+//!    ([`gpu_sim::DeviceMemoryPlanner::chunk_budget_bytes`]): with the
+//!    in-place replacement strategy three chunk slots fit, so a chunk may
+//!    take up to a third of the device memory (Figure 5).
+//! 3. **Stream**: each device gets its own three resources (HtD / GPU /
+//!    DtH) on a shared [`gpu_sim::Timeline`], and its chunks run the
+//!    full-duplex schedule of [`hetero::PipelineSchedule`] — uploads,
+//!    sorts and downloads overlap within a device, and devices overlap
+//!    with each other completely.  Chunk sorts are real (the device lane's
+//!    [`hrs_core::HybridRadixSorter`] via the host [`hrs_core::Executor`]);
+//!    CPU sockets contribute measured wall-clock, GPUs their modelled time.
+//! 4. **Recombine** all chunk runs with the generalised parallel p-way
+//!    merge — chunks of one shard interleave, shards do not, and the
+//!    loser-tree merge handles both without caring.
+//!
+//! The paper's example becomes pool-wide: four 12 GB GPUs and 4 GB chunks
+//! sort 256 GB with a single merging pass per device.
+
+use crate::device_pool::DevicePool;
+use crate::engine::{pair_key, ShardedSorter};
+use crate::report::{OocChunkSpan, RequestSpan, ShardReport, ShardedReport};
+use gpu_sim::{DeviceMemoryPlanner, SimTime, Timeline};
+use hetero::chunking::{split_into_chunks, ChunkPlan};
+use hetero::multiway_merge::parallel_merge_sorted_runs_by;
+use hetero::pipeline::{PipelineResources, PipelineSchedule};
+use hrs_core::{HybridRadixSorter, SharedMut, SortReport};
+use std::time::{Duration, Instant};
+use workloads::keys::SortKey;
+use workloads::pairs::SortValue;
+
+/// Configuration of the out-of-core execution path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OocConfig {
+    /// Whether the in-place replacement strategy (three chunk slots per
+    /// device) is used; otherwise four slots are assumed and chunks shrink
+    /// accordingly.
+    pub in_place_replacement: bool,
+    /// Overrides the per-device chunk count (the Figure 8 sweep knob).
+    /// `None` sizes chunks against each device's memory budget.
+    pub chunks_per_device: Option<usize>,
+}
+
+impl Default for OocConfig {
+    fn default() -> Self {
+        OocConfig {
+            in_place_replacement: true,
+            chunks_per_device: None,
+        }
+    }
+}
+
+impl OocConfig {
+    /// Forces every device to stream its shard in exactly `chunks` chunks
+    /// (the chunk-count sweep of Figure 8).
+    pub fn with_chunks_per_device(mut self, chunks: usize) -> Self {
+        self.chunks_per_device = Some(chunks.max(1));
+        self
+    }
+
+    /// Selects the slot strategy (three chunk slots when `true`).
+    pub fn with_in_place_replacement(mut self, in_place: bool) -> Self {
+        self.in_place_replacement = in_place;
+        self
+    }
+
+    /// Chunk slots a device holds under this configuration.
+    pub fn slots(&self) -> u32 {
+        if self.in_place_replacement {
+            3
+        } else {
+            4
+        }
+    }
+}
+
+/// How each device's shard is split into pipeline chunks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OocPlan {
+    /// One element-range chunk plan per device, in pool order.  Ranges are
+    /// relative to the device's own shard buffer.
+    pub device_chunks: Vec<ChunkPlan>,
+}
+
+impl OocPlan {
+    /// Plans the chunking of per-device shards of `shard_lens` elements
+    /// (each element `elem_bytes` bytes) over `pool`.  Every device's chunk
+    /// count comes from its own memory budget
+    /// ([`DeviceMemoryPlanner::chunk_budget_bytes`]) unless
+    /// `cfg.chunks_per_device` overrides it.
+    pub fn for_shards(
+        pool: &DevicePool,
+        shard_lens: &[usize],
+        elem_bytes: u64,
+        cfg: &OocConfig,
+    ) -> OocPlan {
+        assert_eq!(shard_lens.len(), pool.len(), "one shard per device");
+        let device_chunks = pool
+            .devices()
+            .iter()
+            .zip(shard_lens)
+            .map(|(device, &len)| {
+                let chunks = cfg.chunks_per_device.unwrap_or_else(|| {
+                    // The same budget query `fits_budgets` validates
+                    // against — one source of truth for the slot math.
+                    let budget = DeviceMemoryPlanner::for_device(&device.spec)
+                        .chunk_budget_bytes(cfg.in_place_replacement)
+                        .max(1);
+                    (len as u64 * elem_bytes).div_ceil(budget).max(1) as usize
+                });
+                split_into_chunks(len, chunks.max(1))
+            })
+            .collect();
+        OocPlan { device_chunks }
+    }
+
+    /// Total number of chunks across all devices.
+    pub fn total_chunks(&self) -> usize {
+        self.device_chunks.iter().map(ChunkPlan::num_chunks).sum()
+    }
+
+    /// The largest chunk length across all devices.
+    pub fn max_chunk_len(&self) -> usize {
+        self.device_chunks
+            .iter()
+            .map(ChunkPlan::max_chunk_len)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Asserts every chunk of device `i` fits the device's chunk budget
+    /// (only meaningful when no chunk-count override is in force).
+    pub fn fits_budgets(&self, pool: &DevicePool, elem_bytes: u64, cfg: &OocConfig) -> bool {
+        self.device_chunks
+            .iter()
+            .zip(pool.devices())
+            .all(|(plan, device)| {
+                let budget = DeviceMemoryPlanner::for_device(&device.spec)
+                    .chunk_budget_bytes(cfg.in_place_replacement);
+                plan.max_chunk_len() as u64 * elem_bytes <= budget
+            })
+    }
+}
+
+/// One sorted chunk run awaiting the merge, plus its schedule inputs.
+struct ChunkRun {
+    device: usize,
+    chunk: usize,
+    offset: u64,
+    len: usize,
+    report: SortReport,
+    measured: Duration,
+}
+
+impl ShardedSorter {
+    /// Sorts `keys` across the pool through the out-of-core chunked
+    /// pipeline, so the input may exceed every device's memory budget (and
+    /// the sum of device memories).  Functionally identical to
+    /// [`Self::sort`]; the schedule models each device streaming its shard
+    /// chunk by chunk over its own link.
+    pub fn sort_out_of_core<K: SortKey>(&self, keys: &mut Vec<K>) -> ShardedReport {
+        let mut values: Vec<()> = Vec::new();
+        self.sort_ooc_impl(keys, &mut values)
+    }
+
+    /// Out-of-core pair sort: like [`Self::sort_out_of_core`], permuting
+    /// `values` along with the keys.
+    pub fn sort_out_of_core_pairs<K: SortKey, V: SortValue>(
+        &self,
+        keys: &mut Vec<K>,
+        values: &mut Vec<V>,
+    ) -> ShardedReport {
+        assert_eq!(
+            keys.len(),
+            values.len(),
+            "keys and values must have the same length"
+        );
+        self.sort_ooc_impl(keys, values)
+    }
+
+    fn sort_ooc_impl<K: SortKey, V: SortValue>(
+        &self,
+        keys: &mut Vec<K>,
+        values: &mut Vec<V>,
+    ) -> ShardedReport {
+        let n = keys.len();
+        let value_bytes = std::mem::size_of::<V>() as u32;
+        let elem_bytes = K::BYTES as u64 + value_bytes as u64;
+
+        // 1. Partition (host, measured): identical to the in-core path.
+        let partition_start = Instant::now();
+        let splitters = crate::partition::compute_splitters(
+            keys,
+            &self.pool.capacity_weights(),
+            &self.partition,
+        );
+        let (shard_keys, shard_vals) =
+            crate::partition::scatter_into_shards(keys, values, &splitters, &self.host_exec);
+
+        // 2. Chunk each shard against its device's memory budget and carve
+        // the shard buffers into per-chunk buffers (move, not copy:
+        // `split_off` back to front).
+        let shard_lens: Vec<usize> = shard_keys.iter().map(Vec::len).collect();
+        let plan = OocPlan::for_shards(&self.pool, &shard_lens, elem_bytes, &self.ooc);
+        let mut chunk_keys: Vec<Vec<K>> = Vec::with_capacity(plan.total_chunks());
+        let mut chunk_vals: Vec<Vec<V>> = Vec::with_capacity(plan.total_chunks());
+        let mut chunk_meta: Vec<(usize, usize, u64)> = Vec::with_capacity(plan.total_chunks());
+        for (dev, (mut ks, mut vs)) in shard_keys.into_iter().zip(shard_vals).enumerate() {
+            let ranges = &plan.device_chunks[dev].ranges;
+            let mut rear_keys: Vec<Vec<K>> = Vec::with_capacity(ranges.len());
+            let mut rear_vals: Vec<Vec<V>> = Vec::with_capacity(ranges.len());
+            for &(start, _end) in ranges.iter().rev() {
+                rear_vals.push(vs.split_off(start));
+                rear_keys.push(ks.split_off(start));
+            }
+            for (j, (&(start, _), (ck, cv))) in ranges
+                .iter()
+                .zip(rear_keys.into_iter().zip(rear_vals).rev())
+                .enumerate()
+            {
+                chunk_meta.push((dev, j, start as u64));
+                chunk_keys.push(ck);
+                chunk_vals.push(cv);
+            }
+        }
+        let measured_partition = partition_start.elapsed();
+
+        // 3. Real chunk sorts.  Simulated devices fan out over the host
+        // executor — one task per device, chunks sorted in stream order
+        // through the device's persistent lane (a real device sorts one
+        // chunk at a time, and serial lane use keeps the warm arena
+        // uncontended).  CPU-socket chunks sort afterwards in isolation so
+        // their measured wall-clock is not inflated by host contention.
+        let runs = self.sort_chunks(&chunk_meta, &mut chunk_keys, &mut chunk_vals);
+
+        // 4. Per-device full-duplex pipelines on one shared timeline.
+        let (timeline, shards, ooc_chunks) =
+            self.schedule_ooc(&splitters, &shard_lens, &plan, &runs, elem_bytes);
+        let critical_path = timeline.makespan();
+
+        // 5. Recombination (host, measured): one generalised p-way merge
+        // over every chunk run.  Chunks of one shard interleave freely;
+        // shards own disjoint ranges — the loser tree handles both.
+        let merge_start = Instant::now();
+        let zipped: Vec<Vec<(K, V)>> = chunk_keys
+            .iter()
+            .zip(chunk_vals.iter())
+            .map(|(ks, vs)| ks.iter().copied().zip(vs.iter().copied()).collect())
+            .collect();
+        let refs: Vec<&[(K, V)]> = zipped.iter().map(|r| r.as_slice()).collect();
+        let merged = parallel_merge_sorted_runs_by(&refs, self.merge_threads, pair_key::<K, V>);
+        *keys = merged.iter().map(|&(k, _)| k).collect();
+        *values = merged.into_iter().map(|(_, v)| v).collect();
+        let measured_merge = merge_start.elapsed();
+
+        let mut combined = SortReport::new(0, K::BYTES, value_bytes);
+        for r in &runs {
+            combined.absorb(&r.report);
+        }
+
+        let end_to_end = SimTime::from_secs(measured_partition.as_secs_f64())
+            + critical_path
+            + SimTime::from_secs(measured_merge.as_secs_f64());
+
+        ShardedReport {
+            n: n as u64,
+            key_bytes: K::BYTES,
+            value_bytes,
+            shards,
+            splitters,
+            critical_path,
+            measured_partition,
+            measured_merge,
+            end_to_end,
+            combined,
+            timeline,
+            requests: Vec::new(),
+            ooc_chunks,
+        }
+    }
+
+    /// Sorts every chunk for real through its device's lane sorter.
+    fn sort_chunks<K: SortKey, V: SortValue>(
+        &self,
+        chunk_meta: &[(usize, usize, u64)],
+        chunk_keys: &mut [Vec<K>],
+        chunk_vals: &mut [Vec<V>],
+    ) -> Vec<ChunkRun> {
+        let p = self.pool.len();
+        let sorter_for = |i: usize| {
+            let device = &self.pool.devices()[i];
+            self.template
+                .clone()
+                .with_device(device.spec.clone())
+                .with_executor(device.backend.executor())
+        };
+        // Reuse the persistent device lanes exactly like the in-core path.
+        let mut fallback: Option<Vec<HybridRadixSorter>> = None;
+        let mut guard = self.lanes.try_lock().ok();
+        let lanes: &mut Vec<HybridRadixSorter> = match guard.as_deref_mut() {
+            Some(lanes) => lanes,
+            None => fallback.get_or_insert_with(Vec::new),
+        };
+        if lanes.len() != p {
+            *lanes = (0..p).map(sorter_for).collect();
+        }
+        let lanes: &[HybridRadixSorter] = lanes;
+
+        // Chunk indices grouped by device, simulated devices only.
+        let simulated_devices: Vec<usize> = (0..p)
+            .filter(|&i| !self.pool.devices()[i].backend.is_measured())
+            .collect();
+        let chunks_of = |dev: usize| -> Vec<usize> {
+            chunk_meta
+                .iter()
+                .enumerate()
+                .filter(|(_, &(d, _, _))| d == dev)
+                .map(|(c, _)| c)
+                .collect()
+        };
+
+        let mut runs: Vec<Option<ChunkRun>> = (0..chunk_meta.len()).map(|_| None).collect();
+        {
+            let keys_view = SharedMut::new(chunk_keys);
+            let vals_view = SharedMut::new(chunk_vals);
+            let runs_view = SharedMut::new(&mut runs);
+            self.host_exec
+                .for_each_task(simulated_devices.len(), |t, _worker| {
+                    let dev = simulated_devices[t];
+                    for c in chunks_of(dev) {
+                        // SAFETY: chunk indices are distinct across device
+                        // tasks (every chunk belongs to exactly one device),
+                        // so task `t` exclusively owns chunk `c`'s buffers
+                        // and result slot.
+                        let (ks, vs, slot) = unsafe {
+                            (
+                                &mut keys_view.slice_mut(c, 1)[0],
+                                &mut vals_view.slice_mut(c, 1)[0],
+                                &mut runs_view.slice_mut(c, 1)[0],
+                            )
+                        };
+                        let start = Instant::now();
+                        let report = lanes[dev].sort_pairs(ks, vs);
+                        let (device, chunk, offset) = chunk_meta[c];
+                        *slot = Some(ChunkRun {
+                            device,
+                            chunk,
+                            offset,
+                            len: ks.len(),
+                            report,
+                            measured: start.elapsed(),
+                        });
+                    }
+                });
+        }
+        // Measured (CPU-socket) chunks, one at a time on an idle host.
+        for (c, &(dev, chunk, offset)) in chunk_meta.iter().enumerate() {
+            if runs[c].is_some() {
+                continue;
+            }
+            let start = Instant::now();
+            let report = lanes[dev].sort_pairs(&mut chunk_keys[c], &mut chunk_vals[c]);
+            runs[c] = Some(ChunkRun {
+                device: dev,
+                chunk,
+                offset,
+                len: chunk_keys[c].len(),
+                report,
+                measured: start.elapsed(),
+            });
+        }
+        runs.into_iter()
+            .map(|r| r.expect("chunk sort did not run"))
+            .collect()
+    }
+
+    /// Builds the shared timeline: one `PipelineSchedule` per device over
+    /// its own link, all overlapping.
+    fn schedule_ooc(
+        &self,
+        splitters: &crate::partition::SplitterSet,
+        shard_lens: &[usize],
+        plan: &OocPlan,
+        runs: &[ChunkRun],
+        elem_bytes: u64,
+    ) -> (Timeline, Vec<ShardReport>, Vec<OocChunkSpan>) {
+        let mut tl = Timeline::new();
+        let ranges = splitters.ranges();
+        let mut shards = Vec::with_capacity(self.pool.len());
+        let mut spans = Vec::with_capacity(runs.len());
+        for (i, device) in self.pool.devices().iter().enumerate() {
+            let resources = PipelineResources::register(&mut tl, &format!("dev{i} "));
+            // This device's chunk runs in stream order.
+            let mut dev_runs: Vec<&ChunkRun> = runs.iter().filter(|r| r.device == i).collect();
+            dev_runs.sort_by_key(|r| r.chunk);
+            let chunk_bytes: Vec<u64> =
+                dev_runs.iter().map(|r| r.len as u64 * elem_bytes).collect();
+            let sort_times: Vec<SimTime> = dev_runs
+                .iter()
+                .map(|r| {
+                    if device.backend.is_measured() {
+                        SimTime::from_secs(r.measured.as_secs_f64())
+                    } else {
+                        r.report.simulated.total
+                    }
+                })
+                .collect();
+            let (breakdown, chunk_finishes) = PipelineSchedule::schedule_chunks_on(
+                &mut tl,
+                &resources,
+                &format!("dev{i} "),
+                &device.link,
+                self.ooc.in_place_replacement,
+                &chunk_bytes,
+                &sort_times,
+            );
+            for ((j, run), &finish) in dev_runs.iter().enumerate().zip(&chunk_finishes) {
+                spans.push(OocChunkSpan {
+                    device: i,
+                    chunk: run.chunk,
+                    offset: run.offset,
+                    len: run.len as u64,
+                    sort: sort_times[j],
+                    finish,
+                });
+            }
+            // Per-shard report: absorb the chunk reports, measured times
+            // summed for CPU sockets.
+            let mut shard_report = SortReport::new(0, 0, 0);
+            let mut measured_total = Duration::ZERO;
+            for run in &dev_runs {
+                shard_report.absorb(&run.report);
+                measured_total += run.measured;
+            }
+            shards.push(ShardReport {
+                device: device.spec.name.clone(),
+                link: device.link.kind.label().to_string(),
+                n: shard_lens[i] as u64,
+                range: ranges[i],
+                report: shard_report,
+                upload: breakdown.total_htod,
+                gpu_sort: breakdown.total_gpu_sort,
+                download: breakdown.total_dtoh,
+                finish: breakdown.chunked_sort,
+                measured_sort: device.backend.is_measured().then_some(measured_total),
+            });
+            debug_assert_eq!(plan.device_chunks[i].num_chunks(), dev_runs.len());
+        }
+        (tl, shards, spans)
+    }
+
+    /// Batch-aware out-of-core entry point used by the service's
+    /// over-budget lane: records the single request's [`RequestSpan`] in
+    /// the report (the lane never coalesces, so the span covers the whole
+    /// input).
+    pub fn sort_out_of_core_batch<K: SortKey>(&self, keys: &mut Vec<K>) -> ShardedReport {
+        let len = keys.len() as u64;
+        let mut report = self.sort_out_of_core(keys);
+        report.requests = vec![RequestSpan {
+            index: 0,
+            offset: 0,
+            len,
+        }];
+        report
+    }
+
+    /// Pair counterpart of [`Self::sort_out_of_core_batch`].
+    pub fn sort_out_of_core_batch_pairs<K: SortKey, V: SortValue>(
+        &self,
+        keys: &mut Vec<K>,
+        values: &mut Vec<V>,
+    ) -> ShardedReport {
+        let len = keys.len() as u64;
+        let mut report = self.sort_out_of_core_pairs(keys, values);
+        report.requests = vec![RequestSpan {
+            index: 0,
+            offset: 0,
+            len,
+        }];
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device_pool::{DevicePool, SimDevice};
+    use gpu_sim::DeviceSpec;
+    use hrs_core::SortConfig;
+    use workloads::{uniform_keys, KeyCodec, ZipfGenerator};
+
+    /// A pool of `p` Titan-X-like devices whose memory is shrunk to
+    /// `memory` bytes, so small test inputs overflow the in-core budget.
+    fn tiny_memory_pool(p: usize, memory: u64) -> DevicePool {
+        let mut spec = DeviceSpec::titan_x_pascal();
+        spec.device_memory_bytes = memory;
+        DevicePool::homogeneous(p, SimDevice::on_pcie3(spec))
+    }
+
+    fn test_sorter(pool: DevicePool) -> ShardedSorter {
+        let gpu = HybridRadixSorter::new(SortConfig::keys_64().scaled_for(40_000, 250_000_000));
+        ShardedSorter::new(pool)
+            .with_sorter(gpu)
+            .with_merge_threads(4)
+    }
+
+    #[test]
+    fn out_of_core_sorts_beyond_the_pool_budget() {
+        // 2 devices × 1 MiB: the in-core budget is ~1 MiB of payload, the
+        // input is 1.6 MB of u64 keys — strictly over budget.
+        let pool = tiny_memory_pool(2, 1 << 20);
+        let budget = pool.batch_budget_bytes();
+        let n = 200_000usize;
+        assert!(
+            n as u64 * 8 > budget,
+            "input must exceed the in-core budget"
+        );
+        let keys = uniform_keys::<u64>(n, 3);
+        let expected = KeyCodec::std_sorted(&keys);
+        let mut k = keys;
+        let report = test_sorter(pool).sort_out_of_core(&mut k);
+        assert_eq!(k, expected);
+        assert!(report.is_out_of_core());
+        assert_eq!(report.n, n as u64);
+        // Chunking actually happened: more chunks than devices.
+        assert!(
+            report.ooc_chunks.len() > 2,
+            "{} chunks",
+            report.ooc_chunks.len()
+        );
+        assert!(report.critical_path.secs() > 0.0);
+        // Chunk spans tile every shard.
+        for (i, shard) in report.shards.iter().enumerate() {
+            let covered: u64 = report
+                .ooc_chunks
+                .iter()
+                .filter(|c| c.device == i)
+                .map(|c| c.len)
+                .sum();
+            assert_eq!(covered, shard.n, "device {i}");
+            assert_eq!(report.chunks_on_device(i), {
+                let mut chunks: Vec<_> =
+                    report.ooc_chunks.iter().filter(|c| c.device == i).collect();
+                chunks.sort_by_key(|c| c.chunk);
+                let mut offset = 0u64;
+                for c in &chunks {
+                    assert_eq!(c.offset, offset, "chunks must tile the shard in order");
+                    offset += c.len;
+                }
+                chunks.len()
+            });
+            // Every chunk finished no later than the critical path.
+            assert!(shard.finish <= report.critical_path);
+        }
+    }
+
+    #[test]
+    fn out_of_core_matches_in_core_output() {
+        let keys = uniform_keys::<u64>(120_000, 11);
+        let expected = KeyCodec::std_sorted(&keys);
+        let mut in_core = keys.clone();
+        let mut ooc = keys;
+        let big = test_sorter(DevicePool::titan_cluster(2));
+        let small = test_sorter(tiny_memory_pool(2, 1 << 20));
+        big.sort(&mut in_core);
+        let report = small.sort_out_of_core(&mut ooc);
+        assert_eq!(in_core, expected);
+        assert_eq!(ooc, expected);
+        assert!(report.is_out_of_core());
+    }
+
+    #[test]
+    fn ooc_pairs_travel_with_their_keys() {
+        let n = 150_000usize;
+        let keys = uniform_keys::<u32>(n, 7);
+        let mut sorted = keys.clone();
+        let mut vals: Vec<u32> = (0..n as u32).collect();
+        let gpu = HybridRadixSorter::new(SortConfig::pairs_32_32().scaled_for(50_000, 500_000_000));
+        let pool = tiny_memory_pool(2, 1 << 20);
+        assert!(n as u64 * 12 > pool.batch_budget_bytes());
+        let sorter = ShardedSorter::new(pool).with_sorter(gpu);
+        let report = sorter.sort_out_of_core_pairs(&mut sorted, &mut vals);
+        assert!(workloads::pairs::verify_indexed_pair_sort(
+            &keys, &sorted, &vals
+        ));
+        assert!(report.is_out_of_core());
+        assert_eq!(report.value_bytes, 4);
+    }
+
+    #[test]
+    fn zipf_keys_sort_out_of_core() {
+        let keys: Vec<u64> = ZipfGenerator::paper_keys(100_000, 5);
+        let expected = KeyCodec::std_sorted(&keys);
+        let mut k = keys;
+        let report = test_sorter(tiny_memory_pool(3, 1 << 20)).sort_out_of_core(&mut k);
+        assert_eq!(k, expected);
+        assert_eq!(report.combined.n, 100_000);
+        assert_eq!(report.shards.len(), 3);
+    }
+
+    #[test]
+    fn chunk_count_override_drives_the_figure_8_sweep() {
+        let keys = uniform_keys::<u64>(60_000, 9);
+        let expected = KeyCodec::std_sorted(&keys);
+        let mut last_chunks = 0usize;
+        for s in [2usize, 4, 8] {
+            let sorter = test_sorter(DevicePool::titan_cluster(2))
+                .with_ooc_config(OocConfig::default().with_chunks_per_device(s));
+            let mut k = keys.clone();
+            let report = sorter.sort_out_of_core(&mut k);
+            assert_eq!(k, expected, "s = {s}");
+            assert_eq!(report.ooc_chunks.len(), 2 * s);
+            assert_eq!(report.chunks_on_device(0), s);
+            assert!(report.ooc_chunks.len() > last_chunks);
+            last_chunks = report.ooc_chunks.len();
+        }
+    }
+
+    #[test]
+    fn chunked_pipelines_overlap_transfers_with_sorting() {
+        // With two or more chunks per device, a device's uploads, sorts
+        // and downloads overlap, so its finish time is strictly below the
+        // non-pipelined sum of its stage totals.  (Figure 8's *decreasing*
+        // end-to-end curve needs a fixed per-byte sort rate; at functional
+        // test scale every extra chunk adds real per-sort overhead, so the
+        // bench sweeps that claim at paper scale instead.)
+        let keys = uniform_keys::<u64>(80_000, 21);
+        for s in [2usize, 4, 8] {
+            let sorter = test_sorter(DevicePool::titan_cluster(2))
+                .with_ooc_config(OocConfig::default().with_chunks_per_device(s));
+            let mut k = keys.clone();
+            let report = sorter.sort_out_of_core(&mut k);
+            for shard in &report.shards {
+                let serial = shard.upload + shard.gpu_sort + shard.download;
+                assert!(
+                    shard.finish < serial,
+                    "s={s}: no overlap ({} vs serial {serial})",
+                    shard.finish
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn plan_sizes_chunks_against_each_device() {
+        let pool = tiny_memory_pool(2, 1 << 20);
+        let cfg = OocConfig::default();
+        let plan = OocPlan::for_shards(&pool, &[100_000, 100_000], 8, &cfg);
+        assert!(plan.total_chunks() >= 4, "{} chunks", plan.total_chunks());
+        assert!(plan.fits_budgets(&pool, 8, &cfg));
+        // Four slots shrink chunks, so more of them are needed.
+        let four = OocConfig::default().with_in_place_replacement(false);
+        let plan4 = OocPlan::for_shards(&pool, &[100_000, 100_000], 8, &four);
+        assert!(plan4.total_chunks() > plan.total_chunks());
+        // An in-budget shard needs exactly one chunk.
+        let roomy = OocPlan::for_shards(&DevicePool::titan_cluster(2), &[1_000, 1_000], 8, &cfg);
+        assert_eq!(roomy.total_chunks(), 2);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs_survive_the_ooc_path() {
+        let sorter = test_sorter(tiny_memory_pool(2, 1 << 20));
+        let mut empty: Vec<u64> = Vec::new();
+        let report = sorter.sort_out_of_core(&mut empty);
+        assert!(empty.is_empty());
+        assert_eq!(report.n, 0);
+        let mut tiny = vec![9u64, 1, 5];
+        sorter.sort_out_of_core(&mut tiny);
+        assert_eq!(tiny, vec![1, 5, 9]);
+    }
+
+    #[test]
+    fn cpu_socket_chunks_carry_measured_time() {
+        let pool = tiny_memory_pool(1, 1 << 20).add_cpu_socket(2);
+        let gpu = HybridRadixSorter::new(SortConfig::keys_64().scaled_for(40_000, 250_000_000));
+        let sorter = ShardedSorter::new(pool).with_sorter(gpu);
+        let keys = uniform_keys::<u64>(150_000, 13);
+        let expected = KeyCodec::std_sorted(&keys);
+        let mut k = keys;
+        let report = sorter.sort_out_of_core(&mut k);
+        assert_eq!(k, expected);
+        assert!(report.shards[1].measured_sort.is_some());
+        assert!(report.shards[0].measured_sort.is_none());
+    }
+
+    #[test]
+    fn ooc_report_timeline_mentions_every_device() {
+        let mut keys = uniform_keys::<u64>(160_000, 17);
+        let report = test_sorter(tiny_memory_pool(2, 1 << 20)).sort_out_of_core(&mut keys);
+        let rendered = report.timeline.render();
+        for i in 0..2 {
+            assert!(rendered.contains(&format!("dev{i}")));
+        }
+        assert!(rendered.contains("chunk"));
+        assert!(report.end_to_end >= report.critical_path);
+    }
+}

@@ -59,6 +59,32 @@ impl RequestSpan {
     }
 }
 
+/// One chunk of an out-of-core sharded sort: which device streamed it,
+/// which slice of that device's shard it covered, and how it fared on the
+/// shared pipeline timeline.
+///
+/// Produced by [`crate::ShardedSorter::sort_out_of_core`] /
+/// [`crate::ShardedSorter::sort_out_of_core_pairs`]; the service's
+/// over-budget lane surfaces these spans to requesters through the shared
+/// [`ShardedReport`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OocChunkSpan {
+    /// Index of the device (pool order) that sorted the chunk.
+    pub device: usize,
+    /// Index of the chunk within its device's shard, in stream order.
+    pub chunk: usize,
+    /// Offset of the chunk's first element within its device's shard.
+    pub offset: u64,
+    /// Number of elements in the chunk.
+    pub len: u64,
+    /// The chunk's device sorting time (simulated for GPUs, measured for
+    /// CPU sockets).
+    pub sort: SimTime,
+    /// When the chunk's sorted run finished returning to the host on the
+    /// shared timeline.
+    pub finish: SimTime,
+}
+
 /// Full report of one sharded multi-GPU sort.
 #[derive(Debug, Clone)]
 pub struct ShardedReport {
@@ -92,9 +118,26 @@ pub struct ShardedReport {
     /// Per-request offset bookkeeping when this sort ran a coalesced batch
     /// (see [`RequestSpan`]); empty for plain single-request sorts.
     pub requests: Vec<RequestSpan>,
+    /// Per-chunk bookkeeping when this sort ran out of core (see
+    /// [`OocChunkSpan`]); empty for in-core sorts.
+    pub ooc_chunks: Vec<OocChunkSpan>,
 }
 
 impl ShardedReport {
+    /// Whether this sort streamed its shards through the out-of-core
+    /// chunked pipeline.
+    pub fn is_out_of_core(&self) -> bool {
+        !self.ooc_chunks.is_empty()
+    }
+
+    /// Number of pipeline chunks device `i` streamed (0 for in-core sorts).
+    pub fn chunks_on_device(&self, device: usize) -> usize {
+        self.ooc_chunks
+            .iter()
+            .filter(|c| c.device == device)
+            .count()
+    }
+
     /// Total input size in bytes (keys + values).
     pub fn input_bytes(&self) -> u64 {
         self.n * (self.key_bytes as u64 + self.value_bytes as u64)

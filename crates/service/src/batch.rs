@@ -120,6 +120,30 @@ pub fn elem_bytes<K: ServiceKey>() -> u64 {
     K::BYTES as u64 + 8
 }
 
+/// The largest batchable request in keys.  A batched key's demux tag packs
+/// the request's local index (or pair value) into the low 32 tag bits, so a
+/// request's indices must fit `u32` — a longer request would wrap and
+/// silently corrupt the `(slot << 32) | index` tags of every other request
+/// in the batch.  Enforced as a hard [`crate::SubmitError::TooManyKeys`]
+/// at admission (it used to be a release-invisible `debug_assert!`).
+pub const MAX_REQUEST_KEYS: usize = u32::MAX as usize;
+
+/// The most requests one batch may hold: the slot half of the demux tag is
+/// the high 32 bits, so slot ids must fit `u32`.
+/// [`crate::ServiceConfig::with_max_batch_requests`] clamps to this.
+pub const MAX_BATCH_SLOTS: usize = u32::MAX as usize;
+
+/// The admission-side check behind [`MAX_REQUEST_KEYS`]: `Some(error)`
+/// when a request of `keys` keys cannot be tagged safely.  Factored out so
+/// the overflow arithmetic is testable without allocating a ≥ 2³²-element
+/// payload.
+pub fn oversize_request_error(keys: usize) -> Option<crate::SubmitError> {
+    (keys > MAX_REQUEST_KEYS).then_some(crate::SubmitError::TooManyKeys {
+        keys,
+        max: MAX_REQUEST_KEYS,
+    })
+}
+
 impl<K: ServiceKey> ClassQueue<K> {
     /// A queue flushing through (a clone of) the given sorter.  Each class
     /// gets its own clone so concurrent flushes of different classes both
@@ -138,8 +162,22 @@ impl<K: ServiceKey> ClassQueue<K> {
     }
 
     /// Admits a request into the pending batch.
+    ///
+    /// The tag-packing limits are enforced for real (not `debug_assert!`):
+    /// admission control rejects violating requests before they reach the
+    /// queue, so a failure here means a service-internal bug, and
+    /// corrupting every other request's demux tags is not an acceptable
+    /// release-build response to it.
     pub fn push(&mut self, req: Pending<K>) {
-        debug_assert!(req.keys.len() < u32::MAX as usize);
+        assert!(
+            req.keys.len() <= MAX_REQUEST_KEYS,
+            "request of {} keys exceeds the demux-tag index space",
+            req.keys.len()
+        );
+        assert!(
+            self.pending.len() < MAX_BATCH_SLOTS,
+            "batch already holds the maximum {MAX_BATCH_SLOTS} request slots"
+        );
         self.pending_bytes += req.keys.len() as u64 * elem_bytes::<K>();
         self.pending.push(req);
     }
@@ -283,6 +321,27 @@ mod tests {
     #[test]
     fn flush_of_empty_queue_is_none() {
         assert!(queue::<u32>().flush(FlushReason::Drain, 0).is_none());
+    }
+
+    #[test]
+    fn oversize_request_check_trips_past_the_tag_limit() {
+        // Regression (slot-tag packing): a ≥ 2³²-key request used to pass a
+        // release build silently (`debug_assert!` only) and wrap its local
+        // indices into other requests' slot bits.  The admission check must
+        // trip exactly past MAX_REQUEST_KEYS.
+        assert!(oversize_request_error(0).is_none());
+        assert!(oversize_request_error(MAX_REQUEST_KEYS).is_none());
+        let err = oversize_request_error(MAX_REQUEST_KEYS + 1).unwrap();
+        match err {
+            crate::SubmitError::TooManyKeys { keys, max } => {
+                assert_eq!(keys, MAX_REQUEST_KEYS + 1);
+                assert_eq!(max, MAX_REQUEST_KEYS);
+            }
+            other => panic!("wrong error: {other}"),
+        }
+        // The limit is exactly the 32-bit index space: one more key and a
+        // local index would no longer fit the low tag half.
+        assert_eq!(MAX_REQUEST_KEYS as u64, (1u64 << 32) - 1);
     }
 
     #[test]

@@ -3,6 +3,24 @@
 use hrs_core::Executor;
 use std::time::Duration;
 
+/// What [`SortService::submit`](crate::SortService::submit) does with a
+/// request larger than the pool's admission budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverBudgetPolicy {
+    /// Reject the request with
+    /// [`SubmitError::TooLarge`](crate::SubmitError::TooLarge) — the
+    /// pre-out-of-core behaviour, and the default.
+    #[default]
+    Reject,
+    /// Admit the request into the dedicated out-of-core lane: it bypasses
+    /// batching entirely and runs as one
+    /// [`multi_gpu::ShardedSorter::sort_out_of_core`] sort, each device
+    /// streaming its shard through the chunked full-duplex pipeline of
+    /// Section 5.  The maximum sortable request is then bounded by host
+    /// memory, not by device memory.
+    OutOfCore,
+}
+
 /// Configuration of a [`SortService`](crate::SortService).
 ///
 /// The two batching knobs trade latency for throughput exactly like a
@@ -36,6 +54,10 @@ pub struct ServiceConfig {
     /// concurrently.  Shard fan-out *within* a batch is governed by the
     /// sorter's own host executor instead.
     pub flush_executor: Executor,
+    /// What to do with a request above the admission budget: bounce it
+    /// ([`OverBudgetPolicy::Reject`]) or stream it through the out-of-core
+    /// lane ([`OverBudgetPolicy::OutOfCore`]).
+    pub over_budget: OverBudgetPolicy,
 }
 
 impl Default for ServiceConfig {
@@ -47,6 +69,7 @@ impl Default for ServiceConfig {
             max_batch_requests: 1024,
             budget_slack: 0.5,
             flush_executor: Executor::with_workers(2),
+            over_budget: OverBudgetPolicy::default(),
         }
     }
 }
@@ -71,9 +94,17 @@ impl ServiceConfig {
     }
 
     /// Sets the request-count flush threshold (≥ 1; `1` disables
-    /// coalescing).
+    /// coalescing).  Clamped to [`crate::batch::MAX_BATCH_SLOTS`]: a batch
+    /// tags every key with its request slot in the high 32 tag bits, so no
+    /// batch may hold more requests than the slot space addresses.
     pub fn with_max_batch_requests(mut self, requests: usize) -> Self {
-        self.max_batch_requests = requests.max(1);
+        self.max_batch_requests = requests.clamp(1, crate::batch::MAX_BATCH_SLOTS);
+        self
+    }
+
+    /// Sets the over-budget policy.
+    pub fn with_over_budget(mut self, policy: OverBudgetPolicy) -> Self {
+        self.over_budget = policy;
         self
     }
 
@@ -116,5 +147,24 @@ mod tests {
         assert!(ServiceConfig::default().budget_slack < 1.0);
         assert_eq!(ServiceConfig::unbatched().max_batch_requests, 1);
         assert_eq!(ServiceConfig::unbatched().max_linger, Duration::ZERO);
+    }
+
+    #[test]
+    fn request_cap_is_clamped_to_the_slot_space() {
+        // Regression (slot-tag packing): a batch cannot hold more requests
+        // than the 32-bit slot half of the demux tag can address.
+        let cfg = ServiceConfig::default().with_max_batch_requests(usize::MAX);
+        assert_eq!(cfg.max_batch_requests, crate::batch::MAX_BATCH_SLOTS);
+        assert!(crate::batch::MAX_BATCH_SLOTS <= u32::MAX as usize);
+    }
+
+    #[test]
+    fn over_budget_defaults_to_reject() {
+        assert_eq!(
+            ServiceConfig::default().over_budget,
+            OverBudgetPolicy::Reject
+        );
+        let cfg = ServiceConfig::default().with_over_budget(OverBudgetPolicy::OutOfCore);
+        assert_eq!(cfg.over_budget, OverBudgetPolicy::OutOfCore);
     }
 }

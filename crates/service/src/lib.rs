@@ -65,11 +65,13 @@
 
 pub mod batch;
 pub mod config;
+pub mod ooc_lane;
 pub mod request;
 pub mod service;
 
-pub use config::ServiceConfig;
-pub use multi_gpu::RequestSpan;
+pub use config::{OverBudgetPolicy, ServiceConfig};
+pub use multi_gpu::{OocChunkSpan, RequestSpan};
+pub use ooc_lane::OocStats;
 pub use request::{
     BatchInfo, FlushReason, KeyClass, SortOutcome, SortPayload, SortTicket, SubmitError,
     TicketError,

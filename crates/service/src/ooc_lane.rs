@@ -1,0 +1,144 @@
+//! The dedicated out-of-core lane for over-budget requests.
+//!
+//! A request larger than the pool's admission budget can never be batched —
+//! no formed batch may exceed what the devices' memory planners allow.
+//! Under [`OverBudgetPolicy::OutOfCore`](crate::OverBudgetPolicy::OutOfCore)
+//! such a request is instead admitted into this lane: its own worker
+//! thread, its own sorter clone (own warm device lanes), no coalescing.
+//! Each request runs as one
+//! [`multi_gpu::ShardedSorter::sort_out_of_core`] sort — every device
+//! streams its shard through the chunked full-duplex PCIe pipeline of
+//! Section 5 — and resolves with the per-chunk
+//! [`multi_gpu::OocChunkSpan`]s in its shared report.
+//!
+//! Keeping the lane on its own thread means a multi-gigabyte streaming
+//! sort never blocks the latency-sensitive batching worker next door.
+
+use crate::request::{BatchInfo, FlushReason, SortOutcome, SortPayload};
+use crate::service::Submission;
+use multi_gpu::{RequestSpan, ShardedReport, ShardedSorter};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Instant;
+
+/// Lifetime counters of the out-of-core lane, merged into
+/// [`ServiceStats`](crate::ServiceStats) at shutdown.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OocStats {
+    /// Requests sorted through the lane.
+    pub requests: u64,
+    /// Total keys sorted through the lane.
+    pub elements: u64,
+    /// Total pipeline chunks streamed across all lane requests.
+    pub chunks: u64,
+}
+
+/// The lane worker: owns a sorter clone and drains its own channel.
+pub(crate) struct OocLaneWorker {
+    sorter: ShardedSorter,
+    in_flight: Arc<AtomicUsize>,
+    next_batch: Arc<AtomicU64>,
+}
+
+impl OocLaneWorker {
+    pub(crate) fn new(
+        sorter: ShardedSorter,
+        in_flight: Arc<AtomicUsize>,
+        next_batch: Arc<AtomicU64>,
+    ) -> Self {
+        OocLaneWorker {
+            sorter,
+            in_flight,
+            next_batch,
+        }
+    }
+
+    pub(crate) fn run(self, rx: mpsc::Receiver<Submission>) -> OocStats {
+        let mut stats = OocStats::default();
+        while let Ok(sub) = rx.recv() {
+            let (elements, chunks) = self.handle(sub);
+            stats.requests += 1;
+            stats.elements += elements;
+            stats.chunks += chunks;
+        }
+        stats
+    }
+
+    /// Runs one over-budget request end to end and resolves its ticket.
+    /// Returns `(elements, chunks)` for the lane statistics.
+    fn handle(&self, sub: Submission) -> (u64, u64) {
+        let dispatch = Instant::now();
+        let elements = sub.payload.len() as u64;
+        let bytes = sub.payload.batch_bytes();
+        let (payload, report) = match sub.payload {
+            SortPayload::U32Keys(mut keys) => {
+                let report = self.sorter.sort_out_of_core_batch(&mut keys);
+                (SortPayload::U32Keys(keys), report)
+            }
+            SortPayload::U64Keys(mut keys) => {
+                let report = self.sorter.sort_out_of_core_batch(&mut keys);
+                (SortPayload::U64Keys(keys), report)
+            }
+            SortPayload::U32Pairs {
+                mut keys,
+                mut values,
+            } => {
+                let report = self
+                    .sorter
+                    .sort_out_of_core_batch_pairs(&mut keys, &mut values);
+                (SortPayload::U32Pairs { keys, values }, report)
+            }
+            SortPayload::U64Pairs {
+                mut keys,
+                mut values,
+            } => {
+                let report = self
+                    .sorter
+                    .sort_out_of_core_batch_pairs(&mut keys, &mut values);
+                (SortPayload::U64Pairs { keys, values }, report)
+            }
+        };
+        let chunks = report.ooc_chunks.len() as u64;
+        let outcome = Self::outcome(
+            payload,
+            report,
+            self.next_batch.fetch_add(1, Ordering::Relaxed),
+            bytes,
+            dispatch.saturating_duration_since(sub.submitted),
+        );
+        // Release the admission slot first, then resolve the ticket (a
+        // dropped ticket just discards its outcome) — same order as the
+        // batching lane, so a requester can resubmit immediately.
+        self.in_flight.fetch_sub(1, Ordering::AcqRel);
+        let _ = sub.tx.send(outcome);
+        (elements, chunks)
+    }
+
+    fn outcome(
+        payload: SortPayload,
+        report: ShardedReport,
+        batch: u64,
+        bytes: u64,
+        queued: std::time::Duration,
+    ) -> SortOutcome {
+        let elements = payload.len() as u64;
+        let span = report.requests.first().copied().unwrap_or(RequestSpan {
+            index: 0,
+            offset: 0,
+            len: elements,
+        });
+        SortOutcome {
+            payload,
+            span,
+            report: Arc::new(report),
+            batch: BatchInfo {
+                batch,
+                requests: 1,
+                elements,
+                bytes,
+                reason: FlushReason::OutOfCore,
+            },
+            queued,
+        }
+    }
+}

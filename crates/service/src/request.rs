@@ -114,13 +114,27 @@ pub enum SubmitError {
         /// The configured admission limit.
         queue_depth: usize,
     },
-    /// The single request exceeds the device pool's admission budget — it
-    /// could never be scheduled, batched or not.
+    /// The single request exceeds the device pool's admission budget and
+    /// the service's [`OverBudgetPolicy`](crate::OverBudgetPolicy) is
+    /// `Reject` — with the `OutOfCore` policy the request would instead be
+    /// admitted into the chunked out-of-core lane.
     TooLarge {
         /// The request's size in batch bytes (keys + demux tags).
         bytes: u64,
         /// The pool budget after the configured slack.
         budget: u64,
+    },
+    /// The request holds more keys than the batch demux-tag scheme can
+    /// address: every batched key carries a `(slot << 32) | index` tag, so
+    /// a request's local index must fit 32 bits.  A larger request would
+    /// silently corrupt every other request's tags in release builds (this
+    /// used to be a `debug_assert!` only); it is now rejected at admission.
+    TooManyKeys {
+        /// Number of keys submitted.
+        keys: usize,
+        /// The largest batchable request in keys
+        /// ([`crate::batch::MAX_REQUEST_KEYS`]).
+        max: usize,
     },
     /// A pair payload whose key and value lengths differ.
     MismatchedPair {
@@ -147,6 +161,10 @@ impl std::fmt::Display for SubmitError {
                 f,
                 "request of {bytes} bytes exceeds the pool admission budget of {budget} bytes"
             ),
+            SubmitError::TooManyKeys { keys, max } => write!(
+                f,
+                "request of {keys} keys exceeds the {max}-key demux-tag limit of a batch"
+            ),
             SubmitError::MismatchedPair { keys, values } => {
                 write!(f, "pair payload with {keys} keys but {values} values")
             }
@@ -168,6 +186,10 @@ pub enum FlushReason {
     RequestCap,
     /// Shutdown drain: the submission queue disconnected.
     Drain,
+    /// The request exceeded the admission budget and rode the dedicated
+    /// out-of-core lane (one chunked sharded sort per request, no
+    /// coalescing).
+    OutOfCore,
 }
 
 impl FlushReason {
@@ -178,6 +200,7 @@ impl FlushReason {
             FlushReason::Linger => "linger",
             FlushReason::RequestCap => "request-cap",
             FlushReason::Drain => "drain",
+            FlushReason::OutOfCore => "out-of-core",
         }
     }
 }
@@ -304,9 +327,16 @@ mod tests {
         assert!(SubmitError::MismatchedPair { keys: 2, values: 3 }
             .to_string()
             .contains("2 keys"));
+        assert!(SubmitError::TooManyKeys {
+            keys: 5_000_000_000,
+            max: u32::MAX as usize
+        }
+        .to_string()
+        .contains("demux-tag"));
         assert!(SubmitError::ShuttingDown.to_string().contains("shutting"));
         assert!(TicketError::ServiceDropped.to_string().contains("dropped"));
         assert_eq!(FlushReason::Linger.label(), "linger");
         assert_eq!(FlushReason::Drain.label(), "drain");
+        assert_eq!(FlushReason::OutOfCore.label(), "out-of-core");
     }
 }

@@ -1,7 +1,10 @@
 //! The service front end and its worker loop.
 
-use crate::batch::{elem_bytes, ClassQueue, FlushSummary, Pending, ServiceKey};
-use crate::config::ServiceConfig;
+use crate::batch::{
+    elem_bytes, oversize_request_error, ClassQueue, FlushSummary, Pending, ServiceKey,
+};
+use crate::config::{OverBudgetPolicy, ServiceConfig};
+use crate::ooc_lane::{OocLaneWorker, OocStats};
 use crate::request::{FlushReason, KeyClass, SortOutcome, SortPayload, SortTicket, SubmitError};
 use hrs_core::Executor;
 use multi_gpu::ShardedSorter;
@@ -30,6 +33,11 @@ pub struct ServiceStats {
     pub flushed_by_cap: u64,
     /// Batches flushed by the shutdown drain.
     pub flushed_by_drain: u64,
+    /// Over-budget requests sorted through the out-of-core lane (also
+    /// counted in `requests` and `elements`).
+    pub ooc_requests: u64,
+    /// Pipeline chunks streamed across all out-of-core requests.
+    pub ooc_chunks: u64,
 }
 
 impl ServiceStats {
@@ -42,25 +50,39 @@ impl ServiceStats {
             FlushReason::Linger => self.flushed_by_linger += 1,
             FlushReason::RequestCap => self.flushed_by_cap += 1,
             FlushReason::Drain => self.flushed_by_drain += 1,
+            // Out-of-core sorts bypass the batching queues entirely; their
+            // counters merge from `OocStats` at shutdown instead.
+            FlushReason::OutOfCore => {}
         }
     }
 
-    /// Mean requests per batch (1.0 when nothing coalesced).
+    /// Folds the out-of-core lane's lifetime counters in (at shutdown).
+    fn absorb_ooc(&mut self, ooc: &OocStats) {
+        self.requests += ooc.requests;
+        self.elements += ooc.elements;
+        self.ooc_requests = ooc.requests;
+        self.ooc_chunks = ooc.chunks;
+    }
+
+    /// Mean requests per batch (1.0 when nothing coalesced).  Out-of-core
+    /// requests never ride a batch, so they are excluded from the ratio.
     pub fn mean_batch_requests(&self) -> f64 {
+        let batched = self.requests.saturating_sub(self.ooc_requests);
         if self.batches == 0 {
             1.0
         } else {
-            self.requests as f64 / self.batches as f64
+            batched as f64 / self.batches as f64
         }
     }
 }
 
-/// A request as it travels from [`SortService::submit`] to the worker.
-struct Submission {
-    id: u64,
-    payload: SortPayload,
-    tx: mpsc::Sender<SortOutcome>,
-    submitted: Instant,
+/// A request as it travels from [`SortService::submit`] to a worker (the
+/// batching worker or the out-of-core lane).
+pub(crate) struct Submission {
+    pub(crate) id: u64,
+    pub(crate) payload: SortPayload,
+    pub(crate) tx: mpsc::Sender<SortOutcome>,
+    pub(crate) submitted: Instant,
 }
 
 /// The async batch sort service (see the [crate docs](crate) for the full
@@ -70,10 +92,21 @@ struct Submission {
 pub struct SortService {
     tx: Option<mpsc::Sender<Submission>>,
     worker: Option<JoinHandle<ServiceStats>>,
+    /// Channel and worker of the out-of-core lane; `None` under
+    /// [`OverBudgetPolicy::Reject`].
+    ooc_tx: Option<mpsc::Sender<Submission>>,
+    ooc_worker: Option<JoinHandle<OocStats>>,
     in_flight: Arc<AtomicUsize>,
     next_id: AtomicU64,
     queue_depth: usize,
     admission_budget: u64,
+    /// Whether the pool can sort anything at all (a positive raw budget).
+    /// A zero-budget pool — e.g. every device has a non-positive capacity
+    /// weight — must reject over-budget requests even under the
+    /// out-of-core policy: the lane shards by capacity weight too, so
+    /// there is no device that could take a chunk.
+    pool_can_sort: bool,
+    over_budget: OverBudgetPolicy,
 }
 
 impl SortService {
@@ -82,25 +115,56 @@ impl SortService {
     /// The admission budget is resolved here:
     /// `pool.batch_budget_bytes() × cfg.budget_slack` bounds both a single
     /// request and the size threshold a batch flushes at, so no formed
-    /// batch can exceed what the devices' memory planners allow.
+    /// batch can exceed what the devices' memory planners allow.  Under
+    /// [`OverBudgetPolicy::OutOfCore`] a second worker thread (the
+    /// out-of-core lane, with its own sorter clone) admits requests
+    /// *above* the budget and streams them through the chunked pipeline.
     pub fn start(sorter: ShardedSorter, cfg: ServiceConfig) -> Self {
-        let admission_budget =
-            (sorter.pool().batch_budget_bytes() as f64 * cfg.budget_slack).max(1.0) as u64;
+        let pool_budget = sorter.pool().batch_budget_bytes();
+        let admission_budget = (pool_budget as f64 * cfg.budget_slack).max(1.0) as u64;
+        let pool_can_sort = pool_budget > 0;
         let queue_depth = cfg.queue_depth;
+        let over_budget = cfg.over_budget;
         let in_flight = Arc::new(AtomicUsize::new(0));
+        // Batch ids stay unique across both lanes: they draw from one
+        // shared counter.
+        let next_batch = Arc::new(AtomicU64::new(0));
+
+        let (ooc_tx, ooc_worker) = if over_budget == OverBudgetPolicy::OutOfCore {
+            let (tx, rx) = mpsc::channel::<Submission>();
+            let lane = OocLaneWorker::new(
+                sorter.clone(),
+                Arc::clone(&in_flight),
+                Arc::clone(&next_batch),
+            );
+            let handle = std::thread::Builder::new()
+                .name("sort-service-ooc".into())
+                .spawn(move || lane.run(rx))
+                .expect("spawning the out-of-core lane worker");
+            (Some(tx), Some(handle))
+        } else {
+            (None, None)
+        };
+
         let (tx, rx) = mpsc::channel();
         let worker_inflight = Arc::clone(&in_flight);
         let worker = std::thread::Builder::new()
             .name("sort-service".into())
-            .spawn(move || Worker::new(sorter, cfg, admission_budget, worker_inflight).run(rx))
+            .spawn(move || {
+                Worker::new(sorter, cfg, admission_budget, worker_inflight, next_batch).run(rx)
+            })
             .expect("spawning the sort-service worker");
         SortService {
             tx: Some(tx),
             worker: Some(worker),
+            ooc_tx,
+            ooc_worker,
             in_flight,
             next_id: AtomicU64::new(0),
             queue_depth,
             admission_budget,
+            pool_can_sort,
+            over_budget,
         }
     }
 
@@ -117,11 +181,21 @@ impl SortService {
     /// Submits a sort request.  Non-blocking: returns a [`SortTicket`]
     /// immediately, or a [`SubmitError`] when admission control rejects the
     /// request (saturation, size, malformed pairs, shutdown).
+    ///
+    /// A request above the admission budget is routed by the configured
+    /// [`OverBudgetPolicy`]: rejected as [`SubmitError::TooLarge`], or
+    /// admitted into the dedicated out-of-core lane (bypassing batching;
+    /// its outcome reports [`FlushReason::OutOfCore`] and carries the
+    /// per-chunk spans in the shared report).
     pub fn submit(&self, payload: SortPayload) -> Result<SortTicket, SubmitError> {
+        // Exhaustive on purpose: a new payload variant must decide here
+        // whether it carries values (and how their length is validated)
+        // before it can be admitted at all.
         let (keys_len, values_len) = match &payload {
+            SortPayload::U32Keys(keys) => (keys.len(), keys.len()),
+            SortPayload::U64Keys(keys) => (keys.len(), keys.len()),
             SortPayload::U32Pairs { keys, values } => (keys.len(), values.len()),
             SortPayload::U64Pairs { keys, values } => (keys.len(), values.len()),
-            _ => (0, 0),
         };
         if keys_len != values_len {
             return Err(SubmitError::MismatchedPair {
@@ -130,14 +204,34 @@ impl SortService {
             });
         }
         let bytes = payload.batch_bytes();
-        if bytes > self.admission_budget {
-            return Err(SubmitError::TooLarge {
-                bytes,
-                budget: self.admission_budget,
-            });
-        }
-        let Some(tx) = self.tx.as_ref() else {
-            return Err(SubmitError::ShuttingDown);
+        let tx = if bytes > self.admission_budget {
+            // A pool that can sort nothing (zero raw budget — e.g. every
+            // device has a non-positive capacity weight) rejects under
+            // *both* policies: the out-of-core lane shards by the same
+            // capacity weights, so it could not run the request either.
+            if self.over_budget == OverBudgetPolicy::Reject || !self.pool_can_sort {
+                return Err(SubmitError::TooLarge {
+                    bytes,
+                    budget: self.admission_budget,
+                });
+            }
+            // Over-budget lane: no batching, no demux tags, so the
+            // slot-tag key limit does not apply.
+            match self.ooc_tx.as_ref() {
+                Some(ooc_tx) => ooc_tx,
+                None => return Err(SubmitError::ShuttingDown),
+            }
+        } else {
+            // Batched requests must fit the demux-tag index space —
+            // enforced here as a hard error, where it used to be a
+            // release-invisible debug assert deep in the class queue.
+            if let Some(err) = oversize_request_error(keys_len) {
+                return Err(err);
+            }
+            let Some(tx) = self.tx.as_ref() else {
+                return Err(SubmitError::ShuttingDown);
+            };
+            tx
         };
         // Reserve an in-flight slot; the worker releases it once the
         // request's batch completed.
@@ -177,9 +271,18 @@ impl SortService {
 
     fn shutdown_in_place(&mut self) -> Option<ServiceStats> {
         drop(self.tx.take());
-        self.worker
+        drop(self.ooc_tx.take());
+        let mut stats = self
+            .worker
             .take()
-            .map(|w| w.join().expect("sort-service worker panicked"))
+            .map(|w| w.join().expect("sort-service worker panicked"));
+        if let Some(ooc) = self.ooc_worker.take() {
+            let ooc_stats = ooc.join().expect("out-of-core lane worker panicked");
+            if let Some(stats) = stats.as_mut() {
+                stats.absorb_ooc(&ooc_stats);
+            }
+        }
+        stats
     }
 }
 
@@ -196,7 +299,9 @@ struct Worker {
     q64: ClassQueue<u64>,
     cfg: ServiceConfig,
     max_batch_bytes: u64,
-    next_batch: u64,
+    /// Shared with the out-of-core lane so batch ids stay unique
+    /// service-wide.
+    next_batch: Arc<AtomicU64>,
     stats: ServiceStats,
 }
 
@@ -206,6 +311,7 @@ impl Worker {
         cfg: ServiceConfig,
         admission_budget: u64,
         in_flight: Arc<AtomicUsize>,
+        next_batch: Arc<AtomicU64>,
     ) -> Self {
         // The size threshold is capped by the admission budget, and
         // `admit` flushes a class *before* an addition would cross the
@@ -218,9 +324,13 @@ impl Worker {
             q64: ClassQueue::new(sorter, in_flight),
             cfg,
             max_batch_bytes,
-            next_batch: 0,
+            next_batch,
             stats: ServiceStats::default(),
         }
+    }
+
+    fn next_batch_id(&self) -> u64 {
+        self.next_batch.fetch_add(1, Ordering::Relaxed)
     }
 
     fn run(mut self, rx: mpsc::Receiver<Submission>) -> ServiceStats {
@@ -269,8 +379,7 @@ impl Worker {
                 if !self.q32.is_empty()
                     && self.q32.pending_bytes() + incoming > self.max_batch_bytes
                 {
-                    let id = self.next_batch;
-                    self.next_batch += 1;
+                    let id = self.next_batch_id();
                     if let Some(s) = self.q32.flush(FlushReason::Bytes, id) {
                         self.stats.absorb(&s);
                     }
@@ -289,8 +398,7 @@ impl Worker {
                 if !self.q64.is_empty()
                     && self.q64.pending_bytes() + incoming > self.max_batch_bytes
                 {
-                    let id = self.next_batch;
-                    self.next_batch += 1;
+                    let id = self.next_batch_id();
                     if let Some(s) = self.q64.flush(FlushReason::Bytes, id) {
                         self.stats.absorb(&s);
                     }
@@ -360,14 +468,8 @@ impl Worker {
     /// concurrently on the flush executor (each owns its sorter clone, so
     /// both keep warm lanes); batch ids stay monotonic.
     fn flush_classes(&mut self, r32: Option<FlushReason>, r64: Option<FlushReason>) {
-        let id32 = r32.map(|_| {
-            self.next_batch += 1;
-            self.next_batch - 1
-        });
-        let id64 = r64.map(|_| {
-            self.next_batch += 1;
-            self.next_batch - 1
-        });
+        let id32 = r32.map(|_| self.next_batch_id());
+        let id64 = r64.map(|_| self.next_batch_id());
         let summaries: Vec<Option<FlushSummary>> = match (r32, r64) {
             (None, None) => return,
             (Some(re), None) => vec![self.q32.flush(re, id32.unwrap())],
@@ -405,11 +507,23 @@ impl Worker {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use multi_gpu::DevicePool;
+    use multi_gpu::{DevicePool, SimDevice};
     use workloads::uniform_keys;
 
     fn small_service(cfg: ServiceConfig) -> SortService {
         SortService::start(ShardedSorter::new(DevicePool::titan_cluster(2)), cfg)
+    }
+
+    /// A pool whose devices hold only `memory` bytes each, so modest test
+    /// inputs overflow the admission budget.
+    fn tiny_memory_pool(p: usize, memory: u64) -> DevicePool {
+        let mut spec = gpu_sim::DeviceSpec::titan_x_pascal();
+        spec.device_memory_bytes = memory;
+        DevicePool::homogeneous(p, SimDevice::on_pcie3(spec))
+    }
+
+    fn tiny_memory_service(cfg: ServiceConfig) -> SortService {
+        SortService::start(ShardedSorter::new(tiny_memory_pool(2, 1 << 20)), cfg)
     }
 
     #[test]
@@ -589,12 +703,154 @@ mod tests {
     }
 
     #[test]
+    fn over_budget_request_rides_the_out_of_core_lane() {
+        let service = tiny_memory_service(
+            ServiceConfig::default().with_over_budget(OverBudgetPolicy::OutOfCore),
+        );
+        let budget = service.admission_budget();
+        let n = 200_000usize;
+        let keys = uniform_keys::<u64>(n, 31);
+        let payload = SortPayload::U64Keys(keys.clone());
+        assert!(
+            payload.batch_bytes() > budget,
+            "test input must exceed the {budget}-byte budget"
+        );
+        let ticket = service.submit(payload).expect("out-of-core admission");
+        let outcome = ticket.wait().unwrap();
+        let SortPayload::U64Keys(sorted) = outcome.payload else {
+            panic!("wrong variant")
+        };
+        let mut expect = keys;
+        expect.sort_unstable();
+        assert_eq!(sorted, expect);
+        assert_eq!(outcome.batch.reason, FlushReason::OutOfCore);
+        assert_eq!(outcome.batch.requests, 1);
+        assert_eq!(outcome.span.len, n as u64);
+        assert!(outcome.report.is_out_of_core());
+        assert!(
+            outcome.report.ooc_chunks.len() > 2,
+            "expected real chunking, got {} chunks",
+            outcome.report.ooc_chunks.len()
+        );
+        let stats = service.shutdown();
+        assert_eq!(stats.ooc_requests, 1);
+        assert_eq!(stats.requests, 1);
+        assert!(stats.ooc_chunks > 2);
+        assert_eq!(stats.elements, n as u64);
+    }
+
+    #[test]
+    fn ooc_lane_and_batching_lane_coexist() {
+        // A small request batches as usual while a big one streams through
+        // the out-of-core lane; batch ids never collide.
+        let service = tiny_memory_service(
+            ServiceConfig::default()
+                .with_over_budget(OverBudgetPolicy::OutOfCore)
+                .with_max_linger(Duration::from_millis(1)),
+        );
+        let big = service
+            .submit(SortPayload::U64Pairs {
+                keys: uniform_keys::<u64>(150_000, 41),
+                values: (0..150_000u32).collect(),
+            })
+            .expect("over-budget pairs admission");
+        let small = service
+            .submit(SortPayload::U32Keys(uniform_keys::<u32>(2_000, 42)))
+            .expect("small admission");
+        let ob = big.wait().unwrap();
+        let os = small.wait().unwrap();
+        assert_eq!(ob.batch.reason, FlushReason::OutOfCore);
+        assert_ne!(os.batch.reason, FlushReason::OutOfCore);
+        assert_ne!(ob.batch.batch, os.batch.batch);
+        let SortPayload::U64Pairs { keys, values } = ob.payload else {
+            panic!("wrong variant")
+        };
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(values.len(), 150_000);
+        let stats = service.shutdown();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.ooc_requests, 1);
+        // The coalescing ratio counts only batched requests: one request
+        // in one batch, the out-of-core request excluded.
+        assert!(
+            (stats.mean_batch_requests() - 1.0).abs() < 1e-9,
+            "ooc requests skewed the batching ratio: {}",
+            stats.mean_batch_requests()
+        );
+    }
+
+    #[test]
+    fn zero_weight_pool_rejects_even_under_the_ooc_policy() {
+        // The out-of-core lane shards by the same capacity weights as the
+        // in-core path, so a pool that can sort nothing must reject over-
+        // budget requests instead of panicking the lane worker.
+        let mut spec = gpu_sim::DeviceSpec::titan_x_pascal();
+        spec.effective_bandwidth = gpu_sim::Bandwidth::from_gb_per_s(0.0);
+        let pool = DevicePool::homogeneous(2, SimDevice::on_pcie3(spec));
+        let service = SortService::start(
+            ShardedSorter::new(pool),
+            ServiceConfig::default().with_over_budget(OverBudgetPolicy::OutOfCore),
+        );
+        let err = service
+            .submit(SortPayload::U64Keys(vec![3, 1, 2]))
+            .unwrap_err();
+        assert!(matches!(err, SubmitError::TooLarge { .. }), "got {err}");
+        // Shutdown must not panic on a dead lane worker.
+        let stats = service.shutdown();
+        assert_eq!(stats.requests, 0);
+        assert_eq!(stats.ooc_requests, 0);
+    }
+
+    #[test]
+    fn reject_policy_still_bounces_over_budget_requests() {
+        let service = tiny_memory_service(ServiceConfig::default());
+        let err = service
+            .submit(SortPayload::U64Keys(uniform_keys::<u64>(200_000, 5)))
+            .unwrap_err();
+        assert!(matches!(err, SubmitError::TooLarge { .. }));
+        let stats = service.shutdown();
+        assert_eq!(stats.requests, 0);
+        assert_eq!(stats.ooc_requests, 0);
+    }
+
+    #[test]
+    fn ooc_lane_respects_saturation() {
+        // in_flight accounting covers the out-of-core lane too.
+        let service = tiny_memory_service(
+            ServiceConfig::default()
+                .with_over_budget(OverBudgetPolicy::OutOfCore)
+                .with_queue_depth(1),
+        );
+        let t = service
+            .submit(SortPayload::U64Keys(uniform_keys::<u64>(150_000, 6)))
+            .unwrap();
+        // The lane is busy and the single slot is taken: the next request
+        // must bounce regardless of its size.
+        let err = service
+            .submit(SortPayload::U32Keys(vec![3, 1]))
+            .unwrap_err();
+        assert!(matches!(err, SubmitError::Saturated { .. }));
+        t.wait().unwrap();
+        service.shutdown();
+    }
+
+    #[test]
     fn submissions_after_shutdown_error_out() {
         let mut service = small_service(ServiceConfig::default());
         let _ = service.shutdown_in_place();
         assert_eq!(
             service
                 .submit(SortPayload::U32Keys(vec![3, 1]))
+                .unwrap_err(),
+            SubmitError::ShuttingDown
+        );
+        // The out-of-core lane reports shutdown too (not TooLarge).
+        let mut ooc = tiny_memory_service(
+            ServiceConfig::default().with_over_budget(OverBudgetPolicy::OutOfCore),
+        );
+        let _ = ooc.shutdown_in_place();
+        assert_eq!(
+            ooc.submit(SortPayload::U64Keys(uniform_keys::<u64>(200_000, 1)))
                 .unwrap_err(),
             SubmitError::ShuttingDown
         );

@@ -41,10 +41,12 @@ pub mod prelude {
     pub use hetero::HeterogeneousSorter;
     pub use hrs_core::{Executor, HybridRadixSorter, Optimizations, SortConfig, SortReport};
     pub use multi_gpu::{
-        DeviceBackend, DevicePool, RequestSpan, ShardedReport, ShardedSorter, SimDevice,
+        DeviceBackend, DevicePool, OocChunkSpan, OocConfig, RequestSpan, ShardedReport,
+        ShardedSorter, SimDevice,
     };
     pub use sort_service::{
-        ServiceConfig, SortOutcome, SortPayload, SortService, SortTicket, SubmitError,
+        OverBudgetPolicy, ServiceConfig, SortOutcome, SortPayload, SortService, SortTicket,
+        SubmitError,
     };
     pub use workloads::{Distribution, EntropyLevel, SortKey, ZipfGenerator};
 }

@@ -1,0 +1,174 @@
+//! Integration tests of the out-of-core lane: a request larger than the
+//! pool's admission budget must round-trip through the service's chunked
+//! out-of-core path with output identical to the reference sort and to an
+//! in-core sharded sort on a pool big enough to hold it — including the
+//! pairs path, the `Reject` policy fallback, and the admission-control
+//! regressions this PR fixes.
+
+use hybrid_radix_sort::gpu_sim::{Bandwidth, DeviceSpec};
+use hybrid_radix_sort::multi_gpu::{DevicePool, ShardedSorter, SimDevice};
+use hybrid_radix_sort::sort_service::{
+    FlushReason, OverBudgetPolicy, ServiceConfig, SortPayload, SortService, SubmitError,
+};
+use proptest::prelude::*;
+
+/// A pool of two Titan-X-like devices with their memories shrunk to 1 MiB,
+/// so a few hundred kilobytes of keys overflow the admission budget.
+fn tiny_memory_pool() -> DevicePool {
+    let mut spec = DeviceSpec::titan_x_pascal();
+    spec.device_memory_bytes = 1 << 20;
+    DevicePool::homogeneous(2, SimDevice::on_pcie3(spec))
+}
+
+fn ooc_service() -> SortService {
+    SortService::start(
+        ShardedSorter::new(tiny_memory_pool()),
+        ServiceConfig::default().with_over_budget(OverBudgetPolicy::OutOfCore),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn over_budget_keys_match_reference_and_in_core(
+        n in 40_000usize..90_000,
+        seed in 1u64..1_000,
+    ) {
+        let keys = hybrid_radix_sort::workloads::uniform_keys::<u64>(n, seed);
+        // Reference: the standard library sort.
+        let mut reference = keys.clone();
+        reference.sort_unstable();
+        // In-core comparison point: a pool big enough to hold the input.
+        let mut in_core = keys.clone();
+        ShardedSorter::new(DevicePool::titan_cluster(2)).sort(&mut in_core);
+        prop_assert_eq!(&in_core, &reference);
+
+        let service = ooc_service();
+        let payload = SortPayload::U64Keys(keys);
+        prop_assert!(
+            payload.batch_bytes() > service.admission_budget(),
+            "n = {} must exceed the shrunken budget",
+            n
+        );
+        let outcome = service.submit(payload).expect("ooc admission").wait().unwrap();
+        let SortPayload::U64Keys(sorted) = outcome.payload else {
+            panic!("wrong variant")
+        };
+        prop_assert_eq!(&sorted, &reference);
+        prop_assert_eq!(outcome.batch.reason, FlushReason::OutOfCore);
+        prop_assert!(outcome.report.is_out_of_core());
+        prop_assert_eq!(outcome.span.len, n as u64);
+        // Chunk spans tile each device's shard exactly.
+        let chunked: u64 = outcome.report.ooc_chunks.iter().map(|c| c.len).sum();
+        prop_assert_eq!(chunked, n as u64);
+        let stats = service.shutdown();
+        prop_assert_eq!(stats.ooc_requests, 1);
+    }
+
+    #[test]
+    fn over_budget_pairs_match_reference_and_in_core(
+        n in 50_000usize..90_000,
+        seed in 1u64..1_000,
+    ) {
+        let keys = hybrid_radix_sort::workloads::uniform_keys::<u32>(n, seed);
+        let values: Vec<u32> = (0..n as u32).rev().collect();
+        // Reference: sort (key, value) records; ties may permute between
+        // runs (the radix sort is not stable), so compare canonically.
+        let mut reference: Vec<(u32, u32)> =
+            keys.iter().copied().zip(values.iter().copied()).collect();
+        reference.sort_unstable();
+        // In-core comparison point on a big pool.
+        let (mut ik, mut iv) = (keys.clone(), values.clone());
+        ShardedSorter::new(DevicePool::titan_cluster(2)).sort_pairs(&mut ik, &mut iv);
+        let mut in_core: Vec<(u32, u32)> = ik.into_iter().zip(iv).collect();
+        in_core.sort_unstable();
+        prop_assert_eq!(&in_core, &reference);
+
+        let service = ooc_service();
+        let payload = SortPayload::U32Pairs { keys, values };
+        prop_assert!(payload.batch_bytes() > service.admission_budget());
+        let outcome = service.submit(payload).expect("ooc admission").wait().unwrap();
+        let SortPayload::U32Pairs { keys: sk, values: sv } = outcome.payload else {
+            panic!("wrong variant")
+        };
+        prop_assert!(sk.windows(2).all(|w| w[0] <= w[1]), "keys unsorted");
+        let mut got: Vec<(u32, u32)> = sk.into_iter().zip(sv).collect();
+        got.sort_unstable();
+        prop_assert_eq!(&got, &reference);
+        prop_assert_eq!(outcome.batch.reason, FlushReason::OutOfCore);
+        prop_assert!(outcome.report.is_out_of_core());
+        service.shutdown();
+    }
+
+    #[test]
+    fn reject_policy_bounces_what_the_ooc_policy_admits(
+        n in 40_000usize..60_000,
+    ) {
+        let keys = hybrid_radix_sort::workloads::uniform_keys::<u64>(n, 9);
+        // Default policy: the same request that the OutOfCore service
+        // admits must bounce as TooLarge.
+        let reject = SortService::start(
+            ShardedSorter::new(tiny_memory_pool()),
+            ServiceConfig::default(),
+        );
+        let err = reject
+            .submit(SortPayload::U64Keys(keys.clone()))
+            .unwrap_err();
+        prop_assert!(matches!(err, SubmitError::TooLarge { .. }), "got {}", err);
+        drop(reject);
+
+        let admit = ooc_service();
+        let outcome = admit
+            .submit(SortPayload::U64Keys(keys))
+            .expect("ooc admission")
+            .wait()
+            .unwrap();
+        prop_assert_eq!(outcome.batch.reason, FlushReason::OutOfCore);
+        admit.shutdown();
+    }
+}
+
+#[test]
+fn zero_weight_pool_no_longer_admits_everything() {
+    // Regression: `DevicePool::batch_budget_bytes` used to map a pool of
+    // non-positive-weight devices to a u64::MAX budget, so the service
+    // would admit arbitrarily large requests into a pool that can sort
+    // nothing.  The budget is 0 now, and (with the default Reject policy)
+    // even a tiny request bounces instead of hanging the worker.
+    let mut spec = DeviceSpec::titan_x_pascal();
+    spec.effective_bandwidth = Bandwidth::from_gb_per_s(0.0);
+    let pool = DevicePool::homogeneous(2, SimDevice::on_pcie3(spec));
+    assert_eq!(pool.batch_budget_bytes(), 0);
+    let service = SortService::start(ShardedSorter::new(pool), ServiceConfig::default());
+    // The resolved admission budget collapses to the 1-byte floor.
+    assert!(service.admission_budget() <= 1);
+    let err = service
+        .submit(SortPayload::U64Keys(vec![3, 1, 2]))
+        .unwrap_err();
+    assert!(matches!(err, SubmitError::TooLarge { .. }), "got {err}");
+}
+
+#[test]
+fn direct_ooc_engine_matches_in_core_engine() {
+    // The engine-level composition claim, without the service in between:
+    // the out-of-core path on a memory-starved pool produces byte-identical
+    // output to the in-core path on a roomy pool.
+    let keys = hybrid_radix_sort::workloads::uniform_keys::<u64>(150_000, 23);
+    let mut expected = keys.clone();
+    expected.sort_unstable();
+    let mut in_core = keys.clone();
+    ShardedSorter::new(DevicePool::titan_cluster(4)).sort(&mut in_core);
+    let mut ooc = keys;
+    let report = ShardedSorter::new(tiny_memory_pool()).sort_out_of_core(&mut ooc);
+    assert_eq!(in_core, expected);
+    assert_eq!(ooc, expected);
+    assert!(report.is_out_of_core());
+    assert!(report.ooc_chunks.len() > 2);
+    // Every device pipelines: per-chunk finishes are monotone per device
+    // and bounded by the critical path.
+    for span in &report.ooc_chunks {
+        assert!(span.finish <= report.critical_path);
+        assert!(span.len > 0);
+    }
+}
