@@ -24,7 +24,7 @@ use crate::arena::{BlockStat, PassScratch};
 use crate::bucket::{classify_sub_buckets_into, pass_blocks_into, Bucket, LocalBucket, SubBucket};
 use crate::config::SortConfig;
 use crate::digit::radix_of_pass;
-use crate::exec::{Executor, SharedMut};
+use crate::exec::{ExecProbe, Executor, SharedMut};
 use crate::histogram::block_histogram_into;
 use crate::opts::Optimizations;
 use crate::prefix_sum::exclusive_prefix_sum_into;
@@ -56,6 +56,7 @@ pub fn run_counting_pass<K: SortKey, V: SortValue>(
     opts: &Optimizations,
     next_id: &mut u64,
     exec: &Executor,
+    probe: Option<&ExecProbe>,
     scratch: &mut PassScratch,
     out_local: &mut Vec<LocalBucket>,
     out_counting: &mut Vec<Bucket>,
@@ -107,7 +108,7 @@ pub fn run_counting_pass<K: SortKey, V: SortValue>(
         let blocks = &scratch.blocks;
         let counts = SharedMut::new(&mut scratch.block_counts);
         let block_stats = SharedMut::new(&mut scratch.block_stats);
-        exec.for_each_task(n_blocks, |b, _worker| {
+        exec.for_each_task_probed(n_blocks, probe, |b, _worker| {
             let blk = &blocks[b];
             let keys = &src_keys[blk.key_offset..blk.key_offset + blk.key_count];
             // SAFETY: strip `b` and stat slot `b` belong to this task only.
@@ -225,7 +226,7 @@ pub fn run_counting_pass<K: SortKey, V: SortValue>(
         let dst_keys = SharedMut::new(dst_keys);
         let dst_vals = SharedMut::new(dst_vals);
         let values_present = std::mem::size_of::<V>() != 0;
-        exec.for_each_task(n_blocks, |b, worker| {
+        exec.for_each_task_probed(n_blocks, probe, |b, worker| {
             let blk = &blocks[b];
             let block_keys = &src_keys[blk.key_offset..blk.key_offset + blk.key_count];
             let block_vals = if values_present {
@@ -315,6 +316,7 @@ mod tests {
             opts,
             next_id,
             exec,
+            None,
             &mut scratch,
             &mut local,
             &mut counting,

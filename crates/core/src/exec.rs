@@ -48,7 +48,81 @@
 //! ```
 
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Per-worker execution counters for one [`Executor`].
+///
+/// The executor itself is a `Copy` configuration value, so it cannot own
+/// state; callers that want per-worker utilisation numbers allocate a probe
+/// (sized to [`Executor::workers`]) and pass it to
+/// [`Executor::for_each_task_probed`].  Cost is deliberately *per drain
+/// loop*, not per task: each worker reads the clock twice per fan-out
+/// (start and end of its claim loop) and adds its task count with one
+/// relaxed atomic, so probing a sort changes its wall-clock time by well
+/// under a percent.
+///
+/// Counters are cumulative across fan-outs; idle time is derivable as
+/// `wall_clock × workers − Σ busy_ns`.
+#[derive(Debug)]
+pub struct ExecProbe {
+    tasks: Vec<AtomicU64>,
+    busy_ns: Vec<AtomicU64>,
+    fanouts: AtomicU64,
+}
+
+impl ExecProbe {
+    /// A probe for `workers` workers (clamped to ≥ 1).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        ExecProbe {
+            tasks: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            busy_ns: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            fanouts: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of workers this probe tracks.
+    pub fn workers(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Cumulative tasks executed by `worker` (0 for out-of-range workers).
+    pub fn tasks(&self, worker: usize) -> u64 {
+        self.tasks
+            .get(worker)
+            .map_or(0, |t| t.load(Ordering::Relaxed))
+    }
+
+    /// Cumulative busy nanoseconds of `worker`'s drain loops.
+    pub fn busy_ns(&self, worker: usize) -> u64 {
+        self.busy_ns
+            .get(worker)
+            .map_or(0, |t| t.load(Ordering::Relaxed))
+    }
+
+    /// Total tasks across all workers.
+    pub fn total_tasks(&self) -> u64 {
+        self.tasks.iter().map(|t| t.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Number of probed fan-outs ([`Executor::for_each_task_probed`] calls
+    /// that ran at least one task).
+    pub fn fanouts(&self) -> u64 {
+        self.fanouts.load(Ordering::Relaxed)
+    }
+
+    fn note(&self, worker: usize, tasks: u64, busy: Duration) {
+        // A probe sized for fewer workers than the executor folds the
+        // excess into its last slot rather than losing the samples.
+        let slot = worker.min(self.tasks.len() - 1);
+        self.tasks[slot].fetch_add(tasks, Ordering::Relaxed);
+        self.busy_ns[slot].fetch_add(
+            u64::try_from(busy.as_nanos()).unwrap_or(u64::MAX),
+            Ordering::Relaxed,
+        );
+    }
+}
 
 /// How the hot loops of the hybrid radix sort are executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -117,34 +191,57 @@ impl Executor {
     where
         F: Fn(usize, usize) + Sync,
     {
-        let workers = self.workers().min(n_tasks.max(1));
+        self.for_each_task_probed(n_tasks, None, f);
+    }
+
+    /// Like [`Executor::for_each_task`], but when `probe` is given, each
+    /// worker additionally reports its task count and the busy time of its
+    /// drain loop into the probe (two clock reads per worker per call).
+    pub fn for_each_task_probed<F>(&self, n_tasks: usize, probe: Option<&ExecProbe>, f: F)
+    where
+        F: Fn(usize, usize) + Sync,
+    {
+        if n_tasks == 0 {
+            return;
+        }
+        if let Some(p) = probe {
+            p.fanouts.fetch_add(1, Ordering::Relaxed);
+        }
+        let workers = self.workers().min(n_tasks);
         if workers <= 1 || n_tasks <= 1 {
+            let start = probe.map(|_| Instant::now());
             for t in 0..n_tasks {
                 f(t, 0);
+            }
+            if let (Some(p), Some(s)) = (probe, start) {
+                p.note(0, n_tasks as u64, s.elapsed());
             }
             return;
         }
         let cursor = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            let cursor = &cursor;
-            let f = &f;
-            for w in 1..workers {
-                scope.spawn(move || loop {
-                    let t = cursor.fetch_add(1, Ordering::Relaxed);
-                    if t >= n_tasks {
-                        break;
-                    }
-                    f(t, w);
-                });
-            }
-            // The calling thread is worker 0.
+        // Every worker (the caller doubles as worker 0) claims tasks from
+        // the shared cursor until none remain.
+        let drain = |w: usize| {
+            let start = probe.map(|_| Instant::now());
+            let mut done = 0u64;
             loop {
                 let t = cursor.fetch_add(1, Ordering::Relaxed);
                 if t >= n_tasks {
                     break;
                 }
-                f(t, 0);
+                f(t, w);
+                done += 1;
             }
+            if let (Some(p), Some(s)) = (probe, start) {
+                p.note(w, done, s.elapsed());
+            }
+        };
+        std::thread::scope(|scope| {
+            for w in 1..workers {
+                let drain = &drain;
+                scope.spawn(move || drain(w));
+            }
+            drain(0);
         });
     }
 
@@ -296,6 +393,46 @@ mod tests {
             });
         }
         assert!(data.iter().enumerate().all(|(i, &v)| v == i as u32 + 1));
+    }
+
+    #[test]
+    fn probe_counts_every_task_once() {
+        for exec in [Executor::Sequential, Executor::with_workers(3)] {
+            let probe = ExecProbe::new(exec.workers());
+            exec.for_each_task_probed(100, Some(&probe), |_t, _w| {
+                std::hint::black_box(0u64);
+            });
+            assert_eq!(probe.total_tasks(), 100, "{}", exec.label());
+            assert_eq!(probe.fanouts(), 1);
+            assert_eq!(probe.workers(), exec.workers());
+            // On the sequential backend every task runs on worker 0 (other
+            // workers may legitimately drain everything on the threaded
+            // one before the caller claims a task).
+            if !exec.is_parallel() {
+                assert_eq!(probe.tasks(0), 100);
+            }
+            assert_eq!(probe.tasks(999), 0, "out-of-range workers read as 0");
+            assert_eq!(probe.busy_ns(999), 0);
+        }
+    }
+
+    #[test]
+    fn probe_accumulates_across_fanouts() {
+        let exec = Executor::Sequential;
+        let probe = ExecProbe::new(exec.workers());
+        exec.for_each_task_probed(10, Some(&probe), |_, _| {});
+        exec.for_each_task_probed(5, Some(&probe), |_, _| {});
+        exec.for_each_task_probed(0, Some(&probe), |_, _| panic!("no tasks"));
+        assert_eq!(probe.total_tasks(), 15);
+        assert_eq!(probe.fanouts(), 2, "empty fan-outs are not counted");
+    }
+
+    #[test]
+    fn undersized_probe_folds_excess_workers_into_last_slot() {
+        let exec = Executor::with_workers(4);
+        let probe = ExecProbe::new(2);
+        exec.for_each_task_probed(64, Some(&probe), |_t, _w| {});
+        assert_eq!(probe.total_tasks(), 64, "no samples are lost");
     }
 
     #[test]

@@ -51,6 +51,9 @@
 //!   buckets.
 //! * [`local_sort`] — size-classed local sorts (Section 4.2).
 //! * [`sorter`] — the double-buffered driver ([`HybridRadixSorter`]).
+//! * [`probe`] — opt-in telemetry: per-sorter counters, pass timings,
+//!   arena gauges and per-worker utilisation reported to a shared
+//!   [`telemetry::Inspector`].
 //! * [`report`], [`cost`] — instrumentation and the simulated-time
 //!   evaluation.
 //! * [`model`] — the analytical model of Section 4.5 (bucket/block bounds,
@@ -71,6 +74,7 @@ pub mod local_sort;
 pub mod model;
 pub mod opts;
 pub mod prefix_sum;
+pub mod probe;
 pub mod report;
 pub mod scatter;
 pub mod sorter;
@@ -80,9 +84,10 @@ pub mod trace;
 pub use arena::{ArenaStats, ScratchArena};
 pub use config::{LocalSortClass, SortConfig};
 pub use cost::SimBreakdown;
-pub use exec::{Executor, SharedMut};
+pub use exec::{ExecProbe, Executor, SharedMut};
 pub use model::AnalyticalModel;
 pub use opts::Optimizations;
+pub use probe::SorterProbe;
 pub use report::{LocalSortStats, PassStats, SortReport};
 pub use sorter::HybridRadixSorter;
 pub use trace::SortTrace;

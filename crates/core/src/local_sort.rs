@@ -21,7 +21,7 @@
 
 use crate::bucket::LocalBucket;
 use crate::config::SortConfig;
-use crate::exec::{Executor, SharedMut};
+use crate::exec::{ExecProbe, Executor, SharedMut};
 use crate::opts::Optimizations;
 use crate::report::LocalSortStats;
 use crate::sorting_network::network_sort;
@@ -49,6 +49,7 @@ pub fn run_local_sorts<K: SortKey, V: SortValue>(
     config: &SortConfig,
     opts: &Optimizations,
     exec: &Executor,
+    probe: Option<&ExecProbe>,
     stats: &mut LocalSortStats,
 ) {
     // Bookkeeping first (cheap, O(1) per bucket): size classes, merge and
@@ -85,7 +86,7 @@ pub fn run_local_sorts<K: SortKey, V: SortValue>(
     if src == dst {
         let keys = SharedMut::new(buffers_keys[dst].as_mut_slice());
         let vals = SharedMut::new(buffers_vals[dst].as_mut_slice());
-        exec.for_each_task(buckets.len(), |b, worker| {
+        exec.for_each_task_probed(buckets.len(), probe, |b, worker| {
             // SAFETY: bucket ranges are disjoint across tasks, and staging
             // slot `worker` belongs to this thread only.
             unsafe {
@@ -98,7 +99,7 @@ pub fn run_local_sorts<K: SortKey, V: SortValue>(
         let (src_vals, dst_vals) = split_src_dst(buffers_vals, src, dst);
         let dst_keys = SharedMut::new(dst_keys);
         let dst_vals = SharedMut::new(dst_vals);
-        exec.for_each_task(buckets.len(), |b, worker| {
+        exec.for_each_task_probed(buckets.len(), probe, |b, worker| {
             let bucket = &buckets[b];
             let range = bucket.offset..bucket.offset + bucket.len;
             // SAFETY: bucket ranges are disjoint across tasks, and staging
@@ -230,6 +231,7 @@ mod tests {
             &SortConfig::keys_64(),
             &Optimizations::all_on(),
             &Executor::Sequential,
+            None,
             &mut stats,
         );
         assert!(bufs[1][..400].windows(2).all(|w| w[0] <= w[1]));
@@ -259,6 +261,7 @@ mod tests {
             &SortConfig::keys_64(),
             &Optimizations::all_on(),
             &Executor::Sequential,
+            None,
             &mut stats,
         );
         for workers in [2usize, 7] {
@@ -274,6 +277,7 @@ mod tests {
                 &SortConfig::keys_64(),
                 &Optimizations::all_on(),
                 &Executor::with_workers(workers),
+                None,
                 &mut stats,
             );
             assert_eq!(got[1], expect[1], "workers = {workers}");
@@ -295,6 +299,7 @@ mod tests {
             &SortConfig::keys_32(),
             &Optimizations::all_on(),
             &Executor::Sequential,
+            None,
             &mut stats,
         );
         assert_eq!(bufs[0], KeyCodec::std_sorted(&keys));
@@ -316,6 +321,7 @@ mod tests {
             &SortConfig::pairs_32_32(),
             &Optimizations::all_on(),
             &Executor::with_workers(2),
+            None,
             &mut stats,
         );
         assert!(workloads::pairs::verify_indexed_pair_sort(
@@ -339,6 +345,7 @@ mod tests {
             &cfg,
             &Optimizations::all_on(),
             &Executor::Sequential,
+            None,
             &mut stats_multi,
         );
         // Two 100-key buckets fall into the [1,128] class.
@@ -356,6 +363,7 @@ mod tests {
             &cfg,
             &Optimizations::single_local_sort_config(),
             &Executor::Sequential,
+            None,
             &mut stats_single,
         );
         // The single configuration provisions ∂̂ keys per bucket.
@@ -384,6 +392,7 @@ mod tests {
             &SortConfig::keys_32(),
             &Optimizations::all_on(),
             &Executor::Sequential,
+            None,
             &mut stats,
         );
         assert_eq!(stats.merged_buckets, 1);

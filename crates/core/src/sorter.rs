@@ -31,10 +31,12 @@ use crate::counting_sort::run_counting_pass;
 use crate::exec::Executor;
 use crate::local_sort::run_local_sorts;
 use crate::opts::Optimizations;
+use crate::probe::SorterProbe;
 use crate::report::SortReport;
 use crate::trace::{SortTrace, TraceEvent};
 use gpu_sim::DeviceSpec;
-use std::sync::{Mutex, TryLockError};
+use std::sync::{Arc, Mutex, TryLockError};
+use std::time::Instant;
 use workloads::keys::SortKey;
 use workloads::pairs::SortValue;
 
@@ -57,6 +59,10 @@ pub struct HybridRadixSorter {
     /// across threads, concurrent sorts never block — they fall back to a
     /// private arena for that call.
     arena: Mutex<ScratchArena>,
+    /// Opt-in telemetry.  When attached, every sort reports counters,
+    /// per-pass timings, arena gauges and per-worker utilisation; when
+    /// absent, no clock is read beyond what the sort already did.
+    probe: Option<Arc<SorterProbe>>,
 }
 
 impl HybridRadixSorter {
@@ -71,6 +77,7 @@ impl HybridRadixSorter {
             cost: CostModel::default(),
             exec: Executor::Sequential,
             arena: Mutex::new(ScratchArena::new()),
+            probe: None,
         }
     }
 
@@ -110,6 +117,26 @@ impl HybridRadixSorter {
     pub fn with_executor(mut self, exec: Executor) -> Self {
         self.exec = exec;
         self
+    }
+
+    /// Attaches a telemetry probe.  Several sorters may share one probe
+    /// (their metrics aggregate); clones keep reporting into it.
+    pub fn with_probe(mut self, probe: Arc<SorterProbe>) -> Self {
+        self.probe = Some(probe);
+        self
+    }
+
+    /// Registers a [`SorterProbe`] for this sorter on `inspector` under
+    /// `prefix` (worker slots sized to the current executor — attach the
+    /// executor first).
+    pub fn with_telemetry(self, inspector: &telemetry::Inspector, prefix: &str) -> Self {
+        let probe = SorterProbe::register(inspector, prefix, self.exec.workers());
+        self.with_probe(probe)
+    }
+
+    /// The attached telemetry probe, if any.
+    pub fn probe(&self) -> Option<&Arc<SorterProbe>> {
+        self.probe.as_ref()
     }
 
     /// The configuration that will be used for keys/values of the given
@@ -206,9 +233,13 @@ impl HybridRadixSorter {
         debug_assert!(config.validate().is_ok());
         let mut report = SortReport::new(n as u64, key_bytes, value_bytes);
 
+        // Telemetry is opt-in: without a probe no clock is read here.
+        let sort_start = self.probe.as_ref().map(|_| Instant::now());
+
         if n <= 1 {
             report.simulated =
                 cost::evaluate(&self.device, &config, &self.opts, &self.cost, &report);
+            self.note_sort(n as u64, 0, false, sort_start);
             return report;
         }
 
@@ -219,6 +250,7 @@ impl HybridRadixSorter {
             report.fallback_comparison_sort = true;
             report.simulated =
                 cost::evaluate(&self.device, &config, &self.opts, &self.cost, &report);
+            self.note_sort(n as u64, 0, true, sort_start);
             return report;
         }
 
@@ -268,11 +300,14 @@ impl HybridRadixSorter {
         let mut next_id: u64 = 1;
         let mut cur = 0usize;
         let mut swaps = 0usize;
+        let mut passes_run = 0u64;
+        let exec_probe = self.probe.as_deref().map(SorterProbe::exec_probe);
 
         for pass in 0..num_passes {
             if counting.is_empty() {
                 break;
             }
+            let pass_start = self.probe.as_ref().map(|_| Instant::now());
             let dst = 1 - cur;
 
             // Split the double buffer into the source and destination halves.
@@ -290,6 +325,7 @@ impl HybridRadixSorter {
                 &self.opts,
                 &mut next_id,
                 &self.exec,
+                exec_probe,
                 &mut arena.pass,
                 &mut local,
                 &mut next_counting,
@@ -324,8 +360,14 @@ impl HybridRadixSorter {
                     &config,
                     &self.opts,
                     &self.exec,
+                    exec_probe,
                     &mut report.local,
                 );
+            }
+
+            passes_run += 1;
+            if let (Some(p), Some(s)) = (&self.probe, pass_start) {
+                p.record_pass(s.elapsed());
             }
 
             std::mem::swap(&mut counting, &mut next_counting);
@@ -377,8 +419,20 @@ impl HybridRadixSorter {
         arena.pass.counting_out = next_counting;
         arena.pass.local = local;
 
+        if let Some(p) = &self.probe {
+            p.record_arena(&arena.stats());
+        }
+        self.note_sort(n as u64, passes_run, false, sort_start);
+
         report.simulated = cost::evaluate(&self.device, &config, &self.opts, &self.cost, &report);
         report
+    }
+
+    /// Reports one completed sort to the probe, if both are present.
+    fn note_sort(&self, keys: u64, passes: u64, fallback: bool, start: Option<Instant>) {
+        if let (Some(p), Some(s)) = (&self.probe, start) {
+            p.record_sort(keys, passes, fallback, s.elapsed());
+        }
     }
 }
 
@@ -390,7 +444,9 @@ impl Default for HybridRadixSorter {
 
 impl Clone for HybridRadixSorter {
     /// Clones the configuration; the clone starts with a fresh (empty)
-    /// arena, so clones can be moved to other threads cheaply.
+    /// arena, so clones can be moved to other threads cheaply.  An
+    /// attached probe is shared — clones keep aggregating into the same
+    /// metrics.
     fn clone(&self) -> Self {
         HybridRadixSorter {
             config: self.config.clone(),
@@ -399,6 +455,7 @@ impl Clone for HybridRadixSorter {
             cost: self.cost.clone(),
             exec: self.exec,
             arena: Mutex::new(ScratchArena::new()),
+            probe: self.probe.clone(),
         }
     }
 }
@@ -509,6 +566,62 @@ mod tests {
         let mut v: Vec<u32> = (0..30_000).collect();
         sorter.sort_pairs(&mut k, &mut v);
         assert_eq!(sorter.arena_stats(), warm);
+    }
+
+    #[test]
+    fn probed_sorts_report_live_metrics() {
+        let inspector = telemetry::Inspector::new();
+        let sorter = HybridRadixSorter::new(scaled_config_64())
+            .with_executor(Executor::with_workers(2))
+            .with_telemetry(&inspector, "core");
+        let mut keys = uniform_keys::<u64>(60_000, 31);
+        let report = sorter.sort(&mut keys);
+
+        let snap = inspector.snapshot();
+        let core = snap.node("core").unwrap();
+        assert_eq!(core.uint("sorts"), Some(1));
+        assert_eq!(core.uint("keys"), Some(60_000));
+        assert_eq!(core.uint("passes"), Some(report.counting_passes() as u64));
+        assert_eq!(
+            snap.node("core/pass_ns").unwrap().uint("count"),
+            Some(report.counting_passes() as u64)
+        );
+        assert_eq!(snap.node("core/sort_ns").unwrap().uint("count"), Some(1));
+        // The arena gauges mirror the retained scratch memory.
+        let arena = snap.node("core/arena").unwrap();
+        assert_eq!(
+            arena.uint("buffer_bytes"),
+            Some(sorter.arena_stats().buffer_bytes as u64)
+        );
+        // Both executor workers surface, and their task counts cover every
+        // histogram/scatter/local-sort task of the sort.
+        let tasks0 = snap.node("core/worker0").unwrap().uint("tasks").unwrap();
+        let tasks1 = snap.node("core/worker1").unwrap().uint("tasks").unwrap();
+        assert!(tasks0 + tasks1 > 0);
+
+        // A clone shares the probe: its sorts aggregate into the same tree.
+        let clone = sorter.clone();
+        let mut keys = uniform_keys::<u64>(60_000, 32);
+        clone.sort(&mut keys);
+        assert_eq!(
+            inspector.snapshot().node("core").unwrap().uint("sorts"),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn fallback_sorts_are_counted_separately() {
+        let inspector = telemetry::Inspector::new();
+        let mut cfg = SortConfig::keys_32();
+        cfg.small_input_fallback = 1_000;
+        let sorter = HybridRadixSorter::new(cfg).with_telemetry(&inspector, "core");
+        let mut keys = uniform_keys::<u32>(500, 11);
+        sorter.sort(&mut keys);
+        let snap = inspector.snapshot();
+        let core = snap.node("core").unwrap();
+        assert_eq!(core.uint("sorts"), Some(1));
+        assert_eq!(core.uint("fallback_sorts"), Some(1));
+        assert_eq!(core.uint("passes"), Some(0));
     }
 
     #[test]

@@ -4,15 +4,18 @@
 //!
 //! ```text
 //! cargo run --release --bin bench_service [-- --smoke] [--out <path>]
-//!     [--requests 192] [--devices 4] [--linger-ms 2]
+//!     [--telemetry-out <path>] [--requests 192] [--devices 4] [--linger-ms 2]
 //! ```
 //!
 //! `--smoke` runs the CI-sized sweep.  Each point submits the whole request
 //! sequence closed-loop and waits for every ticket; the headline is the
-//! batched-over-unbatched requests/sec ratio per mix.
+//! batched-over-unbatched requests/sec ratio per mix.  A live telemetry
+//! snapshot of one instrumented session is written alongside the results
+//! (`TELEMETRY_snapshot.json` by default) for the CI artifact.
 
 use experiments::service_bench::{
-    batching_speedups, run_service_sweep, service_table, service_to_json, ServiceBenchConfig,
+    batching_speedups, run_service_sweep, service_table, service_to_json, telemetry_snapshot_json,
+    ServiceBenchConfig,
 };
 use std::time::Duration;
 
@@ -68,4 +71,10 @@ fn main() {
     std::fs::write(&out_path, service_to_json(&points))
         .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     println!("\nwrote {out_path}");
+
+    let telemetry_path = arg_value(&args, "--telemetry-out")
+        .unwrap_or_else(|| "TELEMETRY_snapshot.json".to_string());
+    std::fs::write(&telemetry_path, telemetry_snapshot_json(&cfg))
+        .unwrap_or_else(|e| panic!("cannot write {telemetry_path}: {e}"));
+    println!("wrote {telemetry_path}");
 }

@@ -1,0 +1,55 @@
+//! CI gate over the telemetry artifact: `TELEMETRY_snapshot.json` must
+//! parse back into an inspection tree and contain the expected top-level
+//! layers with non-trivial counters.
+//!
+//! ```text
+//! cargo run --release --bin telemetry_check [-- <path>]
+//! ```
+//!
+//! Exits non-zero (panics) when the snapshot is missing, malformed, or
+//! missing a layer — catching regressions where an instrumentation point
+//! silently stops reporting.
+
+use telemetry::InspectNode;
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "TELEMETRY_snapshot.json".to_string());
+    let json = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    let snap = InspectNode::from_json(&json)
+        .unwrap_or_else(|e| panic!("{path} is not a valid snapshot: {e:?}"));
+
+    let mut checked = 0usize;
+    for (node, counter) in [
+        ("service", "requests"),
+        ("service", "batches"),
+        ("multi_gpu", "sorts"),
+        ("multi_gpu", "keys"),
+    ] {
+        let n = snap
+            .node(node)
+            .unwrap_or_else(|| panic!("snapshot lacks the `{node}` layer"));
+        let v = n
+            .uint(counter)
+            .unwrap_or_else(|| panic!("`{node}` lacks the `{counter}` counter"));
+        assert!(v > 0, "`{node}/{counter}` is zero — instrumentation dead?");
+        checked += 1;
+    }
+    // At least one per-device core sorter must have reported underneath.
+    assert!(
+        snap.node("core/dev0").is_some(),
+        "snapshot lacks the per-device `core/dev0` subtree"
+    );
+    // The latency histograms must have absorbed the resolved requests.
+    let lat = snap
+        .node("service/class/u32/latency_ns")
+        .expect("snapshot lacks the u32 latency histogram");
+    assert!(lat.uint("count").unwrap_or(0) > 0, "no latency samples");
+
+    println!(
+        "telemetry snapshot ok: {path} ({checked} counters checked, \
+         {} top-level layers)",
+        snap.children.len()
+    );
+}

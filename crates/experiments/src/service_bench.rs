@@ -276,6 +276,32 @@ pub fn service_to_json(points: &[ServicePoint]) -> String {
     out
 }
 
+/// Runs one short instrumented service session and returns the full
+/// inspection tree as JSON — the `TELEMETRY_snapshot.json` artifact CI
+/// uploads alongside `BENCH_service.json`.  The session touches every
+/// layer the telemetry covers: a mixed request stream exercises both key
+/// classes of the batching lane, the sharded engine underneath, and the
+/// per-device core sorters.
+pub fn telemetry_snapshot_json(cfg: &ServiceBenchConfig) -> String {
+    let sorter = ShardedSorter::new(DevicePool::titan_cluster(cfg.devices));
+    let service = SortService::start(
+        sorter,
+        ServiceConfig::default()
+            .with_max_linger(cfg.linger)
+            .with_queue_depth(64),
+    );
+    let mix = RequestMix::mixed();
+    let tickets: Vec<SortTicket> = (0..24)
+        .map(|i| service.submit(mix.payload(i)).expect("admission"))
+        .collect();
+    for t in tickets {
+        let _ = t.wait();
+    }
+    let snapshot = service.inspector().snapshot();
+    service.shutdown();
+    snapshot.to_json()
+}
+
 /// Renders the sweep as an aligned text table.
 pub fn service_table(points: &[ServicePoint]) -> String {
     let mut out = String::from(
@@ -385,6 +411,15 @@ mod tests {
         assert!(!json.contains("NaN"));
         let table = service_table(&points);
         assert!(table.contains("req/batch"));
+    }
+
+    #[test]
+    fn telemetry_snapshot_parses_and_covers_the_layers() {
+        let json = telemetry_snapshot_json(&tiny());
+        let snap = telemetry::InspectNode::from_json(&json).expect("snapshot JSON parses");
+        assert_eq!(snap.node("service").unwrap().uint("requests"), Some(24));
+        assert!(snap.node("multi_gpu").unwrap().uint("sorts").unwrap() >= 1);
+        assert!(snap.node("core/dev0").is_some());
     }
 
     #[test]

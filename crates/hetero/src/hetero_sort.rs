@@ -80,6 +80,10 @@ pub struct HeterogeneousSorter {
     pub pipeline: PipelineConfig,
     /// Number of CPU threads used for the multiway merge.
     pub merge_threads: usize,
+    /// The observability hub: sort/chunk counters and the merge span land
+    /// under `hetero/`; swap in a shared inspector with
+    /// [`Self::with_telemetry`] to fold them into a wider snapshot tree.
+    pub inspector: telemetry::Inspector,
 }
 
 impl HeterogeneousSorter {
@@ -91,7 +95,18 @@ impl HeterogeneousSorter {
             gpu_sorter: HybridRadixSorter::with_defaults(),
             pipeline: PipelineConfig::default(),
             merge_threads: 6,
+            inspector: telemetry::Inspector::new(),
         }
+    }
+
+    /// Reports into `inspector` instead of the sorter's private one, and
+    /// attaches a `core` probe to the chunk sorter so per-pass timings and
+    /// arena gauges land in the same tree.  Apply after
+    /// [`Self::with_gpu_sorter`], which replaces the probed sorter.
+    pub fn with_telemetry(mut self, inspector: &telemetry::Inspector) -> Self {
+        self.inspector = inspector.clone();
+        self.gpu_sorter = self.gpu_sorter.with_telemetry(inspector, "core");
+        self
     }
 
     /// Overrides the GPU sorter.
@@ -132,15 +147,20 @@ impl HeterogeneousSorter {
         }
 
         // Merge the sorted runs on the CPU (measured for real).
-        let merge_start = std::time::Instant::now();
+        let merge_span = self.inspector.span_with("hetero/merge", "hetero/merge_ns");
         let merged = if runs.len() == 1 {
             std::mem::take(&mut runs[0])
         } else {
             let run_refs: Vec<&[K]> = runs.iter().map(|r| r.as_slice()).collect();
             parallel_merge_sorted_runs(&run_refs, self.merge_threads)
         };
-        let measured_merge = merge_start.elapsed();
+        let measured_merge = merge_span.finish();
         *keys = merged;
+        self.inspector.counter("hetero/sorts").inc();
+        self.inspector.counter("hetero/keys").add(n as u64);
+        self.inspector
+            .counter("hetero/chunks")
+            .add(plan.num_chunks() as u64);
 
         let merge_bytes_per_sec = if measured_merge.as_secs_f64() > 0.0 {
             input_bytes as f64 / measured_merge.as_secs_f64()
@@ -291,6 +311,23 @@ mod tests {
                 < 1e-12
         );
         assert_eq!(naive.name, "CUB");
+    }
+
+    #[test]
+    fn telemetry_records_sorts_and_the_merge_span() {
+        let hub = telemetry::Inspector::new();
+        let s = sorter().with_telemetry(&hub);
+        let mut keys = uniform_keys::<u64>(60_000, 7);
+        s.sort(&mut keys, 3);
+        let snap = hub.snapshot();
+        let hetero = snap.node("hetero").unwrap();
+        assert_eq!(hetero.uint("sorts"), Some(1));
+        assert_eq!(hetero.uint("keys"), Some(60_000));
+        assert_eq!(hetero.uint("chunks"), Some(3));
+        assert_eq!(snap.node("hetero/merge_ns").unwrap().uint("count"), Some(1));
+        assert!(snap.node("spans/hetero/merge").is_some());
+        // The probed chunk sorter reports under core/.
+        assert_eq!(snap.node("core").unwrap().uint("sorts"), Some(3));
     }
 
     #[test]

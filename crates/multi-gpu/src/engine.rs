@@ -31,6 +31,7 @@ use hetero::multiway_merge::parallel_merge_sorted_runs_by;
 use hrs_core::{Executor, HybridRadixSorter, SharedMut, SortReport};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
+use telemetry::Inspector;
 use workloads::keys::SortKey;
 use workloads::pairs::SortValue;
 
@@ -67,6 +68,11 @@ pub struct ShardedSorter {
     /// concurrent sorts through one sorter safe (they simply skip lane
     /// reuse), mirroring the arena handling inside `HybridRadixSorter`.
     pub(crate) lanes: Mutex<Vec<HybridRadixSorter>>,
+    /// The observability hub every layer reports into.  Each sorter starts
+    /// with a private [`Inspector`]; [`Self::with_telemetry`] swaps in a
+    /// shared one so the sort service (and anything else holding a clone)
+    /// sees engine, lane and out-of-core metrics in one snapshot tree.
+    pub(crate) inspector: Inspector,
 }
 
 impl ShardedSorter {
@@ -84,6 +90,7 @@ impl ShardedSorter {
             ooc: crate::ooc::OocConfig::default(),
             host_exec: Executor::threaded(),
             lanes: Mutex::new(Vec::new()),
+            inspector: Inspector::new(),
         }
     }
 
@@ -139,6 +146,23 @@ impl ShardedSorter {
     pub fn with_host_executor(mut self, exec: Executor) -> Self {
         self.host_exec = exec;
         self
+    }
+
+    /// Reports into `inspector` instead of the sorter's private one, so
+    /// several components (the sort service, bench harnesses) share one
+    /// snapshot tree.  Device lanes are invalidated so they re-register
+    /// their probes on the new inspector.
+    pub fn with_telemetry(mut self, inspector: &Inspector) -> Self {
+        self.inspector = inspector.clone();
+        self.lanes = Mutex::new(Vec::new());
+        self
+    }
+
+    /// The observability hub this sorter reports into.  Call
+    /// [`Inspector::snapshot`] on it at any moment — mid-sort included —
+    /// for the live metric tree.
+    pub fn inspector(&self) -> &Inspector {
+        &self.inspector
     }
 
     /// The device pool in use.
@@ -252,11 +276,13 @@ impl ShardedSorter {
 
         // 1. Partition (host, measured): splitter selection plus the
         // executor-parallel scatter into shard buffers.
-        let partition_start = Instant::now();
+        let partition_span = self
+            .inspector
+            .span_with("multi_gpu/partition", "multi_gpu/partition_ns");
         let splitters = compute_splitters(keys, &self.pool.capacity_weights(), &self.partition);
         let (mut shard_keys, mut shard_vals) =
             scatter_into_shards(keys, values, &splitters, &self.host_exec);
-        let measured_partition = partition_start.elapsed();
+        let measured_partition = partition_span.finish();
 
         // 2. Device phase: real per-shard sorts fanned out over the host
         // executor's workers, simulated schedule (measured for CPU-socket
@@ -268,7 +294,9 @@ impl ShardedSorter {
 
         // 3. Recombination (host, measured): generalised p-way merge over
         // zipped (key, value) records.
-        let merge_start = Instant::now();
+        let merge_span = self
+            .inspector
+            .span_with("multi_gpu/merge", "multi_gpu/merge_ns");
         let runs: Vec<Vec<(K, V)>> = shard_keys
             .iter()
             .zip(shard_vals.iter())
@@ -278,7 +306,7 @@ impl ShardedSorter {
         let merged = parallel_merge_sorted_runs_by(&refs, self.merge_threads, pair_key::<K, V>);
         *keys = merged.iter().map(|&(k, _)| k).collect();
         *values = merged.into_iter().map(|(_, v)| v).collect();
-        let measured_merge = merge_start.elapsed();
+        let measured_merge = merge_span.finish();
 
         // Aggregate the per-shard reports through the core hook.
         let mut combined = SortReport::new(0, K::BYTES, value_bytes);
@@ -290,7 +318,7 @@ impl ShardedSorter {
             + critical_path
             + SimTime::from_secs(measured_merge.as_secs_f64());
 
-        ShardedReport {
+        let report = ShardedReport {
             n: n as u64,
             key_bytes: K::BYTES,
             value_bytes,
@@ -304,6 +332,32 @@ impl ShardedSorter {
             timeline,
             requests: Vec::new(),
             ooc_chunks: Vec::new(),
+        };
+        self.note_sort(&report, elem_bytes);
+        report
+    }
+
+    /// Records the engine-level metrics of one completed sharded sort:
+    /// sort/key counters plus per-device transfer bytes, utilisation
+    /// (fraction of the device's span spent sorting) and overlap ratio
+    /// (stage-busy time over span — above 1.0 means transfers genuinely
+    /// overlapped the sort).
+    pub(crate) fn note_sort(&self, report: &ShardedReport, elem_bytes: u64) {
+        let t = &self.inspector;
+        t.counter("multi_gpu/sorts").inc();
+        t.counter("multi_gpu/keys").add(report.n);
+        for (i, shard) in report.shards.iter().enumerate() {
+            let dev = |leaf: &str| format!("multi_gpu/dev{i}/{leaf}");
+            // Every element crosses the link twice: upload and download.
+            t.counter(&dev("transfer_bytes"))
+                .add(2 * shard.n * elem_bytes);
+            let span = shard.finish.secs();
+            if span > 0.0 {
+                t.float_gauge(&dev("utilisation"))
+                    .set(shard.gpu_sort.secs() / span);
+                let busy = (shard.upload + shard.gpu_sort + shard.download).secs();
+                t.float_gauge(&dev("overlap_ratio")).set(busy / span);
+            }
         }
     }
 
@@ -329,6 +383,7 @@ impl ShardedSorter {
                 .clone()
                 .with_device(device.spec.clone())
                 .with_executor(device.backend.executor())
+                .with_telemetry(&self.inspector, &format!("core/dev{i}"))
         };
         // Reuse the persistent device lanes (and their warm scratch
         // arenas) when they are free; a concurrent sort through the same
@@ -489,6 +544,7 @@ impl Clone for ShardedSorter {
             ooc: self.ooc.clone(),
             host_exec: self.host_exec,
             lanes: Mutex::new(Vec::new()),
+            inspector: self.inspector.clone(),
         }
     }
 }
@@ -682,6 +738,88 @@ mod tests {
         }
         // Clones start with cold lanes of their own.
         assert!(sorter.clone().lane_arena_stats().is_empty());
+    }
+
+    #[test]
+    fn telemetry_covers_engine_and_device_lanes() {
+        let sorter = test_sorter(2);
+        let mut keys = uniform_keys::<u64>(80_000, 33);
+        let report = sorter.sort(&mut keys);
+        let snap = sorter.inspector().snapshot();
+        let mg = snap.node("multi_gpu").unwrap();
+        assert_eq!(mg.uint("sorts"), Some(1));
+        assert_eq!(mg.uint("keys"), Some(80_000));
+        assert_eq!(
+            snap.node("multi_gpu/partition_ns").unwrap().uint("count"),
+            Some(1)
+        );
+        assert_eq!(
+            snap.node("multi_gpu/merge_ns").unwrap().uint("count"),
+            Some(1)
+        );
+        for i in 0..2 {
+            let dev = snap.node(&format!("multi_gpu/dev{i}")).unwrap();
+            assert_eq!(
+                dev.uint("transfer_bytes"),
+                Some(2 * report.shards[i].n * 8),
+                "dev{i} moves every element up and down once"
+            );
+            assert!(dev.double("utilisation").unwrap() > 0.0);
+            assert!(dev.double("overlap_ratio").unwrap() > 0.0);
+            // The device lanes carry their own core-layer probes.
+            let lane = snap.node(&format!("core/dev{i}")).unwrap();
+            assert_eq!(lane.uint("sorts"), Some(1));
+        }
+        assert!(snap.node("spans/multi_gpu/partition").is_some());
+        assert!(snap.node("spans/multi_gpu/merge").is_some());
+    }
+
+    #[test]
+    fn with_telemetry_shares_an_external_inspector() {
+        let hub = Inspector::new();
+        let sorter = test_sorter(2).with_telemetry(&hub);
+        assert!(sorter.inspector().same_as(&hub));
+        let mut keys = uniform_keys::<u64>(40_000, 35);
+        sorter.sort(&mut keys);
+        let mg = hub.snapshot();
+        assert_eq!(mg.node("multi_gpu").unwrap().uint("sorts"), Some(1));
+        // Clones report into the same shared tree.
+        let mut again = uniform_keys::<u64>(40_000, 36);
+        sorter.clone().sort(&mut again);
+        assert_eq!(
+            hub.snapshot().node("multi_gpu").unwrap().uint("sorts"),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn lane_arena_gauges_hold_steady_across_repeated_sorts() {
+        let sorter = test_sorter(2);
+        let keys = uniform_keys::<u64>(80_000, 37);
+        let mut k = keys.clone();
+        sorter.sort(&mut k);
+        let warm = sorter.inspector().snapshot();
+        let warm_bytes = warm
+            .node("core/dev0/arena")
+            .unwrap()
+            .uint("buffer_bytes")
+            .unwrap();
+        assert!(warm_bytes > 0, "lane arenas retain buffers after a sort");
+        for _ in 0..2 {
+            let mut k = keys.clone();
+            sorter.sort(&mut k);
+            let again = sorter
+                .inspector()
+                .snapshot()
+                .node("core/dev0/arena")
+                .unwrap()
+                .uint("buffer_bytes")
+                .unwrap();
+            assert_eq!(
+                again, warm_bytes,
+                "lane arena gauge grew on a repeated same-size sort"
+            );
+        }
     }
 
     #[test]

@@ -197,7 +197,9 @@ impl ShardedSorter {
         let elem_bytes = K::BYTES as u64 + value_bytes as u64;
 
         // 1. Partition (host, measured): identical to the in-core path.
-        let partition_start = Instant::now();
+        let partition_span = self
+            .inspector
+            .span_with("multi_gpu/partition", "multi_gpu/partition_ns");
         let splitters = crate::partition::compute_splitters(
             keys,
             &self.pool.capacity_weights(),
@@ -232,7 +234,7 @@ impl ShardedSorter {
                 chunk_vals.push(cv);
             }
         }
-        let measured_partition = partition_start.elapsed();
+        let measured_partition = partition_span.finish();
 
         // 3. Real chunk sorts.  Simulated devices fan out over the host
         // executor — one task per device, chunks sorted in stream order
@@ -250,7 +252,9 @@ impl ShardedSorter {
         // 5. Recombination (host, measured): one generalised p-way merge
         // over every chunk run.  Chunks of one shard interleave freely;
         // shards own disjoint ranges — the loser tree handles both.
-        let merge_start = Instant::now();
+        let merge_span = self
+            .inspector
+            .span_with("multi_gpu/merge", "multi_gpu/merge_ns");
         let zipped: Vec<Vec<(K, V)>> = chunk_keys
             .iter()
             .zip(chunk_vals.iter())
@@ -260,7 +264,7 @@ impl ShardedSorter {
         let merged = parallel_merge_sorted_runs_by(&refs, self.merge_threads, pair_key::<K, V>);
         *keys = merged.iter().map(|&(k, _)| k).collect();
         *values = merged.into_iter().map(|(_, v)| v).collect();
-        let measured_merge = merge_start.elapsed();
+        let measured_merge = merge_span.finish();
 
         let mut combined = SortReport::new(0, K::BYTES, value_bytes);
         for r in &runs {
@@ -271,7 +275,7 @@ impl ShardedSorter {
             + critical_path
             + SimTime::from_secs(measured_merge.as_secs_f64());
 
-        ShardedReport {
+        let report = ShardedReport {
             n: n as u64,
             key_bytes: K::BYTES,
             value_bytes,
@@ -285,6 +289,31 @@ impl ShardedSorter {
             timeline,
             requests: Vec::new(),
             ooc_chunks,
+        };
+        self.note_sort(&report, elem_bytes);
+        self.note_ooc(&report);
+        report
+    }
+
+    /// Records the out-of-core metrics of one completed streamed sort:
+    /// sort/chunk counters and the chunk-pipeline occupancy — the fraction
+    /// of the pool's three pipeline stages (HtD, GPU, DtH) kept busy over
+    /// the schedule's makespan.
+    fn note_ooc(&self, report: &ShardedReport) {
+        let t = &self.inspector;
+        t.counter("multi_gpu/ooc/sorts").inc();
+        t.counter("multi_gpu/ooc/chunks")
+            .add(report.ooc_chunks.len() as u64);
+        let makespan = report.critical_path.secs();
+        if makespan > 0.0 && !report.shards.is_empty() {
+            let busy: f64 = report
+                .shards
+                .iter()
+                .map(|s| (s.upload + s.gpu_sort + s.download).secs())
+                .sum();
+            let capacity = 3.0 * report.shards.len() as f64 * makespan;
+            t.float_gauge("multi_gpu/ooc/pipeline_occupancy")
+                .set(busy / capacity);
         }
     }
 
@@ -302,6 +331,7 @@ impl ShardedSorter {
                 .clone()
                 .with_device(device.spec.clone())
                 .with_executor(device.backend.executor())
+                .with_telemetry(&self.inspector, &format!("core/dev{i}"))
         };
         // Reuse the persistent device lanes exactly like the in-core path.
         let mut fallback: Option<Vec<HybridRadixSorter>> = None;
@@ -690,6 +720,29 @@ mod tests {
         assert_eq!(k, expected);
         assert!(report.shards[1].measured_sort.is_some());
         assert!(report.shards[0].measured_sort.is_none());
+    }
+
+    #[test]
+    fn ooc_telemetry_reports_chunks_and_occupancy() {
+        let sorter = test_sorter(tiny_memory_pool(2, 1 << 20));
+        let mut keys = uniform_keys::<u64>(200_000, 41);
+        let report = sorter.sort_out_of_core(&mut keys);
+        let snap = sorter.inspector().snapshot();
+        let ooc = snap.node("multi_gpu/ooc").unwrap();
+        assert_eq!(ooc.uint("sorts"), Some(1));
+        assert_eq!(ooc.uint("chunks"), Some(report.ooc_chunks.len() as u64));
+        let occupancy = ooc.double("pipeline_occupancy").unwrap();
+        assert!(
+            occupancy > 0.0 && occupancy <= 1.0,
+            "occupancy {occupancy} out of range"
+        );
+        // OOC sorts flow through the same engine-level metrics and lanes.
+        assert_eq!(snap.node("multi_gpu").unwrap().uint("sorts"), Some(1));
+        assert_eq!(
+            snap.node("multi_gpu/partition_ns").unwrap().uint("count"),
+            Some(1)
+        );
+        assert!(snap.node("core/dev0").unwrap().uint("sorts").unwrap() > 0);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Batch formation, execution and result demultiplexing.
 //!
-//! One [`ClassQueue`] exists per [`KeyClass`](crate::KeyClass).  Requests
+//! One [`ClassQueue`] exists per [`KeyClass`].  Requests
 //! accumulate in submission order; a flush concatenates their keys into one
 //! buffer, tags every key with its request slot (high half) and demux
 //! payload (low half: the pair value, or the local index for key-only
@@ -20,7 +20,8 @@
 //! seen its largest batch, steady-state flushing performs no heap
 //! allocation outside the outcome-channel sends.
 
-use crate::request::{BatchInfo, FlushReason, SortOutcome, SortPayload};
+use crate::counters::{ClassProbe, ServiceCounters};
+use crate::request::{BatchInfo, FlushReason, KeyClass, SortOutcome, SortPayload};
 use multi_gpu::ShardedSorter;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
@@ -31,6 +32,9 @@ use workloads::keys::SortKey;
 /// Keys the service can batch: bridges a concrete key type back to the
 /// [`SortPayload`] variants that carry it.
 pub trait ServiceKey: SortKey {
+    /// The key class this type batches under (names the class's telemetry
+    /// subtree, `service/class/<label>/`).
+    const CLASS: KeyClass;
     /// Wraps sorted buffers back into the payload variant they came from.
     fn rebuild(keys: Vec<Self>, values: Option<Vec<u32>>) -> SortPayload;
     /// Unwraps a payload of this key class into its buffers.
@@ -38,6 +42,8 @@ pub trait ServiceKey: SortKey {
 }
 
 impl ServiceKey for u32 {
+    const CLASS: KeyClass = KeyClass::U32;
+
     fn rebuild(keys: Vec<Self>, values: Option<Vec<u32>>) -> SortPayload {
         match values {
             None => SortPayload::U32Keys(keys),
@@ -55,6 +61,8 @@ impl ServiceKey for u32 {
 }
 
 impl ServiceKey for u64 {
+    const CLASS: KeyClass = KeyClass::U64;
+
     fn rebuild(keys: Vec<Self>, values: Option<Vec<u32>>) -> SortPayload {
         match values {
             None => SortPayload::U64Keys(keys),
@@ -106,6 +114,11 @@ pub struct ClassQueue<K: ServiceKey> {
     /// ticket can immediately submit again without a spurious
     /// [`SubmitError::Saturated`](crate::SubmitError::Saturated).
     in_flight: Arc<AtomicUsize>,
+    /// Shared `service/...` counters (same atomic cells as every other
+    /// holder registered on the sorter's inspector).
+    counters: Arc<ServiceCounters>,
+    /// This class's live gauges and latency histogram.
+    probe: ClassProbe,
     pending: Vec<Pending<K>>,
     pending_bytes: u64,
     batch_keys: Vec<K>,
@@ -149,9 +162,13 @@ impl<K: ServiceKey> ClassQueue<K> {
     /// gets its own clone so concurrent flushes of different classes both
     /// keep warm device lanes.
     pub fn new(sorter: ShardedSorter, in_flight: Arc<AtomicUsize>) -> Self {
+        let counters = ServiceCounters::register(sorter.inspector());
+        let probe = ClassProbe::register(sorter.inspector(), K::CLASS);
         ClassQueue {
             sorter,
             in_flight,
+            counters,
+            probe,
             pending: Vec::new(),
             pending_bytes: 0,
             batch_keys: Vec::new(),
@@ -180,6 +197,8 @@ impl<K: ServiceKey> ClassQueue<K> {
         );
         self.pending_bytes += req.keys.len() as u64 * elem_bytes::<K>();
         self.pending.push(req);
+        self.probe.queue_depth.set(self.pending.len() as u64);
+        self.probe.pending_bytes.set(self.pending_bytes);
     }
 
     /// Pending request count.
@@ -210,6 +229,10 @@ impl<K: ServiceKey> ClassQueue<K> {
             return None;
         }
         let dispatch = Instant::now();
+        // The pending requests leave the queue now; the live gauges drop to
+        // zero while the batch itself sorts.
+        self.probe.queue_depth.set(0);
+        self.probe.pending_bytes.set(0);
 
         // Assemble: concatenate keys, tag each with (slot << 32) | demux.
         self.batch_keys.clear();
@@ -256,8 +279,17 @@ impl<K: ServiceKey> ClassQueue<K> {
             self.cursors[slot] = c + 1;
         }
 
-        // Resolve the tickets.
+        // Resolve the tickets.  The batch counters are recorded *before*
+        // the first outcome send, so a requester that just resolved its
+        // ticket always sees its own batch in a snapshot.
         let requests = self.pending.len();
+        let summary = FlushSummary {
+            requests,
+            elements,
+            bytes,
+            reason,
+        };
+        self.counters.note_flush(&summary);
         let info = BatchInfo {
             batch,
             requests,
@@ -275,16 +307,12 @@ impl<K: ServiceKey> ClassQueue<K> {
             };
             // Release the admission slot first, then resolve the ticket (a
             // dropped ticket just discards its outcome).
+            self.probe.latency_ns.record_duration(p.submitted.elapsed());
             self.in_flight.fetch_sub(1, Ordering::AcqRel);
             let _ = p.tx.send(outcome);
         }
         self.pending_bytes = 0;
-        Some(FlushSummary {
-            requests,
-            elements,
-            bytes,
-            reason,
-        })
+        Some(summary)
     }
 }
 

@@ -1,0 +1,230 @@
+//! Live service counters, shared between the front end and its workers.
+//!
+//! Every handle here is registered on the sorter's [`Inspector`], and
+//! registration is idempotent: the batching worker, the out-of-core lane
+//! and the [`SortService`](crate::SortService) front end each call
+//! [`ServiceCounters::register`] independently and all update the *same*
+//! atomic cells.  That is what makes
+//! [`SortService::stats_snapshot`](crate::SortService::stats_snapshot)
+//! live — no channel round trip, no shutdown, no locks on the hot path.
+
+use crate::batch::FlushSummary;
+use crate::request::{FlushReason, KeyClass, SubmitError};
+use crate::service::ServiceStats;
+use std::sync::Arc;
+use std::time::Duration;
+use telemetry::{Counter, Gauge, Histogram, HistogramSnapshot, Inspector};
+
+/// Handles to every `service/...` metric, one registration per holder.
+#[derive(Debug)]
+pub(crate) struct ServiceCounters {
+    requests: Counter,
+    batches: Counter,
+    elements: Counter,
+    max_batch_requests: Gauge,
+    batch_requests: Histogram,
+    flushed_by_bytes: Counter,
+    flushed_by_linger: Counter,
+    flushed_by_cap: Counter,
+    flushed_by_drain: Counter,
+    rejected_saturated: Counter,
+    rejected_too_large: Counter,
+    rejected_too_many_keys: Counter,
+    rejected_mismatched: Counter,
+    ooc_requests: Counter,
+    ooc_chunks: Counter,
+    ooc_latency_ns: Histogram,
+    /// Per-class submit→outcome latency histograms (`u32`, `u64`), kept so
+    /// the snapshot can merge them with the lane's into service-wide
+    /// percentiles.
+    class_latency: Vec<Histogram>,
+}
+
+impl ServiceCounters {
+    /// Registers (or retrieves — registration is idempotent) the service
+    /// counter set on `inspector`.
+    pub(crate) fn register(inspector: &Inspector) -> Arc<ServiceCounters> {
+        Arc::new(ServiceCounters {
+            requests: inspector.counter("service/requests"),
+            batches: inspector.counter("service/batches"),
+            elements: inspector.counter("service/elements"),
+            max_batch_requests: inspector.gauge("service/max_batch_requests"),
+            batch_requests: inspector.histogram("service/batch_requests"),
+            flushed_by_bytes: inspector.counter("service/flushed/bytes"),
+            flushed_by_linger: inspector.counter("service/flushed/linger"),
+            flushed_by_cap: inspector.counter("service/flushed/request_cap"),
+            flushed_by_drain: inspector.counter("service/flushed/drain"),
+            rejected_saturated: inspector.counter("service/rejected/saturated"),
+            rejected_too_large: inspector.counter("service/rejected/too_large"),
+            rejected_too_many_keys: inspector.counter("service/rejected/too_many_keys"),
+            rejected_mismatched: inspector.counter("service/rejected/mismatched_pair"),
+            ooc_requests: inspector.counter("service/ooc/requests"),
+            ooc_chunks: inspector.counter("service/ooc/chunks"),
+            ooc_latency_ns: inspector.histogram("service/ooc/latency_ns"),
+            class_latency: [KeyClass::U32, KeyClass::U64]
+                .iter()
+                .map(|c| inspector.histogram(&format!("service/class/{}/latency_ns", c.label())))
+                .collect(),
+        })
+    }
+
+    /// One request made it past admission control (either lane).
+    pub(crate) fn note_admitted(&self) {
+        self.requests.inc();
+    }
+
+    /// One request bounced; `ShuttingDown` is deliberately uncounted (it
+    /// describes the service's state, not the request).
+    pub(crate) fn note_rejected(&self, err: &SubmitError) {
+        match err {
+            SubmitError::Saturated { .. } => self.rejected_saturated.inc(),
+            SubmitError::TooLarge { .. } => self.rejected_too_large.inc(),
+            SubmitError::TooManyKeys { .. } => self.rejected_too_many_keys.inc(),
+            SubmitError::MismatchedPair { .. } => self.rejected_mismatched.inc(),
+            SubmitError::ShuttingDown => {}
+        }
+    }
+
+    /// One batch flushed through a class queue.
+    pub(crate) fn note_flush(&self, summary: &FlushSummary) {
+        self.batches.inc();
+        self.elements.add(summary.elements);
+        self.max_batch_requests.set_max(summary.requests as u64);
+        self.batch_requests.record(summary.requests as u64);
+        match summary.reason {
+            FlushReason::Bytes => self.flushed_by_bytes.inc(),
+            FlushReason::Linger => self.flushed_by_linger.inc(),
+            FlushReason::RequestCap => self.flushed_by_cap.inc(),
+            FlushReason::Drain => self.flushed_by_drain.inc(),
+            // The out-of-core lane never rides a class queue.
+            FlushReason::OutOfCore => {}
+        }
+    }
+
+    /// One request resolved through the out-of-core lane.
+    pub(crate) fn note_ooc(&self, elements: u64, chunks: u64, latency: Duration) {
+        self.ooc_requests.inc();
+        self.ooc_chunks.add(chunks);
+        self.elements.add(elements);
+        self.ooc_latency_ns.record_duration(latency);
+    }
+
+    /// The merged submit→outcome latency distribution across both key
+    /// classes and the out-of-core lane.
+    pub(crate) fn latency_snapshot(&self) -> HistogramSnapshot {
+        let parts: Vec<HistogramSnapshot> = self
+            .class_latency
+            .iter()
+            .chain(std::iter::once(&self.ooc_latency_ns))
+            .map(Histogram::snapshot)
+            .collect();
+        HistogramSnapshot::merged(parts.iter())
+    }
+
+    /// A consistent-enough read of every counter, at any moment.
+    pub(crate) fn stats_snapshot(&self) -> ServiceStats {
+        let latency = self.latency_snapshot();
+        // Read `batches` strictly before `requests`: a request is counted
+        // at admission, before the flush that counts its batch, so this
+        // read order keeps `requests ≥ batches` in every snapshot even
+        // mid-flood.
+        let batches = self.batches.get();
+        ServiceStats {
+            requests: self.requests.get(),
+            batches,
+            max_batch_requests: self.max_batch_requests.get() as usize,
+            elements: self.elements.get(),
+            flushed_by_bytes: self.flushed_by_bytes.get(),
+            flushed_by_linger: self.flushed_by_linger.get(),
+            flushed_by_cap: self.flushed_by_cap.get(),
+            flushed_by_drain: self.flushed_by_drain.get(),
+            ooc_requests: self.ooc_requests.get(),
+            ooc_chunks: self.ooc_chunks.get(),
+            rejected_saturated: self.rejected_saturated.get(),
+            rejected_too_large: self.rejected_too_large.get(),
+            rejected_too_many_keys: self.rejected_too_many_keys.get(),
+            rejected_mismatched_pairs: self.rejected_mismatched.get(),
+            latency_p50: Duration::from_nanos(latency.p50()),
+            latency_p99: Duration::from_nanos(latency.p99()),
+        }
+    }
+}
+
+/// Per-class live handles: queue-depth/pending-bytes gauges plus the
+/// class's submit→outcome latency histogram.
+#[derive(Debug, Clone)]
+pub(crate) struct ClassProbe {
+    pub(crate) queue_depth: Gauge,
+    pub(crate) pending_bytes: Gauge,
+    pub(crate) latency_ns: Histogram,
+}
+
+impl ClassProbe {
+    /// Registers the probe for `class` under `service/class/<label>/`.
+    pub(crate) fn register(inspector: &Inspector, class: KeyClass) -> ClassProbe {
+        let path = |leaf: &str| format!("service/class/{}/{leaf}", class.label());
+        ClassProbe {
+            queue_depth: inspector.gauge(&path("queue_depth")),
+            pending_bytes: inspector.gauge(&path("pending_bytes")),
+            latency_ns: inspector.histogram(&path("latency_ns")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_shares_cells_across_holders() {
+        let inspector = Inspector::new();
+        let a = ServiceCounters::register(&inspector);
+        let b = ServiceCounters::register(&inspector);
+        a.note_admitted();
+        b.note_admitted();
+        assert_eq!(a.stats_snapshot().requests, 2);
+        assert_eq!(b.stats_snapshot().requests, 2);
+    }
+
+    #[test]
+    fn rejection_taxonomy_maps_onto_counters() {
+        let inspector = Inspector::new();
+        let c = ServiceCounters::register(&inspector);
+        c.note_rejected(&SubmitError::Saturated {
+            in_flight: 1,
+            queue_depth: 1,
+        });
+        c.note_rejected(&SubmitError::TooLarge {
+            bytes: 2,
+            budget: 1,
+        });
+        c.note_rejected(&SubmitError::TooManyKeys { keys: 9, max: 8 });
+        c.note_rejected(&SubmitError::MismatchedPair { keys: 2, values: 1 });
+        c.note_rejected(&SubmitError::ShuttingDown);
+        let stats = c.stats_snapshot();
+        assert_eq!(stats.rejected_saturated, 1);
+        assert_eq!(stats.rejected_too_large, 1);
+        assert_eq!(stats.rejected_too_many_keys, 1);
+        assert_eq!(stats.rejected_mismatched_pairs, 1);
+        assert_eq!(stats.requests, 0, "rejections are not admissions");
+    }
+
+    #[test]
+    fn latency_percentiles_merge_classes_and_the_ooc_lane() {
+        let inspector = Inspector::new();
+        let c = ServiceCounters::register(&inspector);
+        let u32_lat = inspector.histogram("service/class/u32/latency_ns");
+        for _ in 0..90 {
+            u32_lat.record(1_000);
+        }
+        for _ in 0..10 {
+            c.note_ooc(10, 3, Duration::from_secs(2));
+        }
+        let stats = c.stats_snapshot();
+        assert!(stats.latency_p50 <= Duration::from_micros(2));
+        assert!(stats.latency_p99 >= Duration::from_secs(1));
+        assert_eq!(stats.ooc_requests, 10);
+        assert_eq!(stats.ooc_chunks, 30);
+        assert_eq!(stats.elements, 100);
+    }
+}

@@ -36,6 +36,15 @@
 //! (in the requester's own buffers), the request's [`RequestSpan`] slice of
 //! the batch, and the batch's shared [`multi_gpu::ShardedReport`].
 //!
+//! The service is **observable while it runs**: every lifetime counter in
+//! [`ServiceStats`] is a shared atomic on the sorter's
+//! [`telemetry::Inspector`], so [`SortService::stats_snapshot`] returns
+//! live queue depths, flush-reason counts, admission rejections and
+//! submit→outcome latency percentiles at any moment, and
+//! [`SortService::inspector`] exposes the whole tree — service, sharded
+//! engine, out-of-core lane, per-device core sorters — as one
+//! JSON-serialisable [`telemetry::InspectNode`] snapshot.
+//!
 //! ## Quick start
 //!
 //! ```
@@ -57,6 +66,11 @@
 //!     let SortPayload::U64Keys(keys) = outcome.payload else { unreachable!() };
 //!     assert!(keys.windows(2).all(|w| w[0] <= w[1]));
 //! }
+//! // Live counters, no shutdown needed — and the full inspection tree.
+//! let live = service.stats_snapshot();
+//! assert_eq!(live.requests, 4);
+//! let snapshot = service.inspector().snapshot();
+//! assert_eq!(snapshot.node("service").unwrap().uint("requests"), Some(4));
 //! let stats = service.shutdown();
 //! assert_eq!(stats.requests, 4);
 //! ```
@@ -65,15 +79,16 @@
 
 pub mod batch;
 pub mod config;
+mod counters;
 pub mod ooc_lane;
 pub mod request;
 pub mod service;
 
 pub use config::{OverBudgetPolicy, ServiceConfig};
 pub use multi_gpu::{OocChunkSpan, RequestSpan};
-pub use ooc_lane::OocStats;
 pub use request::{
     BatchInfo, FlushReason, KeyClass, SortOutcome, SortPayload, SortTicket, SubmitError,
     TicketError,
 };
 pub use service::{ServiceStats, SortService};
+pub use telemetry::{InspectNode, Inspector};

@@ -11,9 +11,16 @@
 //! Section 5 — and resolves with the per-chunk
 //! [`multi_gpu::OocChunkSpan`]s in its shared report.
 //!
+//! The lane reports into the same live `service/...` counters as the
+//! batching worker (`service/ooc/{requests,chunks,latency_ns}`), so
+//! [`SortService::stats_snapshot`](crate::SortService::stats_snapshot) and
+//! [`ServiceStats`](crate::ServiceStats) cover it without any
+//! shutdown-time merging.
+//!
 //! Keeping the lane on its own thread means a multi-gigabyte streaming
 //! sort never blocks the latency-sensitive batching worker next door.
 
+use crate::counters::ServiceCounters;
 use crate::request::{BatchInfo, FlushReason, SortOutcome, SortPayload};
 use crate::service::Submission;
 use multi_gpu::{RequestSpan, ShardedReport, ShardedSorter};
@@ -21,23 +28,12 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::Instant;
 
-/// Lifetime counters of the out-of-core lane, merged into
-/// [`ServiceStats`](crate::ServiceStats) at shutdown.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct OocStats {
-    /// Requests sorted through the lane.
-    pub requests: u64,
-    /// Total keys sorted through the lane.
-    pub elements: u64,
-    /// Total pipeline chunks streamed across all lane requests.
-    pub chunks: u64,
-}
-
 /// The lane worker: owns a sorter clone and drains its own channel.
 pub(crate) struct OocLaneWorker {
     sorter: ShardedSorter,
     in_flight: Arc<AtomicUsize>,
     next_batch: Arc<AtomicU64>,
+    counters: Arc<ServiceCounters>,
 }
 
 impl OocLaneWorker {
@@ -46,27 +42,23 @@ impl OocLaneWorker {
         in_flight: Arc<AtomicUsize>,
         next_batch: Arc<AtomicU64>,
     ) -> Self {
+        let counters = ServiceCounters::register(sorter.inspector());
         OocLaneWorker {
             sorter,
             in_flight,
             next_batch,
+            counters,
         }
     }
 
-    pub(crate) fn run(self, rx: mpsc::Receiver<Submission>) -> OocStats {
-        let mut stats = OocStats::default();
+    pub(crate) fn run(self, rx: mpsc::Receiver<Submission>) {
         while let Ok(sub) = rx.recv() {
-            let (elements, chunks) = self.handle(sub);
-            stats.requests += 1;
-            stats.elements += elements;
-            stats.chunks += chunks;
+            self.handle(sub);
         }
-        stats
     }
 
     /// Runs one over-budget request end to end and resolves its ticket.
-    /// Returns `(elements, chunks)` for the lane statistics.
-    fn handle(&self, sub: Submission) -> (u64, u64) {
+    fn handle(&self, sub: Submission) {
         let dispatch = Instant::now();
         let elements = sub.payload.len() as u64;
         let bytes = sub.payload.batch_bytes();
@@ -106,12 +98,13 @@ impl OocLaneWorker {
             bytes,
             dispatch.saturating_duration_since(sub.submitted),
         );
+        self.counters
+            .note_ooc(elements, chunks, sub.submitted.elapsed());
         // Release the admission slot first, then resolve the ticket (a
         // dropped ticket just discards its outcome) — same order as the
         // batching lane, so a requester can resubmit immediately.
         self.in_flight.fetch_sub(1, Ordering::AcqRel);
         let _ = sub.tx.send(outcome);
-        (elements, chunks)
     }
 
     fn outcome(

@@ -1,10 +1,9 @@
 //! The service front end and its worker loop.
 
-use crate::batch::{
-    elem_bytes, oversize_request_error, ClassQueue, FlushSummary, Pending, ServiceKey,
-};
+use crate::batch::{elem_bytes, oversize_request_error, ClassQueue, Pending, ServiceKey};
 use crate::config::{OverBudgetPolicy, ServiceConfig};
-use crate::ooc_lane::{OocLaneWorker, OocStats};
+use crate::counters::ServiceCounters;
+use crate::ooc_lane::OocLaneWorker;
 use crate::request::{FlushReason, KeyClass, SortOutcome, SortPayload, SortTicket, SubmitError};
 use hrs_core::Executor;
 use multi_gpu::ShardedSorter;
@@ -12,12 +11,18 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+use telemetry::Inspector;
 
-/// Lifetime counters of a service, returned by
-/// [`SortService::shutdown`].
+/// Lifetime counters of a service.
+///
+/// Every field is backed by a shared atomic on the service's
+/// [`Inspector`], so [`SortService::stats_snapshot`] returns a *live* read
+/// at any moment — requests in flight included — and
+/// [`SortService::shutdown`] returns the final state of the same counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServiceStats {
-    /// Requests admitted (and resolved — shutdown drains everything).
+    /// Requests admitted (counted at submission; shutdown drains and
+    /// resolves every one of them).
     pub requests: u64,
     /// Batches dispatched.
     pub batches: u64,
@@ -38,32 +43,26 @@ pub struct ServiceStats {
     pub ooc_requests: u64,
     /// Pipeline chunks streamed across all out-of-core requests.
     pub ooc_chunks: u64,
+    /// Submissions bounced by backpressure
+    /// ([`SubmitError::Saturated`]).
+    pub rejected_saturated: u64,
+    /// Over-budget submissions bounced under
+    /// [`OverBudgetPolicy::Reject`] ([`SubmitError::TooLarge`]).
+    pub rejected_too_large: u64,
+    /// Submissions bounced by the demux-tag key limit
+    /// ([`SubmitError::TooManyKeys`]).
+    pub rejected_too_many_keys: u64,
+    /// Malformed pair submissions bounced
+    /// ([`SubmitError::MismatchedPair`]).
+    pub rejected_mismatched_pairs: u64,
+    /// Median submit→outcome latency across every resolved request (both
+    /// key classes and the out-of-core lane).
+    pub latency_p50: Duration,
+    /// 99th-percentile submit→outcome latency.
+    pub latency_p99: Duration,
 }
 
 impl ServiceStats {
-    fn absorb(&mut self, s: &FlushSummary) {
-        self.batches += 1;
-        self.max_batch_requests = self.max_batch_requests.max(s.requests);
-        self.elements += s.elements;
-        match s.reason {
-            FlushReason::Bytes => self.flushed_by_bytes += 1,
-            FlushReason::Linger => self.flushed_by_linger += 1,
-            FlushReason::RequestCap => self.flushed_by_cap += 1,
-            FlushReason::Drain => self.flushed_by_drain += 1,
-            // Out-of-core sorts bypass the batching queues entirely; their
-            // counters merge from `OocStats` at shutdown instead.
-            FlushReason::OutOfCore => {}
-        }
-    }
-
-    /// Folds the out-of-core lane's lifetime counters in (at shutdown).
-    fn absorb_ooc(&mut self, ooc: &OocStats) {
-        self.requests += ooc.requests;
-        self.elements += ooc.elements;
-        self.ooc_requests = ooc.requests;
-        self.ooc_chunks = ooc.chunks;
-    }
-
     /// Mean requests per batch (1.0 when nothing coalesced).  Out-of-core
     /// requests never ride a batch, so they are excluded from the ratio.
     pub fn mean_batch_requests(&self) -> f64 {
@@ -91,11 +90,16 @@ pub(crate) struct Submission {
 #[derive(Debug)]
 pub struct SortService {
     tx: Option<mpsc::Sender<Submission>>,
-    worker: Option<JoinHandle<ServiceStats>>,
+    worker: Option<JoinHandle<()>>,
     /// Channel and worker of the out-of-core lane; `None` under
     /// [`OverBudgetPolicy::Reject`].
     ooc_tx: Option<mpsc::Sender<Submission>>,
-    ooc_worker: Option<JoinHandle<OocStats>>,
+    ooc_worker: Option<JoinHandle<()>>,
+    /// The sorter's observability hub: one snapshot covers the service
+    /// counters plus the sharded-engine and per-device core metrics below.
+    inspector: Inspector,
+    /// Shared handles to the live `service/...` counters.
+    counters: Arc<ServiceCounters>,
     in_flight: Arc<AtomicUsize>,
     next_id: AtomicU64,
     queue_depth: usize,
@@ -126,6 +130,11 @@ impl SortService {
         let queue_depth = cfg.queue_depth;
         let over_budget = cfg.over_budget;
         let in_flight = Arc::new(AtomicUsize::new(0));
+        // Both lanes, the class queues and this front end all register on
+        // the sorter's inspector — idempotently, so every holder updates
+        // the same atomic cells and `stats_snapshot` is live.
+        let inspector = sorter.inspector().clone();
+        let counters = ServiceCounters::register(&inspector);
         // Batch ids stay unique across both lanes: they draw from one
         // shared counter.
         let next_batch = Arc::new(AtomicU64::new(0));
@@ -159,6 +168,8 @@ impl SortService {
             worker: Some(worker),
             ooc_tx,
             ooc_worker,
+            inspector,
+            counters,
             in_flight,
             next_id: AtomicU64::new(0),
             queue_depth,
@@ -176,6 +187,28 @@ impl SortService {
     /// Requests currently admitted and not yet resolved.
     pub fn in_flight(&self) -> usize {
         self.in_flight.load(Ordering::Acquire)
+    }
+
+    /// A live snapshot of the service's lifetime counters — callable at
+    /// any moment, including while requests are in flight.  The counters
+    /// are shared atomics updated by the workers as they go, so this
+    /// involves no channel round trip and no locks on the sorting path.
+    pub fn stats_snapshot(&self) -> ServiceStats {
+        self.counters.stats_snapshot()
+    }
+
+    /// The observability hub shared with the underlying sorter:
+    /// [`Inspector::snapshot`] walks the service counters *and* the
+    /// sharded-engine, out-of-core and per-device core metrics into one
+    /// JSON-serialisable tree.
+    pub fn inspector(&self) -> &Inspector {
+        &self.inspector
+    }
+
+    /// Counts a rejection before handing the error back.
+    fn reject(&self, err: SubmitError) -> SubmitError {
+        self.counters.note_rejected(&err);
+        err
     }
 
     /// Submits a sort request.  Non-blocking: returns a [`SortTicket`]
@@ -198,10 +231,10 @@ impl SortService {
             SortPayload::U64Pairs { keys, values } => (keys.len(), values.len()),
         };
         if keys_len != values_len {
-            return Err(SubmitError::MismatchedPair {
+            return Err(self.reject(SubmitError::MismatchedPair {
                 keys: keys_len,
                 values: values_len,
-            });
+            }));
         }
         let bytes = payload.batch_bytes();
         let tx = if bytes > self.admission_budget {
@@ -210,10 +243,10 @@ impl SortService {
             // *both* policies: the out-of-core lane shards by the same
             // capacity weights, so it could not run the request either.
             if self.over_budget == OverBudgetPolicy::Reject || !self.pool_can_sort {
-                return Err(SubmitError::TooLarge {
+                return Err(self.reject(SubmitError::TooLarge {
                     bytes,
                     budget: self.admission_budget,
-                });
+                }));
             }
             // Over-budget lane: no batching, no demux tags, so the
             // slot-tag key limit does not apply.
@@ -226,7 +259,7 @@ impl SortService {
             // enforced here as a hard error, where it used to be a
             // release-invisible debug assert deep in the class queue.
             if let Some(err) = oversize_request_error(keys_len) {
-                return Err(err);
+                return Err(self.reject(err));
             }
             let Some(tx) = self.tx.as_ref() else {
                 return Err(SubmitError::ShuttingDown);
@@ -243,10 +276,10 @@ impl SortService {
             })
             .is_err()
         {
-            return Err(SubmitError::Saturated {
+            return Err(self.reject(SubmitError::Saturated {
                 in_flight: depth,
                 queue_depth: depth,
-            });
+            }));
         }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let (otx, orx) = mpsc::channel();
@@ -256,6 +289,10 @@ impl SortService {
             tx: otx,
             submitted: Instant::now(),
         };
+        // Count the admission *before* the send: a snapshot that sees a
+        // batch therefore always sees its requests too (`requests ≥
+        // batches` holds at every instant).
+        self.counters.note_admitted();
         if tx.send(submission).is_err() {
             self.in_flight.fetch_sub(1, Ordering::AcqRel);
             return Err(SubmitError::ShuttingDown);
@@ -264,31 +301,27 @@ impl SortService {
     }
 
     /// Shuts the service down: stops admitting, drains and resolves every
-    /// pending request, joins the worker and returns its statistics.
+    /// pending request, joins the workers and returns the final counters.
     pub fn shutdown(mut self) -> ServiceStats {
-        self.shutdown_in_place().unwrap_or_default()
+        self.shutdown_in_place();
+        self.counters.stats_snapshot()
     }
 
-    fn shutdown_in_place(&mut self) -> Option<ServiceStats> {
+    fn shutdown_in_place(&mut self) {
         drop(self.tx.take());
         drop(self.ooc_tx.take());
-        let mut stats = self
-            .worker
-            .take()
-            .map(|w| w.join().expect("sort-service worker panicked"));
-        if let Some(ooc) = self.ooc_worker.take() {
-            let ooc_stats = ooc.join().expect("out-of-core lane worker panicked");
-            if let Some(stats) = stats.as_mut() {
-                stats.absorb_ooc(&ooc_stats);
-            }
+        if let Some(w) = self.worker.take() {
+            w.join().expect("sort-service worker panicked");
         }
-        stats
+        if let Some(ooc) = self.ooc_worker.take() {
+            ooc.join().expect("out-of-core lane worker panicked");
+        }
     }
 }
 
 impl Drop for SortService {
     fn drop(&mut self) {
-        let _ = self.shutdown_in_place();
+        self.shutdown_in_place();
     }
 }
 
@@ -302,7 +335,6 @@ struct Worker {
     /// Shared with the out-of-core lane so batch ids stay unique
     /// service-wide.
     next_batch: Arc<AtomicU64>,
-    stats: ServiceStats,
 }
 
 impl Worker {
@@ -325,7 +357,6 @@ impl Worker {
             cfg,
             max_batch_bytes,
             next_batch,
-            stats: ServiceStats::default(),
         }
     }
 
@@ -333,11 +364,10 @@ impl Worker {
         self.next_batch.fetch_add(1, Ordering::Relaxed)
     }
 
-    fn run(mut self, rx: mpsc::Receiver<Submission>) -> ServiceStats {
+    fn run(mut self, rx: mpsc::Receiver<Submission>) {
         loop {
             match rx.recv_timeout(self.next_deadline()) {
                 Ok(sub) => {
-                    self.stats.requests += 1;
                     self.admit(sub);
                     // Greedily drain whatever else already arrived (e.g.
                     // the backlog built up behind a long flush).  The size
@@ -348,7 +378,6 @@ impl Worker {
                     // of flushing as singletons.
                     self.flush_ready(false);
                     while let Ok(sub) = rx.try_recv() {
-                        self.stats.requests += 1;
                         self.admit(sub);
                         self.flush_ready(false);
                     }
@@ -359,7 +388,7 @@ impl Worker {
                 }
                 Err(mpsc::RecvTimeoutError::Disconnected) => {
                     self.flush_all(FlushReason::Drain);
-                    return self.stats;
+                    return;
                 }
             }
         }
@@ -380,9 +409,7 @@ impl Worker {
                     && self.q32.pending_bytes() + incoming > self.max_batch_bytes
                 {
                     let id = self.next_batch_id();
-                    if let Some(s) = self.q32.flush(FlushReason::Bytes, id) {
-                        self.stats.absorb(&s);
-                    }
+                    self.q32.flush(FlushReason::Bytes, id);
                 }
                 self.q32.push(Pending {
                     id: sub.id,
@@ -399,9 +426,7 @@ impl Worker {
                     && self.q64.pending_bytes() + incoming > self.max_batch_bytes
                 {
                     let id = self.next_batch_id();
-                    if let Some(s) = self.q64.flush(FlushReason::Bytes, id) {
-                        self.stats.absorb(&s);
-                    }
+                    self.q64.flush(FlushReason::Bytes, id);
                 }
                 self.q64.push(Pending {
                     id: sub.id,
@@ -466,40 +491,39 @@ impl Worker {
 
     /// Runs the requested class flushes.  Two ready classes flush
     /// concurrently on the flush executor (each owns its sorter clone, so
-    /// both keep warm lanes); batch ids stay monotonic.
+    /// both keep warm lanes); batch ids stay monotonic.  In-flight slots
+    /// are released per request inside the flushes, and the flush/batch
+    /// counters are recorded by the class queues themselves.
     fn flush_classes(&mut self, r32: Option<FlushReason>, r64: Option<FlushReason>) {
         let id32 = r32.map(|_| self.next_batch_id());
         let id64 = r64.map(|_| self.next_batch_id());
-        let summaries: Vec<Option<FlushSummary>> = match (r32, r64) {
-            (None, None) => return,
-            (Some(re), None) => vec![self.q32.flush(re, id32.unwrap())],
-            (None, Some(re)) => vec![self.q64.flush(re, id64.unwrap())],
+        match (r32, r64) {
+            (None, None) => {}
+            (Some(re), None) => {
+                self.q32.flush(re, id32.unwrap());
+            }
+            (None, Some(re)) => {
+                self.q64.flush(re, id64.unwrap());
+            }
             (Some(re32), Some(re64)) => {
-                type Job<'a> = Box<dyn FnOnce() -> Option<FlushSummary> + Send + 'a>;
+                type Job<'a> = Box<dyn FnOnce() + Send + 'a>;
                 let exec: Executor = self.cfg.flush_executor;
                 let (q32, q64) = (&mut self.q32, &mut self.q64);
                 let (b32, b64) = (id32.unwrap(), id64.unwrap());
                 let slots: [Mutex<Option<Job>>; 2] = [
-                    Mutex::new(Some(Box::new(move || q32.flush(re32, b32)))),
-                    Mutex::new(Some(Box::new(move || q64.flush(re64, b64)))),
+                    Mutex::new(Some(Box::new(move || {
+                        q32.flush(re32, b32);
+                    }))),
+                    Mutex::new(Some(Box::new(move || {
+                        q64.flush(re64, b64);
+                    }))),
                 ];
-                let results: [Mutex<Option<FlushSummary>>; 2] =
-                    [Mutex::new(None), Mutex::new(None)];
                 exec.for_each_task(2, |t, _| {
                     if let Some(job) = slots[t].lock().unwrap().take() {
-                        *results[t].lock().unwrap() = job();
+                        job();
                     }
                 });
-                results
-                    .into_iter()
-                    .map(|r| r.into_inner().unwrap())
-                    .collect()
             }
-        };
-        // In-flight slots were already released per request inside the
-        // flushes, before each outcome send.
-        for summary in summaries.into_iter().flatten() {
-            self.stats.absorb(&summary);
         }
     }
 }
@@ -808,9 +832,11 @@ mod tests {
             .submit(SortPayload::U64Keys(uniform_keys::<u64>(200_000, 5)))
             .unwrap_err();
         assert!(matches!(err, SubmitError::TooLarge { .. }));
+        assert_eq!(service.stats_snapshot().rejected_too_large, 1);
         let stats = service.shutdown();
         assert_eq!(stats.requests, 0);
         assert_eq!(stats.ooc_requests, 0);
+        assert_eq!(stats.rejected_too_large, 1);
     }
 
     #[test]
@@ -837,7 +863,7 @@ mod tests {
     #[test]
     fn submissions_after_shutdown_error_out() {
         let mut service = small_service(ServiceConfig::default());
-        let _ = service.shutdown_in_place();
+        service.shutdown_in_place();
         assert_eq!(
             service
                 .submit(SortPayload::U32Keys(vec![3, 1]))
@@ -848,12 +874,91 @@ mod tests {
         let mut ooc = tiny_memory_service(
             ServiceConfig::default().with_over_budget(OverBudgetPolicy::OutOfCore),
         );
-        let _ = ooc.shutdown_in_place();
+        ooc.shutdown_in_place();
         assert_eq!(
             ooc.submit(SortPayload::U64Keys(uniform_keys::<u64>(200_000, 1)))
                 .unwrap_err(),
             SubmitError::ShuttingDown
         );
+    }
+
+    #[test]
+    fn stats_snapshot_is_live_and_counts_rejections() {
+        // Two admitted requests sit in the queue (nothing can trigger a
+        // flush before the 30 s linger), yet the snapshot already sees
+        // them — the old API could only report after `shutdown` destroyed
+        // the service.
+        let service = small_service(
+            ServiceConfig::default()
+                .with_queue_depth(2)
+                .with_max_linger(Duration::from_secs(30))
+                .with_max_batch_bytes(u64::MAX),
+        );
+        let t1 = service
+            .submit(SortPayload::U64Keys(uniform_keys::<u64>(2_000, 1)))
+            .unwrap();
+        let t2 = service
+            .submit(SortPayload::U64Keys(uniform_keys::<u64>(2_000, 2)))
+            .unwrap();
+        let live = service.stats_snapshot();
+        assert_eq!(live.requests, 2);
+        assert_eq!(live.batches, 0, "nothing may have flushed yet");
+        assert_eq!(service.in_flight(), 2);
+
+        // Rejections are counted by kind, live.
+        let err = service
+            .submit(SortPayload::U64Keys(vec![3, 1, 2]))
+            .unwrap_err();
+        assert!(matches!(err, SubmitError::Saturated { .. }));
+        let _ = service
+            .submit(SortPayload::U32Pairs {
+                keys: vec![1, 2],
+                values: vec![9],
+            })
+            .unwrap_err();
+        let live = service.stats_snapshot();
+        assert_eq!(live.rejected_saturated, 1);
+        assert_eq!(live.rejected_mismatched_pairs, 1);
+
+        let stats = service.shutdown();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.flushed_by_drain, 1);
+        assert_eq!(stats.max_batch_requests, 2);
+        assert!(stats.latency_p50 > Duration::ZERO);
+        assert!(stats.latency_p99 >= stats.latency_p50);
+        for t in [t1, t2] {
+            t.wait().unwrap();
+        }
+    }
+
+    #[test]
+    fn inspector_snapshot_spans_every_layer() {
+        let service = small_service(ServiceConfig::default());
+        let t = service
+            .submit(SortPayload::U64Keys(uniform_keys::<u64>(20_000, 3)))
+            .unwrap();
+        t.wait().unwrap();
+        let snap = service.inspector().snapshot();
+        let svc = snap.node("service").unwrap();
+        assert_eq!(svc.uint("requests"), Some(1));
+        assert!(svc.uint("batches").unwrap() >= 1);
+        // The class subtree: queue drained back to zero, one latency sample.
+        let class = snap.node("service/class/u64").unwrap();
+        assert_eq!(class.uint("queue_depth"), Some(0));
+        assert_eq!(
+            snap.node("service/class/u64/latency_ns")
+                .unwrap()
+                .uint("count"),
+            Some(1)
+        );
+        // The engine and per-device core layers hang off the same tree.
+        assert!(snap.node("multi_gpu").unwrap().uint("sorts").unwrap() >= 1);
+        assert!(snap.node("core/dev0").is_some());
+        // And the whole thing round-trips through JSON.
+        let parsed = crate::InspectNode::from_json(&snap.to_json()).unwrap();
+        assert_eq!(parsed, snap);
+        service.shutdown();
     }
 
     #[test]

@@ -1,0 +1,76 @@
+//! # telemetry — the workspace's unified observability layer
+//!
+//! Stehle & Jacobsen's argument is built on *measured* breakdowns (per-pass
+//! memory traffic, transfer/compute overlap, crossover points), yet most of
+//! this reproduction's numbers used to surface only post-hoc: a report after
+//! a sort, service statistics only at shutdown.  This crate is the live
+//! counterpart — a lock-light metrics surface every layer (core sorter,
+//! multi-GPU engine, out-of-core pipeline, batch sort service) reports
+//! into, inspectable at any moment without stopping anything:
+//!
+//! * [`metrics`] — atomic [`Counter`]s / [`Gauge`]s / [`FloatGauge`]s /
+//!   [`TextMetric`]s.  Handles are cheap `Arc` clones; updates are single
+//!   relaxed atomic operations.
+//! * [`histogram`] — log₂-bucketed latency [`Histogram`]s with
+//!   p50/p95/p99 extraction from an immutable [`HistogramSnapshot`].
+//! * [`registry`] — the [`MetricsRegistry`]: metrics registered under
+//!   hierarchical `/`-separated paths
+//!   (`service/class/u64/queue_depth`), idempotently — re-registering a
+//!   path returns the *same* underlying metric, which is what lets
+//!   short-lived clones (service workers, device lanes) aggregate into one
+//!   tree.
+//! * [`mod@span`] — structured scoped timers: [`Inspector::span`] returns a
+//!   [`SpanGuard`] that records its wall-clock duration into a pluggable
+//!   [`SpanSink`] (a bounded [`RingSink`] by default) when dropped or
+//!   [`finish`](SpanGuard::finish)ed.
+//! * [`inspect`] — the Fuchsia-archivist-style snapshot surface: an
+//!   [`Inspector`] is a shared hub (registry + span sink);
+//!   [`Inspector::snapshot`] walks every registered path into an
+//!   [`InspectNode`] tree that serialises to JSON.
+//! * [`json`] — the hand-rolled JSON writer *and* parser for
+//!   [`InspectNode`] (the workspace's vendored `serde` is a no-op shim), so
+//!   snapshots round-trip and CI can assert on their structure.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use telemetry::Inspector;
+//! use std::time::Duration;
+//!
+//! let inspector = Inspector::new();
+//! let sorts = inspector.counter("core/sorts");
+//! let latency = inspector.histogram("service/latency_ns");
+//!
+//! sorts.inc();
+//! latency.record_duration(Duration::from_micros(250));
+//! {
+//!     let _span = inspector.span("core/pass"); // records on drop
+//! }
+//!
+//! let snapshot = inspector.snapshot();
+//! assert_eq!(snapshot.node("core").unwrap().uint("sorts"), Some(1));
+//! let json = snapshot.to_json();
+//! let parsed = telemetry::InspectNode::from_json(&json).unwrap();
+//! assert_eq!(parsed, snapshot);
+//! ```
+//!
+//! There is intentionally **no global singleton**: the workspace's tests run
+//! concurrently in one process, so every [`Inspector`] is an explicit,
+//! cheaply clonable value owned by the component it observes (the sharded
+//! sorter shares its inspector with the sort service built on top of it).
+
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod inspect;
+pub mod json;
+pub mod metrics;
+pub mod registry;
+pub mod span;
+
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use inspect::{InspectNode, InspectValue, Inspector};
+pub use json::JsonError;
+pub use metrics::{Counter, FloatGauge, Gauge, TextMetric};
+pub use registry::MetricsRegistry;
+pub use span::{NullSink, RingSink, SpanGuard, SpanRecord, SpanSink};

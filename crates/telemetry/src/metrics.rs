@@ -1,0 +1,190 @@
+//! Atomic metric primitives: counters, gauges and text values.
+//!
+//! Every metric handle is a cheap `Arc` clone around a single atomic cell;
+//! cloning a handle shares the cell, so a worker thread and the snapshotting
+//! thread observe the same value without any locking.  All updates use
+//! relaxed ordering — metrics are monitoring data, not synchronisation
+//! edges, and a snapshot that is one increment stale is fine.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Whether this handle shares its cell with `other` (the registry's
+    /// idempotence tests use this).
+    pub fn same_as(&self, other: &Counter) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+/// A settable integer gauge (queue depth, retained bytes, ...).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the gauge.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to `v` if `v` exceeds the current value (running
+    /// maximum).
+    pub fn set_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable floating-point gauge (ratios, utilisations).  Stored as the
+/// `f64` bit pattern in an atomic cell.
+#[derive(Debug, Clone)]
+pub struct FloatGauge(Arc<AtomicU64>);
+
+impl Default for FloatGauge {
+    fn default() -> Self {
+        FloatGauge(Arc::new(AtomicU64::new(0f64.to_bits())))
+    }
+}
+
+impl FloatGauge {
+    /// A fresh gauge at `0.0`.
+    pub fn new() -> Self {
+        FloatGauge::default()
+    }
+
+    /// Sets the gauge.  Non-finite values are recorded as `0.0` so
+    /// snapshots always serialise to valid JSON.
+    pub fn set(&self, v: f64) {
+        let v = if v.is_finite() { v } else { 0.0 };
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A settable text value (device names, backend labels).  Updates take a
+/// short mutex — text metrics are set rarely (registration time), never on
+/// hot paths.
+#[derive(Debug, Clone, Default)]
+pub struct TextMetric(Arc<Mutex<String>>);
+
+impl TextMetric {
+    /// A fresh, empty text metric.
+    pub fn new() -> Self {
+        TextMetric::default()
+    }
+
+    /// Replaces the text.
+    pub fn set(&self, v: impl Into<String>) {
+        *self.0.lock().unwrap_or_else(|p| p.into_inner()) = v.into();
+    }
+
+    /// Current text.
+    pub fn get(&self) -> String {
+        self.0.lock().unwrap_or_else(|p| p.into_inner()).clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts_and_clones_share() {
+        let c = Counter::new();
+        let c2 = c.clone();
+        c.inc();
+        c2.add(4);
+        assert_eq!(c.get(), 5);
+        assert!(c.same_as(&c2));
+        assert!(!c.same_as(&Counter::new()));
+    }
+
+    #[test]
+    fn gauge_sets_and_tracks_max() {
+        let g = Gauge::new();
+        g.set(7);
+        assert_eq!(g.get(), 7);
+        g.set_max(3);
+        assert_eq!(g.get(), 7, "set_max must not lower the gauge");
+        g.set_max(11);
+        assert_eq!(g.get(), 11);
+        g.set(2);
+        assert_eq!(g.get(), 2, "set is unconditional");
+    }
+
+    #[test]
+    fn float_gauge_round_trips_and_sanitises() {
+        let g = FloatGauge::new();
+        assert_eq!(g.get(), 0.0);
+        g.set(0.875);
+        assert_eq!(g.get(), 0.875);
+        g.set(f64::NAN);
+        assert_eq!(g.get(), 0.0, "non-finite values are sanitised");
+        g.set(f64::INFINITY);
+        assert_eq!(g.get(), 0.0);
+    }
+
+    #[test]
+    fn text_metric_replaces() {
+        let t = TextMetric::new();
+        assert_eq!(t.get(), "");
+        t.set("Titan X (Pascal)");
+        assert_eq!(t.get(), "Titan X (Pascal)");
+        let shared = t.clone();
+        shared.set("GTX 980");
+        assert_eq!(t.get(), "GTX 980");
+    }
+
+    #[test]
+    fn metrics_are_shared_across_threads() {
+        let c = Counter::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4_000);
+    }
+}

@@ -1,0 +1,240 @@
+//! The metrics registry: hierarchical paths, idempotent registration.
+//!
+//! Metrics live under `/`-separated paths such as
+//! `service/class/u64_pairs/queue_depth`.  Registration is **idempotent**:
+//! asking for `counter("core/sorts")` twice returns two handles to the
+//! *same* atomic cell.  That property is what lets short-lived clones — a
+//! service worker thread, a per-device sorter lane rebuilt after a pool
+//! swap — all aggregate into one tree without any coordination beyond the
+//! path string.
+//!
+//! Registration takes a mutex (a `BTreeMap` lookup); updates through the
+//! returned handles are lock-free.  Components therefore register once at
+//! construction time and keep the handles.
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+use crate::inspect::{InspectNode, InspectValue};
+use crate::metrics::{Counter, FloatGauge, Gauge, TextMetric};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+#[derive(Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Float(FloatGauge),
+    Histogram(Histogram),
+    Text(TextMetric),
+}
+
+/// A concurrent map from hierarchical path to metric.
+///
+/// Paths use `/` as the separator; the final segment becomes a property
+/// name in snapshots (histograms become a whole node, since they carry
+/// several values).  Registering a path that already holds a metric of a
+/// *different* kind returns a fresh detached handle instead of corrupting
+/// the tree — the caller keeps a working metric, it just is not shared.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry")
+            .field("paths", &self.paths().len())
+            .finish()
+    }
+}
+
+impl MetricsRegistry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    fn with_map<R>(&self, f: impl FnOnce(&mut BTreeMap<String, Metric>) -> R) -> R {
+        f(&mut self.metrics.lock().unwrap_or_else(|p| p.into_inner()))
+    }
+
+    /// Registers (or retrieves) a counter at `path`.
+    pub fn counter(&self, path: &str) -> Counter {
+        self.with_map(|m| {
+            match m
+                .entry(path.to_string())
+                .or_insert_with(|| Metric::Counter(Counter::new()))
+            {
+                Metric::Counter(c) => c.clone(),
+                _ => Counter::new(),
+            }
+        })
+    }
+
+    /// Registers (or retrieves) an integer gauge at `path`.
+    pub fn gauge(&self, path: &str) -> Gauge {
+        self.with_map(|m| {
+            match m
+                .entry(path.to_string())
+                .or_insert_with(|| Metric::Gauge(Gauge::new()))
+            {
+                Metric::Gauge(g) => g.clone(),
+                _ => Gauge::new(),
+            }
+        })
+    }
+
+    /// Registers (or retrieves) a floating-point gauge at `path`.
+    pub fn float_gauge(&self, path: &str) -> FloatGauge {
+        self.with_map(|m| {
+            match m
+                .entry(path.to_string())
+                .or_insert_with(|| Metric::Float(FloatGauge::new()))
+            {
+                Metric::Float(g) => g.clone(),
+                _ => FloatGauge::new(),
+            }
+        })
+    }
+
+    /// Registers (or retrieves) a histogram at `path`.
+    pub fn histogram(&self, path: &str) -> Histogram {
+        self.with_map(|m| {
+            match m
+                .entry(path.to_string())
+                .or_insert_with(|| Metric::Histogram(Histogram::new()))
+            {
+                Metric::Histogram(h) => h.clone(),
+                _ => Histogram::new(),
+            }
+        })
+    }
+
+    /// Registers (or retrieves) a text metric at `path`.
+    pub fn text(&self, path: &str) -> TextMetric {
+        self.with_map(|m| {
+            match m
+                .entry(path.to_string())
+                .or_insert_with(|| Metric::Text(TextMetric::new()))
+            {
+                Metric::Text(t) => t.clone(),
+                _ => TextMetric::new(),
+            }
+        })
+    }
+
+    /// Snapshot of one histogram's state, if `path` holds a histogram.
+    pub fn histogram_snapshot(&self, path: &str) -> Option<HistogramSnapshot> {
+        self.with_map(|m| match m.get(path) {
+            Some(Metric::Histogram(h)) => Some(h.snapshot()),
+            _ => None,
+        })
+    }
+
+    /// All registered paths, sorted.
+    pub fn paths(&self) -> Vec<String> {
+        self.with_map(|m| m.keys().cloned().collect())
+    }
+
+    /// Walks every registered metric into `root` as a node tree.  The last
+    /// path segment becomes a property on its parent node — except for
+    /// histograms, which become a node of their own carrying `count`,
+    /// `sum`, `max`, `mean` and the three headline percentiles.
+    pub fn snapshot_into(&self, root: &mut InspectNode) {
+        let metrics: Vec<(String, Metric)> =
+            self.with_map(|m| m.iter().map(|(k, v)| (k.clone(), v.clone())).collect());
+        for (path, metric) in metrics {
+            let mut segments: Vec<&str> = path.split('/').collect();
+            let leaf = segments.pop().unwrap_or("");
+            let mut node = &mut *root;
+            for seg in segments {
+                node = node.child_mut(seg);
+            }
+            match metric {
+                Metric::Counter(c) => node.set(leaf, InspectValue::UInt(c.get())),
+                Metric::Gauge(g) => node.set(leaf, InspectValue::UInt(g.get())),
+                Metric::Float(g) => node.set(leaf, InspectValue::Double(g.get())),
+                Metric::Text(t) => node.set(leaf, InspectValue::Text(t.get())),
+                Metric::Histogram(h) => {
+                    let s = h.snapshot();
+                    let hn = node.child_mut(leaf);
+                    hn.set("count", InspectValue::UInt(s.count));
+                    hn.set("sum", InspectValue::UInt(s.sum));
+                    hn.set("max", InspectValue::UInt(s.max));
+                    hn.set("mean", InspectValue::Double(s.mean()));
+                    hn.set("p50", InspectValue::UInt(s.p50()));
+                    hn.set("p95", InspectValue::UInt(s.p95()));
+                    hn.set("p99", InspectValue::UInt(s.p99()));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("core/sorts");
+        let b = r.counter("core/sorts");
+        a.inc();
+        b.add(2);
+        assert!(a.same_as(&b));
+        assert_eq!(a.get(), 3);
+        assert!(r.histogram("x/h").same_as(&r.histogram("x/h")));
+    }
+
+    #[test]
+    fn type_conflicts_yield_detached_handles() {
+        let r = MetricsRegistry::new();
+        let c = r.counter("path");
+        c.add(5);
+        // Asking for the same path as a gauge must not clobber the counter.
+        let g = r.gauge("path");
+        g.set(99);
+        assert_eq!(r.counter("path").get(), 5);
+        assert_eq!(r.paths(), vec!["path".to_string()]);
+    }
+
+    #[test]
+    fn snapshot_builds_a_hierarchy() {
+        let r = MetricsRegistry::new();
+        r.counter("service/requests").add(7);
+        r.gauge("service/class/u64/queue_depth").set(3);
+        r.float_gauge("multi_gpu/dev0/utilisation").set(0.5);
+        r.text("multi_gpu/dev0/name").set("Titan X");
+        r.histogram("service/latency_ns").record(4_000);
+
+        let mut root = InspectNode::new("root");
+        r.snapshot_into(&mut root);
+
+        assert_eq!(root.node("service").unwrap().uint("requests"), Some(7));
+        assert_eq!(
+            root.node("service/class/u64").unwrap().uint("queue_depth"),
+            Some(3)
+        );
+        assert_eq!(
+            root.node("multi_gpu/dev0").unwrap().double("utilisation"),
+            Some(0.5)
+        );
+        assert_eq!(
+            root.node("multi_gpu/dev0").unwrap().text("name"),
+            Some("Titan X")
+        );
+        let hist = root.node("service/latency_ns").unwrap();
+        assert_eq!(hist.uint("count"), Some(1));
+        assert_eq!(hist.uint("max"), Some(4_000));
+    }
+
+    #[test]
+    fn histogram_snapshot_lookup() {
+        let r = MetricsRegistry::new();
+        r.histogram("lat").record(10);
+        assert_eq!(r.histogram_snapshot("lat").unwrap().count, 1);
+        assert!(r.histogram_snapshot("missing").is_none());
+        r.counter("c");
+        assert!(r.histogram_snapshot("c").is_none());
+    }
+}

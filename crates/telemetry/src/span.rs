@@ -1,0 +1,238 @@
+//! Structured spans: cheap scoped wall-clock timers with pluggable sinks.
+//!
+//! A [`SpanGuard`] starts a timer when created and reports a
+//! [`SpanRecord`] to its [`SpanSink`] either when explicitly
+//! [`finish`](SpanGuard::finish)ed (which also hands the measured duration
+//! back to the caller — the engine uses this to keep filling its report
+//! structs) or when dropped.  The default sink is a bounded [`RingSink`];
+//! [`NullSink`] discards everything for zero-overhead opt-out.
+
+use crate::histogram::Histogram;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// One completed span: a name and how long it took.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name; `/`-separated names group hierarchically in snapshots
+    /// (e.g. `multi_gpu/partition`).
+    pub name: String,
+    /// Measured wall-clock duration.
+    pub duration: Duration,
+}
+
+/// Destination for completed spans.
+pub trait SpanSink: Send + Sync {
+    /// Accepts one completed span.
+    fn record(&self, record: SpanRecord);
+
+    /// The retained spans, oldest first.  Sinks that do not retain
+    /// anything return an empty vector (the default).
+    fn recent(&self) -> Vec<SpanRecord> {
+        Vec::new()
+    }
+}
+
+/// A sink that discards every span.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl SpanSink for NullSink {
+    fn record(&self, _record: SpanRecord) {}
+}
+
+/// A bounded ring buffer of the most recent spans.  When full, the oldest
+/// span is evicted; [`total`](RingSink::total) still counts every span
+/// ever recorded.
+#[derive(Debug)]
+pub struct RingSink {
+    capacity: usize,
+    recent: Mutex<VecDeque<SpanRecord>>,
+    total: AtomicU64,
+}
+
+impl RingSink {
+    /// A ring retaining at most `capacity` spans.
+    pub fn new(capacity: usize) -> Self {
+        RingSink {
+            capacity: capacity.max(1),
+            recent: Mutex::new(VecDeque::with_capacity(capacity.clamp(1, 1024))),
+            total: AtomicU64::new(0),
+        }
+    }
+
+    /// How many spans were ever recorded (including evicted ones).
+    pub fn total(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+}
+
+impl SpanSink for RingSink {
+    fn record(&self, record: SpanRecord) {
+        self.total.fetch_add(1, Ordering::Relaxed);
+        let mut q = self.recent.lock().unwrap_or_else(|p| p.into_inner());
+        if q.len() == self.capacity {
+            q.pop_front();
+        }
+        q.push_back(record);
+    }
+
+    fn recent(&self) -> Vec<SpanRecord> {
+        self.recent
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .iter()
+            .cloned()
+            .collect()
+    }
+}
+
+/// A running scoped timer.  Created by [`Inspector::span`] or
+/// [`Inspector::span_with`]; records into its sink on drop, or on
+/// [`finish`](SpanGuard::finish) when the caller also wants the duration.
+///
+/// [`Inspector::span`]: crate::Inspector::span
+/// [`Inspector::span_with`]: crate::Inspector::span_with
+#[must_use = "a span measures the scope it lives in; binding it to `_` drops it immediately"]
+pub struct SpanGuard {
+    name: String,
+    start: Instant,
+    sink: Arc<dyn SpanSink>,
+    histogram: Option<Histogram>,
+    finished: bool,
+}
+
+impl SpanGuard {
+    pub(crate) fn start(
+        name: impl Into<String>,
+        sink: Arc<dyn SpanSink>,
+        histogram: Option<Histogram>,
+    ) -> Self {
+        SpanGuard {
+            name: name.into(),
+            start: Instant::now(),
+            sink,
+            histogram,
+            finished: false,
+        }
+    }
+
+    /// Elapsed time so far, without ending the span.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    fn emit(&self, duration: Duration) {
+        if let Some(h) = &self.histogram {
+            h.record_duration(duration);
+        }
+        self.sink.record(SpanRecord {
+            name: self.name.clone(),
+            duration,
+        });
+    }
+
+    /// Ends the span now and returns the measured duration (so callers
+    /// that previously kept an ad-hoc `Instant` for a report field keep
+    /// the value).
+    pub fn finish(mut self) -> Duration {
+        let duration = self.start.elapsed();
+        self.emit(duration);
+        self.finished = true;
+        duration
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.finished {
+            let duration = self.start.elapsed();
+            self.emit(duration);
+        }
+    }
+}
+
+impl std::fmt::Debug for SpanGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanGuard")
+            .field("name", &self.name)
+            .field("elapsed", &self.elapsed())
+            .finish()
+    }
+}
+
+/// Opens a span on an [`Inspector`](crate::Inspector); sugar for
+/// [`Inspector::span`](crate::Inspector::span).
+///
+/// ```
+/// # let inspector = telemetry::Inspector::new();
+/// let _guard = telemetry::span!(inspector, "core/pass");
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($inspector:expr, $name:expr) => {
+        $inspector.span($name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guard_records_on_drop() {
+        let sink = Arc::new(RingSink::new(8));
+        {
+            let _g = SpanGuard::start("scope", sink.clone(), None);
+        }
+        let spans = sink.recent();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "scope");
+    }
+
+    #[test]
+    fn finish_records_exactly_once_and_returns_duration() {
+        let sink = Arc::new(RingSink::new(8));
+        let g = SpanGuard::start("once", sink.clone(), None);
+        let d = g.finish();
+        assert_eq!(sink.total(), 1, "finish must suppress the drop record");
+        assert_eq!(sink.recent()[0].duration, d);
+    }
+
+    #[test]
+    fn span_with_histogram_records_into_it() {
+        let sink = Arc::new(RingSink::new(8));
+        let h = Histogram::new();
+        SpanGuard::start("timed", sink.clone(), Some(h.clone())).finish();
+        assert_eq!(h.snapshot().count, 1);
+        assert_eq!(sink.total(), 1);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_but_keeps_total() {
+        let sink = RingSink::new(2);
+        for i in 0..5 {
+            sink.record(SpanRecord {
+                name: format!("s{i}"),
+                duration: Duration::from_nanos(i),
+            });
+        }
+        assert_eq!(sink.total(), 5);
+        let recent = sink.recent();
+        assert_eq!(recent.len(), 2);
+        assert_eq!(recent[0].name, "s3");
+        assert_eq!(recent[1].name, "s4");
+    }
+
+    #[test]
+    fn null_sink_retains_nothing() {
+        let sink = NullSink;
+        sink.record(SpanRecord {
+            name: "x".into(),
+            duration: Duration::ZERO,
+        });
+        assert!(sink.recent().is_empty());
+    }
+}

@@ -1,0 +1,79 @@
+//! Live observability end to end: run a batch sort service under a small
+//! mixed workload, read its statistics *while requests are in flight*, and
+//! dump the full inspection tree — service counters, sharded-engine
+//! metrics, per-device core sorters, span aggregates — as one JSON
+//! document.
+//!
+//! ```text
+//! cargo run --release --example telemetry
+//! ```
+
+use hybrid_radix_sort::prelude::*;
+
+fn main() {
+    let service = SortService::start(
+        ShardedSorter::new(DevicePool::titan_cluster(2)),
+        ServiceConfig::default().with_queue_depth(64),
+    );
+
+    // A mixed stream: both key classes, keys-only and pairs.
+    let tickets: Vec<SortTicket> = (0..16)
+        .map(|i| {
+            let n = 4_096 + 512 * i;
+            let payload = match i % 3 {
+                0 => SortPayload::U32Keys(workloads::uniform_keys::<u32>(n, i as u64)),
+                1 => SortPayload::U64Keys(workloads::uniform_keys::<u64>(n, i as u64)),
+                _ => SortPayload::U64Pairs {
+                    keys: workloads::uniform_keys::<u64>(n, i as u64),
+                    values: (0..n as u32).collect(),
+                },
+            };
+            service.submit(payload).expect("admission")
+        })
+        .collect();
+
+    // Live counters — no shutdown, no locks on the sorting path.
+    let live = service.stats_snapshot();
+    println!(
+        "in flight: {} | admitted so far: {} | batches so far: {}",
+        service.in_flight(),
+        live.requests,
+        live.batches
+    );
+
+    for t in tickets {
+        t.wait().expect("ticket resolves");
+    }
+
+    let stats = service.stats_snapshot();
+    println!(
+        "\nafter the flood: {} requests in {} batches (mean {:.1} req/batch)",
+        stats.requests,
+        stats.batches,
+        stats.mean_batch_requests()
+    );
+    println!(
+        "submit→outcome latency: p50 {:?}, p99 {:?}",
+        stats.latency_p50, stats.latency_p99
+    );
+
+    // The whole tree, one call, JSON-serialisable.  `service` and
+    // `multi_gpu` sit next to the per-device `core/dev*` sorter subtrees
+    // and the `spans/` aggregates.
+    let snapshot = service.inspector().snapshot();
+    println!("\ntop-level telemetry layers:");
+    for child in &snapshot.children {
+        println!("  {}", child.name);
+    }
+    let json = snapshot.to_json();
+    println!("\nsnapshot JSON ({} bytes); excerpt:", json.len());
+    for line in json.lines().take(12) {
+        println!("  {line}");
+    }
+
+    // Round-trips: the JSON parses back into an identical tree.
+    let parsed = InspectNode::from_json(&json).expect("snapshot parses");
+    assert_eq!(parsed, snapshot);
+
+    service.shutdown();
+}

@@ -12,6 +12,8 @@
 //! * [`hetero`] — the pipelined heterogeneous (out-of-core) sort,
 //! * [`multi_gpu`] — the sharded sort engine over several simulated GPUs,
 //! * [`sort_service`] — the async batch sort service over the device pool,
+//! * [`telemetry`] — the metrics registry, structured spans and live
+//!   inspection snapshots every layer above reports into,
 //! * [`experiments`] — the harness regenerating every table and figure.
 //!
 //! `ARCHITECTURE.md` at the repository root walks the layers top-down.
@@ -32,6 +34,7 @@ pub use hetero;
 pub use hrs_core;
 pub use multi_gpu;
 pub use sort_service;
+pub use telemetry;
 pub use workloads;
 
 /// Commonly used types, re-exported for convenience.
@@ -48,6 +51,7 @@ pub mod prelude {
         OverBudgetPolicy, ServiceConfig, SortOutcome, SortPayload, SortService, SortTicket,
         SubmitError,
     };
+    pub use telemetry::{InspectNode, Inspector};
     pub use workloads::{Distribution, EntropyLevel, SortKey, ZipfGenerator};
 }
 
@@ -79,6 +83,12 @@ mod tests {
         };
         assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
         assert_eq!(outcome.span.len, 8_000);
+        // The telemetry layer is reachable through the umbrella too: live
+        // stats plus the full inspection tree, before shutdown.
+        assert_eq!(service.stats_snapshot().requests, 1);
+        let snap = service.inspector().snapshot();
+        assert_eq!(snap.node("service").unwrap().uint("requests"), Some(1));
+        assert!(snap.node("multi_gpu").is_some());
         assert_eq!(service.shutdown().requests, 1);
     }
 
