@@ -36,6 +36,28 @@ fn main() {
         assert!(v > 0, "`{node}/{counter}` is zero — instrumentation dead?");
         checked += 1;
     }
+    // The fault-handling subtree must be registered even on a clean run —
+    // a missing probe here means a device failure in production would go
+    // uncounted.  Zero is fine; absent is not.
+    let faults = snap
+        .node("multi_gpu/faults")
+        .expect("snapshot lacks the `multi_gpu/faults` subtree");
+    for counter in [
+        "device_failures",
+        "shard_corruptions",
+        "transfer_stalls",
+        "requeued_elements",
+    ] {
+        assert!(
+            faults.uint(counter).is_some(),
+            "`multi_gpu/faults` lacks the `{counter}` counter"
+        );
+        checked += 1;
+    }
+    assert!(
+        faults.node("recovery_ns").is_some(),
+        "`multi_gpu/faults` lacks the `recovery_ns` histogram"
+    );
     // At least one per-device core sorter must have reported underneath.
     assert!(
         snap.node("core/dev0").is_some(),

@@ -1,0 +1,361 @@
+//! Deterministic fault injection for the simulated device fleet.
+//!
+//! Real multi-GPU deployments lose devices mid-sort (Xid errors, thermal
+//! trips, hot-unplug), stall transfers behind congested switches, and —
+//! rarely but catastrophically — return corrupt shard boundaries.  None of
+//! that can be exercised against the analytical model unless the model can
+//! *produce* those failures on demand.  A [`FaultPlan`] is exactly that: a
+//! deterministic, seedable script of [`FaultSpec`]s, each saying "on device
+//! `d`'s `op`-th unit of work, inject this [`FaultKind`]".
+//!
+//! The plan is consulted by the layers above (the sharded engine asks
+//! [`FaultPlan::next_op`] once per shard/chunk sort it is about to run on a
+//! device); gpu-sim itself only defines the vocabulary and the bookkeeping.
+//! Every spec is **one-shot**: it fires on the first matching operation and
+//! never again, so a corrupted shard that gets requeued sorts cleanly on
+//! retry — which is what lets recovery tests assert convergence.
+//!
+//! Clones share state.  A `FaultPlan` is an `Arc` around its specs, fired
+//! flags and per-device operation counters, so the clone a service worker
+//! holds and the clone a test holds observe one script — fire a fault in
+//! one and the other sees it spent.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// What a triggered fault does to the operation it fires on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// The device dies: it loses the unit of work it was given (and any it
+    /// had not started), and must be marked dead for the rest of the run.
+    DeviceFail,
+    /// The device survives but the operation's host↔device transfers run
+    /// `factor`× slower (a congested or downtrained link).
+    TransferStall {
+        /// Multiplier applied to the operation's transfer durations
+        /// (`2.0` = half the bandwidth).  Values `<= 1.0` are harmless.
+        factor: f64,
+    },
+    /// The device returns a shard that fails its boundary check.  The data
+    /// is useless and must be re-sorted, but the device stays in the pool.
+    CorruptShard,
+    /// The sorting code itself panics (a driver assert, an engine bug).
+    /// Exercises panic isolation in the layers above — nothing at the
+    /// engine level recovers from this one.
+    EnginePanic,
+}
+
+impl FaultKind {
+    /// Short label for logs and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::DeviceFail => "device-fail",
+            FaultKind::TransferStall { .. } => "transfer-stall",
+            FaultKind::CorruptShard => "corrupt-shard",
+            FaultKind::EnginePanic => "engine-panic",
+        }
+    }
+}
+
+/// One scripted fault: fire `kind` on device `device`'s `op`-th unit of
+/// work (0-based; a "unit of work" is whatever the consulting layer counts —
+/// the sharded engine counts per-device shard/chunk sorts).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Pool index of the device the fault targets.
+    pub device: usize,
+    /// 0-based operation index on that device at which the fault fires.
+    pub op: u64,
+    /// What happens when it fires.
+    pub kind: FaultKind,
+}
+
+#[derive(Debug, Default)]
+struct PlanState {
+    specs: Vec<FaultSpec>,
+    /// One flag per spec: set once the spec has fired (one-shot).
+    fired: Vec<AtomicBool>,
+    /// Per-device operation counters, grown on demand.
+    ops: Mutex<Vec<u64>>,
+    /// The seed the plan was generated from, when it was ([`FaultPlan::seeded`]).
+    seed: Option<u64>,
+}
+
+/// A deterministic, shareable script of injected faults.
+///
+/// Build one explicitly ([`FaultPlan::new`], [`FaultPlan::fail_device`],
+/// builder-style [`FaultPlan::with`]) or generate one from a seed
+/// ([`FaultPlan::seeded`]) for chaos testing.  The empty/default plan
+/// injects nothing.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    state: Arc<PlanState>,
+}
+
+impl FaultPlan {
+    /// A plan firing exactly the given specs.
+    pub fn new(specs: Vec<FaultSpec>) -> Self {
+        let fired = specs.iter().map(|_| AtomicBool::new(false)).collect();
+        FaultPlan {
+            state: Arc::new(PlanState {
+                specs,
+                fired,
+                ops: Mutex::new(Vec::new()),
+                seed: None,
+            }),
+        }
+    }
+
+    /// A plan that kills device `device` on its `op`-th operation.
+    pub fn fail_device(device: usize, op: u64) -> Self {
+        FaultPlan::new(vec![FaultSpec {
+            device,
+            op,
+            kind: FaultKind::DeviceFail,
+        }])
+    }
+
+    /// A plan that slows device `device`'s `op`-th operation's transfers by
+    /// `factor`.
+    pub fn stall_transfer(device: usize, op: u64, factor: f64) -> Self {
+        FaultPlan::new(vec![FaultSpec {
+            device,
+            op,
+            kind: FaultKind::TransferStall { factor },
+        }])
+    }
+
+    /// A plan that corrupts the shard device `device` produces on its
+    /// `op`-th operation (forcing a requeue without killing the device).
+    pub fn corrupt_shard(device: usize, op: u64) -> Self {
+        FaultPlan::new(vec![FaultSpec {
+            device,
+            op,
+            kind: FaultKind::CorruptShard,
+        }])
+    }
+
+    /// A plan that panics the sorting code on device `device`'s `op`-th
+    /// operation.
+    pub fn panic_in_sort(device: usize, op: u64) -> Self {
+        FaultPlan::new(vec![FaultSpec {
+            device,
+            op,
+            kind: FaultKind::EnginePanic,
+        }])
+    }
+
+    /// Adds a spec to this plan (builder style).  Resets nothing: already
+    /// fired specs stay fired.
+    pub fn with(self, spec: FaultSpec) -> Self {
+        let mut specs = self.state.specs.clone();
+        specs.push(spec);
+        let plan = FaultPlan::new(specs);
+        for (old, new) in self.state.fired.iter().zip(&plan.state.fired) {
+            new.store(old.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        plan
+    }
+
+    /// A deterministic pseudo-random plan of `count` faults over `devices`
+    /// devices, each firing within the first `max_op` operations.  The same
+    /// seed always yields the same plan — the contract chaos suites rely on
+    /// for reproducible failures.  `EnginePanic` is deliberately excluded
+    /// (it needs a `catch_unwind` layer above; script it explicitly with
+    /// [`FaultPlan::panic_in_sort`] instead).
+    pub fn seeded(seed: u64, devices: usize, max_op: u64, count: usize) -> Self {
+        let mut x = seed;
+        let mut next = || {
+            // splitmix64: the same generator the proptest shim uses, so
+            // seeds behave identically across the test stack.
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let specs = (0..count)
+            .map(|_| {
+                let device = (next() % devices.max(1) as u64) as usize;
+                let op = next() % max_op.max(1);
+                let kind = match next() % 3 {
+                    0 => FaultKind::DeviceFail,
+                    1 => FaultKind::CorruptShard,
+                    _ => FaultKind::TransferStall {
+                        factor: 1.5 + (next() % 100) as f64 / 50.0,
+                    },
+                };
+                FaultSpec { device, op, kind }
+            })
+            .collect();
+        let plan = FaultPlan::new(specs);
+        // Record the seed for diagnostics (reports, chaos-test output).
+        let mut with_seed = plan;
+        Arc::get_mut(&mut with_seed.state)
+            .expect("freshly built plan is uniquely owned")
+            .seed = Some(seed);
+        with_seed
+    }
+
+    /// The scripted specs, in declaration order.
+    pub fn specs(&self) -> &[FaultSpec] {
+        &self.state.specs
+    }
+
+    /// The generation seed, for plans built with [`FaultPlan::seeded`].
+    pub fn seed(&self) -> Option<u64> {
+        self.state.seed
+    }
+
+    /// Whether the plan scripts no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.state.specs.is_empty()
+    }
+
+    /// How many specs have fired so far.
+    pub fn fired_count(&self) -> usize {
+        self.state
+            .fired
+            .iter()
+            .filter(|f| f.load(Ordering::Acquire))
+            .count()
+    }
+
+    /// Whether every scripted fault has already fired — an exhausted plan
+    /// injects nothing more, and fault-aware layers may drop back to their
+    /// fast paths.
+    pub fn is_exhausted(&self) -> bool {
+        self.fired_count() == self.state.specs.len()
+    }
+
+    /// Counts one unit of work on `device` and returns the fault (if any)
+    /// scripted for exactly this operation.  At most one spec fires per
+    /// call (the first unfired match in declaration order); each spec fires
+    /// at most once, ever.
+    pub fn next_op(&self, device: usize) -> Option<FaultKind> {
+        let op = {
+            let mut ops = self.state.ops.lock().unwrap_or_else(|e| e.into_inner());
+            if ops.len() <= device {
+                ops.resize(device + 1, 0);
+            }
+            let op = ops[device];
+            ops[device] += 1;
+            op
+        };
+        for (spec, fired) in self.state.specs.iter().zip(&self.state.fired) {
+            if spec.device == device
+                && spec.op == op
+                && fired
+                    .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+            {
+                return Some(spec.kind);
+            }
+        }
+        None
+    }
+
+    /// Operations counted on `device` so far.
+    pub fn ops_on(&self, device: usize) -> u64 {
+        let ops = self.state.ops.lock().unwrap_or_else(|e| e.into_inner());
+        ops.get(device).copied().unwrap_or(0)
+    }
+}
+
+/// Keeps `FaultPlan` lightweight to pass around in structs that derive
+/// `PartialEq` on configuration: plans compare by script, not by progress.
+impl PartialEq for FaultPlan {
+    fn eq(&self, other: &Self) -> bool {
+        self.state.specs == other.state.specs
+    }
+}
+
+// Suppress the unused-import warning for AtomicU64 if the per-device op
+// counters ever move to atomics; today a Mutex'd Vec is simpler and the
+// consult path is far off any hot loop.
+#[allow(unused)]
+type _OpCounter = AtomicU64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_fire_once_at_their_op_index() {
+        let plan = FaultPlan::fail_device(1, 2);
+        assert!(!plan.is_empty());
+        assert!(!plan.is_exhausted());
+        // Device 1, ops 0 and 1: nothing yet.
+        assert_eq!(plan.next_op(1), None);
+        assert_eq!(plan.next_op(1), None);
+        // Op 2 fires; afterwards the plan is exhausted and silent.
+        assert_eq!(plan.next_op(1), Some(FaultKind::DeviceFail));
+        assert!(plan.is_exhausted());
+        assert_eq!(plan.next_op(1), None);
+        // Other devices never see it.
+        assert_eq!(plan.next_op(0), None);
+        assert_eq!(plan.ops_on(1), 4);
+        assert_eq!(plan.ops_on(0), 1);
+    }
+
+    #[test]
+    fn clones_share_fired_state_and_counters() {
+        let plan = FaultPlan::corrupt_shard(0, 0);
+        let clone = plan.clone();
+        assert_eq!(clone.next_op(0), Some(FaultKind::CorruptShard));
+        // The original observes the clone's consumption.
+        assert!(plan.is_exhausted());
+        assert_eq!(plan.fired_count(), 1);
+        assert_eq!(plan.next_op(0), None);
+        assert_eq!(plan.ops_on(0), 2);
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic() {
+        let a = FaultPlan::seeded(42, 4, 8, 5);
+        let b = FaultPlan::seeded(42, 4, 8, 5);
+        assert_eq!(a.specs(), b.specs());
+        assert_eq!(a.seed(), Some(42));
+        assert_eq!(a.specs().len(), 5);
+        assert!(a.specs().iter().all(|s| s.device < 4 && s.op < 8));
+        assert!(a.specs().iter().all(|s| s.kind != FaultKind::EnginePanic));
+        // A different seed yields a different script (overwhelmingly).
+        let c = FaultPlan::seeded(43, 4, 8, 5);
+        assert_ne!(a.specs(), c.specs());
+    }
+
+    #[test]
+    fn builder_composes_and_preserves_fired_flags() {
+        let plan = FaultPlan::fail_device(0, 0);
+        assert_eq!(plan.next_op(0), Some(FaultKind::DeviceFail));
+        let extended = plan.with(FaultSpec {
+            device: 1,
+            op: 0,
+            kind: FaultKind::TransferStall { factor: 2.0 },
+        });
+        assert_eq!(extended.specs().len(), 2);
+        // The already-fired spec stays spent in the extended plan...
+        assert_eq!(extended.fired_count(), 1);
+        // ...but op counters restart (a new plan instance).
+        assert_eq!(
+            extended.next_op(1),
+            Some(FaultKind::TransferStall { factor: 2.0 })
+        );
+        assert!(extended.is_exhausted());
+    }
+
+    #[test]
+    fn labels_and_default() {
+        assert_eq!(FaultKind::DeviceFail.label(), "device-fail");
+        assert_eq!(FaultKind::CorruptShard.label(), "corrupt-shard");
+        assert_eq!(
+            FaultKind::TransferStall { factor: 2.0 }.label(),
+            "transfer-stall"
+        );
+        assert_eq!(FaultKind::EnginePanic.label(), "engine-panic");
+        let empty = FaultPlan::default();
+        assert!(empty.is_empty());
+        assert!(empty.is_exhausted(), "an empty plan has nothing to fire");
+        assert_eq!(empty.next_op(0), None);
+    }
+}

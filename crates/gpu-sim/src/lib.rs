@@ -32,6 +32,7 @@
 
 pub mod atomics;
 pub mod device;
+pub mod fault;
 pub mod interconnect;
 pub mod kernel;
 pub mod memory;
@@ -44,6 +45,7 @@ pub mod transaction;
 
 pub use atomics::{AtomicModel, HistogramStrategy};
 pub use device::{DeviceSpec, GpuGeneration};
+pub use fault::{FaultKind, FaultPlan, FaultSpec};
 pub use interconnect::{LinkKind, LinkSpec};
 pub use kernel::{KernelCost, KernelKind, KernelTiming};
 pub use memory::{DeviceAllocation, DeviceMemoryPlanner};

@@ -9,6 +9,8 @@
 use gpu_sim::{DeviceMemoryPlanner, DeviceSpec, LinkSpec};
 use hrs_core::Executor;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// How a pool device actually executes its shard sort.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -92,17 +94,73 @@ impl SimDevice {
     }
 }
 
+/// Shared per-device liveness flags.  Clones of a pool share one set of
+/// flags (an `Arc`), so a device the sharded engine marks dead mid-sort is
+/// immediately dead for the service front end doing admission control with
+/// its own clone of the pool.
+#[derive(Debug, Clone, Default)]
+struct PoolHealth {
+    alive: Arc<Vec<AtomicBool>>,
+}
+
+impl PoolHealth {
+    fn new(n: usize) -> Self {
+        PoolHealth {
+            alive: Arc::new((0..n).map(|_| AtomicBool::new(true)).collect()),
+        }
+    }
+
+    /// A fresh flag set of size `n`, carrying over the state of existing
+    /// flags (used when builder methods grow the pool).
+    fn grown(&self, n: usize) -> Self {
+        let alive = (0..n)
+            .map(|i| AtomicBool::new(self.alive.get(i).is_none_or(|a| a.load(Ordering::Acquire))))
+            .collect();
+        PoolHealth {
+            alive: Arc::new(alive),
+        }
+    }
+
+    fn alive(&self, i: usize) -> bool {
+        self.alive.get(i).is_none_or(|a| a.load(Ordering::Acquire))
+    }
+
+    fn mark_dead(&self, i: usize) {
+        if let Some(flag) = self.alive.get(i) {
+            flag.store(false, Ordering::Release);
+        }
+    }
+}
+
 /// An ordered collection of simulated devices.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// The pool also tracks per-device *liveness*: [`DevicePool::mark_dead`]
+/// removes a failed device from every capacity computation
+/// ([`DevicePool::capacity_weights`], [`DevicePool::batch_budget_bytes`],
+/// [`DevicePool::chunk_budget_bytes`]) without renumbering the survivors.
+/// Liveness is shared across clones, so the engine that detects a failure
+/// and the service that admits work against the pool always agree.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DevicePool {
     devices: Vec<SimDevice>,
+    health: PoolHealth,
+}
+
+/// Pools compare by configuration *and* current liveness: a pool with a
+/// dead device is not equal to its fully-healthy twin.
+impl PartialEq for DevicePool {
+    fn eq(&self, other: &Self) -> bool {
+        self.devices == other.devices
+            && (0..self.devices.len()).all(|i| self.alive(i) == other.alive(i))
+    }
 }
 
 impl DevicePool {
     /// A pool from explicit devices.  Panics on an empty list.
     pub fn new(devices: Vec<SimDevice>) -> Self {
         assert!(!devices.is_empty(), "device pool must not be empty");
-        DevicePool { devices }
+        let health = PoolHealth::new(devices.len());
+        DevicePool { devices, health }
     }
 
     /// `n` identical devices.
@@ -110,6 +168,7 @@ impl DevicePool {
         assert!(n > 0, "device pool must not be empty");
         DevicePool {
             devices: vec![device; n],
+            health: PoolHealth::new(n),
         }
     }
 
@@ -135,6 +194,7 @@ impl DevicePool {
     /// Adds a device to the pool (builder style).
     pub fn with_device(mut self, device: SimDevice) -> Self {
         self.devices.push(device);
+        self.health = self.health.grown(self.devices.len());
         self
     }
 
@@ -161,11 +221,56 @@ impl DevicePool {
         &self.devices
     }
 
-    /// Capacity weights of all devices, in shard order.
+    /// Whether device `i` is still alive (in-range unknown indices count as
+    /// alive; out-of-range ones too, vacuously).
+    pub fn alive(&self, i: usize) -> bool {
+        self.health.alive(i)
+    }
+
+    /// Marks device `i` dead.  Takes `&self`: liveness is atomic and shared
+    /// across clones, so the engine can fail a device mid-sort while the
+    /// admission front end holds its own clone of the pool.  From this
+    /// point the device's capacity weight is 0 and it no longer constrains
+    /// (or contributes to) any budget.
+    pub fn mark_dead(&self, i: usize) {
+        self.health.mark_dead(i);
+    }
+
+    /// How many devices are still alive.
+    pub fn alive_count(&self) -> usize {
+        (0..self.devices.len()).filter(|&i| self.alive(i)).count()
+    }
+
+    /// Whether any device has been marked dead.
+    pub fn any_dead(&self) -> bool {
+        self.alive_count() < self.devices.len()
+    }
+
+    /// Whether the pool is *degraded*: more than half its devices are dead.
+    /// Degraded pools shed load at admission instead of queueing work they
+    /// can no longer serve at a useful rate.
+    pub fn is_degraded(&self) -> bool {
+        self.alive_count() * 2 < self.devices.len()
+    }
+
+    /// Indices of the devices still alive, in shard order.
+    pub fn alive_indices(&self) -> Vec<usize> {
+        (0..self.devices.len()).filter(|&i| self.alive(i)).collect()
+    }
+
+    /// Capacity weights of all devices, in shard order.  Dead devices weigh
+    /// 0.0 — they take no shard and never bound a budget.
     pub fn capacity_weights(&self) -> Vec<f64> {
         self.devices
             .iter()
-            .map(SimDevice::capacity_weight)
+            .enumerate()
+            .map(|(i, d)| {
+                if self.alive(i) {
+                    d.capacity_weight()
+                } else {
+                    0.0
+                }
+            })
             .collect()
     }
 
@@ -220,10 +325,14 @@ impl DevicePool {
     /// out-of-core planner sizes per-shard chunk counts against each
     /// device's own budget; this pool-wide minimum is the conservative
     /// single number admission layers may reason with.
+    /// Dead devices stream no chunks, so they are excluded from the
+    /// minimum; a pool with no live device has a 0 budget.
     pub fn chunk_budget_bytes(&self, in_place_replacement: bool) -> u64 {
         self.devices
             .iter()
-            .map(|d| {
+            .enumerate()
+            .filter(|&(i, _)| self.alive(i))
+            .map(|(_, d)| {
                 DeviceMemoryPlanner::for_device(&d.spec).chunk_budget_bytes(in_place_replacement)
             })
             .min()
@@ -330,6 +439,79 @@ mod tests {
         assert_eq!(pool.chunk_budget_bytes(true), min_dev);
         // In-place replacement (3 slots) always allows larger chunks.
         assert!(pool.chunk_budget_bytes(true) > pool.chunk_budget_bytes(false));
+    }
+
+    #[test]
+    fn mark_dead_recomputes_weights_and_budgets_coherently() {
+        let pool = DevicePool::mixed_demo();
+        let healthy_batch = pool.batch_budget_bytes();
+        let healthy_chunk = pool.chunk_budget_bytes(true);
+        assert!(!pool.any_dead());
+        assert_eq!(pool.alive_count(), 4);
+
+        // Kill the GTX 980 — the weakest device, which was the tightest
+        // chunk bound.  Its weight drops to zero and both budgets must be
+        // recomputed over the three survivors only.
+        pool.mark_dead(3);
+        assert!(pool.any_dead());
+        assert!(!pool.alive(3));
+        assert_eq!(pool.alive_count(), 3);
+        assert_eq!(pool.alive_indices(), vec![0, 1, 2]);
+        assert_eq!(pool.capacity_weights()[3], 0.0);
+        assert!(pool.capacity_weights()[0] > 0.0);
+        let degraded_batch = pool.batch_budget_bytes();
+        assert!(degraded_batch > 0 && degraded_batch != u64::MAX);
+        assert!(
+            pool.chunk_budget_bytes(true) >= healthy_chunk,
+            "dead device must not constrain the chunk budget"
+        );
+        // Exactly the budget a pool of just the three survivors would
+        // compute.  (It may legitimately *exceed* the healthy budget: the
+        // GTX 980 was the tightest bound, and it is gone.)
+        let survivors = DevicePool::new(pool.devices()[..3].to_vec());
+        assert_eq!(degraded_batch, survivors.batch_budget_bytes());
+        assert_eq!(
+            pool.chunk_budget_bytes(true),
+            survivors.chunk_budget_bytes(true)
+        );
+        assert!(healthy_batch > 0);
+
+        // Kill everything: a pool with no live device can sort nothing.
+        for i in 0..pool.len() {
+            pool.mark_dead(i);
+        }
+        assert_eq!(pool.alive_count(), 0);
+        assert_eq!(pool.batch_budget_bytes(), 0);
+        assert_eq!(pool.chunk_budget_bytes(true), 0);
+    }
+
+    #[test]
+    fn health_is_shared_across_clones_and_gates_degraded_mode() {
+        let pool = DevicePool::titan_cluster(3);
+        let clone = pool.clone();
+        assert!(!pool.is_degraded());
+        pool.mark_dead(0);
+        // The clone observes the death immediately (shared flags)...
+        assert!(!clone.alive(0));
+        // ...but 2 of 3 alive is not yet degraded (more than half dead).
+        assert!(!clone.is_degraded());
+        clone.mark_dead(1);
+        assert!(pool.is_degraded());
+        assert_eq!(pool.alive_indices(), vec![2]);
+        // Liveness participates in equality.
+        assert_ne!(pool, DevicePool::titan_cluster(3));
+        assert_eq!(pool, clone);
+    }
+
+    #[test]
+    fn growing_a_pool_preserves_marked_deaths() {
+        let pool = DevicePool::titan_cluster(2);
+        pool.mark_dead(1);
+        let grown = pool.with_device(SimDevice::cpu_socket(4));
+        assert!(grown.alive(0));
+        assert!(!grown.alive(1), "with_device must carry liveness over");
+        assert!(grown.alive(2));
+        assert_eq!(grown.capacity_weights()[1], 0.0);
     }
 
     #[test]

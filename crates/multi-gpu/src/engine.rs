@@ -24,8 +24,9 @@
 
 use crate::device_pool::DevicePool;
 use crate::partition::{compute_splitters, scatter_into_shards, PartitionConfig, SplitterSet};
+use crate::recovery::RecoveryConfig;
 use crate::report::{RequestSpan, ShardReport, ShardedReport};
-use gpu_sim::{SimTime, Timeline, TransferDirection};
+use gpu_sim::{FaultPlan, SimTime, Timeline, TransferDirection};
 use hetero::chunking::split_into_chunks;
 use hetero::multiway_merge::parallel_merge_sorted_runs_by;
 use hrs_core::{Executor, HybridRadixSorter, SharedMut, SortReport};
@@ -73,6 +74,13 @@ pub struct ShardedSorter {
     /// shared one so the sort service (and anything else holding a clone)
     /// sees engine, lane and out-of-core metrics in one snapshot tree.
     pub(crate) inspector: Inspector,
+    /// Injected fault script ([`gpu_sim::FaultPlan`]); `None` sorts clean.
+    /// While a plan still has unfired specs — or any pool device is dead —
+    /// sorts run through the fault-tolerant recovery path
+    /// ([`crate::recovery`]); otherwise the exact fast paths run unchanged.
+    pub(crate) faults: Option<FaultPlan>,
+    /// Retry/backoff policy of the recovery path.
+    pub(crate) recovery: RecoveryConfig,
 }
 
 impl ShardedSorter {
@@ -91,6 +99,8 @@ impl ShardedSorter {
             host_exec: Executor::threaded(),
             lanes: Mutex::new(Vec::new()),
             inspector: Inspector::new(),
+            faults: None,
+            recovery: RecoveryConfig::default(),
         }
     }
 
@@ -148,6 +158,36 @@ impl ShardedSorter {
         self
     }
 
+    /// Installs an injected-fault script.  While the plan has unfired specs
+    /// (or a device has been marked dead), every sort runs through the
+    /// fault-tolerant recovery path: failed devices are marked dead in the
+    /// pool, their work is requeued onto the survivors with bounded retries
+    /// and exponential simulated backoff, and every fault is recorded in
+    /// [`ShardedReport::faults`] and telemetry.  Clones of the sorter share
+    /// the plan's fired/op state.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Replaces the retry/backoff policy of the recovery path.
+    pub fn with_recovery_config(mut self, cfg: RecoveryConfig) -> Self {
+        self.recovery = cfg;
+        self
+    }
+
+    /// The installed fault script, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// Whether sorts currently route through the fault-tolerant recovery
+    /// path: an unexhausted fault script is installed, or a pool device has
+    /// been marked dead (survivor-only partitioning is then required).
+    pub fn fault_path_active(&self) -> bool {
+        self.pool.any_dead() || self.faults.as_ref().is_some_and(|p| !p.is_exhausted())
+    }
+
     /// Reports into `inspector` instead of the sorter's private one, so
     /// several components (the sort service, bench harnesses) share one
     /// snapshot tree.  Device lanes are invalidated so they re-register
@@ -182,25 +222,26 @@ impl ShardedSorter {
     }
 
     /// Sorts `keys` across the pool and returns the aggregated report.
+    ///
+    /// Panics if recovery fails under an injected fault script (every
+    /// device dead, or retries exhausted); use [`Self::try_sort`] for the
+    /// fallible form.
     pub fn sort<K: SortKey>(&self, keys: &mut Vec<K>) -> ShardedReport {
-        // Zero-size values ride the engine's fast path: no value buffers
-        // are materialised anywhere.
-        let mut values: Vec<()> = Vec::new();
-        self.sort_impl(keys, &mut values)
+        self.try_sort(keys)
+            .expect("sharded sort failed; use try_sort to handle device loss")
     }
 
     /// Sorts `keys` across the pool, permuting `values` along with them.
+    ///
+    /// Panics on recovery failure like [`Self::sort`]; see
+    /// [`Self::try_sort_pairs`].
     pub fn sort_pairs<K: SortKey, V: SortValue>(
         &self,
         keys: &mut Vec<K>,
         values: &mut Vec<V>,
     ) -> ShardedReport {
-        assert_eq!(
-            keys.len(),
-            values.len(),
-            "keys and values must have the same length"
-        );
-        self.sort_impl(keys, values)
+        self.try_sort_pairs(keys, values)
+            .expect("sharded pair sort failed; use try_sort_pairs to handle device loss")
     }
 
     /// Batch-aware entry point: sorts the concatenation of several
@@ -218,10 +259,8 @@ impl ShardedSorter {
         keys: &mut Vec<K>,
         request_lens: &[usize],
     ) -> ShardedReport {
-        let mut values: Vec<()> = Vec::new();
-        let mut report = self.sort_impl(keys, &mut values);
-        report.requests = Self::request_spans(keys.len(), request_lens);
-        report
+        self.try_sort_batch(keys, request_lens)
+            .expect("sharded batch sort failed; use try_sort_batch to handle device loss")
     }
 
     /// Batch-aware pair sort: like [`Self::sort_batch`], with a value
@@ -233,17 +272,13 @@ impl ShardedSorter {
         values: &mut Vec<V>,
         request_lens: &[usize],
     ) -> ShardedReport {
-        assert_eq!(
-            keys.len(),
-            values.len(),
-            "keys and values must have the same length"
-        );
-        let mut report = self.sort_impl(keys, values);
-        report.requests = Self::request_spans(keys.len(), request_lens);
-        report
+        self.try_sort_batch_pairs(keys, values, request_lens)
+            .expect(
+                "sharded batch pair sort failed; use try_sort_batch_pairs to handle device loss",
+            )
     }
 
-    fn request_spans(total: usize, request_lens: &[usize]) -> Vec<RequestSpan> {
+    pub(crate) fn request_spans(total: usize, request_lens: &[usize]) -> Vec<RequestSpan> {
         assert_eq!(
             request_lens.iter().sum::<usize>(),
             total,
@@ -265,7 +300,7 @@ impl ShardedSorter {
             .collect()
     }
 
-    fn sort_impl<K: SortKey, V: SortValue>(
+    pub(crate) fn sort_impl<K: SortKey, V: SortValue>(
         &self,
         keys: &mut Vec<K>,
         values: &mut Vec<V>,
@@ -332,6 +367,7 @@ impl ShardedSorter {
             timeline,
             requests: Vec::new(),
             ooc_chunks: Vec::new(),
+            faults: Vec::new(),
         };
         self.note_sort(&report, elem_bytes);
         report
@@ -346,6 +382,9 @@ impl ShardedSorter {
         let t = &self.inspector;
         t.counter("multi_gpu/sorts").inc();
         t.counter("multi_gpu/keys").add(report.n);
+        // Register the fault subtree eagerly (registration is idempotent)
+        // so every snapshot exposes fault-handling health — zero or not.
+        crate::recovery::register_fault_probes(t);
         for (i, shard) in report.shards.iter().enumerate() {
             let dev = |leaf: &str| format!("multi_gpu/dev{i}/{leaf}");
             // Every element crosses the link twice: upload and download.
@@ -371,20 +410,24 @@ impl ShardedSorter {
     /// after the simulated fan-out, so host contention from other shards
     /// cannot inflate the one number the feature claims to measure for
     /// real.
+    /// The per-device lane sorter: the template specialised to pool device
+    /// `i`'s hardware model, executor and telemetry prefix.
+    pub(crate) fn lane_sorter(&self, i: usize) -> HybridRadixSorter {
+        let device = &self.pool.devices()[i];
+        self.template
+            .clone()
+            .with_device(device.spec.clone())
+            .with_executor(device.backend.executor())
+            .with_telemetry(&self.inspector, &format!("core/dev{i}"))
+    }
+
     fn sort_shards<K: SortKey, V: SortValue>(
         &self,
         shard_keys: &mut [Vec<K>],
         shard_vals: &mut [Vec<V>],
     ) -> Vec<ShardRun> {
         let p = self.pool.len();
-        let sorter_for = |i: usize| {
-            let device = &self.pool.devices()[i];
-            self.template
-                .clone()
-                .with_device(device.spec.clone())
-                .with_executor(device.backend.executor())
-                .with_telemetry(&self.inspector, &format!("core/dev{i}"))
-        };
+        let sorter_for = |i: usize| self.lane_sorter(i);
         // Reuse the persistent device lanes (and their warm scratch
         // arenas) when they are free; a concurrent sort through the same
         // sorter falls back to ephemeral lanes instead of blocking.
@@ -545,6 +588,10 @@ impl Clone for ShardedSorter {
             host_exec: self.host_exec,
             lanes: Mutex::new(Vec::new()),
             inspector: self.inspector.clone(),
+            // The fault plan's fired/op state is shared (Arc), so a clone
+            // doing the service's sorting consumes the same script.
+            faults: self.faults.clone(),
+            recovery: self.recovery.clone(),
         }
     }
 }

@@ -41,10 +41,14 @@ pub mod device_pool;
 pub mod engine;
 pub mod ooc;
 pub mod partition;
+pub mod recovery;
 pub mod report;
 
 pub use device_pool::{DeviceBackend, DevicePool, SimDevice};
 pub use engine::ShardedSorter;
 pub use ooc::{OocConfig, OocPlan};
 pub use partition::{compute_splitters, scatter_into_shards, PartitionConfig, SplitterSet};
-pub use report::{OocChunkSpan, RequestSpan, ShardReport, ShardedReport};
+pub use recovery::{RecoveryConfig, SortError};
+pub use report::{
+    FaultEvent, FaultEventKind, OocChunkSpan, RequestSpan, ShardReport, ShardedReport,
+};

@@ -28,7 +28,7 @@
 
 use crate::device_pool::DevicePool;
 use crate::engine::{pair_key, ShardedSorter};
-use crate::report::{OocChunkSpan, RequestSpan, ShardReport, ShardedReport};
+use crate::report::{OocChunkSpan, ShardReport, ShardedReport};
 use gpu_sim::{DeviceMemoryPlanner, SimTime, Timeline};
 use hetero::chunking::{split_into_chunks, ChunkPlan};
 use hetero::multiway_merge::parallel_merge_sorted_runs_by;
@@ -168,8 +168,8 @@ impl ShardedSorter {
     /// [`Self::sort`]; the schedule models each device streaming its shard
     /// chunk by chunk over its own link.
     pub fn sort_out_of_core<K: SortKey>(&self, keys: &mut Vec<K>) -> ShardedReport {
-        let mut values: Vec<()> = Vec::new();
-        self.sort_ooc_impl(keys, &mut values)
+        self.try_sort_out_of_core(keys)
+            .expect("out-of-core sort failed; use try_sort_out_of_core to handle device loss")
     }
 
     /// Out-of-core pair sort: like [`Self::sort_out_of_core`], permuting
@@ -179,15 +179,12 @@ impl ShardedSorter {
         keys: &mut Vec<K>,
         values: &mut Vec<V>,
     ) -> ShardedReport {
-        assert_eq!(
-            keys.len(),
-            values.len(),
-            "keys and values must have the same length"
-        );
-        self.sort_ooc_impl(keys, values)
+        self.try_sort_out_of_core_pairs(keys, values).expect(
+            "out-of-core pair sort failed; use try_sort_out_of_core_pairs to handle device loss",
+        )
     }
 
-    fn sort_ooc_impl<K: SortKey, V: SortValue>(
+    pub(crate) fn sort_ooc_impl<K: SortKey, V: SortValue>(
         &self,
         keys: &mut Vec<K>,
         values: &mut Vec<V>,
@@ -289,6 +286,7 @@ impl ShardedSorter {
             timeline,
             requests: Vec::new(),
             ooc_chunks,
+            faults: Vec::new(),
         };
         self.note_sort(&report, elem_bytes);
         self.note_ooc(&report);
@@ -325,14 +323,7 @@ impl ShardedSorter {
         chunk_vals: &mut [Vec<V>],
     ) -> Vec<ChunkRun> {
         let p = self.pool.len();
-        let sorter_for = |i: usize| {
-            let device = &self.pool.devices()[i];
-            self.template
-                .clone()
-                .with_device(device.spec.clone())
-                .with_executor(device.backend.executor())
-                .with_telemetry(&self.inspector, &format!("core/dev{i}"))
-        };
+        let sorter_for = |i: usize| self.lane_sorter(i);
         // Reuse the persistent device lanes exactly like the in-core path.
         let mut fallback: Option<Vec<HybridRadixSorter>> = None;
         let mut guard = self.lanes.try_lock().ok();
@@ -489,18 +480,12 @@ impl ShardedSorter {
     }
 
     /// Batch-aware out-of-core entry point used by the service's
-    /// over-budget lane: records the single request's [`RequestSpan`] in
+    /// over-budget lane: records the single request's [`crate::RequestSpan`] in
     /// the report (the lane never coalesces, so the span covers the whole
     /// input).
     pub fn sort_out_of_core_batch<K: SortKey>(&self, keys: &mut Vec<K>) -> ShardedReport {
-        let len = keys.len() as u64;
-        let mut report = self.sort_out_of_core(keys);
-        report.requests = vec![RequestSpan {
-            index: 0,
-            offset: 0,
-            len,
-        }];
-        report
+        self.try_sort_out_of_core_batch(keys)
+            .expect("out-of-core batch sort failed; use try_sort_out_of_core_batch")
     }
 
     /// Pair counterpart of [`Self::sort_out_of_core_batch`].
@@ -509,14 +494,8 @@ impl ShardedSorter {
         keys: &mut Vec<K>,
         values: &mut Vec<V>,
     ) -> ShardedReport {
-        let len = keys.len() as u64;
-        let mut report = self.sort_out_of_core_pairs(keys, values);
-        report.requests = vec![RequestSpan {
-            index: 0,
-            offset: 0,
-            len,
-        }];
-        report
+        self.try_sort_out_of_core_batch_pairs(keys, values)
+            .expect("out-of-core batch pair sort failed; use try_sort_out_of_core_batch_pairs")
     }
 }
 

@@ -85,6 +85,58 @@ pub struct OocChunkSpan {
     pub finish: SimTime,
 }
 
+/// What kind of injected or detected fault an engine run survived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEventKind {
+    /// A device died mid-sort and was marked dead in the pool; its
+    /// remaining work was requeued onto the survivors.
+    DeviceFailure,
+    /// A device returned a shard/chunk that failed its boundary check; the
+    /// data was discarded and requeued, the device stayed in the pool.
+    ShardCorruption,
+    /// A device's transfers ran degraded for one unit of work; nothing was
+    /// requeued, but the schedule reflects the slower link.
+    TransferStall,
+}
+
+impl FaultEventKind {
+    /// Short label for logs and tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultEventKind::DeviceFailure => "device-failure",
+            FaultEventKind::ShardCorruption => "shard-corruption",
+            FaultEventKind::TransferStall => "transfer-stall",
+        }
+    }
+}
+
+/// One fault the engine hit during a sort, and how recovery handled it.
+///
+/// Recorded by the fault-tolerant engine path (see
+/// [`crate::ShardedSorter::try_sort`] and friends) in
+/// [`ShardedReport::faults`]: each event names the device, the retry round
+/// it happened in, how many elements had to be requeued onto the surviving
+/// devices, and the simulated backoff the requeue waited out.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Pool index of the faulting device.
+    pub device: usize,
+    /// What went wrong.
+    pub kind: FaultEventKind,
+    /// The retry round (0 = the initial attempt) the fault occurred in.
+    pub round: u32,
+    /// Elements this fault forced back onto the requeue.
+    pub requeued: u64,
+    /// Simulated backoff delay the requeued work waited before its retry
+    /// round started (exponential in the round number).
+    pub backoff: SimTime,
+    /// Whether the sort ultimately completed despite this fault.  All
+    /// events in a returned [`ShardedReport`] are recovered by definition;
+    /// the flag exists so events can also be surfaced from failed runs via
+    /// telemetry snapshots.
+    pub recovered: bool,
+}
+
 /// Full report of one sharded multi-GPU sort.
 #[derive(Debug, Clone)]
 pub struct ShardedReport {
@@ -121,6 +173,9 @@ pub struct ShardedReport {
     /// Per-chunk bookkeeping when this sort ran out of core (see
     /// [`OocChunkSpan`]); empty for in-core sorts.
     pub ooc_chunks: Vec<OocChunkSpan>,
+    /// Faults the engine hit and recovered from during this sort (see
+    /// [`FaultEvent`]); empty for clean runs.
+    pub faults: Vec<FaultEvent>,
 }
 
 impl ShardedReport {
@@ -136,6 +191,16 @@ impl ShardedReport {
             .iter()
             .filter(|c| c.device == device)
             .count()
+    }
+
+    /// Whether this sort hit (and recovered from) any fault.
+    pub fn had_faults(&self) -> bool {
+        !self.faults.is_empty()
+    }
+
+    /// Total elements all recovered faults forced back onto the requeue.
+    pub fn requeued_elements(&self) -> u64 {
+        self.faults.iter().map(|f| f.requeued).sum()
     }
 
     /// Total input size in bytes (keys + values).
@@ -166,7 +231,7 @@ impl ShardedReport {
     /// One-line summary for experiment logs.
     pub fn summary(&self) -> String {
         format!(
-            "{} keys over {} devices: critical path {}, partition {:?}, merge {:?}, end-to-end {}, imbalance {:.2}",
+            "{} keys across {} shard sorts: critical path {}, partition {:?}, merge {:?}, end-to-end {}, imbalance {:.2}",
             self.n,
             self.shards.len(),
             self.critical_path,

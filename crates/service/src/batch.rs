@@ -21,12 +21,14 @@
 //! allocation outside the outcome-channel sends.
 
 use crate::counters::{ClassProbe, ServiceCounters};
-use crate::request::{BatchInfo, FlushReason, KeyClass, SortOutcome, SortPayload};
+use crate::request::{BatchInfo, FlushReason, KeyClass, SortOutcome, SortPayload, TicketError};
+use crate::service::CancelSet;
 use multi_gpu::ShardedSorter;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use workloads::keys::SortKey;
 
 /// Keys the service can batch: bridges a concrete key type back to the
@@ -87,10 +89,12 @@ pub struct Pending<K: ServiceKey> {
     pub keys: Vec<K>,
     /// The request's values, for pair payloads (permuted in place).
     pub values: Option<Vec<u32>>,
-    /// Where the outcome goes.
-    pub tx: mpsc::Sender<SortOutcome>,
+    /// Where the outcome (or terminal error) goes.
+    pub tx: mpsc::Sender<Result<SortOutcome, TicketError>>,
     /// When the request was admitted.
     pub submitted: Instant,
+    /// Dispatch deadline relative to `submitted`, if the request set one.
+    pub deadline: Option<Duration>,
 }
 
 /// What one flush did, for the worker's statistics.
@@ -119,6 +123,8 @@ pub struct ClassQueue<K: ServiceKey> {
     counters: Arc<ServiceCounters>,
     /// This class's live gauges and latency histogram.
     probe: ClassProbe,
+    /// Ids cancelled via `SortTicket::cancel`, shared service-wide.
+    cancels: CancelSet,
     pending: Vec<Pending<K>>,
     pending_bytes: u64,
     batch_keys: Vec<K>,
@@ -161,7 +167,7 @@ impl<K: ServiceKey> ClassQueue<K> {
     /// A queue flushing through (a clone of) the given sorter.  Each class
     /// gets its own clone so concurrent flushes of different classes both
     /// keep warm device lanes.
-    pub fn new(sorter: ShardedSorter, in_flight: Arc<AtomicUsize>) -> Self {
+    pub fn new(sorter: ShardedSorter, in_flight: Arc<AtomicUsize>, cancels: CancelSet) -> Self {
         let counters = ServiceCounters::register(sorter.inspector());
         let probe = ClassProbe::register(sorter.inspector(), K::CLASS);
         ClassQueue {
@@ -169,6 +175,7 @@ impl<K: ServiceKey> ClassQueue<K> {
             in_flight,
             counters,
             probe,
+            cancels,
             pending: Vec::new(),
             pending_bytes: 0,
             batch_keys: Vec::new(),
@@ -221,10 +228,96 @@ impl<K: ServiceKey> ClassQueue<K> {
         self.pending.first().map(|p| p.submitted)
     }
 
+    /// The earliest moment a pending request's dispatch deadline demands a
+    /// flush: 80 % of the way from submission to the deadline, leaving
+    /// headroom for the batch to dispatch before the deadline expires.
+    pub fn deadline_wake(&self) -> Option<Instant> {
+        self.pending
+            .iter()
+            .filter_map(|p| Some(p.submitted + p.deadline?.mul_f64(0.8)))
+            .min()
+    }
+
+    /// Resolves one departing request with a terminal error: its bytes
+    /// leave the queue accounting exactly, its admission slot is released,
+    /// the failure is counted and its ticket resolves with `err`.
+    fn resolve_err(&mut self, p: Pending<K>, err: TicketError) {
+        self.pending_bytes -= p.keys.len() as u64 * elem_bytes::<K>();
+        self.probe.queue_depth.set(self.pending.len() as u64);
+        self.probe.pending_bytes.set(self.pending_bytes);
+        self.cancels.lock().unwrap().remove(&p.id);
+        self.counters.note_failed(&err);
+        self.in_flight.fetch_sub(1, Ordering::AcqRel);
+        let _ = p.tx.send(Err(err));
+    }
+
+    /// Unpicks a pending request by id (called for
+    /// `SortTicket::cancel`).  `true` when the request was found and
+    /// cancelled; `false` when it is not in this queue (wrong class, or
+    /// its batch already dispatched).
+    pub fn cancel(&mut self, id: u64) -> bool {
+        let Some(idx) = self.pending.iter().position(|p| p.id == id) else {
+            return false;
+        };
+        let p = self.pending.remove(idx);
+        self.resolve_err(p, TicketError::Cancelled);
+        true
+    }
+
+    /// Fails every pending request with `err` (worker panic isolation and
+    /// engine sort failures).  The queue is left empty and consistent.
+    pub fn fail_pending(&mut self, err: TicketError) {
+        while let Some(p) = self.pending.pop() {
+            self.resolve_err(p, err);
+        }
+        debug_assert_eq!(self.pending_bytes, 0);
+    }
+
+    /// Counts one isolated worker panic on the shared service counters.
+    pub fn note_worker_panic(&self) {
+        self.counters.note_worker_failure();
+    }
+
+    /// Removes requests that were cancelled after their `Cancel` message
+    /// was processed (or raced the flush), and requests whose dispatch
+    /// deadline has fully expired.  Runs at the head of every flush, so a
+    /// batch never sorts work nobody is waiting for.
+    fn sweep_before_flush(&mut self) {
+        let cancelled: Vec<u64> = {
+            let set = self.cancels.lock().unwrap();
+            if set.is_empty() {
+                Vec::new()
+            } else {
+                self.pending
+                    .iter()
+                    .filter(|p| set.contains(&p.id))
+                    .map(|p| p.id)
+                    .collect()
+            }
+        };
+        for id in cancelled {
+            self.cancel(id);
+        }
+        let now = Instant::now();
+        let mut i = 0;
+        while i < self.pending.len() {
+            let expired = self.pending[i]
+                .deadline
+                .is_some_and(|d| now.saturating_duration_since(self.pending[i].submitted) > d);
+            if expired {
+                let p = self.pending.remove(i);
+                self.resolve_err(p, TicketError::DeadlineExceeded);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
     /// Runs the pending batch as one sharded sort, demultiplexes the result
     /// back into every request's buffers and resolves their tickets.
     /// Returns `None` when nothing was pending.
     pub fn flush(&mut self, reason: FlushReason, batch: u64) -> Option<FlushSummary> {
+        self.sweep_before_flush();
         if self.pending.is_empty() {
             return None;
         }
@@ -257,12 +350,31 @@ impl<K: ServiceKey> ClassQueue<K> {
         let elements = self.batch_keys.len() as u64;
         let bytes = elements * elem_bytes::<K>();
 
-        // One sharded sort for the whole batch.
-        let report = Arc::new(self.sorter.sort_batch_pairs(
-            &mut self.batch_keys,
-            &mut self.batch_tags,
-            &self.lens,
-        ));
+        // One sharded sort for the whole batch — through the fault-
+        // tolerant engine path, panic-isolated: an engine panic or a typed
+        // sort failure resolves every pending ticket with an error instead
+        // of killing the worker (or hanging the requesters).
+        let sorted = {
+            let sorter = &self.sorter;
+            let keys = &mut self.batch_keys;
+            let tags = &mut self.batch_tags;
+            let lens = &self.lens;
+            catch_unwind(AssertUnwindSafe(|| {
+                sorter.try_sort_batch_pairs(keys, tags, lens)
+            }))
+        };
+        let report = match sorted {
+            Ok(Ok(report)) => Arc::new(report),
+            Ok(Err(e)) => {
+                self.fail_pending(TicketError::SortFailed(e));
+                return None;
+            }
+            Err(_) => {
+                self.counters.note_worker_failure();
+                self.fail_pending(TicketError::WorkerFailed);
+                return None;
+            }
+        };
 
         // Demux: each request's keys arrive in ascending order, so a
         // per-slot cursor writes them back in place.
@@ -297,6 +409,17 @@ impl<K: ServiceKey> ClassQueue<K> {
             bytes,
             reason,
         };
+        // Prune resolved ids from the cancel set first: a cancel that
+        // raced past the pre-flush sweep is a no-op (the batch already
+        // dispatched) and must not leak its id.
+        {
+            let mut set = self.cancels.lock().unwrap();
+            if !set.is_empty() {
+                for p in &self.pending {
+                    set.remove(&p.id);
+                }
+            }
+        }
         for (slot, p) in self.pending.drain(..).enumerate() {
             let outcome = SortOutcome {
                 payload: K::rebuild(p.keys, p.values),
@@ -309,7 +432,7 @@ impl<K: ServiceKey> ClassQueue<K> {
             // dropped ticket just discards its outcome).
             self.probe.latency_ns.record_duration(p.submitted.elapsed());
             self.in_flight.fetch_sub(1, Ordering::AcqRel);
-            let _ = p.tx.send(outcome);
+            let _ = p.tx.send(Ok(outcome));
         }
         self.pending_bytes = 0;
         Some(summary)
@@ -325,14 +448,17 @@ mod tests {
         ClassQueue::new(
             ShardedSorter::new(DevicePool::titan_cluster(2)),
             Arc::new(AtomicUsize::new(usize::MAX / 2)),
+            CancelSet::default(),
         )
     }
+
+    type PendRx = mpsc::Receiver<Result<SortOutcome, TicketError>>;
 
     fn pend<K: ServiceKey>(
         id: u64,
         keys: Vec<K>,
         values: Option<Vec<u32>>,
-    ) -> (Pending<K>, mpsc::Receiver<SortOutcome>) {
+    ) -> (Pending<K>, PendRx) {
         let (tx, rx) = mpsc::channel();
         (
             Pending {
@@ -341,6 +467,7 @@ mod tests {
                 values,
                 tx,
                 submitted: Instant::now(),
+                deadline: None,
             },
             rx,
         )
@@ -394,7 +521,7 @@ mod tests {
         assert_eq!(summary.requests, 3);
         assert_eq!(summary.elements, 8_000);
 
-        let oa = ra.try_recv().unwrap();
+        let oa = ra.try_recv().unwrap().unwrap();
         let SortPayload::U64Keys(sorted_a) = oa.payload else {
             panic!("wrong variant")
         };
@@ -407,7 +534,7 @@ mod tests {
         assert_eq!(oa.batch.requests, 3);
         assert_eq!(oa.batch.reason, FlushReason::Bytes);
 
-        let ob = rb.try_recv().unwrap();
+        let ob = rb.try_recv().unwrap().unwrap();
         let SortPayload::U64Pairs { keys, values } = ob.payload else {
             panic!("wrong variant")
         };
@@ -421,7 +548,7 @@ mod tests {
         ));
         assert_eq!(ob.span.offset, 5_000);
 
-        let oc = rc.try_recv().unwrap();
+        let oc = rc.try_recv().unwrap().unwrap();
         assert!(oc.payload.is_empty());
         assert_eq!(oc.span.len, 0);
         // All three requests share one report.
@@ -436,7 +563,7 @@ mod tests {
         let (p, r) = pend(0, keys.clone(), None);
         q.push(p);
         q.flush(FlushReason::Linger, 0).unwrap();
-        let SortPayload::U32Keys(sorted) = r.try_recv().unwrap().payload else {
+        let SortPayload::U32Keys(sorted) = r.try_recv().unwrap().unwrap().payload else {
             panic!("wrong variant")
         };
         let mut expect = keys;

@@ -9,7 +9,7 @@
 //! live — no channel round trip, no shutdown, no locks on the hot path.
 
 use crate::batch::FlushSummary;
-use crate::request::{FlushReason, KeyClass, SubmitError};
+use crate::request::{FlushReason, KeyClass, SubmitError, TicketError};
 use crate::service::ServiceStats;
 use std::sync::Arc;
 use std::time::Duration;
@@ -26,14 +26,26 @@ pub(crate) struct ServiceCounters {
     flushed_by_bytes: Counter,
     flushed_by_linger: Counter,
     flushed_by_cap: Counter,
+    flushed_by_deadline: Counter,
     flushed_by_drain: Counter,
     rejected_saturated: Counter,
     rejected_too_large: Counter,
     rejected_too_many_keys: Counter,
     rejected_mismatched: Counter,
+    rejected_degraded: Counter,
+    cancelled: Counter,
+    deadline_exceeded: Counter,
+    worker_failures: Counter,
+    sort_failures: Counter,
     ooc_requests: Counter,
     ooc_chunks: Counter,
     ooc_latency_ns: Histogram,
+    /// The engine's fault-recovery metrics (registered by the sharded
+    /// engine under `multi_gpu/faults/...`; re-registered here idempotently
+    /// so the service can surface them in [`ServiceStats`]).
+    device_failures: Counter,
+    requeued_elements: Counter,
+    recovery_ns: Histogram,
     /// Per-class submit→outcome latency histograms (`u32`, `u64`), kept so
     /// the snapshot can merge them with the lane's into service-wide
     /// percentiles.
@@ -53,11 +65,20 @@ impl ServiceCounters {
             flushed_by_bytes: inspector.counter("service/flushed/bytes"),
             flushed_by_linger: inspector.counter("service/flushed/linger"),
             flushed_by_cap: inspector.counter("service/flushed/request_cap"),
+            flushed_by_deadline: inspector.counter("service/flushed/deadline"),
             flushed_by_drain: inspector.counter("service/flushed/drain"),
             rejected_saturated: inspector.counter("service/rejected/saturated"),
             rejected_too_large: inspector.counter("service/rejected/too_large"),
             rejected_too_many_keys: inspector.counter("service/rejected/too_many_keys"),
             rejected_mismatched: inspector.counter("service/rejected/mismatched_pair"),
+            rejected_degraded: inspector.counter("service/rejected/degraded"),
+            cancelled: inspector.counter("service/cancelled"),
+            deadline_exceeded: inspector.counter("service/deadline_exceeded"),
+            worker_failures: inspector.counter("service/worker_failures"),
+            sort_failures: inspector.counter("service/sort_failures"),
+            device_failures: inspector.counter("multi_gpu/faults/device_failures"),
+            requeued_elements: inspector.counter("multi_gpu/faults/requeued_elements"),
+            recovery_ns: inspector.histogram("multi_gpu/faults/recovery_ns"),
             ooc_requests: inspector.counter("service/ooc/requests"),
             ooc_chunks: inspector.counter("service/ooc/chunks"),
             ooc_latency_ns: inspector.histogram("service/ooc/latency_ns"),
@@ -81,6 +102,7 @@ impl ServiceCounters {
             SubmitError::TooLarge { .. } => self.rejected_too_large.inc(),
             SubmitError::TooManyKeys { .. } => self.rejected_too_many_keys.inc(),
             SubmitError::MismatchedPair { .. } => self.rejected_mismatched.inc(),
+            SubmitError::Degraded { .. } => self.rejected_degraded.inc(),
             SubmitError::ShuttingDown => {}
         }
     }
@@ -95,10 +117,28 @@ impl ServiceCounters {
             FlushReason::Bytes => self.flushed_by_bytes.inc(),
             FlushReason::Linger => self.flushed_by_linger.inc(),
             FlushReason::RequestCap => self.flushed_by_cap.inc(),
+            FlushReason::Deadline => self.flushed_by_deadline.inc(),
             FlushReason::Drain => self.flushed_by_drain.inc(),
             // The out-of-core lane never rides a class queue.
             FlushReason::OutOfCore => {}
         }
+    }
+
+    /// One admitted request resolved with an error instead of an outcome.
+    /// `ServiceDropped` is deliberately uncounted here: it never travels
+    /// through a resolution channel (it *is* the channel dying).
+    pub(crate) fn note_failed(&self, err: &TicketError) {
+        match err {
+            TicketError::Cancelled => self.cancelled.inc(),
+            TicketError::DeadlineExceeded => self.deadline_exceeded.inc(),
+            TicketError::SortFailed(_) => self.sort_failures.inc(),
+            TicketError::WorkerFailed | TicketError::ServiceDropped => {}
+        }
+    }
+
+    /// One worker panic was caught and isolated.
+    pub(crate) fn note_worker_failure(&self) {
+        self.worker_failures.inc();
     }
 
     /// One request resolved through the out-of-core lane.
@@ -129,6 +169,7 @@ impl ServiceCounters {
         // read order keeps `requests ≥ batches` in every snapshot even
         // mid-flood.
         let batches = self.batches.get();
+        let recovery = self.recovery_ns.snapshot();
         ServiceStats {
             requests: self.requests.get(),
             batches,
@@ -137,6 +178,7 @@ impl ServiceCounters {
             flushed_by_bytes: self.flushed_by_bytes.get(),
             flushed_by_linger: self.flushed_by_linger.get(),
             flushed_by_cap: self.flushed_by_cap.get(),
+            flushed_by_deadline: self.flushed_by_deadline.get(),
             flushed_by_drain: self.flushed_by_drain.get(),
             ooc_requests: self.ooc_requests.get(),
             ooc_chunks: self.ooc_chunks.get(),
@@ -144,6 +186,15 @@ impl ServiceCounters {
             rejected_too_large: self.rejected_too_large.get(),
             rejected_too_many_keys: self.rejected_too_many_keys.get(),
             rejected_mismatched_pairs: self.rejected_mismatched.get(),
+            rejected_degraded: self.rejected_degraded.get(),
+            cancelled: self.cancelled.get(),
+            deadline_exceeded: self.deadline_exceeded.get(),
+            worker_failures: self.worker_failures.get(),
+            sort_failures: self.sort_failures.get(),
+            device_failures: self.device_failures.get(),
+            requeued_elements: self.requeued_elements.get(),
+            recovery_p50: Duration::from_nanos(recovery.p50()),
+            recovery_p99: Duration::from_nanos(recovery.p99()),
             latency_p50: Duration::from_nanos(latency.p50()),
             latency_p99: Duration::from_nanos(latency.p99()),
         }

@@ -85,10 +85,10 @@ pub mod request;
 pub mod service;
 
 pub use config::{OverBudgetPolicy, ServiceConfig};
-pub use multi_gpu::{OocChunkSpan, RequestSpan};
+pub use multi_gpu::{FaultEvent, FaultEventKind, OocChunkSpan, RequestSpan, SortError};
 pub use request::{
-    BatchInfo, FlushReason, KeyClass, SortOutcome, SortPayload, SortTicket, SubmitError,
-    TicketError,
+    BatchInfo, FlushReason, KeyClass, SortOutcome, SortPayload, SortRequest, SortTicket,
+    SubmitError, TicketError,
 };
 pub use service::{ServiceStats, SortService};
 pub use telemetry::{InspectNode, Inspector};

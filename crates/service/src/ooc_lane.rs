@@ -21,9 +21,10 @@
 //! sort never blocks the latency-sensitive batching worker next door.
 
 use crate::counters::ServiceCounters;
-use crate::request::{BatchInfo, FlushReason, SortOutcome, SortPayload};
-use crate::service::Submission;
-use multi_gpu::{RequestSpan, ShardedReport, ShardedSorter};
+use crate::request::{BatchInfo, FlushReason, SortOutcome, SortPayload, TicketError};
+use crate::service::{CancelSet, Submission};
+use multi_gpu::{RequestSpan, ShardedReport, ShardedSorter, SortError};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::Instant;
@@ -34,6 +35,7 @@ pub(crate) struct OocLaneWorker {
     in_flight: Arc<AtomicUsize>,
     next_batch: Arc<AtomicU64>,
     counters: Arc<ServiceCounters>,
+    cancels: CancelSet,
 }
 
 impl OocLaneWorker {
@@ -41,6 +43,7 @@ impl OocLaneWorker {
         sorter: ShardedSorter,
         in_flight: Arc<AtomicUsize>,
         next_batch: Arc<AtomicU64>,
+        cancels: CancelSet,
     ) -> Self {
         let counters = ServiceCounters::register(sorter.inspector());
         OocLaneWorker {
@@ -48,6 +51,7 @@ impl OocLaneWorker {
             in_flight,
             next_batch,
             counters,
+            cancels,
         }
     }
 
@@ -57,37 +61,74 @@ impl OocLaneWorker {
         }
     }
 
+    /// Resolves one request with a terminal error instead of an outcome.
+    fn resolve_err(
+        &self,
+        id: u64,
+        tx: &mpsc::Sender<Result<SortOutcome, TicketError>>,
+        err: TicketError,
+    ) {
+        self.cancels.lock().unwrap().remove(&id);
+        self.counters.note_failed(&err);
+        self.in_flight.fetch_sub(1, Ordering::AcqRel);
+        let _ = tx.send(Err(err));
+    }
+
     /// Runs one over-budget request end to end and resolves its ticket.
     fn handle(&self, sub: Submission) {
+        let Submission {
+            id,
+            payload,
+            deadline,
+            tx,
+            submitted,
+        } = sub;
+        // QoS gates before committing the devices: a cancelled request is
+        // dropped, and a request whose dispatch deadline already expired
+        // while queued behind earlier lane work fails fast.
+        if self.cancels.lock().unwrap().contains(&id) {
+            return self.resolve_err(id, &tx, TicketError::Cancelled);
+        }
+        if deadline.is_some_and(|d| submitted.elapsed() > d) {
+            return self.resolve_err(id, &tx, TicketError::DeadlineExceeded);
+        }
         let dispatch = Instant::now();
-        let elements = sub.payload.len() as u64;
-        let bytes = sub.payload.batch_bytes();
-        let (payload, report) = match sub.payload {
-            SortPayload::U32Keys(mut keys) => {
-                let report = self.sorter.sort_out_of_core_batch(&mut keys);
-                (SortPayload::U32Keys(keys), report)
+        let elements = payload.len() as u64;
+        let bytes = payload.batch_bytes();
+        // The sort runs through the fault-tolerant engine path, panic-
+        // isolated: a typed engine failure or an engine panic resolves the
+        // ticket with an error and the lane keeps serving.
+        type Sorted = Result<(SortPayload, ShardedReport), SortError>;
+        let sorter = &self.sorter;
+        let sorted: std::thread::Result<Sorted> =
+            catch_unwind(AssertUnwindSafe(|| match payload {
+                SortPayload::U32Keys(mut keys) => sorter
+                    .try_sort_out_of_core_batch(&mut keys)
+                    .map(|report| (SortPayload::U32Keys(keys), report)),
+                SortPayload::U64Keys(mut keys) => sorter
+                    .try_sort_out_of_core_batch(&mut keys)
+                    .map(|report| (SortPayload::U64Keys(keys), report)),
+                SortPayload::U32Pairs {
+                    mut keys,
+                    mut values,
+                } => sorter
+                    .try_sort_out_of_core_batch_pairs(&mut keys, &mut values)
+                    .map(|report| (SortPayload::U32Pairs { keys, values }, report)),
+                SortPayload::U64Pairs {
+                    mut keys,
+                    mut values,
+                } => sorter
+                    .try_sort_out_of_core_batch_pairs(&mut keys, &mut values)
+                    .map(|report| (SortPayload::U64Pairs { keys, values }, report)),
+            }));
+        let (payload, report) = match sorted {
+            Ok(Ok(done)) => done,
+            Ok(Err(e)) => {
+                return self.resolve_err(id, &tx, TicketError::SortFailed(e));
             }
-            SortPayload::U64Keys(mut keys) => {
-                let report = self.sorter.sort_out_of_core_batch(&mut keys);
-                (SortPayload::U64Keys(keys), report)
-            }
-            SortPayload::U32Pairs {
-                mut keys,
-                mut values,
-            } => {
-                let report = self
-                    .sorter
-                    .sort_out_of_core_batch_pairs(&mut keys, &mut values);
-                (SortPayload::U32Pairs { keys, values }, report)
-            }
-            SortPayload::U64Pairs {
-                mut keys,
-                mut values,
-            } => {
-                let report = self
-                    .sorter
-                    .sort_out_of_core_batch_pairs(&mut keys, &mut values);
-                (SortPayload::U64Pairs { keys, values }, report)
+            Err(_) => {
+                self.counters.note_worker_failure();
+                return self.resolve_err(id, &tx, TicketError::WorkerFailed);
             }
         };
         let chunks = report.ooc_chunks.len() as u64;
@@ -96,15 +137,16 @@ impl OocLaneWorker {
             report,
             self.next_batch.fetch_add(1, Ordering::Relaxed),
             bytes,
-            dispatch.saturating_duration_since(sub.submitted),
+            dispatch.saturating_duration_since(submitted),
         );
         self.counters
-            .note_ooc(elements, chunks, sub.submitted.elapsed());
+            .note_ooc(elements, chunks, submitted.elapsed());
+        self.cancels.lock().unwrap().remove(&id);
         // Release the admission slot first, then resolve the ticket (a
         // dropped ticket just discards its outcome) — same order as the
         // batching lane, so a requester can resubmit immediately.
         self.in_flight.fetch_sub(1, Ordering::AcqRel);
-        let _ = sub.tx.send(outcome);
+        let _ = tx.send(Ok(outcome));
     }
 
     fn outcome(

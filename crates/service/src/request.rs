@@ -1,6 +1,7 @@
 //! Request and response types of the batch sort service.
 
-use multi_gpu::{RequestSpan, ShardedReport};
+use crate::service::{CancelSet, WorkerMsg};
+use multi_gpu::{RequestSpan, ShardedReport, SortError};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Duration;
@@ -99,6 +100,50 @@ impl SortPayload {
         };
         self.len() as u64 * elem
     }
+
+    /// Wraps the payload into a [`SortRequest`] with a dispatch deadline:
+    /// the service must dispatch the request's batch within `deadline` of
+    /// submission, or resolve the ticket with
+    /// [`TicketError::DeadlineExceeded`].
+    pub fn with_deadline(self, deadline: Duration) -> SortRequest {
+        SortRequest::from(self).with_deadline(deadline)
+    }
+}
+
+/// One submission to [`SortService::submit`](crate::SortService::submit):
+/// a payload plus optional per-request quality-of-service attributes.
+///
+/// `submit` takes `impl Into<SortRequest>`, so a bare [`SortPayload`]
+/// still submits directly; attach a deadline with
+/// [`SortPayload::with_deadline`] or [`SortRequest::with_deadline`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SortRequest {
+    /// The data to sort.
+    pub payload: SortPayload,
+    /// Dispatch deadline: the batch carrying this request must dispatch
+    /// within this much time of submission.  The worker wakes early to
+    /// flush a class whose deadline approaches
+    /// ([`FlushReason::Deadline`]); a request whose deadline has fully
+    /// expired before dispatch resolves with
+    /// [`TicketError::DeadlineExceeded`] instead of sorting.
+    pub deadline: Option<Duration>,
+}
+
+impl SortRequest {
+    /// Sets the dispatch deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+impl From<SortPayload> for SortRequest {
+    fn from(payload: SortPayload) -> Self {
+        SortRequest {
+            payload,
+            deadline: None,
+        }
+    }
 }
 
 /// Why [`SortService::submit`](crate::SortService::submit) rejected a
@@ -143,6 +188,16 @@ pub enum SubmitError {
         /// Number of values submitted.
         values: usize,
     },
+    /// More than half of the device pool is marked dead: the service is in
+    /// degraded mode and sheds new load rather than queueing work the
+    /// remaining devices cannot absorb.  In-flight requests still resolve
+    /// (the fault-tolerant engine requeues onto the survivors).
+    Degraded {
+        /// Devices still alive in the pool.
+        alive: usize,
+        /// Total devices the pool was built with.
+        total: usize,
+    },
     /// The service is shutting down and accepts no further requests.
     ShuttingDown,
 }
@@ -168,6 +223,10 @@ impl std::fmt::Display for SubmitError {
             SubmitError::MismatchedPair { keys, values } => {
                 write!(f, "pair payload with {keys} keys but {values} values")
             }
+            SubmitError::Degraded { alive, total } => write!(
+                f,
+                "service degraded: only {alive} of {total} devices alive; shedding new load"
+            ),
             SubmitError::ShuttingDown => write!(f, "service is shutting down"),
         }
     }
@@ -184,6 +243,10 @@ pub enum FlushReason {
     Linger,
     /// The class's pending request count reached `max_batch_requests`.
     RequestCap,
+    /// A pending request's dispatch deadline approached: the worker
+    /// flushed the class early (at 80 % of the deadline) so the batch
+    /// dispatches before the deadline expires.
+    Deadline,
     /// Shutdown drain: the submission queue disconnected.
     Drain,
     /// The request exceeded the admission budget and rode the dedicated
@@ -199,6 +262,7 @@ impl FlushReason {
             FlushReason::Bytes => "bytes",
             FlushReason::Linger => "linger",
             FlushReason::RequestCap => "request-cap",
+            FlushReason::Deadline => "deadline",
             FlushReason::Drain => "drain",
             FlushReason::OutOfCore => "out-of-core",
         }
@@ -240,18 +304,43 @@ pub struct SortOutcome {
 }
 
 /// Why waiting on a [`SortTicket`] failed.
+///
+/// Every variant is a *terminal* resolution: the ticket will never yield a
+/// [`SortOutcome`], and the request's admission slot has been released.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TicketError {
     /// The service (and its worker) terminated before resolving the
     /// ticket.  Cannot happen through the public API: shutdown drains every
     /// pending request first.
     ServiceDropped,
+    /// The request was cancelled via [`SortTicket::cancel`] before its
+    /// batch dispatched.
+    Cancelled,
+    /// The request's dispatch deadline expired before its batch
+    /// dispatched (see [`SortRequest::deadline`]).
+    DeadlineExceeded,
+    /// The sharded engine could not complete the request's batch even
+    /// after fault recovery (all devices dead, or the retry budget ran
+    /// out).  The typed engine error says which.
+    SortFailed(SortError),
+    /// A worker thread panicked while processing the request's batch.  The
+    /// service survives — the panic is isolated, pending requests are
+    /// resolved with this error, and new submissions keep working.
+    WorkerFailed,
 }
 
 impl std::fmt::Display for TicketError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TicketError::ServiceDropped => write!(f, "service dropped before the sort completed"),
+            TicketError::Cancelled => write!(f, "request cancelled before its batch dispatched"),
+            TicketError::DeadlineExceeded => {
+                write!(f, "request deadline expired before its batch dispatched")
+            }
+            TicketError::SortFailed(e) => write!(f, "sharded sort failed: {e}"),
+            TicketError::WorkerFailed => {
+                write!(f, "service worker panicked while processing the request")
+            }
         }
     }
 }
@@ -262,7 +351,13 @@ impl std::error::Error for TicketError {}
 #[derive(Debug)]
 pub struct SortTicket {
     pub(crate) id: u64,
-    pub(crate) rx: mpsc::Receiver<SortOutcome>,
+    pub(crate) rx: mpsc::Receiver<Result<SortOutcome, TicketError>>,
+    /// Wakes the batching worker so a cancel takes effect promptly; `None`
+    /// for tickets riding the out-of-core lane (its worker checks the
+    /// cancel set before dispatching).
+    pub(crate) cancel_tx: Option<mpsc::Sender<WorkerMsg>>,
+    /// The service-wide set of cancelled request ids.
+    pub(crate) cancel_set: Option<CancelSet>,
 }
 
 impl SortTicket {
@@ -271,17 +366,48 @@ impl SortTicket {
         self.id
     }
 
-    /// Blocks until the request's batch completes and returns the outcome.
-    pub fn wait(self) -> Result<SortOutcome, TicketError> {
-        self.rx.recv().map_err(|_| TicketError::ServiceDropped)
+    /// Requests cancellation.  Best-effort: if the request is still
+    /// pending in its class queue (or waiting in the out-of-core lane),
+    /// it is unpicked — its bytes leave the queue accounting, its
+    /// admission slot is released and the ticket resolves with
+    /// [`TicketError::Cancelled`].  A request whose batch already
+    /// dispatched completes normally.
+    pub fn cancel(&self) {
+        if let Some(set) = &self.cancel_set {
+            set.lock().unwrap().insert(self.id);
+        }
+        if let Some(tx) = &self.cancel_tx {
+            let _ = tx.send(WorkerMsg::Cancel(self.id));
+        }
     }
 
-    /// Non-blocking poll: the outcome if the batch already completed.
+    /// Blocks until the request resolves and returns the outcome.
+    pub fn wait(self) -> Result<SortOutcome, TicketError> {
+        match self.rx.recv() {
+            Ok(resolved) => resolved,
+            Err(_) => Err(TicketError::ServiceDropped),
+        }
+    }
+
+    /// Non-blocking poll: the outcome if the request already resolved.
     pub fn try_wait(&mut self) -> Result<Option<SortOutcome>, TicketError> {
         match self.rx.try_recv() {
-            Ok(outcome) => Ok(Some(outcome)),
+            Ok(Ok(outcome)) => Ok(Some(outcome)),
+            Ok(Err(err)) => Err(err),
             Err(mpsc::TryRecvError::Empty) => Ok(None),
             Err(mpsc::TryRecvError::Disconnected) => Err(TicketError::ServiceDropped),
+        }
+    }
+
+    /// Bounded wait: blocks at most `timeout` for the request to resolve.
+    /// `Ok(None)` means the timeout elapsed with the request still in
+    /// flight — the ticket stays valid and can be waited on again.
+    pub fn wait_timeout(&mut self, timeout: Duration) -> Result<Option<SortOutcome>, TicketError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(Ok(outcome)) => Ok(Some(outcome)),
+            Ok(Err(err)) => Err(err),
+            Err(mpsc::RecvTimeoutError::Timeout) => Ok(None),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(TicketError::ServiceDropped),
         }
     }
 }
@@ -334,9 +460,35 @@ mod tests {
         .to_string()
         .contains("demux-tag"));
         assert!(SubmitError::ShuttingDown.to_string().contains("shutting"));
+        assert!(SubmitError::Degraded { alive: 1, total: 4 }
+            .to_string()
+            .contains("1 of 4"));
         assert!(TicketError::ServiceDropped.to_string().contains("dropped"));
+        assert!(TicketError::Cancelled.to_string().contains("cancelled"));
+        assert!(TicketError::DeadlineExceeded
+            .to_string()
+            .contains("deadline"));
+        assert!(TicketError::WorkerFailed.to_string().contains("panicked"));
+        assert!(
+            TicketError::SortFailed(SortError::AllDevicesDead { failed: 2 })
+                .to_string()
+                .contains("dead")
+        );
         assert_eq!(FlushReason::Linger.label(), "linger");
         assert_eq!(FlushReason::Drain.label(), "drain");
+        assert_eq!(FlushReason::Deadline.label(), "deadline");
         assert_eq!(FlushReason::OutOfCore.label(), "out-of-core");
+    }
+
+    #[test]
+    fn deadlines_attach_to_payloads() {
+        let req = SortPayload::U32Keys(vec![1]).with_deadline(Duration::from_millis(5));
+        assert_eq!(req.deadline, Some(Duration::from_millis(5)));
+        let bare: SortRequest = SortPayload::U32Keys(vec![1]).into();
+        assert_eq!(bare.deadline, None);
+        assert_eq!(
+            bare.with_deadline(Duration::from_secs(1)).deadline,
+            Some(Duration::from_secs(1))
+        );
     }
 }

@@ -4,14 +4,37 @@ use crate::batch::{elem_bytes, oversize_request_error, ClassQueue, Pending, Serv
 use crate::config::{OverBudgetPolicy, ServiceConfig};
 use crate::counters::ServiceCounters;
 use crate::ooc_lane::OocLaneWorker;
-use crate::request::{FlushReason, KeyClass, SortOutcome, SortPayload, SortTicket, SubmitError};
+use crate::request::{
+    FlushReason, KeyClass, SortOutcome, SortPayload, SortRequest, SortTicket, SubmitError,
+    TicketError,
+};
 use hrs_core::Executor;
-use multi_gpu::ShardedSorter;
+use multi_gpu::{DevicePool, ShardedSorter};
+use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use telemetry::Inspector;
+
+/// Request ids cancelled via [`SortTicket::cancel`], shared between the
+/// front end, the tickets, both class queues and the out-of-core lane.
+pub(crate) type CancelSet = Arc<Mutex<HashSet<u64>>>;
+
+/// What travels over the batching worker's channel.
+pub(crate) enum WorkerMsg {
+    /// A freshly admitted request.
+    Submit(Submission),
+    /// A cancellation for a previously submitted request (sent by
+    /// [`SortTicket::cancel`]; the id is also in the [`CancelSet`]).
+    Cancel(u64),
+    /// Drain everything and exit.  Shutdown is an explicit message rather
+    /// than a channel disconnect because tickets hold sender clones (for
+    /// [`SortTicket::cancel`]): an outstanding ticket would otherwise keep
+    /// the channel alive and deadlock the shutdown join.
+    Shutdown,
+}
 
 /// Lifetime counters of a service.
 ///
@@ -55,6 +78,33 @@ pub struct ServiceStats {
     /// Malformed pair submissions bounced
     /// ([`SubmitError::MismatchedPair`]).
     pub rejected_mismatched_pairs: u64,
+    /// Submissions shed because more than half the pool was dead
+    /// ([`SubmitError::Degraded`]).
+    pub rejected_degraded: u64,
+    /// Admitted requests unpicked by [`SortTicket::cancel`] before their
+    /// batch dispatched.
+    pub cancelled: u64,
+    /// Admitted requests whose dispatch deadline expired before their
+    /// batch dispatched ([`TicketError::DeadlineExceeded`]).
+    pub deadline_exceeded: u64,
+    /// Worker panics caught and isolated (the affected requests resolved
+    /// with [`TicketError::WorkerFailed`]; the service kept running).
+    pub worker_failures: u64,
+    /// Batches the sharded engine could not complete even after fault
+    /// recovery ([`TicketError::SortFailed`]).
+    pub sort_failures: u64,
+    /// Batches flushed early because a pending request's deadline
+    /// approached ([`FlushReason::Deadline`]).
+    pub flushed_by_deadline: u64,
+    /// Device failures the sharded engine survived while serving this
+    /// service's batches (from the `multi_gpu/faults` telemetry subtree).
+    pub device_failures: u64,
+    /// Elements fault recovery requeued onto surviving devices.
+    pub requeued_elements: u64,
+    /// Median engine fault-recovery latency (zero when no fault occurred).
+    pub recovery_p50: Duration,
+    /// 99th-percentile engine fault-recovery latency.
+    pub recovery_p99: Duration,
     /// Median submit→outcome latency across every resolved request (both
     /// key classes and the out-of-core lane).
     pub latency_p50: Duration,
@@ -80,7 +130,8 @@ impl ServiceStats {
 pub(crate) struct Submission {
     pub(crate) id: u64,
     pub(crate) payload: SortPayload,
-    pub(crate) tx: mpsc::Sender<SortOutcome>,
+    pub(crate) deadline: Option<Duration>,
+    pub(crate) tx: mpsc::Sender<Result<SortOutcome, TicketError>>,
     pub(crate) submitted: Instant,
 }
 
@@ -89,7 +140,7 @@ pub(crate) struct Submission {
 /// dedicated worker thread that owns the device pool.
 #[derive(Debug)]
 pub struct SortService {
-    tx: Option<mpsc::Sender<Submission>>,
+    tx: Option<mpsc::Sender<WorkerMsg>>,
     worker: Option<JoinHandle<()>>,
     /// Channel and worker of the out-of-core lane; `None` under
     /// [`OverBudgetPolicy::Reject`].
@@ -100,10 +151,18 @@ pub struct SortService {
     inspector: Inspector,
     /// Shared handles to the live `service/...` counters.
     counters: Arc<ServiceCounters>,
+    /// A clone of the sorter's pool: device health is shared through it
+    /// (an `Arc` inside), so the front end sees deaths the engine marks
+    /// mid-sort and can gate degraded-mode admission live.
+    pool: DevicePool,
+    /// Ids cancelled via [`SortTicket::cancel`], shared with every ticket
+    /// and both workers.
+    cancels: CancelSet,
     in_flight: Arc<AtomicUsize>,
     next_id: AtomicU64,
     queue_depth: usize,
     admission_budget: u64,
+    budget_slack: f64,
     /// Whether the pool can sort anything at all (a positive raw budget).
     /// A zero-budget pool — e.g. every device has a non-positive capacity
     /// weight — must reject over-budget requests even under the
@@ -124,12 +183,15 @@ impl SortService {
     /// out-of-core lane, with its own sorter clone) admits requests
     /// *above* the budget and streams them through the chunked pipeline.
     pub fn start(sorter: ShardedSorter, cfg: ServiceConfig) -> Self {
-        let pool_budget = sorter.pool().batch_budget_bytes();
-        let admission_budget = (pool_budget as f64 * cfg.budget_slack).max(1.0) as u64;
+        let pool = sorter.pool().clone();
+        let pool_budget = pool.batch_budget_bytes();
+        let budget_slack = cfg.budget_slack;
+        let admission_budget = (pool_budget as f64 * budget_slack).max(1.0) as u64;
         let pool_can_sort = pool_budget > 0;
         let queue_depth = cfg.queue_depth;
         let over_budget = cfg.over_budget;
         let in_flight = Arc::new(AtomicUsize::new(0));
+        let cancels: CancelSet = Arc::new(Mutex::new(HashSet::new()));
         // Both lanes, the class queues and this front end all register on
         // the sorter's inspector — idempotently, so every holder updates
         // the same atomic cells and `stats_snapshot` is live.
@@ -145,6 +207,7 @@ impl SortService {
                 sorter.clone(),
                 Arc::clone(&in_flight),
                 Arc::clone(&next_batch),
+                Arc::clone(&cancels),
             );
             let handle = std::thread::Builder::new()
                 .name("sort-service-ooc".into())
@@ -157,10 +220,19 @@ impl SortService {
 
         let (tx, rx) = mpsc::channel();
         let worker_inflight = Arc::clone(&in_flight);
+        let worker_cancels = Arc::clone(&cancels);
         let worker = std::thread::Builder::new()
             .name("sort-service".into())
             .spawn(move || {
-                Worker::new(sorter, cfg, admission_budget, worker_inflight, next_batch).run(rx)
+                Worker::new(
+                    sorter,
+                    cfg,
+                    admission_budget,
+                    worker_inflight,
+                    next_batch,
+                    worker_cancels,
+                )
+                .run(rx)
             })
             .expect("spawning the sort-service worker");
         SortService {
@@ -170,18 +242,29 @@ impl SortService {
             ooc_worker,
             inspector,
             counters,
+            pool,
+            cancels,
             in_flight,
             next_id: AtomicU64::new(0),
             queue_depth,
             admission_budget,
+            budget_slack,
             pool_can_sort,
             over_budget,
         }
     }
 
     /// The resolved admission budget in batch bytes (pool budget × slack).
+    ///
+    /// Live: when devices have died, the budget is recomputed over the
+    /// surviving devices' memory planners, so admission control reflects
+    /// what the degraded pool can actually hold.
     pub fn admission_budget(&self) -> u64 {
-        self.admission_budget
+        if self.pool.any_dead() {
+            (self.pool.batch_budget_bytes() as f64 * self.budget_slack).max(1.0) as u64
+        } else {
+            self.admission_budget
+        }
     }
 
     /// Requests currently admitted and not yet resolved.
@@ -213,14 +296,20 @@ impl SortService {
 
     /// Submits a sort request.  Non-blocking: returns a [`SortTicket`]
     /// immediately, or a [`SubmitError`] when admission control rejects the
-    /// request (saturation, size, malformed pairs, shutdown).
+    /// request (saturation, size, malformed pairs, degraded pool,
+    /// shutdown).
+    ///
+    /// Takes anything convertible into a [`SortRequest`]: a bare
+    /// [`SortPayload`] submits with no deadline; attach one with
+    /// [`SortPayload::with_deadline`].
     ///
     /// A request above the admission budget is routed by the configured
     /// [`OverBudgetPolicy`]: rejected as [`SubmitError::TooLarge`], or
     /// admitted into the dedicated out-of-core lane (bypassing batching;
     /// its outcome reports [`FlushReason::OutOfCore`] and carries the
     /// per-chunk spans in the shared report).
-    pub fn submit(&self, payload: SortPayload) -> Result<SortTicket, SubmitError> {
+    pub fn submit(&self, request: impl Into<SortRequest>) -> Result<SortTicket, SubmitError> {
+        let SortRequest { payload, deadline } = request.into();
         // Exhaustive on purpose: a new payload variant must decide here
         // whether it carries values (and how their length is validated)
         // before it can be admitted at all.
@@ -236,23 +325,30 @@ impl SortService {
                 values: values_len,
             }));
         }
+        // Graceful degradation: with more than half the pool dead, shed
+        // new load outright instead of queueing work the survivors cannot
+        // absorb.  In-flight requests still resolve through recovery.
+        if self.pool.is_degraded() {
+            return Err(self.reject(SubmitError::Degraded {
+                alive: self.pool.alive_count(),
+                total: self.pool.len(),
+            }));
+        }
         let bytes = payload.batch_bytes();
-        let tx = if bytes > self.admission_budget {
+        let budget = self.admission_budget();
+        let over_budget_lane = bytes > budget;
+        if over_budget_lane {
             // A pool that can sort nothing (zero raw budget — e.g. every
             // device has a non-positive capacity weight) rejects under
             // *both* policies: the out-of-core lane shards by the same
             // capacity weights, so it could not run the request either.
             if self.over_budget == OverBudgetPolicy::Reject || !self.pool_can_sort {
-                return Err(self.reject(SubmitError::TooLarge {
-                    bytes,
-                    budget: self.admission_budget,
-                }));
+                return Err(self.reject(SubmitError::TooLarge { bytes, budget }));
             }
             // Over-budget lane: no batching, no demux tags, so the
             // slot-tag key limit does not apply.
-            match self.ooc_tx.as_ref() {
-                Some(ooc_tx) => ooc_tx,
-                None => return Err(SubmitError::ShuttingDown),
+            if self.ooc_tx.is_none() {
+                return Err(SubmitError::ShuttingDown);
             }
         } else {
             // Batched requests must fit the demux-tag index space —
@@ -261,11 +357,10 @@ impl SortService {
             if let Some(err) = oversize_request_error(keys_len) {
                 return Err(self.reject(err));
             }
-            let Some(tx) = self.tx.as_ref() else {
+            if self.tx.is_none() {
                 return Err(SubmitError::ShuttingDown);
-            };
-            tx
-        };
+            }
+        }
         // Reserve an in-flight slot; the worker releases it once the
         // request's batch completed.
         let depth = self.queue_depth;
@@ -286,6 +381,7 @@ impl SortService {
         let submission = Submission {
             id,
             payload,
+            deadline,
             tx: otx,
             submitted: Instant::now(),
         };
@@ -293,11 +389,27 @@ impl SortService {
         // batch therefore always sees its requests too (`requests ≥
         // batches` holds at every instant).
         self.counters.note_admitted();
-        if tx.send(submission).is_err() {
+        let sent = if over_budget_lane {
+            self.ooc_tx
+                .as_ref()
+                .is_some_and(|tx| tx.send(submission).is_ok())
+        } else {
+            // The batching lane wraps submissions in worker messages so
+            // cancellations ride the same ordered channel.
+            self.tx
+                .as_ref()
+                .is_some_and(|tx| tx.send(WorkerMsg::Submit(submission)).is_ok())
+        };
+        if !sent {
             self.in_flight.fetch_sub(1, Ordering::AcqRel);
             return Err(SubmitError::ShuttingDown);
         }
-        Ok(SortTicket { id, rx: orx })
+        Ok(SortTicket {
+            id,
+            rx: orx,
+            cancel_tx: (!over_budget_lane).then(|| self.tx.as_ref().unwrap().clone()),
+            cancel_set: Some(Arc::clone(&self.cancels)),
+        })
     }
 
     /// Shuts the service down: stops admitting, drains and resolves every
@@ -308,13 +420,27 @@ impl SortService {
     }
 
     fn shutdown_in_place(&mut self) {
-        drop(self.tx.take());
+        // Tell the batching worker explicitly: tickets hold clones of this
+        // sender, so dropping our end does not disconnect the channel.
+        if let Some(tx) = self.tx.take() {
+            let _ = tx.send(WorkerMsg::Shutdown);
+        }
+        // The out-of-core lane's channel has no other senders, so the drop
+        // alone disconnects it.
         drop(self.ooc_tx.take());
+        // The workers isolate panics internally (pending requests resolve
+        // with `TicketError::WorkerFailed` and the loop continues), so a
+        // join error here means a panic escaped the isolation — count it
+        // rather than propagate: shutdown must stay deterministic.
         if let Some(w) = self.worker.take() {
-            w.join().expect("sort-service worker panicked");
+            if w.join().is_err() {
+                self.counters.note_worker_failure();
+            }
         }
         if let Some(ooc) = self.ooc_worker.take() {
-            ooc.join().expect("out-of-core lane worker panicked");
+            if ooc.join().is_err() {
+                self.counters.note_worker_failure();
+            }
         }
     }
 }
@@ -335,6 +461,10 @@ struct Worker {
     /// Shared with the out-of-core lane so batch ids stay unique
     /// service-wide.
     next_batch: Arc<AtomicU64>,
+    /// Set once shutdown was requested; if a panic escapes the drain
+    /// flush, the loop must still exit instead of spinning on a channel
+    /// that outstanding tickets keep alive.
+    draining: bool,
 }
 
 impl Worker {
@@ -344,6 +474,7 @@ impl Worker {
         admission_budget: u64,
         in_flight: Arc<AtomicUsize>,
         next_batch: Arc<AtomicU64>,
+        cancels: CancelSet,
     ) -> Self {
         // The size threshold is capped by the admission budget, and
         // `admit` flushes a class *before* an addition would cross the
@@ -352,11 +483,12 @@ impl Worker {
         // slack setting.
         let max_batch_bytes = cfg.max_batch_bytes.min(admission_budget);
         Worker {
-            q32: ClassQueue::new(sorter.clone(), Arc::clone(&in_flight)),
-            q64: ClassQueue::new(sorter, in_flight),
+            q32: ClassQueue::new(sorter.clone(), Arc::clone(&in_flight), Arc::clone(&cancels)),
+            q64: ClassQueue::new(sorter, in_flight, cancels),
             cfg,
             max_batch_bytes,
             next_batch,
+            draining: false,
         }
     }
 
@@ -364,34 +496,80 @@ impl Worker {
         self.next_batch.fetch_add(1, Ordering::Relaxed)
     }
 
-    fn run(mut self, rx: mpsc::Receiver<Submission>) {
+    /// The worker loop, panic-isolated: a panic that escapes one pass
+    /// (e.g. from deep inside a flush) fails the pending requests with
+    /// [`TicketError::WorkerFailed`] and the loop keeps serving — the
+    /// service never hangs a ticket and never needs a restart.
+    fn run(mut self, rx: mpsc::Receiver<WorkerMsg>) {
         loop {
-            match rx.recv_timeout(self.next_deadline()) {
-                Ok(sub) => {
-                    self.admit(sub);
-                    // Greedily drain whatever else already arrived (e.g.
-                    // the backlog built up behind a long flush).  The size
-                    // and request-cap triggers fire between admissions —
-                    // they bound individual batches — but the linger
-                    // *deadline* is checked once at the end of the burst,
-                    // so a stale backlog coalesces into one batch instead
-                    // of flushing as singletons.
-                    self.flush_ready(false);
-                    while let Ok(sub) = rx.try_recv() {
-                        self.admit(sub);
-                        self.flush_ready(false);
+            match catch_unwind(AssertUnwindSafe(|| self.step(&rx))) {
+                Ok(true) => {}
+                Ok(false) => return,
+                Err(_) => {
+                    self.q32.note_worker_panic();
+                    self.q32.fail_pending(TicketError::WorkerFailed);
+                    self.q64.fail_pending(TicketError::WorkerFailed);
+                    if self.draining {
+                        return;
                     }
-                    self.flush_ready(true);
-                }
-                Err(mpsc::RecvTimeoutError::Timeout) => {
-                    self.flush_ready(true);
-                }
-                Err(mpsc::RecvTimeoutError::Disconnected) => {
-                    self.flush_all(FlushReason::Drain);
-                    return;
                 }
             }
         }
+    }
+
+    /// One pass of the loop; `false` means shutdown was requested (or the
+    /// channel disconnected) and the drain flush ran.
+    fn step(&mut self, rx: &mpsc::Receiver<WorkerMsg>) -> bool {
+        match rx.recv_timeout(self.next_deadline()) {
+            Ok(msg) => {
+                if !self.handle(msg) {
+                    return self.drain();
+                }
+                // Greedily drain whatever else already arrived (e.g.
+                // the backlog built up behind a long flush).  The size
+                // and request-cap triggers fire between admissions —
+                // they bound individual batches — but the linger
+                // *deadline* is checked once at the end of the burst,
+                // so a stale backlog coalesces into one batch instead
+                // of flushing as singletons.
+                self.flush_ready(false);
+                while let Ok(msg) = rx.try_recv() {
+                    if !self.handle(msg) {
+                        return self.drain();
+                    }
+                    self.flush_ready(false);
+                }
+                self.flush_ready(true);
+                true
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                self.flush_ready(true);
+                true
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => self.drain(),
+        }
+    }
+
+    /// Runs the shutdown drain; always returns `false` (exit the loop).
+    fn drain(&mut self) -> bool {
+        self.draining = true;
+        self.flush_all(FlushReason::Drain);
+        false
+    }
+
+    /// Processes one message; `false` means shutdown was requested.
+    fn handle(&mut self, msg: WorkerMsg) -> bool {
+        match msg {
+            WorkerMsg::Submit(sub) => self.admit(sub),
+            WorkerMsg::Cancel(id) => {
+                // The id lives in exactly one class queue (or already
+                // flushed, in which case the cancel is a no-op and the
+                // set entry is pruned by the queues' sweeps).
+                let _ = self.q32.cancel(id) || self.q64.cancel(id);
+            }
+            WorkerMsg::Shutdown => return false,
+        }
+        true
     }
 
     /// Admits a request into its class queue, flushing the class first
@@ -417,6 +595,7 @@ impl Worker {
                     values,
                     tx: sub.tx,
                     submitted: sub.submitted,
+                    deadline: sub.deadline,
                 });
             }
             KeyClass::U64 => {
@@ -434,19 +613,29 @@ impl Worker {
                     values,
                     tx: sub.tx,
                     submitted: sub.submitted,
+                    deadline: sub.deadline,
                 });
             }
         }
     }
 
-    /// How long the worker may sleep before some class's linger expires.
+    /// How long the worker may sleep before some class's linger expires or
+    /// a pending request's dispatch deadline approaches (the wake point is
+    /// 80 % of the deadline, leaving headroom to dispatch before it
+    /// expires).
     fn next_deadline(&self) -> Duration {
         let now = Instant::now();
         let linger = self.cfg.max_linger;
-        [self.q32.oldest(), self.q64.oldest()]
+        let lingers = [self.q32.oldest(), self.q64.oldest()]
             .into_iter()
             .flatten()
-            .map(|oldest| (oldest + linger).saturating_duration_since(now))
+            .map(|oldest| oldest + linger);
+        let deadlines = [self.q32.deadline_wake(), self.q64.deadline_wake()]
+            .into_iter()
+            .flatten();
+        lingers
+            .chain(deadlines)
+            .map(|at| at.saturating_duration_since(now))
             .min()
             .unwrap_or(Duration::from_secs(60))
     }
@@ -462,7 +651,11 @@ impl Worker {
         let linger = self.cfg.max_linger;
         let cap = self.cfg.max_batch_requests;
         let max_bytes = self.max_batch_bytes;
-        let due = |len: usize, bytes: u64, oldest: Option<Instant>| -> Option<FlushReason> {
+        let due = |len: usize,
+                   bytes: u64,
+                   oldest: Option<Instant>,
+                   deadline_wake: Option<Instant>|
+         -> Option<FlushReason> {
             if len == 0 {
                 return None;
             }
@@ -470,6 +663,12 @@ impl Worker {
                 Some(FlushReason::Bytes)
             } else if len >= cap {
                 Some(FlushReason::RequestCap)
+            } else if deadline_wake.is_some_and(|at| now >= at) {
+                // A request's dispatch deadline approaches: flush now so
+                // the batch dispatches before the deadline expires.
+                // Checked on every pass, like bytes/cap — a deadline is a
+                // per-request promise, not a batching heuristic.
+                Some(FlushReason::Deadline)
             } else if check_linger
                 && oldest.is_some_and(|o| now.saturating_duration_since(o) >= linger)
             {
@@ -478,8 +677,18 @@ impl Worker {
                 None
             }
         };
-        let r32 = due(self.q32.len(), self.q32.pending_bytes(), self.q32.oldest());
-        let r64 = due(self.q64.len(), self.q64.pending_bytes(), self.q64.oldest());
+        let r32 = due(
+            self.q32.len(),
+            self.q32.pending_bytes(),
+            self.q32.oldest(),
+            self.q32.deadline_wake(),
+        );
+        let r64 = due(
+            self.q64.len(),
+            self.q64.pending_bytes(),
+            self.q64.oldest(),
+            self.q64.deadline_wake(),
+        );
         self.flush_classes(r32, r64);
     }
 

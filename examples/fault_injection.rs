@@ -1,0 +1,135 @@
+//! Fault injection walkthrough: killing a simulated GPU mid-sort and
+//! watching the engine and the service absorb it.
+//!
+//! ```text
+//! cargo run --release --example fault_injection
+//! ```
+//!
+//! Three acts:
+//!
+//! 1. **Engine recovery** — a 3-device pool loses device 1 on its very
+//!    first shard; the engine marks it dead, re-partitions over the two
+//!    survivors and requeues the lost shard.  The report records the fault.
+//! 2. **Service QoS** — the same failure through the full sort service,
+//!    plus a request with a deadline and a cancelled request, with the live
+//!    stats counters picking all of it up.
+//! 3. **Degraded mode** — more than half the pool dies and the service
+//!    starts shedding new load with a typed rejection instead of queueing
+//!    work it cannot finish.
+
+use hybrid_radix_sort::prelude::*;
+use hybrid_radix_sort::workloads::uniform_keys;
+use std::time::Duration;
+
+const N: usize = 8_000_000;
+
+fn engine_recovery() {
+    println!("== 1. engine recovery: device 1 dies on its first shard\n");
+    let plan = FaultPlan::fail_device(1, 0);
+    let sorter = ShardedSorter::new(DevicePool::titan_cluster(3)).with_fault_plan(plan);
+    let pool = sorter.pool().clone();
+
+    let mut keys = uniform_keys::<u64>(N, 7);
+    let report = sorter.try_sort(&mut keys).expect("two survivors recover");
+    assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+
+    for ev in &report.faults {
+        println!(
+            "fault: device {} {} in round {} -> requeued {} keys (backoff {:?}, recovered: {})",
+            ev.device,
+            ev.kind.label(),
+            ev.round,
+            ev.requeued,
+            ev.backoff,
+            ev.recovered
+        );
+    }
+    println!(
+        "pool after the run: {}/{} devices alive (device 1 alive: {})",
+        pool.alive_count(),
+        pool.len(),
+        pool.alive(1)
+    );
+    println!("\n{}\n", report.summary());
+}
+
+fn service_qos() {
+    println!("== 2. service QoS: failure + deadline + cancellation\n");
+    let sorter = ShardedSorter::new(DevicePool::titan_cluster(3))
+        .with_fault_plan(FaultPlan::fail_device(2, 0));
+    let service = SortService::start(
+        sorter,
+        ServiceConfig::default().with_max_linger(Duration::from_millis(200)),
+    );
+
+    // A plain request rides through the injected failure transparently.
+    let survivor = service
+        .submit(SortPayload::U64Keys(uniform_keys::<u64>(N / 4, 11)))
+        .unwrap();
+
+    // A deadline turns the linger timer into a hard dispatch bound.
+    let prompt = service
+        .submit(
+            SortPayload::U64Keys(uniform_keys::<u64>(N / 8, 13))
+                .with_deadline(Duration::from_secs(5)),
+        )
+        .unwrap();
+
+    // And a cancelled ticket releases its queue bytes without sorting.
+    let doomed = service
+        .submit(SortPayload::U64Keys(uniform_keys::<u64>(N / 8, 17)))
+        .unwrap();
+    doomed.cancel();
+
+    let outcome = survivor.wait().expect("survivors absorb the lost shard");
+    println!(
+        "survivor request: {} keys sorted, batch flushed by `{}`, faults recorded: {}",
+        outcome.span.len,
+        outcome.batch.reason.label(),
+        outcome.report.faults.len()
+    );
+    let outcome = prompt.wait().expect("deadline was generous");
+    println!(
+        "deadline request: {} keys sorted, batch flushed by `{}`",
+        outcome.span.len,
+        outcome.batch.reason.label()
+    );
+    match doomed.wait() {
+        Err(TicketError::Cancelled) => println!("cancelled request: resolved as cancelled"),
+        other => println!("cancelled request resolved as {other:?} (raced the flush)"),
+    }
+
+    let stats = service.shutdown();
+    println!(
+        "\nstats: requests={} cancelled={} device_failures={} requeued_elements={} recovery_p50={:?}\n",
+        stats.requests,
+        stats.cancelled,
+        stats.device_failures,
+        stats.requeued_elements,
+        stats.recovery_p50,
+    );
+}
+
+fn degraded_mode() {
+    println!("== 3. degraded mode: majority of the pool dies\n");
+    let sorter = ShardedSorter::new(DevicePool::titan_cluster(3));
+    let pool = sorter.pool().clone();
+    let service = SortService::start(sorter, ServiceConfig::default());
+
+    pool.mark_dead(0);
+    pool.mark_dead(1);
+    match service.submit(SortPayload::U64Keys(vec![3, 1, 2])) {
+        Err(SubmitError::Degraded { alive, total }) => {
+            println!("submission shed: only {alive} of {total} devices alive")
+        }
+        other => println!("unexpected admission result: {other:?}"),
+    }
+    let stats = service.shutdown();
+    println!("stats: rejected_degraded={}", stats.rejected_degraded);
+}
+
+fn main() {
+    engine_recovery();
+    service_qos();
+    degraded_mode();
+}

@@ -40,16 +40,16 @@ pub use workloads;
 /// Commonly used types, re-exported for convenience.
 pub mod prelude {
     pub use baselines::{GpuLsdRadixSort, GpuMergeSort, MultisplitRadixSort, ParadisSort};
-    pub use gpu_sim::{DeviceSpec, LinkSpec, SimTime};
+    pub use gpu_sim::{DeviceSpec, FaultKind, FaultPlan, FaultSpec, LinkSpec, SimTime};
     pub use hetero::HeterogeneousSorter;
     pub use hrs_core::{Executor, HybridRadixSorter, Optimizations, SortConfig, SortReport};
     pub use multi_gpu::{
-        DeviceBackend, DevicePool, OocChunkSpan, OocConfig, RequestSpan, ShardedReport,
-        ShardedSorter, SimDevice,
+        DeviceBackend, DevicePool, FaultEvent, FaultEventKind, OocChunkSpan, OocConfig,
+        RecoveryConfig, RequestSpan, ShardedReport, ShardedSorter, SimDevice, SortError,
     };
     pub use sort_service::{
-        OverBudgetPolicy, ServiceConfig, SortOutcome, SortPayload, SortService, SortTicket,
-        SubmitError,
+        OverBudgetPolicy, ServiceConfig, SortOutcome, SortPayload, SortRequest, SortService,
+        SortTicket, SubmitError, TicketError,
     };
     pub use telemetry::{InspectNode, Inspector};
     pub use workloads::{Distribution, EntropyLevel, SortKey, ZipfGenerator};
