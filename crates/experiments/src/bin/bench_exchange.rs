@@ -1,0 +1,55 @@
+//! Recombination-strategy benchmark: host p-way merge vs peer-to-peer
+//! bucket exchange over the device count (2–8) on NVLink-mesh and
+//! PCIe-through-host topologies, written to `BENCH_exchange.json`.
+//!
+//! ```text
+//! cargo run --release --bin bench_exchange [-- --smoke] [--out <path>]
+//!     [--keys 400000]
+//! ```
+//!
+//! `--smoke` runs the CI-sized sweep (same device counts — the acceptance
+//! gate needs the 8-device NVLink point — with a smaller input).
+
+use experiments::exchange_bench::{
+    exchange_table, exchange_to_json, run_exchange_sweep, ExchangeBenchConfig,
+};
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).map(|i| {
+        args.get(i + 1)
+            .unwrap_or_else(|| panic!("{flag} expects a value"))
+            .clone()
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut cfg = if args.iter().any(|a| a == "--smoke") {
+        ExchangeBenchConfig::smoke()
+    } else {
+        ExchangeBenchConfig::full()
+    };
+    if let Some(keys) = arg_value(&args, "--keys") {
+        cfg.keys = keys
+            .parse()
+            .unwrap_or_else(|_| panic!("--keys expects an integer"));
+    }
+    let out_path = arg_value(&args, "--out").unwrap_or_else(|| "BENCH_exchange.json".to_string());
+
+    println!(
+        "# Recombination: host merge vs peer exchange ({} keys per run)\n",
+        cfg.keys
+    );
+    let points = run_exchange_sweep(&cfg);
+    println!("{}", exchange_table(&points));
+    if let Some(best) = points.iter().max_by(|a, b| a.speedup.total_cmp(&b.speedup)) {
+        println!(
+            "best: {:.2}x on {} with {} devices",
+            best.speedup, best.topology, best.devices
+        );
+    }
+
+    std::fs::write(&out_path, exchange_to_json(&points))
+        .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("\nwrote {out_path}");
+}

@@ -25,6 +25,9 @@
 //!   bus and the pipelined schedule of Section 5.
 //! * [`interconnect::LinkSpec`] generalises the bus into per-device links
 //!   (PCIe 3.0/4.0, NVLink classes) for multi-GPU systems.
+//! * [`topology::PeerTopology`] describes the device↔device link matrix
+//!   (NVLink mesh vs. PCIe staged through the host) that peer-to-peer
+//!   recombination schedules its all-to-all bucket exchange over.
 //! * [`memory::DeviceMemoryPlanner`] tracks device-memory budgets for the
 //!   in-place replacement strategy (three chunk slots instead of four).
 //!
@@ -40,6 +43,7 @@ pub mod occupancy;
 pub mod pcie;
 pub mod simtime;
 pub mod timeline;
+pub mod topology;
 pub mod traffic;
 pub mod transaction;
 
@@ -53,6 +57,7 @@ pub use occupancy::{BlockResources, Occupancy};
 pub use pcie::{PcieBus, TransferDirection};
 pub use simtime::{Bandwidth, SimTime};
 pub use timeline::{ResourceId, Timeline, TimelineEvent};
+pub use topology::PeerTopology;
 pub use traffic::MemoryTraffic;
 pub use transaction::TransactionModel;
 

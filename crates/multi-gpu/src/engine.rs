@@ -23,6 +23,7 @@
 //!    any splitter policy.  Measured for real.
 
 use crate::device_pool::DevicePool;
+use crate::exchange::RecombineStrategy;
 use crate::partition::{compute_splitters, scatter_into_shards, PartitionConfig, SplitterSet};
 use crate::recovery::RecoveryConfig;
 use crate::report::{RequestSpan, ShardReport, ShardedReport};
@@ -81,6 +82,10 @@ pub struct ShardedSorter {
     pub(crate) faults: Option<FaultPlan>,
     /// Retry/backoff policy of the recovery path.
     pub(crate) recovery: RecoveryConfig,
+    /// How sorted shards are recombined ([`RecombineStrategy`]); the
+    /// default host p-way merge keeps this engine byte-identical to the
+    /// pre-exchange versions.
+    pub(crate) recombine: RecombineStrategy,
 }
 
 impl ShardedSorter {
@@ -101,6 +106,7 @@ impl ShardedSorter {
             inspector: Inspector::new(),
             faults: None,
             recovery: RecoveryConfig::default(),
+            recombine: RecombineStrategy::default(),
         }
     }
 
@@ -174,6 +180,23 @@ impl ShardedSorter {
     pub fn with_recovery_config(mut self, cfg: RecoveryConfig) -> Self {
         self.recovery = cfg;
         self
+    }
+
+    /// Selects how sorted shards are recombined: the host p-way merge
+    /// (the default), the peer-to-peer all-to-all bucket exchange over the
+    /// pool's [`gpu_sim::PeerTopology`], or a cost-model-driven pick per
+    /// sort ([`RecombineStrategy::Auto`]).  Out-of-core sorts always keep
+    /// the chunk-streamed host merge — their tail merge overlaps the chunk
+    /// stream instead.
+    pub fn with_recombine_strategy(mut self, strategy: RecombineStrategy) -> Self {
+        self.recombine = strategy;
+        self
+    }
+
+    /// The configured recombination strategy (possibly `Auto`; see
+    /// [`Self::resolve_recombine`] for the per-sort resolution).
+    pub fn recombine_strategy(&self) -> RecombineStrategy {
+        self.recombine
     }
 
     /// The installed fault script, if any.
@@ -368,6 +391,8 @@ impl ShardedSorter {
             requests: Vec::new(),
             ooc_chunks: Vec::new(),
             faults: Vec::new(),
+            recombine: RecombineStrategy::HostMerge,
+            exchange: Vec::new(),
         };
         self.note_sort(&report, elem_bytes);
         report
@@ -382,9 +407,11 @@ impl ShardedSorter {
         let t = &self.inspector;
         t.counter("multi_gpu/sorts").inc();
         t.counter("multi_gpu/keys").add(report.n);
-        // Register the fault subtree eagerly (registration is idempotent)
-        // so every snapshot exposes fault-handling health — zero or not.
+        // Register the fault and exchange subtrees eagerly (registration
+        // is idempotent) so every snapshot exposes their health — zero or
+        // not.
         crate::recovery::register_fault_probes(t);
+        crate::exchange::register_exchange_probes(t);
         for (i, shard) in report.shards.iter().enumerate() {
             let dev = |leaf: &str| format!("multi_gpu/dev{i}/{leaf}");
             // Every element crosses the link twice: upload and download.
@@ -421,7 +448,7 @@ impl ShardedSorter {
             .with_telemetry(&self.inspector, &format!("core/dev{i}"))
     }
 
-    fn sort_shards<K: SortKey, V: SortValue>(
+    pub(crate) fn sort_shards<K: SortKey, V: SortValue>(
         &self,
         shard_keys: &mut [Vec<K>],
         shard_vals: &mut [Vec<V>],
@@ -592,6 +619,7 @@ impl Clone for ShardedSorter {
             // doing the service's sorting consumes the same script.
             faults: self.faults.clone(),
             recovery: self.recovery.clone(),
+            recombine: self.recombine,
         }
     }
 }

@@ -14,8 +14,11 @@
 //!    [`hrs_core::HybridRadixSorter`], one simulated device per shard, each
 //!    with its own host link ([`gpu_sim::LinkSpec`]: PCIe 3.0/4.0 or
 //!    NVLink classes) so transfers overlap across devices;
-//! 3. **recombine** with the generalised parallel p-way merge of
-//!    [`hetero::multiway_merge`].
+//! 3. **recombine** — by default with the generalised parallel p-way merge
+//!    of [`hetero::multiway_merge`] on the host, or (cost-model-selected
+//!    via [`RecombineStrategy`]) with a peer-to-peer all-to-all bucket
+//!    exchange over the pool's [`gpu_sim::PeerTopology`] in which each
+//!    device merges only its own output range ([`exchange`]).
 //!
 //! The engine is functional — the output really is sorted — while transfer
 //! and kernel times come from the `gpu_sim` analytical model, scheduled on
@@ -39,6 +42,7 @@
 
 pub mod device_pool;
 pub mod engine;
+pub mod exchange;
 pub mod ooc;
 pub mod partition;
 pub mod recovery;
@@ -46,9 +50,12 @@ pub mod report;
 
 pub use device_pool::{DeviceBackend, DevicePool, SimDevice};
 pub use engine::ShardedSorter;
+pub use exchange::{
+    estimate_exchange_time, estimate_host_merge_tail, modeled_host_merge_time, RecombineStrategy,
+};
 pub use ooc::{OocConfig, OocPlan};
 pub use partition::{compute_splitters, scatter_into_shards, PartitionConfig, SplitterSet};
 pub use recovery::{RecoveryConfig, SortError};
 pub use report::{
-    FaultEvent, FaultEventKind, OocChunkSpan, RequestSpan, ShardReport, ShardedReport,
+    ExchangeSpan, FaultEvent, FaultEventKind, OocChunkSpan, RequestSpan, ShardReport, ShardedReport,
 };

@@ -242,7 +242,7 @@ impl ShardedSorter {
         let runs = self.sort_chunks(&chunk_meta, &mut chunk_keys, &mut chunk_vals);
 
         // 4. Per-device full-duplex pipelines on one shared timeline.
-        let (timeline, shards, ooc_chunks) =
+        let (mut timeline, shards, ooc_chunks) =
             self.schedule_ooc(&splitters, &shard_lens, &plan, &runs, elem_bytes);
         let critical_path = timeline.makespan();
 
@@ -268,9 +268,44 @@ impl ShardedSorter {
             combined.absorb(&r.report);
         }
 
+        // 6. Overlap the residual host tail merge with the chunk stream:
+        // the loser-tree merge consumes chunk runs as they land, so only
+        // the tail past each chunk's arrival is exposed.  The measured
+        // merge time is distributed over the chunks proportional to their
+        // bytes and scheduled on one "host merge" resource, each consume
+        // event gated on its chunk's pipeline finish.  `critical_path`
+        // stays the device-phase makespan (the invariant every shard
+        // finish is checked against); `end_to_end` becomes the post-merge
+        // makespan instead of the old strictly-serial
+        // `critical_path + merge` sum.
+        let merge_total = SimTime::from_secs(measured_merge.as_secs_f64());
+        let mut merge_overlap = None;
+        if !ooc_chunks.is_empty() && n > 0 && merge_total > SimTime::ZERO {
+            let host = timeline.add_resource("host merge");
+            let mut order: Vec<&OocChunkSpan> = ooc_chunks.iter().collect();
+            order.sort_by(|a, b| a.finish.secs().total_cmp(&b.finish.secs()));
+            for (c, chunk) in order.into_iter().enumerate() {
+                timeline.schedule_after(
+                    format!("host merge c{c}"),
+                    host,
+                    &[chunk.finish],
+                    merge_total * (chunk.len as f64 / n as f64),
+                );
+            }
+            let tail = timeline.makespan();
+            // Fraction of the merge hidden under the chunk stream: 1.0
+            // when only the last chunk's consume sticks out, 0.0 when the
+            // whole merge ran after the pipelines drained.
+            let hidden = (critical_path + merge_total - tail).secs() / merge_total.secs();
+            merge_overlap = Some(hidden.clamp(0.0, 1.0));
+        }
+
         let end_to_end = SimTime::from_secs(measured_partition.as_secs_f64())
-            + critical_path
-            + SimTime::from_secs(measured_merge.as_secs_f64());
+            + if merge_overlap.is_some() {
+                timeline.makespan()
+            } else {
+                critical_path + merge_total
+            };
 
         let report = ShardedReport {
             n: n as u64,
@@ -287,21 +322,28 @@ impl ShardedSorter {
             requests: Vec::new(),
             ooc_chunks,
             faults: Vec::new(),
+            recombine: crate::RecombineStrategy::HostMerge,
+            exchange: Vec::new(),
         };
         self.note_sort(&report, elem_bytes);
-        self.note_ooc(&report);
+        self.note_ooc(&report, merge_overlap);
         report
     }
 
     /// Records the out-of-core metrics of one completed streamed sort:
-    /// sort/chunk counters and the chunk-pipeline occupancy — the fraction
+    /// sort/chunk counters, the chunk-pipeline occupancy — the fraction
     /// of the pool's three pipeline stages (HtD, GPU, DtH) kept busy over
-    /// the schedule's makespan.
-    fn note_ooc(&self, report: &ShardedReport) {
+    /// the schedule's makespan — and how much of the host tail merge hid
+    /// under the chunk stream.
+    fn note_ooc(&self, report: &ShardedReport, merge_overlap: Option<f64>) {
         let t = &self.inspector;
         t.counter("multi_gpu/ooc/sorts").inc();
         t.counter("multi_gpu/ooc/chunks")
             .add(report.ooc_chunks.len() as u64);
+        let overlap_gauge = t.float_gauge("multi_gpu/ooc/merge_overlap_ratio");
+        if let Some(hidden) = merge_overlap {
+            overlap_gauge.set(hidden);
+        }
         let makespan = report.critical_path.secs();
         if makespan > 0.0 && !report.shards.is_empty() {
             let busy: f64 = report

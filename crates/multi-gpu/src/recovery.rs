@@ -248,21 +248,34 @@ impl ShardedSorter {
         Ok(report)
     }
 
-    /// Routes a sort to the clean fast path or the recovery loop.  The fast
-    /// paths run byte-identically to the pre-fault-tolerance engine; the
-    /// recovery loop takes over only while a fault plan has unfired specs
-    /// or a device is dead (dead devices would violate the positive-weight
-    /// contract of the fast-path partitioner).
+    /// Routes a sort to the clean fast path or the recovery loop, and —
+    /// per the resolved [`crate::RecombineStrategy`] — to the host-merge
+    /// or peer-exchange recombination.  The fast paths run byte-identically
+    /// to the pre-fault-tolerance engine; the recovery loops take over only
+    /// while a fault plan has unfired specs or a device is dead (dead
+    /// devices would violate the positive-weight contract of the fast-path
+    /// partitioner).  Out-of-core sorts always recombine on the host:
+    /// their chunk-streamed tail merge overlaps the chunk stream instead.
     fn dispatch_sort<K: SortKey, V: SortValue>(
         &self,
         keys: &mut Vec<K>,
         values: &mut Vec<V>,
         out_of_core: bool,
     ) -> Result<ShardedReport, SortError> {
+        let elem_bytes = K::BYTES as u64 + std::mem::size_of::<V>() as u64;
+        let peer = !out_of_core
+            && self.resolve_recombine(keys.len() as u64 * elem_bytes)
+                == crate::RecombineStrategy::PeerExchange;
         if self.fault_path_active() {
-            self.sort_recoverable(keys, values, out_of_core)
+            if peer {
+                self.sort_exchange_recoverable(keys, values)
+            } else {
+                self.sort_recoverable(keys, values, out_of_core)
+            }
         } else if out_of_core {
             Ok(self.sort_ooc_impl(keys, values))
+        } else if peer {
+            Ok(self.sort_exchange_impl(keys, values))
         } else {
             Ok(self.sort_impl(keys, values))
         }
@@ -613,12 +626,14 @@ impl ShardedSorter {
             requests: Vec::new(),
             ooc_chunks,
             faults: events,
+            recombine: crate::RecombineStrategy::HostMerge,
+            exchange: Vec::new(),
         })
     }
 
     /// Counts this recovery attempt's faults into the `multi_gpu/faults/…`
     /// subtree (success and failure alike).
-    fn note_fault_outcomes(
+    pub(crate) fn note_fault_outcomes(
         &self,
         events: &[FaultEvent],
         retries: u32,

@@ -1,8 +1,10 @@
 //! Aggregated reporting for sharded multi-device sorts.
 
+use crate::exchange::RecombineStrategy;
 use crate::partition::SplitterSet;
 use gpu_sim::{SimTime, Timeline};
 use hrs_core::SortReport;
+use std::collections::HashMap;
 
 /// What one device did for its shard.
 #[derive(Debug, Clone)]
@@ -83,6 +85,40 @@ pub struct OocChunkSpan {
     /// When the chunk's sorted run finished returning to the host on the
     /// shared timeline.
     pub finish: SimTime,
+}
+
+/// One device→device bucket transfer of a peer-exchange recombination.
+///
+/// Produced by the peer-exchange paths (see
+/// [`crate::exchange::RecombineStrategy::PeerExchange`]): after its local
+/// sort, device `src` ships the bucket destined for device `dst`'s output
+/// range either over a direct peer link (`direct = true`) or staged
+/// through host memory as a DtH + HtD pair on the two host links
+/// (`direct = false`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExchangeSpan {
+    /// Pool index of the sending device.
+    pub src: usize,
+    /// Pool index of the receiving device.
+    pub dst: usize,
+    /// Elements the bucket carried.
+    pub elems: u64,
+    /// Payload bytes (keys + values).
+    pub bytes: u64,
+    /// Whether the transfer rode a direct peer link (as opposed to staging
+    /// through host memory).
+    pub direct: bool,
+    /// When the transfer started on the shared timeline.
+    pub start: SimTime,
+    /// When the last byte arrived at `dst`.
+    pub end: SimTime,
+}
+
+impl ExchangeSpan {
+    /// Wall time of the transfer (both legs for staged transfers).
+    pub fn duration(&self) -> SimTime {
+        self.end - self.start
+    }
 }
 
 /// What kind of injected or detected fault an engine run survived.
@@ -176,6 +212,13 @@ pub struct ShardedReport {
     /// Faults the engine hit and recovered from during this sort (see
     /// [`FaultEvent`]); empty for clean runs.
     pub faults: Vec<FaultEvent>,
+    /// The recombination strategy that actually ran (never
+    /// [`RecombineStrategy::Auto`] — the cost model resolves `Auto` before
+    /// dispatch).
+    pub recombine: RecombineStrategy,
+    /// Per-pair bucket transfers when recombination ran as a peer
+    /// exchange (see [`ExchangeSpan`]); empty for host-merge sorts.
+    pub exchange: Vec<ExchangeSpan>,
 }
 
 impl ShardedReport {
@@ -219,6 +262,113 @@ impl ShardedReport {
         max / mean
     }
 
+    /// When the last *local sort* event finished on the shared timeline.
+    /// Every engine path labels its device sort events with the substring
+    /// `"sort"` (and nothing else with it), so this is the moment all
+    /// device compute on input data was done and only recombination work
+    /// (transfers, peer merges, host merge) remained.
+    pub fn last_sort_finish(&self) -> SimTime {
+        self.timeline
+            .events()
+            .iter()
+            .filter(|e| e.label.contains("sort"))
+            .map(|e| e.end)
+            .fold(SimTime::ZERO, SimTime::max)
+    }
+
+    /// Simulated recombination time: everything after the last local sort
+    /// finished — downloads, peer exchange, device merges, the host merge
+    /// or concatenation.  Identical formula for both strategies, so
+    /// host-merge and peer-exchange runs compare apples to apples.
+    pub fn recombination_time(&self) -> SimTime {
+        let partition = SimTime::from_secs(self.measured_partition.as_secs_f64());
+        (self.end_to_end - partition - self.last_sort_finish()).max(SimTime::ZERO)
+    }
+
+    /// Checks the monotone span invariants every engine path must uphold,
+    /// regardless of how its phases overlap:
+    ///
+    /// * every timeline event ends no earlier than it starts;
+    /// * events on one resource never overlap (a resource executes one
+    ///   task at a time);
+    /// * every shard finished within the critical path;
+    /// * the critical path never exceeds the timeline makespan (it may be
+    ///   *shorter* when host-merge consumption is overlapped onto the
+    ///   tail of the schedule);
+    /// * the end-to-end time covers at least the critical path;
+    /// * exchange spans are well-formed and lie within the makespan.
+    ///
+    /// The historical accounting assumed the host merge strictly followed
+    /// all DtH transfers; once recombination overlaps phases that
+    /// assumption is gone, and this check is what regression-tests the
+    /// ordering instead.
+    pub fn span_invariants(&self) -> Result<(), String> {
+        const EPS: f64 = 1e-9;
+        for e in self.timeline.events() {
+            if e.end.secs() + EPS < e.start.secs() {
+                return Err(format!(
+                    "event '{}' ends ({}) before it starts ({})",
+                    e.label, e.end, e.start
+                ));
+            }
+        }
+        let mut by_resource: HashMap<_, Vec<_>> = HashMap::new();
+        for e in self.timeline.events() {
+            by_resource.entry(e.resource).or_default().push(e);
+        }
+        for (res, mut events) in by_resource {
+            events.sort_by(|a, b| a.start.secs().total_cmp(&b.start.secs()));
+            for w in events.windows(2) {
+                if w[1].start.secs() + EPS < w[0].end.secs() {
+                    return Err(format!(
+                        "resource '{}' overlaps: '{}' ends {} but '{}' starts {}",
+                        self.timeline.resource_name(res),
+                        w[0].label,
+                        w[0].end,
+                        w[1].label,
+                        w[1].start
+                    ));
+                }
+            }
+        }
+        let makespan = self.timeline.makespan();
+        if self.critical_path.secs() > makespan.secs() + EPS {
+            return Err(format!(
+                "critical path {} exceeds the timeline makespan {makespan}",
+                self.critical_path
+            ));
+        }
+        for (i, s) in self.shards.iter().enumerate() {
+            if s.finish.secs() > self.critical_path.secs() + EPS {
+                return Err(format!(
+                    "shard {i} finish {} exceeds the critical path {}",
+                    s.finish, self.critical_path
+                ));
+            }
+        }
+        if self.end_to_end.secs() + EPS < self.critical_path.secs() {
+            return Err(format!(
+                "end-to-end {} shorter than the critical path {}",
+                self.end_to_end, self.critical_path
+            ));
+        }
+        for x in &self.exchange {
+            if x.end.secs() + EPS < x.start.secs() {
+                return Err(format!(
+                    "exchange span {}→{} ends ({}) before it starts ({})",
+                    x.src, x.dst, x.end, x.start
+                ));
+            }
+            if x.end.secs() > makespan.secs() + EPS {
+                return Err(format!(
+                    "exchange span {}→{} ends ({}) beyond the makespan {makespan}",
+                    x.src, x.dst, x.end
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Simulated speedup of this run's device phase over `baseline`'s
     /// (typically a single-device run of the same input).
     pub fn speedup_over(&self, baseline: &ShardedReport) -> f64 {
@@ -254,5 +404,169 @@ impl ShardedReport {
             ));
         }
         out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    /// A hand-built report whose timeline has one upload → sort → download
+    /// chain plus a host-merge consumption event overlapping the DtH tail
+    /// (the shape that broke the old "merge strictly follows every DtH"
+    /// accounting).
+    fn synthetic_report() -> ShardedReport {
+        let mut tl = Timeline::new();
+        let htod = tl.add_resource("dev0 HtD");
+        let gpu = tl.add_resource("dev0 GPU");
+        let dtoh = tl.add_resource("dev0 DtH");
+        let host = tl.add_resource("host merge");
+        let up0 = tl.schedule("HtD s0 c0", htod, SimTime::ZERO, SimTime::from_millis(2.0));
+        let sort0 = tl.schedule_after("sort s0 c0", gpu, &[up0.end], SimTime::from_millis(5.0));
+        let down0 = tl.schedule_after("DtH s0 c0", dtoh, &[sort0.end], SimTime::from_millis(2.0));
+        let up1 = tl.schedule("HtD s0 c1", htod, SimTime::ZERO, SimTime::from_millis(2.0));
+        let sort1 = tl.schedule_after("sort s0 c1", gpu, &[up1.end], SimTime::from_millis(5.0));
+        let down1 = tl.schedule_after("DtH s0 c1", dtoh, &[sort1.end], SimTime::from_millis(2.0));
+        // The merge consumes chunk 0 while chunk 1 is still downloading —
+        // its first event starts before the last DtH ends.
+        let m0 = tl.schedule_after(
+            "host merge c0",
+            host,
+            &[down0.end],
+            SimTime::from_millis(3.0),
+        );
+        assert!(m0.start < down1.end, "test premise: merge overlaps DtH");
+        tl.schedule_after(
+            "host merge c1",
+            host,
+            &[down1.end],
+            SimTime::from_millis(3.0),
+        );
+
+        let critical_path = down1.end;
+        let shard = ShardReport {
+            device: "dev".into(),
+            link: "PCIe3x16".into(),
+            n: 100,
+            range: (0, u64::MAX),
+            report: SortReport::new(100, 8, 0),
+            upload: up0.duration() + up1.duration(),
+            gpu_sort: sort0.duration() + sort1.duration(),
+            download: down0.duration() + down1.duration(),
+            finish: down1.end,
+            measured_sort: None,
+        };
+        let end_to_end = SimTime::from_millis(1.0) + tl.makespan() + SimTime::from_millis(1.0);
+        ShardedReport {
+            n: 100,
+            key_bytes: 8,
+            value_bytes: 0,
+            shards: vec![shard],
+            splitters: SplitterSet {
+                cuts: Vec::new(),
+                key_bits: 64,
+            },
+            critical_path,
+            measured_partition: Duration::from_millis(1),
+            measured_merge: Duration::from_millis(1),
+            end_to_end,
+            combined: SortReport::new(100, 8, 0),
+            timeline: tl,
+            requests: Vec::new(),
+            ooc_chunks: Vec::new(),
+            faults: Vec::new(),
+            recombine: RecombineStrategy::HostMerge,
+            exchange: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn monotone_invariants_hold_with_an_overlapped_merge_tail() {
+        // Regression for the latent bug class: the critical path may be
+        // *shorter* than the makespan once merge consumption overlaps the
+        // DtH tail, and that must not trip the invariants.
+        let report = synthetic_report();
+        assert!(report.timeline.makespan() > report.critical_path);
+        report.span_invariants().expect("well-formed report");
+    }
+
+    #[test]
+    fn last_sort_finish_scans_sort_labels_only() {
+        let report = synthetic_report();
+        let last_sort = report
+            .timeline
+            .events()
+            .iter()
+            .filter(|e| e.label.starts_with("sort"))
+            .map(|e| e.end)
+            .fold(SimTime::ZERO, SimTime::max);
+        assert_eq!(report.last_sort_finish(), last_sort);
+        // Merge and transfer events sit beyond it, but are not counted.
+        assert!(report.timeline.makespan() > last_sort);
+    }
+
+    #[test]
+    fn recombination_time_is_the_tail_past_the_last_sort() {
+        let report = synthetic_report();
+        let partition = SimTime::from_secs(report.measured_partition.as_secs_f64());
+        let expected = report.end_to_end - partition - report.last_sort_finish();
+        assert!((report.recombination_time() - expected).secs().abs() < 1e-12);
+        assert!(report.recombination_time() > SimTime::ZERO);
+    }
+
+    #[test]
+    fn invariants_catch_a_shard_finishing_past_the_critical_path() {
+        let mut report = synthetic_report();
+        report.shards[0].finish = report.critical_path + SimTime::from_millis(1.0);
+        let err = report.span_invariants().unwrap_err();
+        assert!(err.contains("exceeds the critical path"), "{err}");
+    }
+
+    #[test]
+    fn invariants_catch_an_end_to_end_below_the_critical_path() {
+        let mut report = synthetic_report();
+        report.end_to_end = report.critical_path - SimTime::from_millis(1.0);
+        let err = report.span_invariants().unwrap_err();
+        assert!(err.contains("shorter than the critical path"), "{err}");
+    }
+
+    #[test]
+    fn invariants_catch_a_critical_path_beyond_the_makespan() {
+        let mut report = synthetic_report();
+        report.critical_path = report.timeline.makespan() + SimTime::from_millis(1.0);
+        report.shards[0].finish = report.critical_path;
+        report.end_to_end = report.critical_path * 2.0;
+        let err = report.span_invariants().unwrap_err();
+        assert!(err.contains("exceeds the timeline makespan"), "{err}");
+    }
+
+    #[test]
+    fn invariants_check_exchange_spans() {
+        let mut report = synthetic_report();
+        report.exchange.push(ExchangeSpan {
+            src: 0,
+            dst: 1,
+            elems: 10,
+            bytes: 80,
+            direct: true,
+            start: SimTime::from_millis(8.0),
+            end: SimTime::from_millis(9.0),
+        });
+        report.span_invariants().expect("in-makespan span is fine");
+        report.exchange[0].end = report.timeline.makespan() + SimTime::from_millis(5.0);
+        let err = report.span_invariants().unwrap_err();
+        assert!(err.contains("beyond the makespan"), "{err}");
+        report.exchange[0] = ExchangeSpan {
+            src: 0,
+            dst: 1,
+            elems: 10,
+            bytes: 80,
+            direct: false,
+            start: SimTime::from_millis(9.0),
+            end: SimTime::from_millis(8.0),
+        };
+        let err = report.span_invariants().unwrap_err();
+        assert!(err.contains("before it starts"), "{err}");
     }
 }

@@ -40,12 +40,15 @@ pub use workloads;
 /// Commonly used types, re-exported for convenience.
 pub mod prelude {
     pub use baselines::{GpuLsdRadixSort, GpuMergeSort, MultisplitRadixSort, ParadisSort};
-    pub use gpu_sim::{DeviceSpec, FaultKind, FaultPlan, FaultSpec, LinkSpec, SimTime};
+    pub use gpu_sim::{
+        DeviceSpec, FaultKind, FaultPlan, FaultSpec, LinkSpec, PeerTopology, SimTime,
+    };
     pub use hetero::HeterogeneousSorter;
     pub use hrs_core::{Executor, HybridRadixSorter, Optimizations, SortConfig, SortReport};
     pub use multi_gpu::{
-        DeviceBackend, DevicePool, FaultEvent, FaultEventKind, OocChunkSpan, OocConfig,
-        RecoveryConfig, RequestSpan, ShardedReport, ShardedSorter, SimDevice, SortError,
+        DeviceBackend, DevicePool, ExchangeSpan, FaultEvent, FaultEventKind, OocChunkSpan,
+        OocConfig, RecombineStrategy, RecoveryConfig, RequestSpan, ShardedReport, ShardedSorter,
+        SimDevice, SortError,
     };
     pub use sort_service::{
         OverBudgetPolicy, ServiceConfig, SortOutcome, SortPayload, SortRequest, SortService,
