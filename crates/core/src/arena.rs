@@ -46,12 +46,17 @@
 use crate::bucket::{Bucket, LocalBucket, PassBlock, SubBucket};
 use std::any::{Any, TypeId};
 use std::collections::HashMap;
+use std::sync::atomic::AtomicU32;
 
 /// Role of a typed spare buffer within the sorter (several buffers may
 /// share an element type, e.g. `u64` keys with `u64` values).
 pub(crate) const ROLE_SPARE_KEYS: u8 = 0;
 /// Role tag of the spare value buffer.
 pub(crate) const ROLE_SPARE_VALS: u8 = 1;
+/// Role tag of the per-worker write-combining key staging segment.
+pub(crate) const ROLE_STAGE_KEYS: u8 = 2;
+/// Role tag of the per-worker write-combining value staging segment.
+pub(crate) const ROLE_STAGE_VALS: u8 = 3;
 
 /// Per-block bookkeeping record filled by the histogram and scatter phases
 /// of a counting pass (one per key block, reused across passes).
@@ -65,6 +70,10 @@ pub struct BlockStat {
     pub shared_updates: u64,
     /// Whether the look-ahead write combiner was active for this block.
     pub lookahead_active: bool,
+    /// Full write-combining lines the block's scatter flushed.
+    pub staged_lines: u64,
+    /// Partial write-combining lines drained at block end.
+    pub partial_flushes: u64,
 }
 
 /// All reusable working memory of the counting-pass loop.
@@ -92,6 +101,30 @@ pub struct PassScratch {
     pub counting_out: Vec<Bucket>,
     /// Buckets routed to the local sort in the current pass.
     pub local: Vec<LocalBucket>,
+    /// Per-worker write-combining fill counts: `workers × radix` staged-key
+    /// counters (all zero between blocks).
+    pub stage_filled: Vec<u32>,
+    /// Block assignments precomputed for the *next* pass by the overlap
+    /// scheduler (bucket-major over `counting_out`).
+    pub next_blocks: Vec<PassBlock>,
+    /// Histogram strips of `next_blocks`: `next_blocks.len() × next_radix`.
+    pub next_block_counts: Vec<u32>,
+    /// Histogram statistics of `next_blocks`.
+    pub next_block_stats: Vec<BlockStat>,
+    /// Parent (current-pass bucket index) of every current-pass block.
+    pub block_parent: Vec<u32>,
+    /// Per-parent range of next-pass task indices the parent's last scatter
+    /// block unlocks (start, end) — first into `counting_out` bucket
+    /// indices, then rewritten to `next_blocks` indices.
+    pub unlock_ranges: Vec<(u32, u32)>,
+    /// Per-parent count of still-unfinished scatter blocks.
+    pub parent_remaining: Vec<AtomicU32>,
+    /// Per-parent count of current-pass scatter blocks (decides the inline
+    /// fused-histogram path for single-block parents).
+    pub parent_blocks: Vec<u32>,
+    /// Pass index whose histogram tables sit precomputed in the `next_*`
+    /// fields, if any.
+    pub overlap_ready_pass: Option<u32>,
 }
 
 impl PassScratch {
@@ -108,6 +141,14 @@ impl PassScratch {
             + self.counting_in.capacity() * std::mem::size_of::<Bucket>()
             + self.counting_out.capacity() * std::mem::size_of::<Bucket>()
             + self.local.capacity() * std::mem::size_of::<LocalBucket>()
+            + self.stage_filled.capacity() * std::mem::size_of::<u32>()
+            + self.next_blocks.capacity() * std::mem::size_of::<PassBlock>()
+            + self.next_block_counts.capacity() * std::mem::size_of::<u32>()
+            + self.next_block_stats.capacity() * std::mem::size_of::<BlockStat>()
+            + self.block_parent.capacity() * std::mem::size_of::<u32>()
+            + self.unlock_ranges.capacity() * std::mem::size_of::<(u32, u32)>()
+            + self.parent_remaining.capacity() * std::mem::size_of::<AtomicU32>()
+            + self.parent_blocks.capacity() * std::mem::size_of::<u32>()
     }
 }
 

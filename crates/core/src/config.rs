@@ -68,6 +68,13 @@ pub struct SortConfig {
     /// Section 6.1 notes CUB has the edge below ~1.9 M keys and that a
     /// simple case distinction would be used in practice.
     pub small_input_fallback: usize,
+    /// Bytes per software write-combining line in the staged scatter
+    /// (Wassenberg & Sanders): each worker stages keys of one digit value
+    /// in a line this large and flushes it to the destination with a single
+    /// contiguous copy.  The default of 64 matches a typical cache line;
+    /// any positive value works and odd sizes merely change how many keys
+    /// fit per line (`scatter_line_bytes / key_width`, at least one).
+    pub scatter_line_bytes: usize,
 }
 
 impl SortConfig {
@@ -132,7 +139,15 @@ impl SortConfig {
             lookahead_skew_threshold: 0.5,
             lookahead: 2,
             small_input_fallback: 0,
+            scatter_line_bytes: 64,
         }
+    }
+
+    /// Keys per write-combining line for a key of `key_bytes` bytes: at
+    /// least one, so a line size below the key width degenerates to the
+    /// direct scatter (one "line" per key).
+    pub fn scatter_line_keys(&self, key_bytes: usize) -> usize {
+        (self.scatter_line_bytes / key_bytes.max(1)).max(1)
     }
 
     /// The default local-sort size classes: powers of two starting at 128
@@ -423,6 +438,22 @@ mod tests {
         // Not scaled when the actual size is at least the reference size.
         assert_eq!(full.scaled_for(250_000_000, 250_000_000), full);
         assert_eq!(full.scaled_for(500_000_000, 250_000_000), full);
+    }
+
+    #[test]
+    fn scatter_line_keys_is_width_aware_and_never_zero() {
+        let c = SortConfig::keys_32();
+        assert_eq!(c.scatter_line_bytes, 64);
+        assert_eq!(c.scatter_line_keys(4), 16);
+        assert_eq!(c.scatter_line_keys(8), 8);
+        let mut odd = c.clone();
+        odd.scatter_line_bytes = 24;
+        assert_eq!(odd.scatter_line_keys(8), 3);
+        odd.scatter_line_bytes = 3;
+        // Line smaller than the key width degenerates to direct writes.
+        assert_eq!(odd.scatter_line_keys(8), 1);
+        odd.scatter_line_bytes = 0;
+        assert_eq!(odd.scatter_line_keys(8), 1);
     }
 
     #[test]

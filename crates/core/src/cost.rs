@@ -300,6 +300,10 @@ mod tests {
                     buckets_at(p + 1)
                 },
                 lookahead_active_blocks: 0,
+                staged_lines: 0,
+                partial_flushes: 0,
+                overlap_tasks: 0,
+                overlap_overlapped: 0,
             });
         }
         r.local = LocalSortStats {

@@ -48,6 +48,18 @@ pub struct PassStats {
     pub counting_buckets_forwarded: u64,
     /// Blocks for which the look-ahead write combining was active.
     pub lookahead_active_blocks: u64,
+    /// Full write-combining lines the staged scatter flushed with one
+    /// contiguous copy (0 when the staged scatter is disabled).
+    pub staged_lines: u64,
+    /// Partially filled write-combining lines drained at block ends.
+    pub partial_flushes: u64,
+    /// Next-pass histogram tasks executed inside this pass's scatter
+    /// fan-out by the phase-overlap scheduler (0 when overlap is off).
+    pub overlap_tasks: u64,
+    /// The subset of `overlap_tasks` that ran while at least one scatter
+    /// block of this pass was still in flight (includes tasks fused inline
+    /// into a worker's flush path).
+    pub overlap_overlapped: u64,
 }
 
 /// Aggregated statistics of all local sorts performed during a run.
@@ -181,6 +193,10 @@ impl SortReport {
             mine.local_buckets_created += theirs.local_buckets_created;
             mine.counting_buckets_forwarded += theirs.counting_buckets_forwarded;
             mine.lookahead_active_blocks += theirs.lookahead_active_blocks;
+            mine.staged_lines += theirs.staged_lines;
+            mine.partial_flushes += theirs.partial_flushes;
+            mine.overlap_tasks += theirs.overlap_tasks;
+            mine.overlap_overlapped += theirs.overlap_overlapped;
         }
         self.local.invocations += other.local.invocations;
         self.local.n_keys += other.local.n_keys;
@@ -264,6 +280,10 @@ mod tests {
             local_buckets_created: 0,
             counting_buckets_forwarded: 256,
             lookahead_active_blocks: 0,
+            staged_lines: 58_000,
+            partial_flushes: 290 * 256,
+            overlap_tasks: 512,
+            overlap_overlapped: 400,
         });
         r.passes.push(PassStats {
             pass: 1,
@@ -280,6 +300,10 @@ mod tests {
             local_buckets_created: 65_000,
             counting_buckets_forwarded: 0,
             lookahead_active_blocks: 0,
+            staged_lines: 55_000,
+            partial_flushes: 512 * 200,
+            overlap_tasks: 0,
+            overlap_overlapped: 0,
         });
         r.local = LocalSortStats {
             invocations: 65_000,
@@ -341,6 +365,10 @@ mod tests {
         assert_eq!(a.local.invocations, 130_000);
         assert_eq!(a.max_live_buckets, 130_000);
         assert_eq!(a.total_sub_buckets, 2 * 65_256);
+        assert_eq!(a.passes[0].staged_lines, 2 * 58_000);
+        assert_eq!(a.passes[0].partial_flushes, 2 * 290 * 256);
+        assert_eq!(a.passes[0].overlap_tasks, 2 * 512);
+        assert_eq!(a.passes[0].overlap_overlapped, 2 * 400);
     }
 
     #[test]

@@ -23,7 +23,9 @@
 //! The returned [`SortReport`] contains the recorded statistics and the
 //! simulated GPU execution breakdown.
 
-use crate::arena::{ArenaStats, ScratchArena, ROLE_SPARE_KEYS, ROLE_SPARE_VALS};
+use crate::arena::{
+    ArenaStats, ScratchArena, ROLE_SPARE_KEYS, ROLE_SPARE_VALS, ROLE_STAGE_KEYS, ROLE_STAGE_VALS,
+};
 use crate::bucket::Bucket;
 use crate::config::SortConfig;
 use crate::cost::{self, CostModel};
@@ -271,11 +273,24 @@ impl HybridRadixSorter {
             None => fallback_arena.get_or_insert_with(ScratchArena::new),
         };
 
+        // A stale hand-off marker from an earlier sort must never leak into
+        // this one (the counting pass re-validates it anyway).
+        arena.pass.overlap_ready_pass = None;
+
         // Double buffers for keys and values; the spare halves come from
         // (and return to) the arena, so repeated sorts reuse them.
         let spare_keys = arena.take_buffer::<K>(ROLE_SPARE_KEYS, n);
         let spare_vals = if values_present {
             arena.take_buffer::<V>(ROLE_SPARE_VALS, n)
+        } else {
+            Vec::new()
+        };
+        // Per-worker write-combining staging lines live in their own arena
+        // segment; the counting pass sizes them (they stay empty when the
+        // staged scatter is disabled or the line holds a single key).
+        let mut staging_keys = arena.take_buffer::<K>(ROLE_STAGE_KEYS, 0);
+        let mut staging_vals: Vec<V> = if values_present {
+            arena.take_buffer::<V>(ROLE_STAGE_VALS, 0)
         } else {
             Vec::new()
         };
@@ -327,6 +342,9 @@ impl HybridRadixSorter {
                 &self.exec,
                 exec_probe,
                 &mut arena.pass,
+                &mut staging_keys,
+                &mut staging_vals,
+                pass + 1 < num_passes,
                 &mut local,
                 &mut next_counting,
                 trace.as_deref_mut(),
@@ -408,6 +426,12 @@ impl HybridRadixSorter {
                 std::mem::take(&mut val_bufs[1 - final_buf]),
             );
         }
+        // The staging segments are parked too: once warmed up they are a
+        // fixed point just like the spare halves.
+        arena.put_buffer(ROLE_STAGE_KEYS, staging_keys);
+        if values_present {
+            arena.put_buffer(ROLE_STAGE_VALS, staging_vals);
+        }
         // Undo an odd number of swaps before parking, so a repeated sort
         // runs each physical list through the same pass sequence and the
         // warmed-up capacities are a fixed point (the arena-reuse
@@ -420,6 +444,17 @@ impl HybridRadixSorter {
         arena.pass.local = local;
 
         if let Some(p) = &self.probe {
+            let mut staged = 0u64;
+            let mut partial = 0u64;
+            let mut tasks = 0u64;
+            let mut overlapped = 0u64;
+            for ps in &report.passes {
+                staged += ps.staged_lines;
+                partial += ps.partial_flushes;
+                tasks += ps.overlap_tasks;
+                overlapped += ps.overlap_overlapped;
+            }
+            p.record_scatter(staged, partial, tasks, overlapped);
             p.record_arena(&arena.stats());
         }
         self.note_sort(n as u64, passes_run, false, sort_start);

@@ -12,9 +12,21 @@
 //! scratch arena is hot and the numbers measure the algorithm, not the
 //! allocator.
 
-use hrs_core::{Executor, HybridRadixSorter};
+use hrs_core::{Executor, HybridRadixSorter, Optimizations};
 use std::time::Instant;
 use workloads::Distribution;
+
+/// Which scatter variants the sweep measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StagingMode {
+    /// Measure the staged (write-combining) hot path and, per point, an
+    /// unstaged reference run for the A/B columns.
+    Ab,
+    /// Measure the staged hot path only.
+    On,
+    /// Measure the unstaged baseline only.
+    Off,
+}
 
 /// One measured configuration of the sweep.
 #[derive(Debug, Clone)]
@@ -29,12 +41,23 @@ pub struct WallclockPoint {
     pub workers: usize,
     /// Backend label (`"seq"`, `"threads(4)"`).
     pub backend: String,
+    /// Scatter variant `secs` measures (`"staged"` or `"unstaged"`).
+    pub staging: String,
     /// Best wall-clock seconds over the measured repetitions.
     pub secs: f64,
     /// Sorted keys per second.
     pub keys_per_sec: f64,
+    /// Effective record bytes moved per second (key + value widths × keys
+    /// sorted / `secs`).
+    pub bytes_per_sec: f64,
     /// Speedup over the sequential baseline of the same configuration.
     pub speedup_vs_seq: f64,
+    /// Best seconds of the unstaged reference run ([`StagingMode::Ab`]
+    /// only; 0.0 when not measured).
+    pub unstaged_secs: f64,
+    /// `unstaged_secs / secs` — the staged path's A/B gain (> 1 means the
+    /// write-combining scatter won; 0.0 when not measured).
+    pub staged_vs_unstaged: f64,
 }
 
 /// Sweep parameters.
@@ -49,17 +72,20 @@ pub struct WallclockConfig {
     pub reps: usize,
     /// Whether to also measure the key-value shape.
     pub pairs: bool,
+    /// Which scatter variants to measure.
+    pub staging: StagingMode,
 }
 
 impl WallclockConfig {
     /// The full sweep of the perf trajectory: 2^20–2^26 keys, 1/2/4/8
-    /// workers, both shapes.
+    /// workers, both shapes, staged with unstaged A/B references.
     pub fn full() -> Self {
         WallclockConfig {
             sizes: vec![1 << 20, 1 << 22, 1 << 24, 1 << 26],
             worker_counts: vec![1, 2, 4, 8],
             reps: 3,
             pairs: true,
+            staging: StagingMode::Ab,
         }
     }
 
@@ -70,6 +96,7 @@ impl WallclockConfig {
             worker_counts: vec![1, 2, 4],
             reps: 1,
             pairs: true,
+            staging: StagingMode::Ab,
         }
     }
 }
@@ -113,6 +140,13 @@ fn run_shape(
     cfg: &WallclockConfig,
 ) {
     let n = keys.len();
+    let record_bytes = if pairs { 8 } else { 4 } as f64;
+    // The primary measurement is the staged hot path unless the sweep asks
+    // for the unstaged baseline only.
+    let (primary_opts, staging_label) = match cfg.staging {
+        StagingMode::Off => (Optimizations::unstaged_baseline(), "unstaged"),
+        StagingMode::Ab | StagingMode::On => (Optimizations::all_on(), "staged"),
+    };
     // The sequential baseline anchors every speedup, so it is always
     // measured and always measured first, whatever order (or subset) the
     // caller asked for.
@@ -125,23 +159,37 @@ fn run_shape(
     let mut seq_secs = f64::NAN;
     for &workers in &workers_list {
         let exec = executor_for(workers);
-        let sorter = HybridRadixSorter::with_defaults().with_executor(exec);
-        // Warm-up: populates the arena so the timed runs are steady-state.
-        let run = || {
-            let mut k = keys.to_vec();
-            if pairs {
-                let mut v: Vec<u32> = (0..n as u32).collect();
-                let start = Instant::now();
-                sorter.sort_pairs(&mut k, &mut v);
-                start.elapsed().as_secs_f64()
-            } else {
-                let start = Instant::now();
-                sorter.sort(&mut k);
-                start.elapsed().as_secs_f64()
-            }
+        // Warm-up (inside `timed`): populates the arena so the timed runs
+        // are steady-state.
+        let timed = |opts: Optimizations| {
+            let sorter = HybridRadixSorter::with_defaults()
+                .with_executor(exec)
+                .with_optimizations(opts);
+            let run = || {
+                let mut k = keys.to_vec();
+                if pairs {
+                    let mut v: Vec<u32> = (0..n as u32).collect();
+                    let start = Instant::now();
+                    sorter.sort_pairs(&mut k, &mut v);
+                    start.elapsed().as_secs_f64()
+                } else {
+                    let start = Instant::now();
+                    sorter.sort(&mut k);
+                    start.elapsed().as_secs_f64()
+                }
+            };
+            run();
+            measure(cfg.reps, run)
         };
-        run();
-        let secs = measure(cfg.reps, run);
+        let secs = timed(primary_opts);
+        // The A/B reference shares everything but the staged-scatter and
+        // overlap toggles.
+        let (unstaged_secs, staged_vs_unstaged) = if cfg.staging == StagingMode::Ab {
+            let u = timed(Optimizations::unstaged_baseline());
+            (u, u / secs.max(1e-12))
+        } else {
+            (0.0, 0.0)
+        };
         if workers == 1 {
             seq_secs = secs;
         }
@@ -151,9 +199,13 @@ fn run_shape(
             n,
             workers,
             backend: exec.label(),
+            staging: staging_label.to_string(),
             secs,
             keys_per_sec: n as f64 / secs.max(1e-12),
+            bytes_per_sec: n as f64 * record_bytes / secs.max(1e-12),
             speedup_vs_seq: seq_secs / secs.max(1e-12),
+            unstaged_secs,
+            staged_vs_unstaged,
         });
     }
 }
@@ -182,15 +234,21 @@ pub fn wallclock_to_json(points: &[WallclockPoint]) -> String {
     for (i, p) in points.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"workload\": \"{}\", \"shape\": \"{}\", \"n\": {}, \"workers\": {}, \
-             \"backend\": \"{}\", \"secs\": {:.6}, \"keys_per_sec\": {:.1}, \"speedup_vs_seq\": {:.3}}}{}\n",
+             \"backend\": \"{}\", \"staging\": \"{}\", \"secs\": {:.6}, \"keys_per_sec\": {:.1}, \
+             \"bytes_per_sec\": {:.1}, \"speedup_vs_seq\": {:.3}, \"unstaged_secs\": {:.6}, \
+             \"staged_vs_unstaged\": {:.3}}}{}\n",
             p.workload,
             p.shape,
             p.n,
             p.workers,
             p.backend,
+            p.staging,
             p.secs,
             p.keys_per_sec,
+            p.bytes_per_sec,
             p.speedup_vs_seq,
+            p.unstaged_secs,
+            p.staged_vs_unstaged,
             if i + 1 == points.len() { "" } else { "," },
         ));
     }
@@ -201,19 +259,27 @@ pub fn wallclock_to_json(points: &[WallclockPoint]) -> String {
 /// Renders the sweep as an aligned text table (one row per point).
 pub fn wallclock_table(points: &[WallclockPoint]) -> String {
     let mut out = String::from(
-        "workload | shape          |        n | workers | backend     |    secs |   Mkeys/s | speedup\n",
+        "workload | shape          |        n | workers | backend     | staging  |    secs |   Mkeys/s |    MB/s | speedup |    A/B\n",
     );
     for p in points {
+        let ab = if p.staged_vs_unstaged > 0.0 {
+            format!("{:>5.2}x", p.staged_vs_unstaged)
+        } else {
+            "     -".to_string()
+        };
         out.push_str(&format!(
-            "{:<8} | {:<14} | {:>8} | {:>7} | {:<11} | {:>7.3} | {:>9.2} | {:>6.2}x\n",
+            "{:<8} | {:<14} | {:>8} | {:>7} | {:<11} | {:<8} | {:>7.3} | {:>9.2} | {:>7.1} | {:>6.2}x | {}\n",
             p.workload,
             p.shape,
             p.n,
             p.workers,
             p.backend,
+            p.staging,
             p.secs,
             p.keys_per_sec / 1e6,
+            p.bytes_per_sec / 1e6,
             p.speedup_vs_seq,
+            ab,
         ));
     }
     out
@@ -229,24 +295,54 @@ mod tests {
             worker_counts: vec![1, 2],
             reps: 1,
             pairs: true,
+            staging: StagingMode::Ab,
         }
     }
 
     #[test]
     fn sweep_covers_every_configuration() {
         let points = run_wallclock_sweep(&tiny_config());
-        // 1 size × 3 workloads × 2 shapes × 2 worker counts.
+        // 1 size × 3 workloads × 2 shapes × 2 worker counts (the unstaged
+        // A/B reference rides inside each point, not as extra rows).
         assert_eq!(points.len(), 12);
         for p in &points {
             assert!(p.secs > 0.0, "{p:?}");
             assert!(p.keys_per_sec > 0.0, "{p:?}");
             assert!(p.speedup_vs_seq > 0.0, "{p:?}");
+            assert_eq!(p.staging, "staged", "{p:?}");
+            assert!(p.unstaged_secs > 0.0, "{p:?}");
+            assert!(p.staged_vs_unstaged > 0.0, "{p:?}");
+            // Effective bytes/sec is keys/sec scaled by the record width.
+            let record = if p.shape.contains("pairs") { 8.0 } else { 4.0 };
+            assert!(
+                (p.bytes_per_sec - p.keys_per_sec * record).abs() < 1.0,
+                "{p:?}"
+            );
         }
         // The sequential baseline has speedup exactly 1.
         assert!(points
             .iter()
             .filter(|p| p.workers == 1)
             .all(|p| (p.speedup_vs_seq - 1.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn single_variant_modes_skip_the_ab_reference() {
+        for (mode, label) in [(StagingMode::On, "staged"), (StagingMode::Off, "unstaged")] {
+            let points = run_wallclock_sweep(&WallclockConfig {
+                sizes: vec![8_000],
+                worker_counts: vec![1],
+                reps: 1,
+                pairs: false,
+                staging: mode,
+            });
+            assert_eq!(points.len(), 3);
+            for p in &points {
+                assert_eq!(p.staging, label);
+                assert_eq!(p.unstaged_secs, 0.0);
+                assert_eq!(p.staged_vs_unstaged, 0.0);
+            }
+        }
     }
 
     #[test]
@@ -259,6 +355,7 @@ mod tests {
             worker_counts: vec![2, 1],
             reps: 1,
             pairs: false,
+            staging: StagingMode::On,
         });
         assert_eq!(points[0].workers, 1, "baseline must be measured first");
         assert!(points.iter().all(|p| p.speedup_vs_seq.is_finite()));
@@ -272,11 +369,14 @@ mod tests {
             worker_counts: vec![1],
             reps: 1,
             pairs: false,
+            staging: StagingMode::Ab,
         });
         let json = wallclock_to_json(&points);
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
         assert_eq!(json.matches("\"workload\"").count(), points.len());
         assert!(json.contains("\"bench\": \"wallclock\""));
+        assert_eq!(json.matches("\"bytes_per_sec\"").count(), points.len());
+        assert_eq!(json.matches("\"staged_vs_unstaged\"").count(), points.len());
         // No trailing comma before the closing bracket.
         assert!(!json.contains(",\n  ]"));
         let table = wallclock_table(&points);

@@ -24,7 +24,7 @@
 
 use crate::device_pool::DevicePool;
 use crate::exchange::RecombineStrategy;
-use crate::partition::{compute_splitters, scatter_into_shards, PartitionConfig, SplitterSet};
+use crate::partition::{compute_splitters_with, scatter_into_shards, PartitionConfig, SplitterSet};
 use crate::recovery::RecoveryConfig;
 use crate::report::{RequestSpan, ShardReport, ShardedReport};
 use gpu_sim::{FaultPlan, SimTime, Timeline, TransferDirection};
@@ -337,7 +337,12 @@ impl ShardedSorter {
         let partition_span = self
             .inspector
             .span_with("multi_gpu/partition", "multi_gpu/partition_ns");
-        let splitters = compute_splitters(keys, &self.pool.capacity_weights(), &self.partition);
+        let splitters = compute_splitters_with(
+            keys,
+            &self.pool.capacity_weights(),
+            &self.partition,
+            &self.host_exec,
+        );
         let (mut shard_keys, mut shard_vals) =
             scatter_into_shards(keys, values, &splitters, &self.host_exec);
         let measured_partition = partition_span.finish();

@@ -116,10 +116,33 @@ impl SplitterSet {
 
 /// Chooses splitters for `keys` so that the expected shard populations are
 /// proportional to `weights` (one weight per shard, all positive).
+///
+/// Sequential convenience wrapper around [`compute_splitters_with`]; the
+/// two produce identical cuts for identical inputs.
 pub fn compute_splitters<K: SortKey>(
     keys: &[K],
     weights: &[f64],
     cfg: &PartitionConfig,
+) -> SplitterSet {
+    compute_splitters_with(keys, weights, cfg, &Executor::Sequential)
+}
+
+/// Granularity of the parallel level-0 histogram of the splitter search.
+const HIST_CHUNK: usize = 64 * 1024;
+
+/// [`compute_splitters`] with an explicit execution backend.
+///
+/// The level-0 digit histogram of the sample is computed once in parallel
+/// chunks and shared by every cut's descent, and the per-cut refinement
+/// descents (independent, read-only walks over the sample) fan out over
+/// `exec`.  Every step is deterministic, so the chosen cuts are identical
+/// for any worker count — the sequential backend is the equivalence
+/// baseline.
+pub fn compute_splitters_with<K: SortKey>(
+    keys: &[K],
+    weights: &[f64],
+    cfg: &PartitionConfig,
+    exec: &Executor,
 ) -> SplitterSet {
     let shards = weights.len().max(1);
     assert!(
@@ -160,21 +183,63 @@ pub fn compute_splitters<K: SortKey>(
         .clamp(1, K::BITS.div_ceil(cfg.digit_bits))
         .min(64 / cfg.digit_bits);
 
-    let mut cuts = Vec::with_capacity(shards - 1);
+    // Level-0 histogram of the whole sample, computed once in parallel
+    // chunks; every cut's descent starts from this shared table instead of
+    // re-scanning the sample per cut.
+    let radix = 1usize << cfg.digit_bits;
+    let shift0 = 64 - cfg.digit_bits;
+    let root_hist: Vec<u64> = {
+        let n_chunks = sample.len().div_ceil(HIST_CHUNK).max(1);
+        let mut chunk_counts = vec![0u64; n_chunks * radix];
+        let sample_ref = &sample[..];
+        exec.for_each_chunk_mut(&mut chunk_counts, radix, |c, strip| {
+            let start = c * HIST_CHUNK;
+            let end = sample_ref.len().min(start + HIST_CHUNK);
+            for &k in &sample_ref[start..end] {
+                strip[(k >> shift0) as usize] += 1;
+            }
+        });
+        let mut root = vec![0u64; radix];
+        for strip in chunk_counts.chunks_exact(radix) {
+            for (r, &c) in root.iter_mut().zip(strip.iter()) {
+                *r += c;
+            }
+        }
+        root
+    };
+
+    // Cumulative weight fraction each cut targets.
+    let mut fracs = Vec::with_capacity(shards - 1);
     let mut cum_weight = 0.0;
     for w in &weights[..shards - 1] {
         cum_weight += w;
-        let target = sample.len() as f64 * cum_weight / total_weight;
-        let cut_norm = if sample.is_empty() {
-            // No data: fall back to an equal-width partition of the key
-            // space itself.
-            ((u128::from(u64::MAX) + 1) * (cum_weight / total_weight * 1024.0) as u128 / 1024)
-                .min(u128::from(u64::MAX)) as u64
-        } else {
-            find_cut(&sample, 0, 0, target, levels, cfg.digit_bits)
-        };
-        cuts.push(cut_norm >> norm_shift);
+        fracs.push(cum_weight / total_weight);
     }
+
+    // The refinement descents are independent read-only walks over the
+    // sample — one executor task per cut.
+    let mut cut_norms = vec![0u64; shards - 1];
+    {
+        let cuts_sm = SharedMut::new(cut_norms.as_mut_slice());
+        let sample_ref = &sample[..];
+        let fracs_ref = &fracs[..];
+        let root_ref = &root_hist[..];
+        exec.for_each_task_probed(fracs.len(), None, |i, _| {
+            let frac = fracs_ref[i];
+            let cut_norm = if sample_ref.is_empty() {
+                // No data: fall back to an equal-width partition of the key
+                // space itself.
+                ((u128::from(u64::MAX) + 1) * (frac * 1024.0) as u128 / 1024)
+                    .min(u128::from(u64::MAX)) as u64
+            } else {
+                let target = sample_ref.len() as f64 * frac;
+                descend(sample_ref, 0, 0, target, levels, cfg.digit_bits, root_ref)
+            };
+            // SAFETY: task `i` is the only writer of slot `i`.
+            unsafe { cuts_sm.write(i, cut_norm) };
+        });
+    }
+    let mut cuts: Vec<u64> = cut_norms.iter().map(|&c| c >> norm_shift).collect();
 
     // Enforce strict monotonicity (heavy skew can collapse neighbouring
     // targets into the same histogram bin); a forced one-step cut yields an
@@ -288,6 +353,8 @@ pub fn scatter_into_shards<K: SortKey, V: SortValue>(
 /// Descends the digit histogram of `subset` (all sharing `prefix` above the
 /// current digit) to locate the radix value whose rank is closest to
 /// `target`.  Returns a cut aligned to the finest refined digit boundary.
+/// Computes the level's histogram itself; [`descend`] is the variant taking
+/// a precomputed one.
 fn find_cut(
     subset: &[u64],
     prefix: u64,
@@ -297,7 +364,6 @@ fn find_cut(
     digit_bits: u32,
 ) -> u64 {
     let radix = 1usize << digit_bits;
-    let shift = 64 - digit_bits * (level + 1);
     let hist = block_histogram(
         subset,
         digit_bits,
@@ -306,9 +372,28 @@ fn find_cut(
         HistogramStrategy::AtomicsOnly,
         usize::MAX,
     );
+    let counts: Vec<u64> = hist.counts.iter().map(|&c| u64::from(c)).collect();
+    descend(subset, prefix, level, target, levels, digit_bits, &counts)
+}
+
+/// The histogram walk of [`find_cut`] over a precomputed count table for
+/// the current digit level.  Refinement recursion (via [`find_cut`])
+/// recomputes the deeper, much smaller levels itself.
+#[allow(clippy::too_many_arguments)]
+fn descend(
+    subset: &[u64],
+    prefix: u64,
+    level: u32,
+    target: f64,
+    levels: u32,
+    digit_bits: u32,
+    hist_counts: &[u64],
+) -> u64 {
+    let radix = 1usize << digit_bits;
+    let shift = 64 - digit_bits * (level + 1);
 
     let mut cum_before = 0.0;
-    for (b, &count) in hist.counts.iter().enumerate() {
+    for (b, &count) in hist_counts.iter().enumerate() {
         let count = count as f64;
         if cum_before + count >= target || b == radix - 1 {
             let bin_lo = prefix | ((b as u64) << shift);
@@ -477,6 +562,26 @@ mod tests {
             let (par, _) =
                 scatter_into_shards(&mut k_par, &mut v_par, &s, &Executor::with_workers(workers));
             assert_eq!(seq, par, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn parallel_splitter_descent_matches_sequential() {
+        let uniform = uniform_keys::<u64>(200_000, 31);
+        let zipf: Vec<u64> = ZipfGenerator::paper_keys(200_000, 5);
+        let weights = [2.0, 1.0, 1.0, 1.0, 3.0];
+        for keys in [&uniform, &zipf] {
+            let seq = compute_splitters(keys, &weights, &PartitionConfig::default());
+            seq.validate().unwrap();
+            for workers in [2usize, 7] {
+                let par = compute_splitters_with(
+                    keys,
+                    &weights,
+                    &PartitionConfig::default(),
+                    &Executor::with_workers(workers),
+                );
+                assert_eq!(seq, par, "workers = {workers}");
+            }
         }
     }
 

@@ -131,6 +131,45 @@ fn arena_capacity_is_stable_across_repeated_sorts() {
 }
 
 #[test]
+fn staging_segments_are_a_warm_fixed_point() {
+    // The write-combining scatter parks its per-worker staging segments in
+    // the arena like the spare halves: after the warm-up sort they are a
+    // fixed point too — staging adds zero steady-state allocations.
+    use hybrid_radix_sort::hrs_core::Optimizations;
+    let keys: Vec<u32> = hybrid_radix_sort::workloads::uniform_keys(90_000, 9);
+    let cfg = SortConfig::pairs_32_32().scaled_for(90_000, 500_000_000);
+    for workers in WORKER_COUNTS {
+        let staged =
+            HybridRadixSorter::new(cfg.clone()).with_executor(Executor::with_workers(workers));
+        let unstaged = HybridRadixSorter::new(cfg.clone())
+            .with_executor(Executor::with_workers(workers))
+            .with_optimizations(Optimizations::unstaged_baseline());
+        for sorter in [&staged, &unstaged] {
+            let mut k = keys.clone();
+            let mut v: Vec<u32> = (0..90_000).collect();
+            sorter.sort_pairs(&mut k, &mut v);
+        }
+        // The staged sorter retains strictly more buffer bytes: the key and
+        // value staging segments on top of the spare halves.
+        let warm = staged.arena_stats();
+        assert!(
+            warm.buffer_bytes > unstaged.arena_stats().buffer_bytes,
+            "staging segments missing from the warm arena (workers = {workers})"
+        );
+        for _ in 0..3 {
+            let mut k = keys.clone();
+            let mut v: Vec<u32> = (0..90_000).collect();
+            staged.sort_pairs(&mut k, &mut v);
+            assert_eq!(
+                staged.arena_stats(),
+                warm,
+                "staging segment grew on a repeated sort (workers = {workers})"
+            );
+        }
+    }
+}
+
+#[test]
 fn executors_agree_on_every_key_width() {
     fn check<K: SortKey>(make: impl Fn(u64) -> K) {
         let keys: Vec<K> = (0..9_000u64)
