@@ -1,0 +1,38 @@
+//! # analysis — the workspace's soundness layer
+//!
+//! Every speedup since the threaded execution backend rides on unchecked
+//! disjointness claims: `hrs_core::exec::SharedMut` views hand several
+//! workers raw access to one destination buffer (the CPU analogue of the
+//! paper's `atomicAdd`-reserved chunk ownership), dozens of
+//! `Ordering::Relaxed` sites assert "this atomic is not a synchronisation
+//! edge", and the safety arguments live in comments the compiler never
+//! reads.  PARADIS-style permutation-parallel code is exactly where silent
+//! races hide, so this crate machine-checks both halves:
+//!
+//! * [`ledger`] — a **dynamic race ledger**: an interval ledger that
+//!   records every range a worker claims through the unsafe view methods
+//!   and panics with *both* claim sites on any cross-worker overlap.
+//!   `hrs-core` threads it through `SharedMut`'s accessors behind the
+//!   `race-check` feature (zero cost when off), so the whole test suite
+//!   can run under it: `cargo test --features race-check`.
+//! * [`lint`] — **`hrs-lint`**, a hand-rolled, registry-free source
+//!   scanner (token/line level, no `syn`) enforcing repo invariants as
+//!   hard errors: every `unsafe` site carries an adjacent `// SAFETY:`
+//!   argument, every `Ordering::Relaxed` a `// RELAXED:` justification, no
+//!   `unwrap`/`expect`/`panic!` in the core hot-path modules, arena
+//!   `ROLE_*` ids are unique, and telemetry path literals are declared
+//!   once.  `cargo run -p analysis --bin hrs-lint` scans the repo and
+//!   emits `LINT_report.json`.
+//!
+//! The two prongs are complementary: the ledger proves the *dynamic*
+//! claim (the ranges actually claimed during a sort are disjoint), the
+//! lint proves the *static* hygiene (every site that could violate the
+//! claim documents why it does not).
+
+#![warn(missing_docs)]
+
+pub mod ledger;
+pub mod lint;
+
+pub use ledger::{ClaimKind, RaceLedger};
+pub use lint::{scan_repo, LintConfig, LintReport, Rule, Violation};

@@ -1,0 +1,166 @@
+//! End-to-end checks of `hrs-lint`'s repo scanner: a seeded fixture tree
+//! with exactly one violation of every rule must come back dirty with the
+//! expected counts, a clean fixture must come back clean, and — the gate
+//! that keeps this repository honest — a scan of the workspace itself
+//! must report zero violations under plain `cargo test`.
+
+use analysis::{scan_repo, LintConfig, Rule};
+use std::fs;
+use std::path::PathBuf;
+
+/// A disposable fixture tree under the system temp dir.  Each test uses a
+/// distinct tag so parallel test threads never share a directory.
+struct Fixture {
+    root: PathBuf,
+}
+
+impl Fixture {
+    fn new(tag: &str) -> Fixture {
+        let root = std::env::temp_dir().join(format!("hrs-lint-{}-{}", tag, std::process::id()));
+        // A stale tree from a killed run would pollute the counts.
+        let _ = fs::remove_dir_all(&root);
+        Fixture { root }
+    }
+
+    fn write(&self, rel: &str, content: &str) {
+        let path = self.root.join(rel);
+        fs::create_dir_all(path.parent().expect("fixture paths have parents"))
+            .expect("create fixture dir");
+        fs::write(path, content).expect("write fixture file");
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+#[test]
+fn seeded_fixture_trips_every_rule() {
+    let fx = Fixture::new("dirty");
+    // `exec` is a hot-path module: the bare `unsafe` trips the SAFETY rule
+    // and the `.unwrap()` trips the panic ban.
+    fx.write(
+        "crates/core/src/exec.rs",
+        r#"pub fn hot(v: Option<u32>, p: *const u32) -> u32 {
+    let _ = unsafe { *p };
+    v.unwrap()
+}
+"#,
+    );
+    // A second crate carries the remaining three: an unjustified Relaxed,
+    // a duplicated telemetry path literal, and a reused arena role id.
+    fx.write(
+        "crates/other/src/lib.rs",
+        r#"use std::sync::atomic::{AtomicU64, Ordering};
+
+pub const ROLE_KEYS: usize = 7;
+pub const ROLE_VALS: usize = 7;
+
+pub fn load(a: &AtomicU64) -> u64 {
+    a.load(Ordering::Relaxed)
+}
+
+pub fn register(t: &Registry) {
+    t.counter("demo/requests");
+}
+
+pub fn register_again(t: &Registry) {
+    t.counter("demo/requests");
+}
+"#,
+    );
+
+    let report = scan_repo(&LintConfig::new(&fx.root)).expect("scan fixture");
+    assert!(!report.is_clean());
+    assert_eq!(report.files_scanned, 2);
+    assert_eq!(report.count(Rule::SafetyComment), 1);
+    assert_eq!(report.count(Rule::RelaxedJustification), 1);
+    assert_eq!(report.count(Rule::HotPathPanic), 1);
+    assert_eq!(report.count(Rule::RoleIdUnique), 1);
+    assert_eq!(report.count(Rule::TelemetryPathUnique), 1);
+    assert_eq!(report.violations.len(), 5);
+}
+
+#[test]
+fn annotated_fixture_is_clean() {
+    let fx = Fixture::new("clean");
+    // The same shapes as the dirty fixture, each carrying its required
+    // justification (or moved off the hot path / deduplicated).
+    fx.write(
+        "crates/core/src/exec.rs",
+        r#"pub fn hot(v: Option<u32>, p: *const u32) -> u32 {
+    // SAFETY: the caller passes a valid, aligned pointer.
+    let x = unsafe { *p };
+    v.unwrap_or(x)
+}
+"#,
+    );
+    fx.write(
+        "crates/other/src/lib.rs",
+        r#"use std::sync::atomic::{AtomicU64, Ordering};
+
+pub const ROLE_KEYS: usize = 7;
+pub const ROLE_VALS: usize = 8;
+
+pub fn load(a: &AtomicU64) -> u64 {
+    // RELAXED: monitoring value; no other state is inferred from it.
+    a.load(Ordering::Relaxed)
+}
+
+pub const REQUESTS: &str = "demo/requests";
+
+pub fn register(t: &Registry) {
+    t.counter(REQUESTS);
+}
+
+pub fn register_again(t: &Registry) {
+    t.counter(REQUESTS);
+}
+
+#[cfg(test)]
+mod tests {
+    // Test regions are exempt from every rule, unwraps included.
+    #[test]
+    fn unwrap_is_fine_here() {
+        Some(1u32).unwrap();
+    }
+}
+"#,
+    );
+
+    let report = scan_repo(&LintConfig::new(&fx.root)).expect("scan fixture");
+    assert!(
+        report.is_clean(),
+        "clean fixture reported violations: {:#?}",
+        report.violations
+    );
+}
+
+#[test]
+fn this_repository_is_lint_clean() {
+    // The workspace root is two levels above this crate's manifest.  This
+    // is the same scan CI's `hrs-lint` gate runs; keeping it in the plain
+    // test suite means a new unjustified `unsafe` or duplicated telemetry
+    // path fails `cargo test` before it ever reaches CI.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists");
+    let report = scan_repo(&LintConfig::new(&root)).expect("scan workspace");
+    assert!(
+        report.files_scanned > 50,
+        "scan found the workspace sources"
+    );
+    assert!(
+        report.is_clean(),
+        "the repository violates its own lints:\n{}",
+        report
+            .violations
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -165,7 +165,12 @@ impl ParadisSort {
 /// callers guarantee disjoint write ranges.
 #[derive(Clone, Copy)]
 struct SendPtr<T>(*mut T);
+// SAFETY: the wrapper only moves the pointer value between threads; every
+// dereference happens in `repair_cycles`, whose swap chains touch disjoint
+// positions per thread, so no element is accessed from two threads.
 unsafe impl<T> Send for SendPtr<T> {}
+// SAFETY: as above — shared references to the wrapper still only permit
+// writes to per-thread disjoint ranges.
 unsafe impl<T> Sync for SendPtr<T> {}
 
 #[cfg(test)]

@@ -151,6 +151,7 @@ pub fn run_counting_pass<K: SortKey, V: SortValue>(
                 strategy,
                 config.keys_per_thread as usize,
             );
+            // SAFETY: stat slot `b` belongs to this task only.
             unsafe {
                 block_stats.write(
                     b,
@@ -364,17 +365,22 @@ pub fn run_counting_pass<K: SortKey, V: SortValue>(
                 .copied()
                 .max()
                 .unwrap_or(0);
-            // SAFETY: the staging segments are striped per worker, and a
-            // worker runs one block at a time, so the ranges are exclusive.
             let mut staging_storage = None;
             if staging_on {
+                // SAFETY: the staging segments are striped per worker, and
+                // a worker runs one block at a time, so the key range is
+                // exclusive to this thread.
                 let stage_keys =
                     unsafe { stage_keys_sm.slice_mut(worker * stage_stride, radix * line_keys) };
                 let stage_vals = if values_present {
+                    // SAFETY: same striping as the keys.
                     unsafe { stage_vals_sm.slice_mut(worker * stage_stride, radix * line_keys) }
                 } else {
+                    // SAFETY: zero-length view; no bytes are reachable.
                     unsafe { stage_vals_sm.slice_mut(0, 0) }
                 };
+                // SAFETY: the fill table is striped per worker like the
+                // staging lines.
                 let filled = unsafe { stage_filled_sm.slice_mut(worker * max_radix, radix) };
                 staging_storage = Some(ScatterStaging {
                     keys: stage_keys,
@@ -426,6 +432,8 @@ pub fn run_counting_pass<K: SortKey, V: SortValue>(
                     strategy,
                     config.keys_per_thread as usize,
                 );
+                // SAFETY: next-pass stat slot `nb` belongs to this task
+                // only.
                 unsafe {
                     next_stats.write(
                         nb,
@@ -458,6 +466,8 @@ pub fn run_counting_pass<K: SortKey, V: SortValue>(
                                 for nb in s..e {
                                     next_histogram(nb);
                                 }
+                                // RELAXED: statistic; the fan-out's scope
+                                // join orders it before the load below.
                                 fused_inline.fetch_add((e - s) as u64, Ordering::Relaxed);
                                 return None;
                             }
@@ -468,6 +478,8 @@ pub fn run_counting_pass<K: SortKey, V: SortValue>(
                 },
                 |nb, _worker| next_histogram(nb),
             );
+            // RELAXED: the fan-out returned, so every worker increment
+            // already happened-before this load.
             let fused = fused_inline.load(Ordering::Relaxed);
             stats.overlap_tasks = outcome.secondary_run + fused;
             stats.overlap_overlapped = outcome.overlapped + fused;

@@ -91,6 +91,8 @@ impl ExecProbe {
 
     /// Cumulative tasks executed by `worker` (0 for out-of-range workers).
     pub fn tasks(&self, worker: usize) -> u64 {
+        // RELAXED: monotonic statistic; readers need no ordering with the
+        // work the counts describe.
         self.tasks
             .get(worker)
             .map_or(0, |t| t.load(Ordering::Relaxed))
@@ -98,6 +100,7 @@ impl ExecProbe {
 
     /// Cumulative busy nanoseconds of `worker`'s drain loops.
     pub fn busy_ns(&self, worker: usize) -> u64 {
+        // RELAXED: monotonic statistic, same as `tasks`.
         self.busy_ns
             .get(worker)
             .map_or(0, |t| t.load(Ordering::Relaxed))
@@ -105,12 +108,15 @@ impl ExecProbe {
 
     /// Total tasks across all workers.
     pub fn total_tasks(&self) -> u64 {
+        // RELAXED: the per-worker counters are independent statistics; the
+        // sum needs no cross-slot ordering.
         self.tasks.iter().map(|t| t.load(Ordering::Relaxed)).sum()
     }
 
     /// Number of probed fan-outs ([`Executor::for_each_task_probed`] calls
     /// that ran at least one task).
     pub fn fanouts(&self) -> u64 {
+        // RELAXED: monotonic statistic.
         self.fanouts.load(Ordering::Relaxed)
     }
 
@@ -118,9 +124,12 @@ impl ExecProbe {
         // A probe sized for fewer workers than the executor folds the
         // excess into its last slot rather than losing the samples.
         let slot = worker.min(self.tasks.len() - 1);
+        // RELAXED: pure accumulation; nothing synchronises on these
+        // counters, and the scope join orders them before any reader.
         self.tasks[slot].fetch_add(tasks, Ordering::Relaxed);
         self.busy_ns[slot].fetch_add(
             u64::try_from(busy.as_nanos()).unwrap_or(u64::MAX),
+            // RELAXED: as above.
             Ordering::Relaxed,
         );
     }
@@ -207,6 +216,7 @@ impl Executor {
             return;
         }
         if let Some(p) = probe {
+            // RELAXED: statistic; ordered before readers by the scope join.
             p.fanouts.fetch_add(1, Ordering::Relaxed);
         }
         let workers = self.workers().min(n_tasks);
@@ -227,6 +237,9 @@ impl Executor {
             let start = probe.map(|_| Instant::now());
             let mut done = 0u64;
             loop {
+                // RELAXED: the RMW's atomicity alone makes task claims
+                // unique; tasks touch disjoint state, so claiming carries
+                // no payload to publish.
                 let t = cursor.fetch_add(1, Ordering::Relaxed);
                 if t >= n_tasks {
                     break;
@@ -283,6 +296,7 @@ impl Executor {
             return OverlapOutcome::default();
         }
         if let Some(p) = probe {
+            // RELAXED: statistic; ordered before readers by the scope join.
             p.fanouts.fetch_add(1, Ordering::Relaxed);
         }
         let workers = self.workers();
@@ -325,7 +339,10 @@ impl Executor {
                 // worker just wrote (still warm) and it is the only work
                 // left once the primary cursor runs dry.
                 let stolen = {
-                    let mut q = queue.lock().unwrap();
+                    // A panicking worker poisons the queue; keep draining
+                    // so the scope join can propagate the original panic
+                    // instead of a secondary PoisonError one.
+                    let mut q = queue.lock().unwrap_or_else(|p| p.into_inner());
                     match q.last_mut() {
                         Some(r) => {
                             let s = r.start;
@@ -341,19 +358,25 @@ impl Executor {
                 if let Some(s) = stolen {
                     let in_flight = primary_done.load(Ordering::SeqCst) < n_primary;
                     secondary(s, w);
+                    // RELAXED: outcome statistics; the scope join below
+                    // orders them before the final loads.
                     secondary_run.fetch_add(1, Ordering::Relaxed);
                     if in_flight {
+                        // RELAXED: as above.
                         overlapped.fetch_add(1, Ordering::Relaxed);
                     }
                     done += 1;
                     continue;
                 }
                 if primaries_left {
+                    // RELAXED: claim uniqueness needs only RMW atomicity;
+                    // the ranges a primary unlocks travel through the
+                    // queue mutex, not through this cursor.
                     let t = cursor.fetch_add(1, Ordering::Relaxed);
                     if t < n_primary {
                         if let Some(r) = primary(t, w) {
                             if !r.is_empty() {
-                                queue.lock().unwrap().push(r);
+                                queue.lock().unwrap_or_else(|p| p.into_inner()).push(r);
                             }
                         }
                         // The unlock push above is sequenced before this
@@ -366,7 +389,7 @@ impl Executor {
                     primaries_left = false;
                 }
                 if primary_done.load(Ordering::SeqCst) == n_primary
-                    && queue.lock().unwrap().is_empty()
+                    && queue.lock().unwrap_or_else(|p| p.into_inner()).is_empty()
                 {
                     break;
                 }
@@ -384,6 +407,8 @@ impl Executor {
             drain(0);
         });
         OverlapOutcome {
+            // RELAXED: the scope join above is the happens-before edge;
+            // every worker increment is already visible.
             secondary_run: secondary_run.load(Ordering::Relaxed),
             overlapped: overlapped.load(Ordering::Relaxed),
         }
@@ -435,6 +460,12 @@ pub struct OverlapOutcome {
 pub struct SharedMut<'a, T> {
     ptr: *mut T,
     len: usize,
+    /// Under `race-check`, every accessor reports its range here; the
+    /// ledger panics (naming both claim sites) on a cross-thread overlap
+    /// that the disjointness contract forbids.  The view is created per
+    /// pass, so claims never leak across passes.
+    #[cfg(feature = "race-check")]
+    ledger: analysis::RaceLedger,
     _marker: PhantomData<&'a mut [T]>,
 }
 
@@ -450,6 +481,8 @@ impl<'a, T> SharedMut<'a, T> {
         SharedMut {
             ptr: slice.as_mut_ptr(),
             len: slice.len(),
+            #[cfg(feature = "race-check")]
+            ledger: analysis::RaceLedger::new("SharedMut"),
             _marker: PhantomData,
         }
     }
@@ -470,9 +503,14 @@ impl<'a, T> SharedMut<'a, T> {
     ///
     /// `idx` must be in bounds and no other thread may read or write
     /// element `idx` concurrently.
+    #[track_caller]
     pub unsafe fn write(&self, idx: usize, value: T) {
         debug_assert!(idx < self.len);
-        *self.ptr.add(idx) = value;
+        #[cfg(feature = "race-check")]
+        self.ledger.claim(analysis::ClaimKind::DoneWrite, idx, 1);
+        // SAFETY: the caller guarantees `idx` is in bounds and unaliased
+        // for the duration of this call.
+        unsafe { *self.ptr.add(idx) = value };
     }
 
     /// Returns the sub-slice `start..start + len` as mutable.
@@ -482,9 +520,15 @@ impl<'a, T> SharedMut<'a, T> {
     /// The range must be in bounds and no other thread may access any
     /// element of it while the returned borrow lives.
     #[allow(clippy::mut_from_ref)] // disjointness is the caller's contract
+    #[track_caller]
     pub unsafe fn slice_mut(&self, start: usize, len: usize) -> &mut [T] {
         debug_assert!(start + len <= self.len);
-        std::slice::from_raw_parts_mut(self.ptr.add(start), len)
+        #[cfg(feature = "race-check")]
+        self.ledger
+            .claim(analysis::ClaimKind::OpenWrite, start, len);
+        // SAFETY: the caller guarantees the range is in bounds and that it
+        // exclusively owns it while the borrow lives.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(start), len) }
     }
 
     /// Copies `src` into `start..start + src.len()` with one contiguous
@@ -494,12 +538,19 @@ impl<'a, T> SharedMut<'a, T> {
     ///
     /// The destination range must be in bounds and no other thread may
     /// access any element of it concurrently.
+    #[track_caller]
     pub unsafe fn copy_from_slice_at(&self, start: usize, src: &[T])
     where
         T: Copy,
     {
         debug_assert!(start + src.len() <= self.len);
-        std::ptr::copy_nonoverlapping(src.as_ptr(), self.ptr.add(start), src.len());
+        #[cfg(feature = "race-check")]
+        self.ledger
+            .claim(analysis::ClaimKind::DoneWrite, start, src.len());
+        // SAFETY: the caller guarantees the destination range is in bounds
+        // and unaliased; `src` is a live shared borrow, so it cannot
+        // overlap a range this view may write.
+        unsafe { std::ptr::copy_nonoverlapping(src.as_ptr(), self.ptr.add(start), src.len()) };
     }
 
     /// Returns the sub-slice `start..start + len` as shared (read-only) —
@@ -510,9 +561,14 @@ impl<'a, T> SharedMut<'a, T> {
     ///
     /// The range must be in bounds, fully initialised, and no thread may
     /// *write* any element of it while the returned borrow lives.
+    #[track_caller]
     pub unsafe fn slice_ref(&self, start: usize, len: usize) -> &[T] {
         debug_assert!(start + len <= self.len);
-        std::slice::from_raw_parts(self.ptr.add(start), len)
+        #[cfg(feature = "race-check")]
+        self.ledger.claim(analysis::ClaimKind::Read, start, len);
+        // SAFETY: the caller guarantees the range is in bounds, initialised
+        // and write-free while the borrow lives.
+        unsafe { std::slice::from_raw_parts(self.ptr.add(start), len) }
     }
 }
 

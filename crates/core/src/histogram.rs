@@ -42,7 +42,7 @@ impl BlockHistogram {
         if total == 0 {
             return 0.0;
         }
-        *self.counts.iter().max().unwrap() as f64 / total as f64
+        self.counts.iter().max().copied().unwrap_or(0) as f64 / total as f64
     }
 }
 

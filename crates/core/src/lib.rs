@@ -61,6 +61,9 @@
 //! * [`trace`] — the step-by-step trace used to reproduce Table 2.
 
 #![warn(missing_docs)]
+// Every unsafe operation inside an `unsafe fn` must name its own `unsafe`
+// block (and justify it), instead of inheriting a function-wide license.
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod arena;
 pub mod bucket;

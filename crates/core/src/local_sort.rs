@@ -144,9 +144,12 @@ unsafe fn sort_range_in_place<K: SortKey, V: SortValue>(
     bucket: &LocalBucket,
     records: &mut Vec<(u64, K, V)>,
 ) {
-    let key_slice = keys.slice_mut(bucket.offset, bucket.len);
+    // SAFETY: forwarded contract — the caller exclusively owns the
+    // bucket's range in both views.
+    let key_slice = unsafe { keys.slice_mut(bucket.offset, bucket.len) };
     if std::mem::size_of::<V>() != 0 {
-        let val_slice = vals.slice_mut(bucket.offset, bucket.len);
+        // SAFETY: as above, for the value view.
+        let val_slice = unsafe { vals.slice_mut(bucket.offset, bucket.len) };
         sort_pairs_with_staging(key_slice, val_slice, records);
     } else {
         sort_keys_in_shared_memory(key_slice);

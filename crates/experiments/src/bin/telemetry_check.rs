@@ -10,9 +10,32 @@
 //! missing a layer — catching regressions where an instrumentation point
 //! silently stops reporting.
 
-use telemetry::InspectNode;
+use telemetry::{InspectNode, Inspector, MetricKind};
+
+/// Registration-time self-check: re-registering a path with a different
+/// instrument kind must surface as a typed error, not silently alias the
+/// path to a detached handle (the failure mode that used to freeze
+/// metrics).  Runs on a fresh registry so it cannot disturb the snapshot
+/// under test.
+fn check_kind_mismatch_is_typed() {
+    const PATH: &str = "check/kind";
+    let inspector = Inspector::new();
+    let counter = inspector.counter(PATH);
+    let err = inspector
+        .try_gauge(PATH)
+        .expect_err("kind mismatch must be an error, not a detached alias");
+    assert_eq!(err.path, PATH);
+    assert_eq!(err.existing, MetricKind::Counter);
+    assert_eq!(err.requested, MetricKind::Gauge);
+    // Idempotent same-kind registration still works after the failure.
+    assert!(inspector
+        .try_counter(PATH)
+        .expect("same-kind re-registration stays idempotent")
+        .same_as(&counter));
+}
 
 fn main() {
+    check_kind_mismatch_is_typed();
     let path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "TELEMETRY_snapshot.json".to_string());

@@ -151,6 +151,8 @@ impl FaultPlan {
         let mut specs = self.state.specs.clone();
         specs.push(spec);
         let plan = FaultPlan::new(specs);
+        // RELAXED: builder-time copy on a plan the caller still owns; no
+        // sort is concurrently observing either plan's fired flags yet.
         for (old, new) in self.state.fired.iter().zip(&plan.state.fired) {
             new.store(old.load(Ordering::Relaxed), Ordering::Relaxed);
         }

@@ -27,6 +27,7 @@ use crate::exchange::RecombineStrategy;
 use crate::partition::{compute_splitters_with, scatter_into_shards, PartitionConfig, SplitterSet};
 use crate::recovery::RecoveryConfig;
 use crate::report::{RequestSpan, ShardReport, ShardedReport};
+use crate::telemetry_paths as tp;
 use gpu_sim::{FaultPlan, SimTime, Timeline, TransferDirection};
 use hetero::chunking::split_into_chunks;
 use hetero::multiway_merge::parallel_merge_sorted_runs_by;
@@ -410,8 +411,8 @@ impl ShardedSorter {
     /// overlapped the sort).
     pub(crate) fn note_sort(&self, report: &ShardedReport, elem_bytes: u64) {
         let t = &self.inspector;
-        t.counter("multi_gpu/sorts").inc();
-        t.counter("multi_gpu/keys").add(report.n);
+        t.counter(tp::SORTS).inc();
+        t.counter(tp::KEYS).add(report.n);
         // Register the fault and exchange subtrees eagerly (registration
         // is idempotent) so every snapshot exposes their health — zero or
         // not.

@@ -47,6 +47,7 @@ use crate::engine::{pair_key, ShardRun, ShardedSorter};
 use crate::partition::{compute_splitters, SplitterSet};
 use crate::recovery::SortError;
 use crate::report::{ExchangeSpan, FaultEvent, FaultEventKind, ShardReport, ShardedReport};
+use crate::telemetry_paths as tp;
 use gpu_sim::{FaultKind, LinkSpec, ResourceId, SimTime, Timeline, TransferDirection};
 use hetero::chunking::split_into_chunks;
 use hetero::multiway_merge::parallel_merge_sorted_runs_by;
@@ -173,9 +174,9 @@ pub fn estimate_exchange_time(pool: &DevicePool, total_bytes: u64) -> SimTime {
 /// Idempotently registers the `multi_gpu/exchange/…` subtree so every
 /// snapshot exposes the recombination telemetry (zero or not).
 pub(crate) fn register_exchange_probes(t: &Inspector) {
-    t.counter("multi_gpu/exchange/bytes");
-    t.float_gauge("multi_gpu/exchange/overlap_ratio");
-    t.histogram("multi_gpu/exchange/device_merge_ns");
+    t.counter(tp::EXCHANGE_BYTES);
+    t.float_gauge(tp::EXCHANGE_OVERLAP_RATIO);
+    t.histogram(tp::EXCHANGE_DEVICE_MERGE_NS);
 }
 
 /// Capacity-weighted contiguous slab lengths summing exactly to `n`
@@ -345,7 +346,7 @@ impl ShardedSorter {
             let refs: Vec<&[(K, V)]> = zipped.iter().map(|r| r.as_slice()).collect();
             let merged = parallel_merge_sorted_runs_by(&refs, self.merge_threads, pair_key::<K, V>);
             self.inspector
-                .histogram("multi_gpu/exchange/device_merge_ns")
+                .histogram(tp::EXCHANGE_DEVICE_MERGE_NS)
                 .record_duration(clock.elapsed());
             device_out.push(merged);
         }
@@ -565,12 +566,12 @@ impl ShardedSorter {
     /// exchange subtree instead.
     fn note_exchange(&self, report: &ShardedReport, elem_bytes: u64, slab_lens: &[usize]) {
         let t = &self.inspector;
-        t.counter("multi_gpu/sorts").inc();
-        t.counter("multi_gpu/keys").add(report.n);
+        t.counter(tp::SORTS).inc();
+        t.counter(tp::KEYS).add(report.n);
         crate::recovery::register_fault_probes(t);
         register_exchange_probes(t);
         let total: u64 = report.exchange.iter().map(|x| x.bytes).sum();
-        t.counter("multi_gpu/exchange/bytes").add(total);
+        t.counter(tp::EXCHANGE_BYTES).add(total);
         for x in &report.exchange {
             t.counter(&format!("multi_gpu/exchange/link{}_{}/bytes", x.src, x.dst))
                 .add(x.bytes);
@@ -583,7 +584,7 @@ impl ShardedSorter {
                 .iter()
                 .map(|x| (x.end.min(last_sort) - x.start).max(SimTime::ZERO).secs())
                 .sum();
-            t.float_gauge("multi_gpu/exchange/overlap_ratio")
+            t.float_gauge(tp::EXCHANGE_OVERLAP_RATIO)
                 .set(overlapped / dur);
         }
         for (i, shard) in report.shards.iter().enumerate() {
@@ -1008,7 +1009,7 @@ impl ShardedSorter {
                 let merged =
                     parallel_merge_sorted_runs_by(&refs, self.merge_threads, pair_key::<K, V>);
                 self.inspector
-                    .histogram("multi_gpu/exchange/device_merge_ns")
+                    .histogram(tp::EXCHANGE_DEVICE_MERGE_NS)
                     .record_duration(clock.elapsed());
                 let mut out_keys = Vec::with_capacity(merged.len());
                 let mut out_vals = Vec::with_capacity(merged.len());
@@ -1085,11 +1086,11 @@ impl ShardedSorter {
             report_splitters.unwrap_or_else(|| compute_splitters::<K>(&[], &[], &self.partition));
 
         let t = &self.inspector;
-        t.counter("multi_gpu/sorts").inc();
-        t.counter("multi_gpu/keys").add(n as u64);
+        t.counter(tp::SORTS).inc();
+        t.counter(tp::KEYS).add(n as u64);
         register_exchange_probes(t);
         let total: u64 = exchange.iter().map(|x| x.bytes).sum();
-        t.counter("multi_gpu/exchange/bytes").add(total);
+        t.counter(tp::EXCHANGE_BYTES).add(total);
         for x in &exchange {
             t.counter(&format!("multi_gpu/exchange/link{}_{}/bytes", x.src, x.dst))
                 .add(x.bytes);

@@ -47,6 +47,7 @@ pub mod ooc;
 pub mod partition;
 pub mod recovery;
 pub mod report;
+pub mod telemetry_paths;
 
 pub use device_pool::{DeviceBackend, DevicePool, SimDevice};
 pub use engine::ShardedSorter;

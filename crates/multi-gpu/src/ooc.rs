@@ -29,6 +29,7 @@
 use crate::device_pool::DevicePool;
 use crate::engine::{pair_key, ShardedSorter};
 use crate::report::{OocChunkSpan, ShardReport, ShardedReport};
+use crate::telemetry_paths as tp;
 use gpu_sim::{DeviceMemoryPlanner, SimTime, Timeline};
 use hetero::chunking::{split_into_chunks, ChunkPlan};
 use hetero::multiway_merge::parallel_merge_sorted_runs_by;
@@ -337,10 +338,10 @@ impl ShardedSorter {
     /// under the chunk stream.
     fn note_ooc(&self, report: &ShardedReport, merge_overlap: Option<f64>) {
         let t = &self.inspector;
-        t.counter("multi_gpu/ooc/sorts").inc();
-        t.counter("multi_gpu/ooc/chunks")
+        t.counter(tp::OOC_SORTS).inc();
+        t.counter(tp::OOC_CHUNKS)
             .add(report.ooc_chunks.len() as u64);
-        let overlap_gauge = t.float_gauge("multi_gpu/ooc/merge_overlap_ratio");
+        let overlap_gauge = t.float_gauge(tp::OOC_MERGE_OVERLAP_RATIO);
         if let Some(hidden) = merge_overlap {
             overlap_gauge.set(hidden);
         }
@@ -352,7 +353,7 @@ impl ShardedSorter {
                 .map(|s| (s.upload + s.gpu_sort + s.download).secs())
                 .sum();
             let capacity = 3.0 * report.shards.len() as f64 * makespan;
-            t.float_gauge("multi_gpu/ooc/pipeline_occupancy")
+            t.float_gauge(tp::OOC_PIPELINE_OCCUPANCY)
                 .set(busy / capacity);
         }
     }

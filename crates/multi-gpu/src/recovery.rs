@@ -36,6 +36,7 @@ use crate::partition::{compute_splitters, scatter_into_shards, SplitterSet};
 use crate::report::{
     FaultEvent, FaultEventKind, OocChunkSpan, RequestSpan, ShardReport, ShardedReport,
 };
+use crate::telemetry_paths as tp;
 use gpu_sim::{DeviceMemoryPlanner, FaultKind, SimTime, Timeline, TransferDirection};
 use hetero::chunking::split_into_chunks;
 use hetero::multiway_merge::parallel_merge_sorted_runs_by;
@@ -120,13 +121,13 @@ impl RecoveryConfig {
 /// Idempotently registers the `multi_gpu/faults/…` subtree (plus the ooc
 /// retry counter) so snapshots always expose fault-handling health.
 pub(crate) fn register_fault_probes(t: &Inspector) {
-    t.counter("multi_gpu/faults/device_failures");
-    t.counter("multi_gpu/faults/shard_corruptions");
-    t.counter("multi_gpu/faults/transfer_stalls");
-    t.counter("multi_gpu/faults/requeued_elements");
-    t.histogram("multi_gpu/faults/recovery_ns");
-    t.histogram("multi_gpu/faults/retries_per_sort");
-    t.counter("multi_gpu/ooc/retries");
+    t.counter(tp::FAULT_DEVICE_FAILURES);
+    t.counter(tp::FAULT_SHARD_CORRUPTIONS);
+    t.counter(tp::FAULT_TRANSFER_STALLS);
+    t.counter(tp::FAULT_REQUEUED_ELEMENTS);
+    t.histogram(tp::FAULT_RECOVERY_NS);
+    t.histogram(tp::FAULT_RETRIES_PER_SORT);
+    t.counter(tp::OOC_RETRIES);
 }
 
 /// One successfully sorted unit of work awaiting the final merge.
@@ -598,16 +599,15 @@ impl ShardedSorter {
             report_splitters.unwrap_or_else(|| compute_splitters::<K>(&[], &[], &self.partition));
 
         let t = &self.inspector;
-        t.counter("multi_gpu/sorts").inc();
-        t.counter("multi_gpu/keys").add(n as u64);
+        t.counter(tp::SORTS).inc();
+        t.counter(tp::KEYS).add(n as u64);
         for run in &runs {
             t.counter(&format!("multi_gpu/dev{}/transfer_bytes", run.device))
                 .add(2 * run.keys.len() as u64 * elem_bytes);
         }
         if out_of_core {
-            t.counter("multi_gpu/ooc/sorts").inc();
-            t.counter("multi_gpu/ooc/chunks")
-                .add(ooc_chunks.len() as u64);
+            t.counter(tp::OOC_SORTS).inc();
+            t.counter(tp::OOC_CHUNKS).add(ooc_chunks.len() as u64);
         }
         self.note_fault_outcomes(&events, round, recovery_clock.elapsed(), out_of_core);
 
@@ -649,16 +649,14 @@ impl ShardedSorter {
                 FaultEventKind::TransferStall => "multi_gpu/faults/transfer_stalls",
             };
             t.counter(path).inc();
-            t.counter("multi_gpu/faults/requeued_elements")
-                .add(ev.requeued);
+            t.counter(tp::FAULT_REQUEUED_ELEMENTS).add(ev.requeued);
         }
         if !events.is_empty() || retries > 0 {
-            t.histogram("multi_gpu/faults/recovery_ns")
-                .record_duration(elapsed);
-            t.histogram("multi_gpu/faults/retries_per_sort")
+            t.histogram(tp::FAULT_RECOVERY_NS).record_duration(elapsed);
+            t.histogram(tp::FAULT_RETRIES_PER_SORT)
                 .record(retries as u64);
             if out_of_core {
-                t.counter("multi_gpu/ooc/retries").add(retries as u64);
+                t.counter(tp::OOC_RETRIES).add(retries as u64);
             }
         }
     }

@@ -11,6 +11,7 @@
 use crate::batch::FlushSummary;
 use crate::request::{FlushReason, KeyClass, SubmitError, TicketError};
 use crate::service::ServiceStats;
+use multi_gpu::telemetry_paths as fault_paths;
 use std::sync::Arc;
 use std::time::Duration;
 use telemetry::{Counter, Gauge, Histogram, HistogramSnapshot, Inspector};
@@ -76,9 +77,9 @@ impl ServiceCounters {
             deadline_exceeded: inspector.counter("service/deadline_exceeded"),
             worker_failures: inspector.counter("service/worker_failures"),
             sort_failures: inspector.counter("service/sort_failures"),
-            device_failures: inspector.counter("multi_gpu/faults/device_failures"),
-            requeued_elements: inspector.counter("multi_gpu/faults/requeued_elements"),
-            recovery_ns: inspector.histogram("multi_gpu/faults/recovery_ns"),
+            device_failures: inspector.counter(fault_paths::FAULT_DEVICE_FAILURES),
+            requeued_elements: inspector.counter(fault_paths::FAULT_REQUEUED_ELEMENTS),
+            recovery_ns: inspector.histogram(fault_paths::FAULT_RECOVERY_NS),
             ooc_requests: inspector.counter("service/ooc/requests"),
             ooc_chunks: inspector.counter("service/ooc/chunks"),
             ooc_latency_ns: inspector.histogram("service/ooc/latency_ns"),
@@ -109,7 +110,11 @@ impl ServiceCounters {
 
     /// One batch flushed through a class queue.
     pub(crate) fn note_flush(&self, summary: &FlushSummary) {
-        self.batches.inc();
+        // Release: publishes the request increments of everything in this
+        // batch (they happen-before the flush via the submission channel),
+        // so an acquire read of `batches` in `stats_snapshot` always sees
+        // at least as many requests — `requests ≥ batches` at any instant.
+        self.batches.inc_release();
         self.elements.add(summary.elements);
         self.max_batch_requests.set_max(summary.requests as u64);
         self.batch_requests.record(summary.requests as u64);
@@ -164,11 +169,14 @@ impl ServiceCounters {
     /// A consistent-enough read of every counter, at any moment.
     pub(crate) fn stats_snapshot(&self) -> ServiceStats {
         let latency = self.latency_snapshot();
-        // Read `batches` strictly before `requests`: a request is counted
-        // at admission, before the flush that counts its batch, so this
-        // read order keeps `requests ≥ batches` in every snapshot even
-        // mid-flood.
-        let batches = self.batches.get();
+        // Acquire-read `batches` strictly before `requests`: a request is
+        // counted at admission, which happens-before the release increment
+        // in `note_flush` (the submission travels over a channel), so the
+        // acquire here makes every request of every observed batch visible
+        // to the `requests` read below — `requests ≥ batches` holds in
+        // every snapshot, even mid-flood.  A plain relaxed read ordered
+        // only in program order would not guarantee that.
+        let batches = self.batches.get_acquire();
         let recovery = self.recovery_ns.snapshot();
         ServiceStats {
             requests: self.requests.get(),

@@ -135,6 +135,8 @@ impl OocLaneWorker {
         let outcome = Self::outcome(
             payload,
             report,
+            // RELAXED: the batch id only needs to be unique, which the RMW
+            // guarantees; no other state is published through it.
             self.next_batch.fetch_add(1, Ordering::Relaxed),
             bytes,
             dispatch.saturating_duration_since(submitted),

@@ -376,6 +376,8 @@ impl SortService {
                 queue_depth: depth,
             }));
         }
+        // RELAXED: ticket ids only need uniqueness, which the RMW
+        // guarantees; nothing is published through this cell.
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let (otx, orx) = mpsc::channel();
         let submission = Submission {
@@ -493,6 +495,8 @@ impl Worker {
     }
 
     fn next_batch_id(&self) -> u64 {
+        // RELAXED: batch ids only need uniqueness across lanes, which the
+        // RMW guarantees; nothing else is published through this cell.
         self.next_batch.fetch_add(1, Ordering::Relaxed)
     }
 

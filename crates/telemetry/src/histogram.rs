@@ -66,9 +66,14 @@ impl Histogram {
     /// Records one sample.
     pub fn record(&self, value: u64) {
         let inner = &self.0;
+        // RELAXED: each cell only needs RMW atomicity; snapshots tolerate
+        // the cells lagging each other by in-flight increments (see
+        // `HistogramSnapshot`'s docs), so no inter-cell edge is required.
         inner.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        // RELAXED: as above.
         inner.count.fetch_add(1, Ordering::Relaxed);
         inner.sum.fetch_add(value, Ordering::Relaxed);
+        // RELAXED: as above.
         inner.max.fetch_max(value, Ordering::Relaxed);
     }
 
@@ -80,16 +85,22 @@ impl Histogram {
 
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
+        // RELAXED: monitoring read; may trail concurrent `record` calls.
         self.0.count.load(Ordering::Relaxed)
     }
 
     /// An immutable copy of the current state for percentile extraction.
     pub fn snapshot(&self) -> HistogramSnapshot {
         let inner = &self.0;
+        // RELAXED: the snapshot is documented as per-cell consistent only;
+        // percentile extraction clamps ranks to the observed totals, so
+        // cells caught mid-update cannot produce out-of-range results.
         HistogramSnapshot {
             buckets: std::array::from_fn(|b| inner.buckets[b].load(Ordering::Relaxed)),
+            // RELAXED: as above.
             count: inner.count.load(Ordering::Relaxed),
             sum: inner.sum.load(Ordering::Relaxed),
+            // RELAXED: as above.
             max: inner.max.load(Ordering::Relaxed),
         }
     }

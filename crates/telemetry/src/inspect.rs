@@ -10,7 +10,7 @@
 use crate::histogram::{Histogram, HistogramSnapshot};
 use crate::json;
 use crate::metrics::{Counter, FloatGauge, Gauge, TextMetric};
-use crate::registry::MetricsRegistry;
+use crate::registry::{MetricTypeError, MetricsRegistry};
 use crate::span::{RingSink, SpanGuard, SpanSink};
 use crate::JsonError;
 use std::collections::BTreeMap;
@@ -194,29 +194,61 @@ impl Inspector {
         Arc::ptr_eq(&self.0, &other.0)
     }
 
-    /// Registers (or retrieves) a counter at `path`.
+    /// Registers (or retrieves) a counter at `path`.  Panics if the path
+    /// holds a different kind; see [`Inspector::try_counter`].
     pub fn counter(&self, path: &str) -> Counter {
         self.0.registry.counter(path)
     }
 
-    /// Registers (or retrieves) an integer gauge at `path`.
+    /// Registers (or retrieves) an integer gauge at `path`.  Panics if the
+    /// path holds a different kind; see [`Inspector::try_gauge`].
     pub fn gauge(&self, path: &str) -> Gauge {
         self.0.registry.gauge(path)
     }
 
-    /// Registers (or retrieves) a floating-point gauge at `path`.
+    /// Registers (or retrieves) a floating-point gauge at `path`.  Panics
+    /// if the path holds a different kind; see
+    /// [`Inspector::try_float_gauge`].
     pub fn float_gauge(&self, path: &str) -> FloatGauge {
         self.0.registry.float_gauge(path)
     }
 
-    /// Registers (or retrieves) a histogram at `path`.
+    /// Registers (or retrieves) a histogram at `path`.  Panics if the path
+    /// holds a different kind; see [`Inspector::try_histogram`].
     pub fn histogram(&self, path: &str) -> Histogram {
         self.0.registry.histogram(path)
     }
 
-    /// Registers (or retrieves) a text metric at `path`.
+    /// Registers (or retrieves) a text metric at `path`.  Panics if the
+    /// path holds a different kind; see [`Inspector::try_text`].
     pub fn text(&self, path: &str) -> TextMetric {
         self.0.registry.text(path)
+    }
+
+    /// Fallible counter registration: a [`MetricTypeError`] names the path
+    /// and both kinds when the path already holds a different metric.
+    pub fn try_counter(&self, path: &str) -> Result<Counter, MetricTypeError> {
+        self.0.registry.try_counter(path)
+    }
+
+    /// Fallible integer-gauge registration (see [`Inspector::try_counter`]).
+    pub fn try_gauge(&self, path: &str) -> Result<Gauge, MetricTypeError> {
+        self.0.registry.try_gauge(path)
+    }
+
+    /// Fallible float-gauge registration (see [`Inspector::try_counter`]).
+    pub fn try_float_gauge(&self, path: &str) -> Result<FloatGauge, MetricTypeError> {
+        self.0.registry.try_float_gauge(path)
+    }
+
+    /// Fallible histogram registration (see [`Inspector::try_counter`]).
+    pub fn try_histogram(&self, path: &str) -> Result<Histogram, MetricTypeError> {
+        self.0.registry.try_histogram(path)
+    }
+
+    /// Fallible text-metric registration (see [`Inspector::try_counter`]).
+    pub fn try_text(&self, path: &str) -> Result<TextMetric, MetricTypeError> {
+        self.0.registry.try_text(path)
     }
 
     /// Snapshot of the histogram at `path`, if one is registered there.

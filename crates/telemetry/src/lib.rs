@@ -72,5 +72,5 @@ pub use histogram::{Histogram, HistogramSnapshot};
 pub use inspect::{InspectNode, InspectValue, Inspector};
 pub use json::JsonError;
 pub use metrics::{Counter, FloatGauge, Gauge, TextMetric};
-pub use registry::MetricsRegistry;
+pub use registry::{MetricKind, MetricTypeError, MetricsRegistry};
 pub use span::{NullSink, RingSink, SpanGuard, SpanRecord, SpanSink};

@@ -26,12 +26,35 @@ impl Counter {
 
     /// Increments by `n`.
     pub fn add(&self, n: u64) {
+        // RELAXED: monitoring data, not a synchronisation edge; fetch_add
+        // keeps the total exact and a momentarily stale reader is fine.
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> u64 {
+        // RELAXED: see `add` — snapshots tolerate in-flight increments.
         self.0.load(Ordering::Relaxed)
+    }
+
+    /// Increments by one with release ordering (see [`Counter::add_release`]).
+    pub fn inc_release(&self) {
+        self.add_release(1);
+    }
+
+    /// Increments by `n` with release ordering: a reader that observes the
+    /// new total via [`Counter::get_acquire`] also observes every write the
+    /// incrementing thread performed before this call.  Use this when the
+    /// counter doubles as a publication flag for other metrics (e.g. "the
+    /// batch counter never exceeds the request counter").
+    pub fn add_release(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Release);
+    }
+
+    /// Current value with acquire ordering; pairs with
+    /// [`Counter::add_release`] to order reads of related metrics.
+    pub fn get_acquire(&self) -> u64 {
+        self.0.load(Ordering::Acquire)
     }
 
     /// Whether this handle shares its cell with `other` (the registry's
@@ -53,17 +76,22 @@ impl Gauge {
 
     /// Sets the gauge.
     pub fn set(&self, v: u64) {
+        // RELAXED: last-writer-wins monitoring value; no other state is
+        // inferred from it.
         self.0.store(v, Ordering::Relaxed);
     }
 
     /// Raises the gauge to `v` if `v` exceeds the current value (running
     /// maximum).
     pub fn set_max(&self, v: u64) {
+        // RELAXED: fetch_max only needs RMW atomicity to keep the running
+        // maximum exact; ordering against other cells is irrelevant.
         self.0.fetch_max(v, Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> u64 {
+        // RELAXED: see `set` — a slightly stale reading is acceptable.
         self.0.load(Ordering::Relaxed)
     }
 }
@@ -89,11 +117,14 @@ impl FloatGauge {
     /// snapshots always serialise to valid JSON.
     pub fn set(&self, v: f64) {
         let v = if v.is_finite() { v } else { 0.0 };
+        // RELAXED: the bit pattern is written whole, so readers always see a
+        // valid f64; monitoring data needs no cross-cell ordering.
         self.0.store(v.to_bits(), Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> f64 {
+        // RELAXED: see `set`.
         f64::from_bits(self.0.load(Ordering::Relaxed))
     }
 }

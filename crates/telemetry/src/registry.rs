@@ -27,13 +27,98 @@ enum Metric {
     Text(TextMetric),
 }
 
+impl Metric {
+    fn kind(&self) -> MetricKind {
+        match self {
+            Metric::Counter(_) => MetricKind::Counter,
+            Metric::Gauge(_) => MetricKind::Gauge,
+            Metric::Float(_) => MetricKind::FloatGauge,
+            Metric::Histogram(_) => MetricKind::Histogram,
+            Metric::Text(_) => MetricKind::Text,
+        }
+    }
+}
+
+/// The kind of metric registered at a path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// A monotonically increasing [`Counter`].
+    Counter,
+    /// An integer [`Gauge`].
+    Gauge,
+    /// A [`FloatGauge`].
+    FloatGauge,
+    /// A log₂-bucketed [`Histogram`].
+    Histogram,
+    /// A [`TextMetric`].
+    Text,
+}
+
+impl MetricKind {
+    /// Human-readable label, as used in error messages.
+    pub fn label(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::FloatGauge => "float gauge",
+            MetricKind::Histogram => "histogram",
+            MetricKind::Text => "text metric",
+        }
+    }
+}
+
+impl std::fmt::Display for MetricKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A path was re-registered with a different metric kind.
+///
+/// Returned by the `try_*` registration methods; the infallible wrappers
+/// panic with this error instead of silently handing back a detached
+/// handle, because an unshared metric is a monitoring bug that otherwise
+/// only shows up as mysteriously frozen numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricTypeError {
+    /// The contested path.
+    pub path: String,
+    /// The kind already registered at the path.
+    pub existing: MetricKind,
+    /// The kind the caller asked for.
+    pub requested: MetricKind,
+}
+
+impl std::fmt::Display for MetricTypeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "metric path `{}` is already registered as a {}; cannot re-register it as a {}",
+            self.path, self.existing, self.requested
+        )
+    }
+}
+
+impl std::error::Error for MetricTypeError {}
+
+fn type_error(path: &str, existing: MetricKind, requested: MetricKind) -> MetricTypeError {
+    MetricTypeError {
+        path: path.to_string(),
+        existing,
+        requested,
+    }
+}
+
 /// A concurrent map from hierarchical path to metric.
 ///
 /// Paths use `/` as the separator; the final segment becomes a property
 /// name in snapshots (histograms become a whole node, since they carry
 /// several values).  Registering a path that already holds a metric of a
-/// *different* kind returns a fresh detached handle instead of corrupting
-/// the tree — the caller keeps a working metric, it just is not shared.
+/// *different* kind is an error: the `try_*` methods return a
+/// [`MetricTypeError`] naming the path and both kinds, and the infallible
+/// convenience methods panic with it.  (Earlier versions silently handed
+/// back a detached, unshared handle — a monitoring bug that surfaced only
+/// as frozen numbers.)
 #[derive(Default)]
 pub struct MetricsRegistry {
     metrics: Mutex<BTreeMap<String, Metric>>,
@@ -57,69 +142,124 @@ impl MetricsRegistry {
         f(&mut self.metrics.lock().unwrap_or_else(|p| p.into_inner()))
     }
 
-    /// Registers (or retrieves) a counter at `path`.
-    pub fn counter(&self, path: &str) -> Counter {
+    /// Registers (or retrieves) a counter at `path`; fails if the path
+    /// already holds a different kind of metric.
+    pub fn try_counter(&self, path: &str) -> Result<Counter, MetricTypeError> {
         self.with_map(|m| {
             match m
                 .entry(path.to_string())
                 .or_insert_with(|| Metric::Counter(Counter::new()))
             {
-                Metric::Counter(c) => c.clone(),
-                _ => Counter::new(),
+                Metric::Counter(c) => Ok(c.clone()),
+                other => Err(type_error(path, other.kind(), MetricKind::Counter)),
             }
         })
     }
 
-    /// Registers (or retrieves) an integer gauge at `path`.
-    pub fn gauge(&self, path: &str) -> Gauge {
+    /// Registers (or retrieves) an integer gauge at `path`; fails if the
+    /// path already holds a different kind of metric.
+    pub fn try_gauge(&self, path: &str) -> Result<Gauge, MetricTypeError> {
         self.with_map(|m| {
             match m
                 .entry(path.to_string())
                 .or_insert_with(|| Metric::Gauge(Gauge::new()))
             {
-                Metric::Gauge(g) => g.clone(),
-                _ => Gauge::new(),
+                Metric::Gauge(g) => Ok(g.clone()),
+                other => Err(type_error(path, other.kind(), MetricKind::Gauge)),
             }
         })
     }
 
-    /// Registers (or retrieves) a floating-point gauge at `path`.
-    pub fn float_gauge(&self, path: &str) -> FloatGauge {
+    /// Registers (or retrieves) a floating-point gauge at `path`; fails if
+    /// the path already holds a different kind of metric.
+    pub fn try_float_gauge(&self, path: &str) -> Result<FloatGauge, MetricTypeError> {
         self.with_map(|m| {
             match m
                 .entry(path.to_string())
                 .or_insert_with(|| Metric::Float(FloatGauge::new()))
             {
-                Metric::Float(g) => g.clone(),
-                _ => FloatGauge::new(),
+                Metric::Float(g) => Ok(g.clone()),
+                other => Err(type_error(path, other.kind(), MetricKind::FloatGauge)),
             }
         })
     }
 
-    /// Registers (or retrieves) a histogram at `path`.
-    pub fn histogram(&self, path: &str) -> Histogram {
+    /// Registers (or retrieves) a histogram at `path`; fails if the path
+    /// already holds a different kind of metric.
+    pub fn try_histogram(&self, path: &str) -> Result<Histogram, MetricTypeError> {
         self.with_map(|m| {
             match m
                 .entry(path.to_string())
                 .or_insert_with(|| Metric::Histogram(Histogram::new()))
             {
-                Metric::Histogram(h) => h.clone(),
-                _ => Histogram::new(),
+                Metric::Histogram(h) => Ok(h.clone()),
+                other => Err(type_error(path, other.kind(), MetricKind::Histogram)),
             }
         })
     }
 
-    /// Registers (or retrieves) a text metric at `path`.
-    pub fn text(&self, path: &str) -> TextMetric {
+    /// Registers (or retrieves) a text metric at `path`; fails if the path
+    /// already holds a different kind of metric.
+    pub fn try_text(&self, path: &str) -> Result<TextMetric, MetricTypeError> {
         self.with_map(|m| {
             match m
                 .entry(path.to_string())
                 .or_insert_with(|| Metric::Text(TextMetric::new()))
             {
-                Metric::Text(t) => t.clone(),
-                _ => TextMetric::new(),
+                Metric::Text(t) => Ok(t.clone()),
+                other => Err(type_error(path, other.kind(), MetricKind::Text)),
             }
         })
+    }
+
+    /// Registers (or retrieves) a counter at `path`.
+    ///
+    /// # Panics
+    /// If the path already holds a different kind of metric (see
+    /// [`MetricsRegistry::try_counter`]).
+    pub fn counter(&self, path: &str) -> Counter {
+        self.try_counter(path).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Registers (or retrieves) an integer gauge at `path`.
+    ///
+    /// # Panics
+    /// If the path already holds a different kind of metric (see
+    /// [`MetricsRegistry::try_gauge`]).
+    pub fn gauge(&self, path: &str) -> Gauge {
+        self.try_gauge(path).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Registers (or retrieves) a floating-point gauge at `path`.
+    ///
+    /// # Panics
+    /// If the path already holds a different kind of metric (see
+    /// [`MetricsRegistry::try_float_gauge`]).
+    pub fn float_gauge(&self, path: &str) -> FloatGauge {
+        self.try_float_gauge(path).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Registers (or retrieves) a histogram at `path`.
+    ///
+    /// # Panics
+    /// If the path already holds a different kind of metric (see
+    /// [`MetricsRegistry::try_histogram`]).
+    pub fn histogram(&self, path: &str) -> Histogram {
+        self.try_histogram(path).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Registers (or retrieves) a text metric at `path`.
+    ///
+    /// # Panics
+    /// If the path already holds a different kind of metric (see
+    /// [`MetricsRegistry::try_text`]).
+    pub fn text(&self, path: &str) -> TextMetric {
+        self.try_text(path).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The kind of metric registered at `path`, if any.
+    pub fn kind_of(&self, path: &str) -> Option<MetricKind> {
+        self.with_map(|m| m.get(path).map(Metric::kind))
     }
 
     /// Snapshot of one histogram's state, if `path` holds a histogram.
@@ -187,15 +327,55 @@ mod tests {
     }
 
     #[test]
-    fn type_conflicts_yield_detached_handles() {
+    fn type_conflicts_yield_typed_errors() {
         let r = MetricsRegistry::new();
         let c = r.counter("path");
         c.add(5);
-        // Asking for the same path as a gauge must not clobber the counter.
-        let g = r.gauge("path");
-        g.set(99);
+        // Asking for the same path as a gauge must neither clobber the
+        // counter nor hand back a silently detached handle.
+        let err = r.try_gauge("path").unwrap_err();
+        assert_eq!(err.path, "path");
+        assert_eq!(err.existing, MetricKind::Counter);
+        assert_eq!(err.requested, MetricKind::Gauge);
+        let msg = err.to_string();
+        assert!(msg.contains("`path`"), "message names the path: {msg}");
+        assert!(msg.contains("counter") && msg.contains("gauge"));
+        // The original registration survives the failed attempt.
         assert_eq!(r.counter("path").get(), 5);
+        assert_eq!(r.kind_of("path"), Some(MetricKind::Counter));
+        assert_eq!(r.kind_of("missing"), None);
         assert_eq!(r.paths(), vec!["path".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered as a counter")]
+    fn infallible_registration_panics_on_kind_mismatch() {
+        let r = MetricsRegistry::new();
+        r.counter("path");
+        let _ = r.histogram("path");
+    }
+
+    #[test]
+    fn every_kind_pair_reports_the_right_error() {
+        let r = MetricsRegistry::new();
+        r.counter("c");
+        r.gauge("g");
+        r.float_gauge("f");
+        r.histogram("h");
+        r.text("t");
+        assert_eq!(r.try_text("c").unwrap_err().requested, MetricKind::Text);
+        assert_eq!(r.try_counter("g").unwrap_err().existing, MetricKind::Gauge);
+        assert_eq!(
+            r.try_histogram("f").unwrap_err().existing,
+            MetricKind::FloatGauge
+        );
+        assert_eq!(
+            r.try_float_gauge("h").unwrap_err().existing,
+            MetricKind::Histogram
+        );
+        assert_eq!(r.try_gauge("t").unwrap_err().existing, MetricKind::Text);
+        // Same-kind re-registration stays idempotent.
+        assert!(r.try_counter("c").unwrap().same_as(&r.counter("c")));
     }
 
     #[test]

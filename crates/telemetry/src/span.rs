@@ -65,12 +65,15 @@ impl RingSink {
 
     /// How many spans were ever recorded (including evicted ones).
     pub fn total(&self) -> u64 {
+        // RELAXED: monitoring read; may trail concurrent `record` calls.
         self.total.load(Ordering::Relaxed)
     }
 }
 
 impl SpanSink for RingSink {
     fn record(&self, record: SpanRecord) {
+        // RELAXED: the lifetime total is a statistic; the ring itself is
+        // protected by the mutex below, so no publication edge is needed.
         self.total.fetch_add(1, Ordering::Relaxed);
         let mut q = self.recent.lock().unwrap_or_else(|p| p.into_inner());
         if q.len() == self.capacity {
